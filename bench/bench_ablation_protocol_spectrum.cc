@@ -1,0 +1,65 @@
+// The full protocol spectrum at the Table 1 defaults restricted to a DAG
+// placement (b=0) so every protocol can run: the paper's lazy protocols
+// (DAG(WT), DAG(T), BackEdge), the PSL baseline, eager read-one/write-all
+// (the intro's scalability foil), and indiscriminate lazy propagation
+// with and without last-writer-wins reconciliation (the commercial
+// practice of §1 — note the serializability column).
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace lazyrep;
+  harness::BenchOptions options = harness::ParseBenchArgs(argc, argv);
+
+  core::SystemConfig base = harness::PaperConfig(core::Protocol::kDagWt);
+  harness::ApplyOptions(options, &base);
+  base.workload.backedge_prob = 0.0;
+  // Jitter makes indiscriminate propagation's anomalies visible.
+  base.costs.net_jitter = Millis(2);
+  bench::PrintBanner(
+      "Ablation: full protocol spectrum at defaults (b=0, 2ms jitter)",
+      base, options);
+
+  harness::Table table({"protocol", "tps", "abort%", "resp_ms", "prop_ms",
+                        "msgs/txn", "serializable", "converged"},
+                       options.csv);
+  table.PrintHeader();
+
+  struct Row {
+    const char* label;
+    core::Protocol protocol;
+    bool lww;
+  };
+  for (const Row& row : {Row{"DAG(WT)", core::Protocol::kDagWt, false},
+                         Row{"DAG(T)", core::Protocol::kDagT, false},
+                         Row{"BackEdge", core::Protocol::kBackEdge, false},
+                         Row{"PSL", core::Protocol::kPsl, false},
+                         Row{"Eager", core::Protocol::kEager, false},
+                         Row{"NaiveLazy", core::Protocol::kNaiveLazy,
+                             false},
+                         Row{"NaiveLazy+LWW", core::Protocol::kNaiveLazy,
+                             true}}) {
+    core::SystemConfig config = base;
+    config.protocol = row.protocol;
+    config.engine.naive_lww = row.lww;
+    harness::AggregateResult result =
+        harness::RunSeeds(config, options.seeds);
+    table.PrintRow({row.label, harness::Table::Num(result.throughput),
+                    harness::Table::Num(result.abort_rate_pct),
+                    harness::Table::Num(result.response_ms),
+                    row.protocol == core::Protocol::kPsl
+                        ? "n/a"
+                        : harness::Table::Num(result.propagation_ms),
+                    harness::Table::Num(result.messages_per_txn),
+                    result.all_serializable ? "yes" : "NO",
+                    result.all_converged ? "yes" : "NO"});
+  }
+  std::printf(
+      "\nNotes: BackEdge equals DAG(WT) exactly at b=0 (no backedges =>\n"
+      "identical protocol, identical seeded run). NaiveLazy CONVERGES in\n"
+      "the primary-copy model (one master per item + FIFO channels mean\n"
+      "last-writer-wins reconciliation never fires -- the +LWW row is\n"
+      "identical by construction) but is NOT serializable: stale reads\n"
+      "weave Example 1.1 cycles across items.\n");
+  return 0;
+}

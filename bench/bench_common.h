@@ -1,0 +1,24 @@
+#ifndef LAZYREP_BENCH_BENCH_COMMON_H_
+#define LAZYREP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+namespace lazyrep::bench {
+
+/// Prints the standard bench banner: what is being reproduced and the
+/// Table 1 parameters in effect.
+inline void PrintBanner(const char* title, const core::SystemConfig& config,
+                        const harness::BenchOptions& options) {
+  std::printf("# %s\n", title);
+  std::printf("# params: %s\n", config.workload.ToString().c_str());
+  std::printf("# txns/thread=%d seeds=%d%s\n", options.txns_per_thread,
+              options.seeds,
+              options.quick ? " (quick mode; use --full for paper scale)"
+                            : "");
+}
+
+}  // namespace lazyrep::bench
+
+#endif  // LAZYREP_BENCH_BENCH_COMMON_H_

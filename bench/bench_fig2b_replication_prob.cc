@@ -1,0 +1,57 @@
+// Reproduces Figure 2(b): average per-site throughput of BackEdge and PSL
+// as the replication probability `r` is varied from 0 to 1, other
+// parameters at Table 1 defaults.
+//
+// Paper shape: both protocols degrade as the number of replicas grows;
+// throughput drops sharply from r=0 (every transaction fully local, the
+// two protocols identical) to r=0.1; BackEdge stays ≈2x PSL for every
+// r > 0 because replicas multiply much faster than replicated items and
+// 85% of operations are reads (remote for PSL, local for BackEdge).
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace lazyrep;
+  harness::BenchOptions options = harness::ParseBenchArgs(argc, argv);
+
+  core::SystemConfig base = harness::PaperConfig(core::Protocol::kBackEdge);
+  harness::ApplyOptions(options, &base);
+  bench::PrintBanner(
+      "Figure 2(b): throughput vs replication probability (BackEdge vs "
+      "PSL)",
+      base, options);
+
+  harness::Table table({"r", "BackEdge_tps", "PSL_tps", "BE_abort%",
+                        "PSL_abort%", "replicas", "BE_SR", "PSL_SR"},
+                       options.csv);
+  table.PrintHeader();
+  for (double r : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+                   1.0}) {
+    core::SystemConfig be = base;
+    be.protocol = core::Protocol::kBackEdge;
+    be.workload.replication_prob = r;
+    harness::AggregateResult be_result =
+        harness::RunSeeds(be, options.seeds);
+
+    core::SystemConfig psl = base;
+    psl.protocol = core::Protocol::kPsl;
+    psl.workload.replication_prob = r;
+    harness::AggregateResult psl_result =
+        harness::RunSeeds(psl, options.seeds);
+
+    // Count replicas for the paper's "almost 500 replicas at r=1" note.
+    Rng rng(be.seed);
+    graph::Placement placement =
+        workload::GeneratePlacement(be.workload, &rng);
+
+    table.PrintRow({harness::Table::Num(r, 1),
+                    harness::Table::Num(be_result.throughput),
+                    harness::Table::Num(psl_result.throughput),
+                    harness::Table::Num(be_result.abort_rate_pct),
+                    harness::Table::Num(psl_result.abort_rate_pct),
+                    std::to_string(placement.TotalReplicas()),
+                    be_result.all_serializable ? "yes" : "NO",
+                    psl_result.all_serializable ? "yes" : "NO"});
+  }
+  return 0;
+}

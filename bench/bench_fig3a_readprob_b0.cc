@@ -1,0 +1,53 @@
+// Reproduces Figure 3(a): throughput vs read-operation probability under
+// the extreme setting b=0, r=0.5, read-transaction probability 0 (every
+// transaction does updates).
+//
+// Paper shape: at read prob 0 PSL wins (it propagates nothing and runs
+// fully locally, while BackEdge must push every update to replicas); the
+// curves cross quickly, BackEdge peaks at ≈5x PSL around read prob 0.5,
+// and PSL dips until ~0.5 before recovering as contention fades.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace lazyrep;
+  harness::BenchOptions options = harness::ParseBenchArgs(argc, argv);
+
+  core::SystemConfig base = harness::PaperConfig(core::Protocol::kBackEdge);
+  harness::ApplyOptions(options, &base);
+  base.workload.backedge_prob = 0.0;
+  base.workload.replication_prob = 0.5;
+  base.workload.read_txn_prob = 0.0;
+  bench::PrintBanner(
+      "Figure 3(a): throughput vs read-op probability (b=0, r=0.5, no "
+      "read-only txns)",
+      base, options);
+
+  harness::Table table({"read_prob", "BackEdge_tps", "PSL_tps",
+                        "BE_abort%", "PSL_abort%", "BE_SR", "PSL_SR"},
+                       options.csv);
+  table.PrintHeader();
+  for (double p : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+                   1.0}) {
+    core::SystemConfig be = base;
+    be.protocol = core::Protocol::kBackEdge;
+    be.workload.read_op_prob = p;
+    harness::AggregateResult be_result =
+        harness::RunSeeds(be, options.seeds);
+
+    core::SystemConfig psl = base;
+    psl.protocol = core::Protocol::kPsl;
+    psl.workload.read_op_prob = p;
+    harness::AggregateResult psl_result =
+        harness::RunSeeds(psl, options.seeds);
+
+    table.PrintRow({harness::Table::Num(p, 1),
+                    harness::Table::Num(be_result.throughput),
+                    harness::Table::Num(psl_result.throughput),
+                    harness::Table::Num(be_result.abort_rate_pct),
+                    harness::Table::Num(psl_result.abort_rate_pct),
+                    be_result.all_serializable ? "yes" : "NO",
+                    psl_result.all_serializable ? "yes" : "NO"});
+  }
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Substrate microbenchmarks (google-benchmark): the data-structure and
+// event-loop costs underlying the protocol simulations. Not a paper
+// figure; used to keep the simulator fast enough for full Table 1 scale.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/history.h"
+#include "core/timestamp.h"
+#include "graph/copy_graph.h"
+#include "graph/feedback_arc_set.h"
+#include "graph/tree.h"
+#include "sim/primitives.h"
+#include "sim/simulator.h"
+#include "storage/lock_manager.h"
+#include "workload/generator.h"
+
+namespace lazyrep {
+namespace {
+
+void BM_TimestampCompare(benchmark::State& state) {
+  core::Timestamp a, b;
+  for (int s = 0; s < state.range(0); ++s) {
+    a = a.ExtendedWith(s, s * 3, 0);
+    b = b.ExtendedWith(s, s == state.range(0) / 2 ? s * 3 + 1 : s * 3, 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Timestamp::Compare(a, b));
+  }
+}
+BENCHMARK(BM_TimestampCompare)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_TimestampExtend(benchmark::State& state) {
+  core::Timestamp base;
+  for (int s = 0; s < 8; ++s) base = base.ExtendedWith(s, s, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.ExtendedWith(9, 1, 0));
+  }
+}
+BENCHMARK(BM_TimestampExtend);
+
+void BM_SimulatorEventLoop(benchmark::State& state) {
+  // Cost of scheduling + dispatching one Delay event.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    int64_t n = state.range(0);
+    sim.Spawn([](sim::Simulator* s, int64_t count) -> sim::Co<void> {
+      for (int64_t i = 0; i < count; ++i) co_await s->Delay(1);
+    }(&sim, n));
+    state.ResumeTiming();
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventLoop)->Arg(10000);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    storage::LockManager locks(&sim, {});
+    auto txn = std::make_shared<storage::Transaction>(
+        GlobalTxnId{0, 1}, storage::TxnKind::kPrimary, 0, 0);
+    int64_t n = state.range(0);
+    state.ResumeTiming();
+    sim.Spawn([](storage::LockManager* lm, storage::TxnPtr t,
+                 int64_t count) -> sim::Co<void> {
+      for (int64_t i = 0; i < count; ++i) {
+        (void)co_await lm->Acquire(t.get(), static_cast<ItemId>(i % 64),
+                                   storage::LockMode::kExclusive);
+        lm->ReleaseAll(t.get());
+      }
+    }(&locks, txn, n));
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LockAcquireRelease)->Arg(10000);
+
+void BM_PlacementAndCopyGraph(benchmark::State& state) {
+  workload::Params params;
+  params.num_items = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    graph::Placement p = workload::GeneratePlacement(params, &rng);
+    graph::CopyGraph g = graph::CopyGraph::FromPlacement(p);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_PlacementAndCopyGraph)->Arg(200)->Arg(2000);
+
+void BM_GreedyFeedbackArcSet(benchmark::State& state) {
+  Rng rng(11);
+  graph::CopyGraph g(static_cast<int>(state.range(0)));
+  for (SiteId a = 0; a < g.num_sites(); ++a) {
+    for (SiteId b = 0; b < g.num_sites(); ++b) {
+      if (a != b && rng.Bernoulli(0.3)) g.AddEdge(a, b);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::GreedyFeedbackArcSet(g));
+  }
+}
+BENCHMARK(BM_GreedyFeedbackArcSet)->Arg(9)->Arg(15);
+
+void BM_SerializabilityCheck(benchmark::State& state) {
+  // Synthetic history: `n` transactions touching overlapping items at 9
+  // sites.
+  core::HistoryRecorder recorder;
+  Rng rng(13);
+  int64_t n = state.range(0);
+  std::map<SiteId, int64_t> seq;
+  for (int64_t i = 0; i < n; ++i) {
+    core::HistoryRecorder::Record r;
+    r.site = static_cast<SiteId>(rng.Below(9));
+    r.origin = GlobalTxnId{r.site, i};
+    r.commit_seq = seq[r.site]++;
+    for (int k = 0; k < 7; ++k) {
+      r.reads.insert(static_cast<ItemId>(rng.Below(200)));
+    }
+    for (int k = 0; k < 3; ++k) {
+      r.writes.insert(static_cast<ItemId>(rng.Below(200)));
+    }
+    recorder.AddRecord(std::move(r));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::CheckSerializability(recorder));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SerializabilityCheck)->Arg(1000)->Arg(10000);
+
+void BM_TreeBuild(benchmark::State& state) {
+  Rng rng(17);
+  graph::CopyGraph dag(static_cast<int>(state.range(0)));
+  for (SiteId a = 0; a < dag.num_sites(); ++a) {
+    for (SiteId b = a + 1; b < dag.num_sites(); ++b) {
+      if (rng.Bernoulli(0.3)) dag.AddEdge(a, b);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::BuildGreedyTree(dag));
+  }
+}
+BENCHMARK(BM_TreeBuild)->Arg(15);
+
+}  // namespace
+}  // namespace lazyrep
+
+BENCHMARK_MAIN();

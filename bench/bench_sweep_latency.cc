@@ -1,0 +1,46 @@
+// Table 1 lists 0.15-100 ms as the explored network-latency range (full
+// sweep in [BKRSS98]): throughput of BackEdge and PSL as the one-way
+// latency grows. Expected shape: PSL collapses quickly — remote reads put
+// the latency on every transaction's critical path and remote S locks are
+// held across it — while BackEdge's lazy propagation keeps latency off
+// the critical path (only backedge transactions suffer), so its curve is
+// far flatter.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace lazyrep;
+  harness::BenchOptions options = harness::ParseBenchArgs(argc, argv);
+
+  core::SystemConfig base = harness::PaperConfig(core::Protocol::kBackEdge);
+  harness::ApplyOptions(options, &base);
+  bench::PrintBanner(
+      "[BKRSS98] sweep: throughput vs one-way network latency",
+      base, options);
+
+  harness::Table table({"latency_ms", "BackEdge_tps", "PSL_tps",
+                        "BE_abort%", "PSL_abort%", "BE_prop_ms"},
+                       options.csv);
+  table.PrintHeader();
+  for (double ms : {0.15, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
+    core::SystemConfig be = base;
+    be.protocol = core::Protocol::kBackEdge;
+    be.workload.network_latency = Millis(ms);
+    harness::AggregateResult be_result =
+        harness::RunSeeds(be, options.seeds);
+
+    core::SystemConfig psl = base;
+    psl.protocol = core::Protocol::kPsl;
+    psl.workload.network_latency = Millis(ms);
+    harness::AggregateResult psl_result =
+        harness::RunSeeds(psl, options.seeds);
+
+    table.PrintRow({harness::Table::Num(ms),
+                    harness::Table::Num(be_result.throughput),
+                    harness::Table::Num(psl_result.throughput),
+                    harness::Table::Num(be_result.abort_rate_pct),
+                    harness::Table::Num(psl_result.abort_rate_pct),
+                    harness::Table::Num(be_result.propagation_ms)});
+  }
+  return 0;
+}

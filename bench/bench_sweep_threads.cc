@@ -1,0 +1,45 @@
+// Table 1 lists 1-5 threads per site as the explored multiprogramming
+// range (full sweep in [BKRSS98]): throughput of BackEdge and PSL as the
+// per-site thread count grows. Expected shape: throughput rises with
+// moderate multiprogramming, then contention (lock waits, deadlock
+// timeouts) flattens or reverses it; BackEdge stays ahead.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace lazyrep;
+  harness::BenchOptions options = harness::ParseBenchArgs(argc, argv);
+
+  core::SystemConfig base = harness::PaperConfig(core::Protocol::kBackEdge);
+  harness::ApplyOptions(options, &base);
+  bench::PrintBanner(
+      "[BKRSS98] sweep: throughput vs threads per site (multiprogramming)",
+      base, options);
+
+  harness::Table table({"threads", "BackEdge_tps", "PSL_tps", "BE_abort%",
+                        "PSL_abort%", "BE_resp_ms", "PSL_resp_ms"},
+                       options.csv);
+  table.PrintHeader();
+  for (int threads : {1, 2, 3, 4, 5}) {
+    core::SystemConfig be = base;
+    be.protocol = core::Protocol::kBackEdge;
+    be.workload.threads_per_site = threads;
+    harness::AggregateResult be_result =
+        harness::RunSeeds(be, options.seeds);
+
+    core::SystemConfig psl = base;
+    psl.protocol = core::Protocol::kPsl;
+    psl.workload.threads_per_site = threads;
+    harness::AggregateResult psl_result =
+        harness::RunSeeds(psl, options.seeds);
+
+    table.PrintRow({std::to_string(threads),
+                    harness::Table::Num(be_result.throughput),
+                    harness::Table::Num(psl_result.throughput),
+                    harness::Table::Num(be_result.abort_rate_pct),
+                    harness::Table::Num(psl_result.abort_rate_pct),
+                    harness::Table::Num(be_result.response_ms),
+                    harness::Table::Num(psl_result.response_ms)});
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Example 1.1 live: indiscriminate lazy propagation (what §1 says
+// commercial systems do) produces a non-serializable execution on the
+// paper's three-site topology, and the checker exhibits the witness
+// cycle. The same workload under DAG(WT) and DAG(T) is serializable on
+// every seed — the ordering control is exactly what the protocols add.
+//
+//   $ ./examples/anomaly_demo
+
+#include <cstdio>
+
+#include "core/system.h"
+
+using namespace lazyrep;
+
+namespace {
+
+// The paper's Figure 1: item a (0) primary at s1 (site 0) with replicas
+// at s2 and s3; item b (1) primary at s2 with a replica at s3.
+graph::Placement Example11() {
+  graph::Placement p;
+  p.num_sites = 3;
+  p.num_items = 2;
+  p.primary = {0, 1};
+  p.replicas = {{1, 2}, {2}};
+  return p;
+}
+
+core::SystemConfig Example11Config(core::Protocol protocol,
+                                   uint64_t seed) {
+  core::SystemConfig config;
+  config.protocol = protocol;
+  config.seed = seed;
+  config.placement = Example11();
+  config.workload.num_sites = 3;
+  config.workload.num_items = 2;
+  config.workload.sites_per_machine = 3;
+  config.workload.threads_per_site = 2;
+  config.workload.txns_per_thread = 40;
+  config.workload.ops_per_txn = 4;
+  config.workload.read_txn_prob = 0.4;
+  config.workload.read_op_prob = 0.5;
+  // Cross-channel reordering is what lets T2's update to b overtake T1's
+  // update to a on the way to s3 (channels themselves stay FIFO).
+  config.costs.net_jitter = Millis(5);
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Example 1.1 topology: a@s1 -> {s2,s3}, b@s2 -> {s3}\n\n");
+
+  // Indiscriminate propagation: hunt for a violating seed.
+  bool found = false;
+  for (uint64_t seed = 1; seed <= 20 && !found; ++seed) {
+    auto system = core::System::Create(
+        Example11Config(core::Protocol::kNaiveLazy, seed));
+    LAZYREP_CHECK(system.ok());
+    core::RunMetrics metrics = (*system)->Run();
+    if (!metrics.serializable) {
+      std::printf("NaiveLazy, seed %llu: %s\n",
+                  static_cast<unsigned long long>(seed),
+                  metrics.verdict.c_str());
+      std::printf("  (the witness cycle mixes per-site serialization "
+                  "orders, exactly Example 1.1's T1->T2->T3->T1)\n");
+      found = true;
+    }
+  }
+  if (!found) {
+    std::printf("NaiveLazy: no violation in 20 seeds (unexpected)\n");
+    return 1;
+  }
+
+  // The paper's protocols on the same seeds: always serializable.
+  for (core::Protocol protocol :
+       {core::Protocol::kDagWt, core::Protocol::kDagT}) {
+    int serializable = 0;
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+      auto system =
+          core::System::Create(Example11Config(protocol, seed));
+      LAZYREP_CHECK(system.ok());
+      core::RunMetrics metrics = (*system)->Run();
+      serializable += metrics.serializable ? 1 : 0;
+    }
+    std::printf("%s: %d/20 seeds serializable\n",
+                core::ProtocolName(protocol).c_str(), serializable);
+    if (serializable != 20) return 1;
+  }
+  std::printf("\nThe DAG protocols' ordering control (tree relay / "
+              "timestamps) eliminates the anomaly.\n");
+  return 0;
+}

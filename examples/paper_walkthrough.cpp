@@ -1,0 +1,154 @@
+// A narrated replay of the paper's worked examples, printing the actual
+// protocol state the text describes:
+//
+//  1. §3.2's DAG(T) timestamp trace on the Figure 1 topology — T1's and
+//     T2's timestamps, and the site timestamps as secondaries commit;
+//  2. §4.1's Example 4.1 under BackEdge — the global deadlock and its
+//     resolution (T2, the backedge-pending transaction, is the victim),
+//     shown through the event trace.
+//
+//   $ ./examples/paper_walkthrough
+
+#include <cstdio>
+
+#include "core/engine_backedge.h"
+#include "core/engine_dag_t.h"
+#include "core/system.h"
+
+using namespace lazyrep;
+
+namespace {
+
+graph::Placement Figure1() {
+  graph::Placement p;
+  p.num_sites = 3;
+  p.num_items = 2;  // Item 0 = "a", item 1 = "b".
+  p.primary = {0, 1};
+  p.replicas = {{1, 2}, {2}};
+  return p;
+}
+
+graph::Placement Example41() {
+  graph::Placement p;
+  p.num_sites = 2;
+  p.num_items = 2;
+  p.primary = {0, 1};
+  p.replicas = {{1}, {0}};
+  return p;
+}
+
+void Section32Walkthrough() {
+  std::printf("=== Section 3.2: DAG(T) timestamps on Figure 1 ===\n");
+  std::printf("(paper sites s1,s2,s3 are sites 0,1,2 here)\n\n");
+
+  core::SystemConfig config;
+  config.protocol = core::Protocol::kDagT;
+  config.placement = Figure1();
+  config.workload.num_sites = 3;
+  config.workload.num_items = 2;
+  config.workload.sites_per_machine = 3;
+  auto system = core::System::Create(config);
+  LAZYREP_CHECK(system.ok());
+  core::System& sys = **system;
+  auto ts_of = [&](SiteId s) {
+    return dynamic_cast<core::DagTEngine&>(sys.engine(s))
+        .site_timestamp()
+        .ToString();
+  };
+
+  std::printf("initial site timestamps: s1=%s s2=%s s3=%s\n",
+              ts_of(0).c_str(), ts_of(1).c_str(), ts_of(2).c_str());
+
+  workload::TxnSpec t1;
+  t1.ops = {{true, 0}};  // T1 updates a.
+  LAZYREP_CHECK(sys.RunOneTransaction(0, t1).ok());
+  std::printf("T1 (updates a) commits at s1    -> TS(s1)=%s  "
+              "[paper: T1 gets (s1,1)]\n",
+              ts_of(0).c_str());
+
+  sys.DrainPropagation();
+  std::printf("T1's secondary commits at s2    -> TS(s2)=%s  "
+              "[paper: (s1,1)(s2,0)]\n",
+              ts_of(1).c_str());
+
+  workload::TxnSpec t2;
+  t2.ops = {{false, 0}, {true, 1}};  // T2 reads a, writes b.
+  LAZYREP_CHECK(sys.RunOneTransaction(1, t2).ok());
+  std::printf("T2 (reads a, writes b) at s2    -> TS(s2)=%s  "
+              "[paper: T2 gets (s1,1)(s2,1)]\n",
+              ts_of(1).c_str());
+
+  sys.DrainPropagation();
+  std::printf("after drain, s3 applied both    -> TS(s3)=%s\n",
+              ts_of(2).c_str());
+  std::printf("T1 < T2 in timestamp order, so s3 commits T1 first — the "
+              "Example 1.1 anomaly is impossible.\n");
+  LAZYREP_CHECK(sys.CheckHistory().serializable);
+  std::printf("history check: serializable.\n\n");
+}
+
+void Example41Walkthrough() {
+  std::printf("=== Section 4.1: Example 4.1 under BackEdge ===\n");
+  std::printf("two sites with mutual replication; T1@s1 reads b/updates "
+              "a; T2@s2 reads a/updates b, concurrently\n\n");
+
+  core::SystemConfig config;
+  config.protocol = core::Protocol::kBackEdge;
+  config.placement = Example41();
+  config.workload.num_sites = 2;
+  config.workload.num_items = 2;
+  config.workload.sites_per_machine = 2;
+  config.enable_trace = true;
+  auto system = core::System::Create(config);
+  LAZYREP_CHECK(system.ok());
+  core::System& sys = **system;
+  sys.StartEngines();
+
+  Status st1 = Status::Internal("pending");
+  Status st2 = Status::Internal("pending");
+  auto launch = [&sys](SiteId site, workload::TxnSpec spec, Status* out) {
+    sys.simulator().Spawn(
+        [](core::System* s, SiteId at, workload::TxnSpec sp,
+           Status* o) -> sim::Co<void> {
+          *o = co_await s->engine(at).ExecutePrimary(GlobalTxnId{at, 1},
+                                                     sp);
+        }(&sys, site, std::move(spec), out));
+  };
+  workload::TxnSpec t1;
+  t1.ops = {{false, 1}, {true, 0}};
+  workload::TxnSpec t2;
+  t2.ops = {{false, 0}, {true, 1}};
+  launch(0, t1, &st1);
+  launch(1, t2, &st2);
+  sys.simulator().Run();
+  sys.DrainPropagation();
+
+  std::printf("T1: %s\nT2: %s\n", st1.ToString().c_str(),
+              st2.ToString().c_str());
+  std::printf("\nevent trace (protocol messages and verdicts):\n");
+  for (const core::TraceEvent& e : sys.trace()->events()) {
+    using Kind = core::TraceEvent::Kind;
+    if (e.kind == Kind::kMsgPost || e.kind == Kind::kTxnAbort ||
+        e.kind == Kind::kLockTimeout) {
+      std::printf("  %7.2f ms  site %d  %-12s %s\n",
+                  static_cast<double>(e.time) / 1e6, e.site,
+                  std::string(core::TraceEvent::KindName(e.kind)).c_str(),
+                  e.detail.c_str());
+    }
+  }
+  std::printf("\nThe paper's trace: T2's backedge subtransaction executes "
+              "at s1; T1's secondary for a\nblocks on T2's read lock at "
+              "s2; the timeout fires and the backedge-pending T2 is\n"
+              "aborted — never T1's secondary. The schedule stays "
+              "serializable:\n");
+  LAZYREP_CHECK(sys.CheckHistory().serializable);
+  std::printf("history check: serializable.\n");
+}
+
+}  // namespace
+
+int main() {
+  Section32Walkthrough();
+  Example41Walkthrough();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a replicated-database simulation with the BackEdge
+// protocol, run the paper's default workload (scaled down), and print the
+// metrics the paper reports — plus the serializability verdict computed
+// from the recorded per-site histories.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/system.h"
+
+using namespace lazyrep;
+
+int main() {
+  // 1. Describe the system. Defaults mirror Table 1 of the paper: 9
+  //    sites on 3 machines, 200 items, 20% of primaries replicated, a
+  //    0.15 ms network, 50 ms deadlock timeout.
+  core::SystemConfig config;
+  config.protocol = core::Protocol::kBackEdge;
+  config.seed = 2026;
+  config.workload.txns_per_thread = 200;  // Paper uses 1000.
+
+  // 2. Build it. Create() validates the configuration — e.g. a DAG-only
+  //    protocol on a cyclic copy graph is rejected with a Status.
+  Result<std::unique_ptr<core::System>> system =
+      core::System::Create(config);
+  if (!system.ok()) {
+    std::fprintf(stderr, "cannot build system: %s\n",
+                 system.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Run the workload: every site runs 3 threads of 10-operation
+  //    transactions; updates propagate lazily (eagerly along backedges);
+  //    the run ends when propagation has fully drained.
+  core::RunMetrics metrics = (*system)->Run();
+
+  // 4. Inspect the results.
+  std::printf("protocol            : %s\n",
+              core::ProtocolName(config.protocol).c_str());
+  std::printf("committed           : %lld\n",
+              static_cast<long long>(metrics.committed));
+  std::printf("aborted             : %lld (%.2f%%)\n",
+              static_cast<long long>(metrics.aborted),
+              metrics.abort_rate_pct);
+  std::printf("throughput          : %.2f txn/s per site\n",
+              metrics.avg_site_throughput);
+  std::printf("response time       : %.2f ms mean (max %.2f)\n",
+              metrics.response_ms.mean(), metrics.response_ms.max());
+  std::printf("propagation delay   : %.2f ms mean to reach all replicas\n",
+              metrics.propagation_delay_ms.mean());
+  std::printf("messages            : %llu\n",
+              static_cast<unsigned long long>(metrics.messages));
+  std::printf("serializable        : %s\n", metrics.verdict.c_str());
+  std::printf("replicas converged  : %s\n",
+              metrics.converged ? "yes" : "NO");
+  return metrics.serializable && metrics.converged ? 0 : 1;
+}

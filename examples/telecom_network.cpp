@@ -1,0 +1,100 @@
+// Telecom network management — the paper's strong-consistency scenario
+// (§1: "in telecom as well as data networks, network management
+// applications require real-time dissemination of updates to replicas
+// with strong consistency guarantees").
+//
+// Four regional network-operation centers each own the status items of
+// their region's elements, and *mutually* replicate neighbouring regions'
+// status for fail-over monitoring. The resulting copy graph is cyclic, so
+// the DAG protocols are inapplicable — this is exactly the case the
+// BackEdge protocol exists for: updates along backedges run eagerly
+// (locks + 2PC), everything else stays lazy.
+//
+//   $ ./examples/telecom_network
+
+#include <cstdio>
+
+#include "core/engine_backedge.h"
+#include "core/system.h"
+
+using namespace lazyrep;
+
+namespace {
+
+graph::Placement NocPlacement() {
+  // 4 NOCs, 15 status items each. Region k's items are replicated at the
+  // next region (ring) and items 0-4 of each region also at the previous
+  // region — plenty of cycles.
+  graph::Placement p;
+  p.num_sites = 4;
+  p.num_items = 60;
+  p.primary.resize(p.num_items);
+  p.replicas.resize(p.num_items);
+  for (ItemId i = 0; i < p.num_items; ++i) {
+    SiteId owner = i / 15;
+    p.primary[i] = owner;
+    SiteId next = (owner + 1) % 4;
+    SiteId prev = (owner + 3) % 4;
+    p.replicas[i].push_back(next);
+    if (i % 15 < 5 && prev != next) p.replicas[i].push_back(prev);
+    std::sort(p.replicas[i].begin(), p.replicas[i].end());
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  core::SystemConfig config;
+  config.protocol = core::Protocol::kBackEdge;
+  config.placement = NocPlacement();
+  config.seed = 99;
+  config.workload.num_sites = 4;
+  config.workload.num_items = 60;
+  config.workload.sites_per_machine = 1;
+  config.workload.threads_per_site = 3;
+  config.workload.txns_per_thread = 400;
+  // Status dashboards: mostly reads, bursts of status updates.
+  config.workload.read_op_prob = 0.7;
+  config.workload.read_txn_prob = 0.5;
+
+  // A DAG protocol refuses this topology...
+  core::SystemConfig dag_config = config;
+  dag_config.protocol = core::Protocol::kDagT;
+  Result<std::unique_ptr<core::System>> rejected =
+      core::System::Create(dag_config);
+  std::printf("DAG(T) on the NOC ring: %s\n",
+              rejected.ok() ? "accepted (unexpected!)"
+                            : rejected.status().ToString().c_str());
+
+  // ...BackEdge handles it.
+  Result<std::unique_ptr<core::System>> system =
+      core::System::Create(config);
+  if (!system.ok()) {
+    std::fprintf(stderr, "%s\n", system.status().ToString().c_str());
+    return 1;
+  }
+  core::System& sys = **system;
+  std::printf("copy graph: %zu edges, %zu backedges removed -> DAG\n",
+              sys.routing().copy_graph().num_edges(),
+              sys.routing().backedges().size());
+
+  core::RunMetrics metrics = sys.Run();
+
+  uint64_t backedge_txns = 0;
+  for (SiteId s = 0; s < 4; ++s) {
+    backedge_txns +=
+        dynamic_cast<core::BackEdgeEngine&>(sys.engine(s)).backedge_txns();
+  }
+  std::printf("\n%lld committed, %.2f%% aborted, %.1f txn/s per NOC\n",
+              static_cast<long long>(metrics.committed),
+              metrics.abort_rate_pct, metrics.avg_site_throughput);
+  std::printf("%llu transactions took the eager backedge path (2PC)\n",
+              static_cast<unsigned long long>(backedge_txns));
+  std::printf("status updates reached all monitors in %.1f ms mean\n",
+              metrics.propagation_delay_ms.mean());
+  std::printf("%s\n", metrics.verdict.c_str());
+  std::printf("replicas converged: %s\n",
+              metrics.converged ? "yes" : "NO");
+  return metrics.serializable && metrics.converged ? 0 : 1;
+}

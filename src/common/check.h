@@ -1,0 +1,55 @@
+#ifndef LAZYREP_COMMON_CHECK_H_
+#define LAZYREP_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace lazyrep::internal {
+
+/// Terminates the process after streaming a diagnostic. Used by the CHECK
+/// macros; invariant violations are bugs and are not recoverable.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace lazyrep::internal
+
+/// Fatal assertion, always enabled. Usage:
+///   LAZYREP_CHECK(x > 0) << "detail " << x;
+#define LAZYREP_CHECK(cond)                                      \
+  if (cond) {                                                    \
+  } else /* NOLINT */                                            \
+    ::lazyrep::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define LAZYREP_CHECK_EQ(a, b) LAZYREP_CHECK((a) == (b))
+#define LAZYREP_CHECK_NE(a, b) LAZYREP_CHECK((a) != (b))
+#define LAZYREP_CHECK_LT(a, b) LAZYREP_CHECK((a) < (b))
+#define LAZYREP_CHECK_LE(a, b) LAZYREP_CHECK((a) <= (b))
+#define LAZYREP_CHECK_GT(a, b) LAZYREP_CHECK((a) > (b))
+#define LAZYREP_CHECK_GE(a, b) LAZYREP_CHECK((a) >= (b))
+
+/// Debug-only assertion.
+#ifdef NDEBUG
+#define LAZYREP_DCHECK(cond) LAZYREP_CHECK(true || (cond))
+#else
+#define LAZYREP_DCHECK(cond) LAZYREP_CHECK(cond)
+#endif
+
+#endif  // LAZYREP_COMMON_CHECK_H_

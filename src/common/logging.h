@@ -1,0 +1,49 @@
+#ifndef LAZYREP_COMMON_LOGGING_H_
+#define LAZYREP_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+
+namespace lazyrep {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3,
+                            kError = 4, kOff = 5 };
+
+/// Process-wide minimum level; messages below it are compiled to a cheap
+/// branch. Defaults to kWarn so simulations stay quiet unless asked.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct LogSink {
+  /// Swallows the streamed expression when the level is disabled.
+  template <typename T>
+  LogSink& operator<<(const T&) { return *this; }
+};
+
+}  // namespace internal
+}  // namespace lazyrep
+
+#define LAZYREP_LOG(level)                                          \
+  if (::lazyrep::LogLevel::level < ::lazyrep::GetLogLevel()) {      \
+  } else                                                            \
+    ::lazyrep::internal::LogMessage(::lazyrep::LogLevel::level,     \
+                                    __FILE__, __LINE__)
+
+#endif  // LAZYREP_COMMON_LOGGING_H_

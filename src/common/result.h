@@ -1,0 +1,82 @@
+#ifndef LAZYREP_COMMON_RESULT_H_
+#define LAZYREP_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace lazyrep {
+
+/// `Result<T>` holds either a value of type `T` or a non-OK `Status`.
+///
+/// This is the value-returning counterpart of `Status` (Arrow/abseil
+/// idiom). Accessing the value of an errored result is a checked fatal
+/// error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — allows `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status — allows `return Status::NotFound(...)`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    LAZYREP_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    LAZYREP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    LAZYREP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    LAZYREP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace lazyrep
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error status out of the current function.
+#define LAZYREP_ASSIGN_OR_RETURN(lhs, expr)            \
+  LAZYREP_ASSIGN_OR_RETURN_IMPL_(                      \
+      LAZYREP_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+
+#define LAZYREP_CONCAT_INNER_(a, b) a##b
+#define LAZYREP_CONCAT_(a, b) LAZYREP_CONCAT_INNER_(a, b)
+
+#define LAZYREP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#endif  // LAZYREP_COMMON_RESULT_H_

@@ -1,0 +1,104 @@
+#ifndef LAZYREP_COMMON_RNG_H_
+#define LAZYREP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lazyrep {
+
+/// Deterministic pseudo-random number generator (PCG32-based).
+///
+/// Every stochastic component of the system (data placement, workloads,
+/// network jitter) draws from an `Rng` seeded from the experiment seed, so
+/// a run is fully reproducible. `Split()` derives independent streams for
+/// per-site / per-thread use without sharing state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed, uint64_t stream = 0) { Seed(seed, stream); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed, uint64_t stream = 0) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    Next32();
+    state_ += seed + 0x9E3779B97F4A7C15ull;
+    Next32();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t Next32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    uint32_t xorshifted =
+        static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next32()) << 32) | Next32();
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling to avoid modulo bias.
+  uint64_t Below(uint64_t bound) {
+    LAZYREP_CHECK_GT(bound, 0u);
+    uint64_t threshold = (-bound) % bound;
+    for (;;) {
+      uint64_t r = Next64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    LAZYREP_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  size_t Index(size_t size) {
+    LAZYREP_CHECK_GT(size, 0u);
+    return static_cast<size_t>(Below(size));
+  }
+
+  /// Derives an independent generator; successive calls yield distinct
+  /// streams.
+  Rng Split() { return Rng(Next64(), Next64() | 1u); }
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Below(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_ = 0;
+  uint64_t inc_ = 1;
+};
+
+}  // namespace lazyrep
+
+#endif  // LAZYREP_COMMON_RNG_H_

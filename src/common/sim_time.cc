@@ -1,0 +1,22 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace lazyrep {
+
+std::string FormatDuration(Duration d) {
+  char buf[64];
+  if (d >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(d));
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ToMillis(d));
+  } else if (d >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fus",
+                  static_cast<double>(d) / static_cast<double>(kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace lazyrep

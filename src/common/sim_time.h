@@ -1,0 +1,52 @@
+#ifndef LAZYREP_COMMON_SIM_TIME_H_
+#define LAZYREP_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lazyrep {
+
+/// Virtual-time duration in nanoseconds. All simulation time is virtual;
+/// wall-clock time never enters protocol logic, which keeps runs
+/// deterministic.
+using Duration = int64_t;
+
+/// Absolute virtual time in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Converts a duration expressed in (possibly fractional) milliseconds.
+constexpr Duration Millis(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Converts a duration expressed in (possibly fractional) microseconds.
+constexpr Duration Micros(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
+}
+
+/// Converts a duration expressed in (possibly fractional) seconds.
+constexpr Duration Seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/// Duration expressed as a double number of seconds.
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Duration expressed as a double number of milliseconds.
+constexpr double ToMillis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Human-readable rendering, e.g. "12.5ms".
+std::string FormatDuration(Duration d);
+
+}  // namespace lazyrep
+
+#endif  // LAZYREP_COMMON_SIM_TIME_H_

@@ -1,0 +1,106 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lazyrep {
+
+void Summary::Merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  int64_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.count_) /
+                            static_cast<double>(n);
+  m2_ = m2_ + other.m2_ +
+        delta * delta * static_cast<double>(count_) *
+            static_cast<double>(other.count_) / static_cast<double>(n);
+  mean_ = mean;
+  count_ = n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+std::string Summary::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld mean=%.4g sd=%.4g min=%.4g max=%.4g",
+                static_cast<long long>(count_), mean(), stddev(), min(),
+                max());
+  return buf;
+}
+
+double PercentileTracker::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (p <= 0.0) return samples_.front();
+  if (p >= 100.0) return samples_.back();
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+LogHistogram::LogHistogram(double base, int num_buckets)
+    : base_(base), buckets_(static_cast<size_t>(num_buckets), 0) {}
+
+void LogHistogram::Add(double x) {
+  ++count_;
+  int i = 0;
+  double edge = base_;
+  while (x >= edge && i + 1 < static_cast<int>(buckets_.size())) {
+    edge *= 2;
+    ++i;
+  }
+  ++buckets_[static_cast<size_t>(i)];
+}
+
+double LogHistogram::BucketLow(int i) const {
+  return i == 0 ? 0.0 : base_ * std::pow(2.0, i - 1);
+}
+
+double LogHistogram::BucketHigh(int i) const {
+  return base_ * std::pow(2.0, i);
+}
+
+double LogHistogram::ApproxQuantile(double q) const {
+  if (count_ == 0) return 0;
+  int64_t target = static_cast<int64_t>(
+      q * static_cast<double>(count_ - 1));
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return BucketHigh(static_cast<int>(i));
+  }
+  return BucketHigh(static_cast<int>(buckets_.size()) - 1);
+}
+
+std::string LogHistogram::ToString() const {
+  std::string out;
+  int64_t max_bucket = 1;
+  for (int64_t b : buckets_) max_bucket = std::max(max_bucket, b);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    int bar = static_cast<int>(40 * buckets_[i] / max_bucket);
+    char line[120];
+    std::snprintf(line, sizeof(line), "[%9.3g, %9.3g) %8lld %s\n",
+                  BucketLow(static_cast<int>(i)),
+                  BucketHigh(static_cast<int>(i)),
+                  static_cast<long long>(buckets_[i]),
+                  std::string(static_cast<size_t>(bar), '#').c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace lazyrep

@@ -1,0 +1,99 @@
+#ifndef LAZYREP_COMMON_STATS_H_
+#define LAZYREP_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lazyrep {
+
+/// Streaming summary statistics (Welford's algorithm): count, mean,
+/// variance, min, max. O(1) memory; used for response times, propagation
+/// delays and throughput aggregation.
+class Summary {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merges another summary into this one.
+  void Merge(const Summary& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Reservoir of samples supporting exact percentile queries. Stores all
+/// samples; experiments in this repo are small enough (tens of thousands of
+/// transactions) that exact percentiles are affordable.
+class PercentileTracker {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+
+  /// Percentile `p` in [0, 100]; 0 for an empty tracker.
+  double Percentile(double p) const;
+
+  size_t count() const { return samples_.size(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed log-scale histogram for latency-like positive values: bucket i
+/// covers [base * 2^i, base * 2^(i+1)). O(1) memory and recording;
+/// renders a compact ASCII view for CLI output.
+class LogHistogram {
+ public:
+  /// `base` is the upper edge of the first bucket; values below it land
+  /// in bucket 0. Default: 0.1 (e.g. 0.1 ms when recording milliseconds).
+  explicit LogHistogram(double base = 0.1, int num_buckets = 24);
+
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  int64_t bucket_count(int i) const { return buckets_[i]; }
+  /// Lower edge of bucket i (0 for the first).
+  double BucketLow(int i) const;
+  double BucketHigh(int i) const;
+
+  /// Approximate quantile from the bucket boundaries (upper edge of the
+  /// bucket containing the q-quantile); 0 for an empty histogram.
+  double ApproxQuantile(double q) const;
+
+  /// Multi-line ASCII rendering (one line per non-empty bucket).
+  std::string ToString() const;
+
+ private:
+  double base_;
+  int64_t count_ = 0;
+  std::vector<int64_t> buckets_;
+};
+
+}  // namespace lazyrep
+
+#endif  // LAZYREP_COMMON_STATS_H_

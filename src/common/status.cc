@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace lazyrep {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kDeadlockAbort:
+      return "DeadlockAbort";
+    case StatusCode::kExternalAbort:
+      return "ExternalAbort";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace lazyrep

@@ -1,0 +1,127 @@
+#ifndef LAZYREP_COMMON_STATUS_H_
+#define LAZYREP_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lazyrep {
+
+/// Error category for a failed operation.
+///
+/// The library does not use exceptions; every fallible operation returns a
+/// `Status` (or a `Result<T>`, see result.h). The codes below cover the
+/// failure modes of the replication protocols and their substrates.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Transaction was chosen as a deadlock victim (lock-wait timeout or
+  /// explicit victim selection) and has been rolled back.
+  kDeadlockAbort = 1,
+  /// Transaction was aborted on request (external abort signal, e.g. the
+  /// BackEdge victim rule aborting a backedge-pending primary).
+  kExternalAbort = 2,
+  /// A referenced entity (item, site, transaction) does not exist.
+  kNotFound = 3,
+  /// The operation violates a protocol or storage-level precondition
+  /// (e.g. writing an item whose primary copy is remote).
+  kInvalidArgument = 4,
+  /// Internal invariant violation; indicates a bug.
+  kInternal = 5,
+  /// The operation is not possible in the current state (e.g. operating on
+  /// a committed transaction).
+  kFailedPrecondition = 6,
+  /// The configuration cannot be realized (e.g. a DAG protocol was asked
+  /// to run on a cyclic copy graph).
+  kUnsupported = 7,
+};
+
+/// Returns a stable human-readable name, e.g. "DeadlockAbort".
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-type status: an `(code, message)` pair with `kOk` represented
+/// without allocation. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(code, std::move(message))) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status DeadlockAbort(std::string msg = "deadlock victim") {
+    return Status(StatusCode::kDeadlockAbort, std::move(msg));
+  }
+  static Status ExternalAbort(std::string msg = "externally aborted") {
+    return Status(StatusCode::kExternalAbort, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  /// True when the status represents any transaction abort
+  /// (deadlock or external).
+  bool IsAbort() const {
+    return code() == StatusCode::kDeadlockAbort ||
+           code() == StatusCode::kExternalAbort;
+  }
+
+  /// "OK" or "Code: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct Rep {
+    Rep(StatusCode c, std::string m) : code(c), message(std::move(m)) {}
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace lazyrep
+
+/// Propagates a non-OK Status out of the current function.
+#define LAZYREP_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    ::lazyrep::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// Coroutine variant of LAZYREP_RETURN_IF_ERROR.
+#define LAZYREP_CO_RETURN_IF_ERROR(expr)           \
+  do {                                             \
+    ::lazyrep::Status _st = (expr);                \
+    if (!_st.ok()) co_return _st;                  \
+  } while (0)
+
+#endif  // LAZYREP_COMMON_STATUS_H_

@@ -1,0 +1,38 @@
+#ifndef LAZYREP_COMMON_TYPES_H_
+#define LAZYREP_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace lazyrep {
+
+/// Site identifier. Sites are numbered 0..m-1; this numbering is also the
+/// total order `s_0 < s_1 < ... < s_{m-1}` used by the protocols
+/// (consistent with a topological order of the DAG part of the copy graph,
+/// as in the paper's data-distribution scheme §5.2).
+using SiteId = int32_t;
+
+/// Logical data item identifier (0..n-1). Each item has exactly one
+/// primary copy and zero or more secondary copies (replicas).
+using ItemId = int32_t;
+
+/// Value stored in an item. Writes in this repo install distinct values so
+/// that replica-convergence checks can compare copies exactly.
+using Value = int64_t;
+
+/// Globally unique transaction identifier, assigned by the originating
+/// site: (site index, per-site sequence). Secondary subtransactions carry
+/// the id of their origin (primary) transaction.
+struct GlobalTxnId {
+  SiteId origin_site = -1;
+  int64_t seq = -1;
+
+  friend bool operator==(const GlobalTxnId&, const GlobalTxnId&) = default;
+  friend auto operator<=>(const GlobalTxnId&, const GlobalTxnId&) = default;
+};
+
+constexpr SiteId kInvalidSite = -1;
+constexpr ItemId kInvalidItem = -1;
+
+}  // namespace lazyrep
+
+#endif  // LAZYREP_COMMON_TYPES_H_

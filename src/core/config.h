@@ -1,0 +1,156 @@
+#ifndef LAZYREP_CORE_CONFIG_H_
+#define LAZYREP_CORE_CONFIG_H_
+
+#include <optional>
+#include <string>
+
+#include "common/sim_time.h"
+#include "graph/copy_graph.h"
+#include "storage/database.h"
+#include "storage/lock_manager.h"
+#include "workload/params.h"
+
+namespace lazyrep::core {
+
+/// The update-propagation protocols implemented by this library.
+enum class Protocol {
+  /// DAG(WT) — §2: lazy propagation along a tree built from the (acyclic)
+  /// copy graph, FIFO commit order at each site.
+  kDagWt,
+  /// DAG(T) — §3: lazy propagation along copy-graph edges, ordered by
+  /// vector timestamps with epochs for progress.
+  kDagT,
+  /// BackEdge — §4: hybrid; eager along backedges (2PC), DAG(WT)-lazy on
+  /// the remaining DAG. Handles arbitrary copy graphs.
+  kBackEdge,
+  /// Primary-site locking — §5.1 baseline: remote reads take an S lock at
+  /// the item's primary site and ship the value; updates stay at the
+  /// primary and are never propagated.
+  kPsl,
+  /// Indiscriminate lazy propagation, as in the commercial systems of §1.
+  /// NOT serializable — used as a negative control and for the
+  /// reconciliation (last-writer-wins) discussion.
+  kNaiveLazy,
+  /// Eager read-one/write-all with 2PC — the intro's scalability foil.
+  kEager,
+};
+
+std::string ProtocolName(Protocol protocol);
+
+/// How the DAG(WT)/BackEdge propagation tree is built.
+enum class TreeKind {
+  kChain,   // The paper's implementation (§5.1).
+  kGreedy,  // Branching tree when the DAG allows it.
+};
+
+/// How the BackEdge protocol picks the backedge set B.
+enum class BackedgeMethod {
+  /// Edges backward in the natural site order (§5.2's experimental
+  /// definition; consistent with the chain).
+  kSiteOrder,
+  /// Minimal set via depth-first search (§4).
+  kDfs,
+  /// Greedy feedback-arc-set heuristic, unweighted (§4.2).
+  kGreedy,
+  /// §4.2's full proposal: weight every copy edge by the frequency with
+  /// which updates must be propagated along it (here: the number of items
+  /// whose primary/replica pair induces the edge, since writes are
+  /// uniform over each site's primaries) and minimize the backedge set's
+  /// total weight — fewer transactions take the eager path.
+  kWeightedGreedy,
+};
+
+/// What a worker thread does when its primary transaction aborts.
+enum class RetryPolicy {
+  kNone,             // Count the abort and move to the next transaction.
+  kRetryUntilCommit, // Re-run (as a fresh transaction) until it commits.
+};
+
+/// CPU / messaging cost model. Defaults are calibrated so that the
+/// default-parameter run reproduces the paper's qualitative shape (see
+/// EXPERIMENTS.md); absolute 1999-hardware numbers are out of scope.
+struct CostModel {
+  /// Per-operation storage CPU (charged to the site's machine CPU).
+  storage::OpCosts op;
+  /// CPU to apply one propagated write at a secondary.
+  Duration secondary_apply_cpu = Micros(120);
+  /// Per-message CPU at the sender / receiver (1999 TCP stacks cost far
+  /// more than the wire).
+  Duration msg_send_cpu = Micros(500);
+  Duration msg_recv_cpu = Micros(500);
+  /// Extra uniform network latency on top of Params::network_latency.
+  Duration net_jitter = 0;
+  /// Network bandwidth in bytes/second (the paper's 10 Mbit ethernet =
+  /// 1.25e6); transmission time uses real encoded message sizes
+  /// (core/wire.h). 0 disables the bandwidth model.
+  uint64_t net_bandwidth_bytes_per_sec = 1250000;
+  /// true: one shared half-duplex segment, as 1990s ethernet was.
+  bool net_shared_medium = true;
+  /// Latency between co-located sites (loopback TCP, off the wire).
+  Duration loopback_latency = Micros(50);
+  /// When false, no machine CPU is modelled (pure latency/lock study).
+  bool model_cpu = true;
+};
+
+/// Protocol-specific knobs.
+struct EngineOptions {
+  TreeKind tree = TreeKind::kChain;
+  BackedgeMethod backedge_method = BackedgeMethod::kSiteOrder;
+  /// DAG(T) §3.3: period at which sources advance their epoch.
+  /// Chosen so dummy traffic (below) stays well under the per-message CPU
+  /// budget — at 5 ms the dummies alone can saturate a shared machine
+  /// CPU and starve the workload.
+  Duration epoch_period = Millis(25);
+  /// DAG(T) §3.3: lull after which a site sends a dummy subtransaction to
+  /// a child it has not talked to.
+  Duration dummy_period = Millis(25);
+  /// NaiveLazy: apply last-writer-wins reconciliation by origin commit
+  /// time instead of blind apply (the commercial reconciliation rule of
+  /// §1 — converges, still not serializable).
+  bool naive_lww = false;
+  /// DAG(WT) batching extension: buffer outgoing secondary
+  /// subtransactions per tree child and ship them in one message every
+  /// `batch_window` (forwarding order preserved, so serializability is
+  /// unaffected; propagation delay grows by up to the window). 0 = off
+  /// (the paper's behaviour). Only valid for Protocol::kDagWt.
+  Duration batch_window = 0;
+  /// Local deadlock handling (timeout is the paper's choice).
+  storage::DeadlockPolicy deadlock_policy =
+      storage::DeadlockPolicy::kTimeoutOnly;
+  /// Lock grant scheduling (immediate matches main-memory DBMS practice;
+  /// FIFO is an ablation).
+  storage::GrantPolicy grant_policy = storage::GrantPolicy::kImmediate;
+};
+
+/// Full description of one simulated system run.
+struct SystemConfig {
+  Protocol protocol = Protocol::kBackEdge;
+  workload::Params workload;
+  CostModel costs;
+  EngineOptions engine;
+  RetryPolicy retry = RetryPolicy::kNone;
+  uint64_t seed = 1;
+  /// Record per-site histories and run the serializability checker.
+  bool check_serializability = true;
+  /// Record a protocol event trace (commits/aborts, messages, lock
+  /// waits/timeouts) — see core/trace.h. Debugging aid.
+  bool enable_trace = false;
+  size_t trace_max_events = 1 << 20;
+  /// Maintain per-site redo WALs.
+  bool enable_wal = false;
+  /// Explicit placement; when absent one is generated from `workload`.
+  std::optional<graph::Placement> placement;
+  /// Measurement warmup: transactions that start before this much
+  /// virtual time are executed but excluded from throughput/response/
+  /// abort metrics (standard steady-state practice; the paper measured
+  /// from a cold start).
+  Duration warmup = 0;
+  /// Quiescence-poll period after the workload finishes.
+  Duration quiesce_poll = Millis(10);
+  /// Safety cap on virtual time (0 = none); hitting it flags the run.
+  Duration max_sim_time = 0;
+};
+
+}  // namespace lazyrep::core
+
+#endif  // LAZYREP_CORE_CONFIG_H_

@@ -1,0 +1,112 @@
+#ifndef LAZYREP_CORE_ENGINE_H_
+#define LAZYREP_CORE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/messages.h"
+#include "core/metrics.h"
+#include "core/routing.h"
+#include "net/network.h"
+#include "sim/primitives.h"
+#include "sim/simulator.h"
+#include "storage/database.h"
+#include "workload/generator.h"
+
+namespace lazyrep::core {
+
+using ProtocolNetwork = net::Network<ProtocolMessage>;
+
+/// Per-site protocol engine. One instance runs at each site; the System
+/// wires them to the site's Database and the shared Network, then drives
+/// primary transactions through `ExecutePrimary` from the workload
+/// threads. Network deliveries arrive through `OnMessage`.
+class ReplicationEngine {
+ public:
+  struct Context {
+    SiteId site = kInvalidSite;
+    sim::Simulator* sim = nullptr;
+    storage::Database* db = nullptr;
+    ProtocolNetwork* net = nullptr;
+    std::shared_ptr<const Routing> routing;
+    MetricsCollector* metrics = nullptr;
+    const SystemConfig* config = nullptr;
+  };
+
+  explicit ReplicationEngine(Context ctx) : ctx_(std::move(ctx)) {}
+  virtual ~ReplicationEngine() = default;
+
+  ReplicationEngine(const ReplicationEngine&) = delete;
+  ReplicationEngine& operator=(const ReplicationEngine&) = delete;
+
+  /// Spawns the engine's background processes (appliers, tickers).
+  virtual void Start() {}
+
+  /// Stops periodic background processes; in-flight work still drains.
+  virtual void BeginShutdown() { shutdown_ = true; }
+
+  /// Runs one primary transaction to commit or abort. An abort leaves no
+  /// local or remote residue (rollback is complete when this returns or
+  /// shortly after via already-posted abort notifications).
+  virtual sim::Co<Status> ExecutePrimary(GlobalTxnId id,
+                                         const workload::TxnSpec& spec) = 0;
+
+  /// Network delivery for this site.
+  virtual void OnMessage(ProtocolNetwork::Envelope env) = 0;
+
+  /// No protocol work pending at this site (queues empty, no proxies, no
+  /// pending coordinations). Dummy/epoch traffic does not count.
+  virtual bool Quiescent() const = 0;
+
+  SiteId site() const { return ctx_.site; }
+
+ protected:
+  /// The value a committed transaction installs: unique per (txn, op) so
+  /// replica-convergence checks compare exact provenance.
+  static Value EncodeValue(GlobalTxnId id, int op_index) {
+    // +1 offsets keep every written value distinct from the initial 0.
+    return (static_cast<Value>(id.origin_site + 1) << 48) |
+           (static_cast<Value>((id.seq + 1) & 0xFFFFFFFFFF) << 8) |
+           static_cast<Value>(op_index & 0xFF);
+  }
+
+  /// Executes the spec's operations locally under strict 2PL (the common
+  /// primary-subtransaction body of all lazy protocols: every read and
+  /// write is local, §1.1). On abort the transaction is already rolled
+  /// back. `writes` receives the (item, value) list in first-write order.
+  sim::Co<Status> RunLocalTxn(storage::TxnPtr txn,
+                              const workload::TxnSpec& spec,
+                              std::vector<WriteRecord>* writes);
+
+  /// Acquires an X lock for a secondary/backedge subtransaction, applying
+  /// the paper's rules: the subtransaction is never the victim — on
+  /// timeout it aborts a blocking holder (preferring a backedge-pending
+  /// transaction, then the latest-arriving victimizable one) and retries.
+  /// Returns false only when `txn` itself was marked for abort (possible
+  /// for backedge proxies chosen as part of a victimized global
+  /// transaction).
+  sim::Co<bool> AcquireXAsSecondary(storage::Transaction* txn, ItemId item);
+
+  /// Applies `writes` (filtered to items replicated at this site) under
+  /// locks acquired via AcquireXAsSecondary and charges apply CPU.
+  /// Returns false when `txn` was marked for abort mid-way; out-param
+  /// reports whether any item was applied.
+  sim::Co<bool> ApplySecondaryWrites(storage::TxnPtr txn,
+                                     const std::vector<WriteRecord>& writes,
+                                     bool* applied_any);
+
+  /// Victim selection used by AcquireXAsSecondary after a timeout.
+  void AbortOneBlocker(storage::Transaction* waiter, ItemId item);
+
+  Context ctx_;
+  bool shutdown_ = false;
+};
+
+/// Factory: builds the engine for `config.protocol` at `ctx.site`.
+std::unique_ptr<ReplicationEngine> MakeEngine(
+    ReplicationEngine::Context ctx);
+
+}  // namespace lazyrep::core
+
+#endif  // LAZYREP_CORE_ENGINE_H_

@@ -1,0 +1,109 @@
+#ifndef LAZYREP_CORE_ENGINE_BACKEDGE_H_
+#define LAZYREP_CORE_ENGINE_BACKEDGE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace lazyrep::core {
+
+/// The BackEdge protocol (§4), as the extension of DAG(WT) the paper
+/// implemented (§4.1, §5.1).
+///
+/// The copy graph may contain cycles. A backedge set `B` is removed to
+/// obtain `Gdag`, and a tree `T` is built from `Gdag` (the paper's
+/// implementation uses a chain). A transaction `Ti` at site `s_i` whose
+/// updates must reach tree *ancestors* (backedge targets) goes through the
+/// eager path:
+///
+///  1. after local execution (locks held, not committed), a backedge
+///     subtransaction is sent directly to the farthest target `s_i1`;
+///     it executes there and holds its locks;
+///  2. a *special* secondary subtransaction relays the updates down the
+///     tree path from `s_i1` toward `s_i`, executing (without committing)
+///     at each site on the way;
+///  3. when the special reaches `s_i` — after every earlier-received
+///     secondary has committed there — `Ti` and all backedge
+///     subtransactions commit atomically via two-phase commit;
+///  4. the remaining (descendant) replicas are then updated lazily per
+///     DAG(WT).
+///
+/// Global deadlocks are broken by lock timeout with the paper's victim
+/// rule (Example 4.1): the backedge-pending transaction aborts, never the
+/// secondary subtransaction.
+class BackEdgeEngine : public ReplicationEngine {
+ public:
+  explicit BackEdgeEngine(Context ctx);
+
+  void Start() override;
+  sim::Co<Status> ExecutePrimary(GlobalTxnId id,
+                                 const workload::TxnSpec& spec) override;
+  void OnMessage(ProtocolNetwork::Envelope env) override;
+  bool Quiescent() const override;
+
+  uint64_t backedge_txns() const { return backedge_txns_; }
+  uint64_t secondaries_committed() const { return secondaries_committed_; }
+
+ private:
+  /// Origin-site state for a primary waiting on its special
+  /// subtransaction (backedge-pending).
+  struct PendingPrimary {
+    storage::TxnPtr txn;
+    std::vector<WriteRecord> writes;
+    std::vector<SiteId> path_sites;  // Everyone the special visits.
+    std::shared_ptr<sim::OneShot<bool>> outcome;  // true = committed.
+  };
+
+  /// Backedge-subtransaction proxy state at a path site.
+  struct Proxy {
+    storage::TxnPtr txn;
+    bool executing = false;   // A coroutine is driving it right now.
+    bool applied_any = false;
+  };
+
+  /// 2PC vote collection at the coordinator.
+  struct VoteState {
+    int outstanding = 0;
+    bool all_yes = true;
+    std::shared_ptr<sim::Event> done;
+  };
+
+  void ForwardToRelevantChildren(const SecondaryUpdate& update);
+  sim::Co<void> Applier();
+  sim::Co<void> HandleBackedgeStart(BackedgeStart start);
+  /// Executes the special at an intermediate/target path site, then
+  /// forwards it toward the origin.
+  sim::Co<void> ExecuteSpecialLocally(SecondaryUpdate update);
+  /// Runs the atomic commit (2PC) of a pending primary whose special has
+  /// arrived. Called from the applier; blocks it to preserve the local
+  /// FIFO commit order.
+  sim::Co<void> CommitPendingPrimary(SecondaryUpdate update);
+  void HandleBackedgeAbortAtOrigin(const GlobalTxnId& origin);
+  void HandleBackedgeAbortAtPathSite(const GlobalTxnId& origin);
+  sim::Co<void> RollbackProxy(GlobalTxnId origin, bool tombstone);
+  void HandleVote(const TpcVote& vote);
+  sim::Co<void> HandleDecision(TpcDecision decision);
+  /// Victim cleanup at the origin: broadcast aborts along the path and
+  /// roll back the local transaction.
+  sim::Co<Status> AbortPendingPrimary(GlobalTxnId id,
+                                      PendingPrimary pending);
+
+  sim::Mailbox<SecondaryUpdate> inbox_;  // From the tree parent.
+  bool applying_ = false;
+  std::map<GlobalTxnId, PendingPrimary> pending_;
+  std::map<GlobalTxnId, Proxy> proxies_;
+  std::map<GlobalTxnId, VoteState> votes_;
+  /// Origins known aborted: late specials/starts for them are dropped.
+  std::set<GlobalTxnId> tombstones_;
+  int outstanding_acks_ = 0;
+  int active_handlers_ = 0;
+  uint64_t backedge_txns_ = 0;
+  uint64_t secondaries_committed_ = 0;
+};
+
+}  // namespace lazyrep::core
+
+#endif  // LAZYREP_CORE_ENGINE_BACKEDGE_H_

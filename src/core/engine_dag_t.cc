@@ -1,0 +1,161 @@
+#include "core/engine_dag_t.h"
+
+namespace lazyrep::core {
+
+DagTEngine::DagTEngine(Context ctx) : ReplicationEngine(std::move(ctx)) {
+  site_ts_ = Timestamp::Initial(Rank());
+  for (SiteId parent : ctx_.routing->copy_graph().Parents(ctx_.site)) {
+    queues_.emplace(parent,
+                    std::make_unique<sim::Mailbox<SecondaryUpdate>>(
+                        ctx_.sim));
+  }
+}
+
+void DagTEngine::Start() {
+  if (!queues_.empty()) {
+    ctx_.sim->Spawn(Applier());
+  } else {
+    // Sources drive progress by advancing their epoch periodically
+    // (§3.3).
+    ctx_.sim->Spawn(EpochTicker());
+  }
+  if (!ctx_.routing->copy_graph().Children(ctx_.site).empty()) {
+    ctx_.sim->Spawn(DummySender());
+  }
+}
+
+void DagTEngine::PostToChild(SiteId child, SecondaryUpdate update) {
+  last_sent_[child] = ctx_.sim->Now();
+  ctx_.net->Post(ctx_.site, child, ProtocolMessage(std::move(update)));
+}
+
+sim::Co<Status> DagTEngine::ExecutePrimary(GlobalTxnId id,
+                                           const workload::TxnSpec& spec) {
+  storage::TxnPtr txn = ctx_.db->Begin(id, storage::TxnKind::kPrimary);
+  std::vector<WriteRecord> writes;
+  Status st = co_await RunLocalTxn(txn, spec, &writes);
+  if (!st.ok()) co_return st;
+  st = co_await ctx_.db->Commit(txn, [&](int64_t) {
+    // §3.2.2, atomically with commit: bump LTS, stamp the transaction
+    // with the site timestamp, schedule secondaries at relevant children.
+    ++lts_;
+    site_ts_.BumpOwnLts();
+    if (writes.empty()) return;
+    SecondaryUpdate update;
+    update.origin = id;
+    update.writes = writes;
+    update.ts = site_ts_;
+    update.origin_site = ctx_.site;
+    update.origin_commit_time = ctx_.sim->Now();
+    ctx_.metrics->RegisterPropagation(
+        id, ctx_.routing->CountReplicaTargets(writes), ctx_.sim->Now());
+    for (SiteId child :
+         ctx_.routing->RelevantCopyChildren(ctx_.site, writes)) {
+      PostToChild(child, update);
+    }
+  });
+  co_return st;
+}
+
+void DagTEngine::OnMessage(ProtocolNetwork::Envelope env) {
+  SecondaryUpdate* update = std::get_if<SecondaryUpdate>(&env.payload);
+  LAZYREP_CHECK(update != nullptr) << "DAG(T) only uses SecondaryUpdate";
+  auto it = queues_.find(env.src);
+  LAZYREP_CHECK(it != queues_.end())
+      << "message from non-parent site " << env.src;
+  it->second->Send(std::move(*update));
+}
+
+sim::Co<void> DagTEngine::Applier() {
+  Timestamp last_committed;
+  bool have_last = false;
+  for (;;) {
+    // §3.2.3: every incoming queue must be non-empty before the minimum
+    // is taken. Single consumer, so once a queue is seen non-empty it
+    // stays non-empty until we pop.
+    for (auto& [parent, queue] : queues_) {
+      co_await queue->WaitNonEmpty();
+    }
+    sim::Mailbox<SecondaryUpdate>* min_queue = nullptr;
+    for (auto& [parent, queue] : queues_) {
+      if (min_queue == nullptr ||
+          Timestamp::Compare(queue->Front().ts, min_queue->Front().ts) <
+              0) {
+        min_queue = queue.get();
+      }
+    }
+    SecondaryUpdate update = min_queue->Pop();
+
+    // Protocol invariant (the serializability argument of Theorem 3.1):
+    // subtransactions execute at each site in timestamp order.
+    if (have_last) {
+      LAZYREP_CHECK(Timestamp::Compare(last_committed, update.ts) <= 0)
+          << "timestamp order violated at site " << ctx_.site << ": "
+          << last_committed.ToString() << " then " << update.ts.ToString();
+    }
+    last_committed = update.ts;
+    have_last = true;
+
+    if (update.is_dummy) {
+      // Push the site timestamp forward without touching data.
+      site_ts_ = update.ts.ExtendedWith(Rank(), lts_, update.ts.epoch());
+      continue;
+    }
+    applying_real_ = true;
+    storage::TxnPtr txn =
+        ctx_.db->Begin(update.origin, storage::TxnKind::kSecondary);
+    bool applied_any = false;
+    bool ok = co_await ApplySecondaryWrites(txn, update.writes,
+                                            &applied_any);
+    LAZYREP_CHECK(ok) << "secondary subtransactions are never aborted";
+    Status st = co_await ctx_.db->Commit(txn, [&](int64_t) {
+      // §3.2.3: TS(s) := TS(T) ⊕ (s, LTS_s), atomically with commit.
+      site_ts_ = update.ts.ExtendedWith(Rank(), lts_, update.ts.epoch());
+    });
+    LAZYREP_CHECK(st.ok()) << st.ToString();
+    ++secondaries_committed_;
+    if (applied_any) {
+      ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.sim->Now());
+    }
+    applying_real_ = false;
+  }
+}
+
+sim::Co<void> DagTEngine::EpochTicker() {
+  while (!shutdown_) {
+    co_await ctx_.sim->Delay(ctx_.config->engine.epoch_period);
+    site_ts_.set_epoch(site_ts_.epoch() + 1);
+  }
+}
+
+sim::Co<void> DagTEngine::DummySender() {
+  const Duration period = ctx_.config->engine.dummy_period;
+  while (!shutdown_) {
+    co_await ctx_.sim->Delay(period);
+    if (shutdown_) break;
+    for (SiteId child : ctx_.routing->copy_graph().Children(ctx_.site)) {
+      auto it = last_sent_.find(child);
+      if (it != last_sent_.end() && it->second + period > ctx_.sim->Now()) {
+        continue;  // Recent real traffic on this edge.
+      }
+      SecondaryUpdate dummy;
+      dummy.is_dummy = true;
+      dummy.ts = site_ts_;
+      dummy.origin_site = ctx_.site;
+      ++dummies_sent_;
+      PostToChild(child, dummy);
+    }
+  }
+}
+
+bool DagTEngine::Quiescent() const {
+  if (applying_real_) return false;
+  for (const auto& [parent, queue] : queues_) {
+    for (const SecondaryUpdate& u : queue->items()) {
+      if (!u.is_dummy) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lazyrep::core

@@ -1,0 +1,122 @@
+#include "core/engine_dag_wt.h"
+
+namespace lazyrep::core {
+
+DagWtEngine::DagWtEngine(Context ctx)
+    : ReplicationEngine(std::move(ctx)), inbox_(ctx_.sim) {}
+
+void DagWtEngine::Start() {
+  // A site with a tree parent receives forwarded subtransactions.
+  LAZYREP_CHECK(ctx_.routing->tree().has_value());
+  if (ctx_.routing->tree()->Parent(ctx_.site) != kInvalidSite) {
+    ctx_.sim->Spawn(Applier());
+  }
+  if (ctx_.config->engine.batch_window > 0 &&
+      !ctx_.routing->tree()->Children(ctx_.site).empty()) {
+    ctx_.sim->Spawn(BatchFlusher());
+  }
+}
+
+void DagWtEngine::ForwardToRelevantChildren(const SecondaryUpdate& update) {
+  for (SiteId child :
+       ctx_.routing->RelevantTreeChildren(ctx_.site, update.writes)) {
+    if (ctx_.config->engine.batch_window > 0) {
+      // Batching extension: buffered in forwarding order, shipped by the
+      // flusher.
+      outgoing_[child].push_back(update);
+    } else {
+      ctx_.net->Post(ctx_.site, child, ProtocolMessage(update));
+    }
+  }
+}
+
+void DagWtEngine::FlushBatches() {
+  for (auto& [child, buffer] : outgoing_) {
+    if (buffer.empty()) continue;
+    if (buffer.size() == 1) {
+      ctx_.net->Post(ctx_.site, child,
+                     ProtocolMessage(std::move(buffer[0])));
+    } else {
+      SecondaryBatch batch;
+      batch.updates = std::move(buffer);
+      ctx_.net->Post(ctx_.site, child, ProtocolMessage(std::move(batch)));
+    }
+    buffer.clear();
+  }
+}
+
+sim::Co<void> DagWtEngine::BatchFlusher() {
+  const Duration window = ctx_.config->engine.batch_window;
+  while (!shutdown_) {
+    co_await ctx_.sim->Delay(window);
+    FlushBatches();
+  }
+}
+
+void DagWtEngine::BeginShutdown() {
+  ReplicationEngine::BeginShutdown();
+  FlushBatches();  // Nothing may linger in the buffers.
+}
+
+sim::Co<Status> DagWtEngine::ExecutePrimary(GlobalTxnId id,
+                                            const workload::TxnSpec& spec) {
+  storage::TxnPtr txn = ctx_.db->Begin(id, storage::TxnKind::kPrimary);
+  std::vector<WriteRecord> writes;
+  Status st = co_await RunLocalTxn(txn, spec, &writes);
+  if (!st.ok()) co_return st;
+  st = co_await ctx_.db->Commit(txn, [&](int64_t) {
+    if (writes.empty()) return;
+    SecondaryUpdate update;
+    update.origin = id;
+    update.writes = writes;
+    update.origin_site = ctx_.site;
+    update.origin_commit_time = ctx_.sim->Now();
+    ctx_.metrics->RegisterPropagation(
+        id, ctx_.routing->CountReplicaTargets(writes), ctx_.sim->Now());
+    ForwardToRelevantChildren(update);
+  });
+  co_return st;
+}
+
+void DagWtEngine::OnMessage(ProtocolNetwork::Envelope env) {
+  LAZYREP_CHECK_EQ(env.src, ctx_.routing->tree()->Parent(ctx_.site))
+      << "DAG(WT) receives only from its tree parent";
+  if (auto* update = std::get_if<SecondaryUpdate>(&env.payload)) {
+    inbox_.Send(std::move(*update));
+  } else if (auto* batch = std::get_if<SecondaryBatch>(&env.payload)) {
+    for (SecondaryUpdate& u : batch->updates) inbox_.Send(std::move(u));
+  } else {
+    LAZYREP_CHECK(false) << "DAG(WT) only uses secondary updates";
+  }
+}
+
+sim::Co<void> DagWtEngine::Applier() {
+  for (;;) {
+    SecondaryUpdate update = co_await inbox_.Receive();
+    applying_ = true;
+    storage::TxnPtr txn =
+        ctx_.db->Begin(update.origin, storage::TxnKind::kSecondary);
+    bool applied_any = false;
+    bool ok = co_await ApplySecondaryWrites(txn, update.writes,
+                                            &applied_any);
+    LAZYREP_CHECK(ok) << "secondary subtransactions are never aborted";
+    Status st = co_await ctx_.db->Commit(
+        txn, [&](int64_t) { ForwardToRelevantChildren(update); });
+    LAZYREP_CHECK(st.ok()) << st.ToString();
+    ++secondaries_committed_;
+    if (applied_any) {
+      ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.sim->Now());
+    }
+    applying_ = false;
+  }
+}
+
+bool DagWtEngine::Quiescent() const {
+  if (!inbox_.empty() || applying_) return false;
+  for (const auto& [child, buffer] : outgoing_) {
+    if (!buffer.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace lazyrep::core

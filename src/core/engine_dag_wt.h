@@ -1,0 +1,61 @@
+#ifndef LAZYREP_CORE_ENGINE_DAG_WT_H_
+#define LAZYREP_CORE_ENGINE_DAG_WT_H_
+
+#include <map>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace lazyrep::core {
+
+/// DAG(WT) — "DAG Without Timestamps" (§2).
+///
+/// Requires an acyclic copy graph. Updates travel along the edges of a
+/// tree `T` built from the DAG (copy-graph child ⇒ tree descendant). At
+/// each site:
+///
+///  * primary subtransactions execute completely locally and, atomically
+///    with commit, forward their writes to the *relevant* tree children
+///    (children whose subtree stores a replica of an updated item);
+///  * forwarded secondary subtransactions are committed strictly in the
+///    order received from the (single) tree parent, re-forwarding
+///    atomically with their commit — which makes each site see every
+///    transaction after everything serialized before it (Theorem 2.1);
+///  * a secondary subtransaction is never a deadlock victim: on a lock
+///    timeout it aborts a blocking holder and is resubmitted.
+class DagWtEngine : public ReplicationEngine {
+ public:
+  explicit DagWtEngine(Context ctx);
+
+  void Start() override;
+  sim::Co<Status> ExecutePrimary(GlobalTxnId id,
+                                 const workload::TxnSpec& spec) override;
+  void OnMessage(ProtocolNetwork::Envelope env) override;
+  bool Quiescent() const override;
+
+  uint64_t secondaries_committed() const { return secondaries_committed_; }
+
+  void BeginShutdown() override;
+
+ private:
+  /// Posts `update` to every relevant tree child of this site (or
+  /// buffers it per child when the batching extension is on). Called
+  /// inside commit atomic hooks so forwarding order equals commit order.
+  void ForwardToRelevantChildren(const SecondaryUpdate& update);
+
+  /// Ships each non-empty per-child buffer as one message.
+  void FlushBatches();
+
+  sim::Co<void> Applier();
+  sim::Co<void> BatchFlusher();
+
+  sim::Mailbox<SecondaryUpdate> inbox_;
+  bool applying_ = false;
+  uint64_t secondaries_committed_ = 0;
+  /// Batching state: per-child outgoing buffer, in forwarding order.
+  std::map<SiteId, std::vector<SecondaryUpdate>> outgoing_;
+};
+
+}  // namespace lazyrep::core
+
+#endif  // LAZYREP_CORE_ENGINE_DAG_WT_H_

@@ -1,0 +1,84 @@
+#include "core/engine_naive.h"
+
+namespace lazyrep::core {
+
+NaiveLazyEngine::NaiveLazyEngine(Context ctx)
+    : ReplicationEngine(std::move(ctx)), inbox_(ctx_.sim) {}
+
+void NaiveLazyEngine::Start() {
+  if (!ctx_.routing->copy_graph().Parents(ctx_.site).empty()) {
+    ctx_.sim->Spawn(Applier());
+  }
+}
+
+sim::Co<Status> NaiveLazyEngine::ExecutePrimary(
+    GlobalTxnId id, const workload::TxnSpec& spec) {
+  storage::TxnPtr txn = ctx_.db->Begin(id, storage::TxnKind::kPrimary);
+  std::vector<WriteRecord> writes;
+  Status st = co_await RunLocalTxn(txn, spec, &writes);
+  if (!st.ok()) co_return st;
+  st = co_await ctx_.db->Commit(txn, [&](int64_t) {
+    if (writes.empty()) return;
+    SecondaryUpdate update;
+    update.origin = id;
+    update.writes = writes;
+    update.origin_site = ctx_.site;
+    update.origin_commit_time = ctx_.sim->Now();
+    ctx_.metrics->RegisterPropagation(
+        id, ctx_.routing->CountReplicaTargets(writes), ctx_.sim->Now());
+    // Indiscriminate: straight to every replica holder.
+    for (SiteId child :
+         ctx_.routing->RelevantCopyChildren(ctx_.site, writes)) {
+      ctx_.net->Post(ctx_.site, child, ProtocolMessage(update));
+    }
+  });
+  co_return st;
+}
+
+void NaiveLazyEngine::OnMessage(ProtocolNetwork::Envelope env) {
+  SecondaryUpdate* update = std::get_if<SecondaryUpdate>(&env.payload);
+  LAZYREP_CHECK(update != nullptr) << "NaiveLazy only uses SecondaryUpdate";
+  inbox_.Send(std::move(*update));
+}
+
+sim::Co<void> NaiveLazyEngine::Applier() {
+  const bool lww = ctx_.config->engine.naive_lww;
+  for (;;) {
+    SecondaryUpdate update = co_await inbox_.Receive();
+    applying_ = true;
+    storage::TxnPtr txn =
+        ctx_.db->Begin(update.origin, storage::TxnKind::kSecondary);
+    bool applied_any = false;
+    for (const WriteRecord& w : update.writes) {
+      if (!ctx_.routing->HasReplica(ctx_.site, w.item)) continue;
+      bool got = co_await AcquireXAsSecondary(txn.get(), w.item);
+      LAZYREP_CHECK(got);
+      co_await ctx_.db->ChargeCpu(ctx_.config->costs.secondary_apply_cpu);
+      if (lww) {
+        auto it = installed_version_.find(w.item);
+        if (it != installed_version_.end() &&
+            it->second > update.origin_commit_time) {
+          // Reconciliation rule: keep the later-timestamped version.
+          ++lww_skipped_;
+          continue;
+        }
+        installed_version_[w.item] = update.origin_commit_time;
+      }
+      Status st = ctx_.db->WriteLocked(txn.get(), w.item, w.value);
+      LAZYREP_CHECK(st.ok());
+      applied_any = true;
+    }
+    Status st = co_await ctx_.db->Commit(txn);
+    LAZYREP_CHECK(st.ok()) << st.ToString();
+    if (applied_any || lww) {
+      ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.sim->Now());
+    }
+    applying_ = false;
+  }
+}
+
+bool NaiveLazyEngine::Quiescent() const {
+  return inbox_.empty() && !applying_;
+}
+
+}  // namespace lazyrep::core

@@ -1,0 +1,183 @@
+#include "core/history.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace lazyrep::core {
+
+void HistoryRecorder::OnCommit(SiteId site, const storage::Transaction& txn,
+                               int64_t commit_seq) {
+  records_.push_back({site, txn.id(), commit_seq, txn.read_set(),
+                      txn.write_set(), txn.reads_observed(),
+                      txn.writes_final()});
+}
+
+void HistoryRecorder::OnAbort(SiteId, const storage::Transaction&) {
+  ++aborts_;
+}
+
+std::string SerializabilityVerdict::ToString() const {
+  if (serializable) {
+    return StrPrintf("serializable (%zu txns, %zu conflict edges)", nodes,
+                     edges);
+  }
+  std::string out = "NOT serializable; cycle:";
+  for (const GlobalTxnId& id : cycle) {
+    out += StrPrintf(" s%d#%lld", id.origin_site,
+                     static_cast<long long>(id.seq));
+  }
+  return out;
+}
+
+namespace {
+
+struct Access {
+  int64_t commit_seq;
+  int node;  // Dense origin-transaction index.
+  bool write;
+};
+
+}  // namespace
+
+SerializabilityVerdict CheckSerializability(
+    const HistoryRecorder& history) {
+  SerializabilityVerdict verdict;
+
+  // Dense-index the origin transactions.
+  std::map<GlobalTxnId, int> node_of;
+  std::vector<GlobalTxnId> id_of;
+  auto node = [&](const GlobalTxnId& id) {
+    auto [it, inserted] = node_of.emplace(id, static_cast<int>(id_of.size()));
+    if (inserted) id_of.push_back(id);
+    return it->second;
+  };
+
+  // Per (site, item): accesses ordered by local commit sequence.
+  std::map<std::pair<SiteId, ItemId>, std::vector<Access>> streams;
+  for (const HistoryRecorder::Record& r : history.records()) {
+    int n = node(r.origin);
+    for (ItemId i : r.writes) {
+      streams[{r.site, i}].push_back({r.commit_seq, n, true});
+    }
+    for (ItemId i : r.reads) {
+      // A read of an item also written by the same record is dominated by
+      // the write for conflict purposes.
+      if (r.writes.count(i)) continue;
+      streams[{r.site, i}].push_back({r.commit_seq, n, false});
+    }
+  }
+
+  std::vector<std::set<int>> adj(id_of.size());
+  size_t edge_count = 0;
+  auto add_edge = [&](int a, int b) {
+    if (a == b) return;
+    if (adj[a].insert(b).second) ++edge_count;
+  };
+
+  for (auto& [key, accesses] : streams) {
+    std::sort(accesses.begin(), accesses.end(),
+              [](const Access& a, const Access& b) {
+                return a.commit_seq < b.commit_seq;
+              });
+    int last_writer = -1;
+    std::vector<int> readers_since;
+    for (const Access& a : accesses) {
+      if (a.write) {
+        if (last_writer >= 0) add_edge(last_writer, a.node);  // ww
+        for (int r : readers_since) add_edge(r, a.node);      // rw
+        readers_since.clear();
+        last_writer = a.node;
+      } else {
+        if (last_writer >= 0) add_edge(last_writer, a.node);  // wr
+        readers_since.push_back(a.node);
+      }
+    }
+  }
+
+  verdict.nodes = id_of.size();
+  verdict.edges = edge_count;
+
+  // Iterative DFS cycle detection with path recovery.
+  enum : uint8_t { kWhite, kGray, kBlack };
+  std::vector<uint8_t> color(id_of.size(), kWhite);
+  for (size_t start = 0; start < id_of.size(); ++start) {
+    if (color[start] != kWhite) continue;
+    struct Frame {
+      int node;
+      std::set<int>::const_iterator next;
+    };
+    std::vector<Frame> stack;
+    color[start] = kGray;
+    stack.push_back({static_cast<int>(start), adj[start].begin()});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next == adj[f.node].end()) {
+        color[f.node] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      int next = *f.next;
+      ++f.next;
+      if (color[next] == kGray) {
+        // Cycle: walk back from f.node to next via the stack.
+        std::vector<GlobalTxnId> cycle;
+        cycle.push_back(id_of[next]);
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+          cycle.push_back(id_of[it->node]);
+          if (it->node == next) break;
+        }
+        std::reverse(cycle.begin(), cycle.end());
+        verdict.serializable = false;
+        verdict.cycle = std::move(cycle);
+        return verdict;
+      }
+      if (color[next] == kWhite) {
+        color[next] = kGray;
+        stack.push_back({next, adj[next].begin()});
+      }
+    }
+  }
+  return verdict;
+}
+
+ReadConsistencyVerdict CheckReadConsistency(
+    const HistoryRecorder& history) {
+  ReadConsistencyVerdict verdict;
+  // Per site: records in commit order, then replay.
+  std::map<SiteId, std::vector<const HistoryRecorder::Record*>> by_site;
+  for (const HistoryRecorder::Record& r : history.records()) {
+    by_site[r.site].push_back(&r);
+  }
+  for (auto& [site, records] : by_site) {
+    std::sort(records.begin(), records.end(),
+              [](const auto* a, const auto* b) {
+                return a->commit_seq < b->commit_seq;
+              });
+    std::unordered_map<ItemId, Value> current;  // Absent = initial 0.
+    for (const HistoryRecorder::Record* r : records) {
+      for (const auto& [item, observed] : r->reads_observed) {
+        ++verdict.reads_checked;
+        auto it = current.find(item);
+        Value expected = it == current.end() ? 0 : it->second;
+        if (observed != expected && verdict.consistent) {
+          verdict.consistent = false;
+          verdict.violation = StrPrintf(
+              "site %d: txn s%d#%lld read item %d = %lld, expected %lld",
+              site, r->origin.origin_site,
+              static_cast<long long>(r->origin.seq), item,
+              static_cast<long long>(observed),
+              static_cast<long long>(expected));
+        }
+      }
+      for (const auto& [item, value] : r->writes_final) {
+        current[item] = value;
+      }
+    }
+  }
+  return verdict;
+}
+
+}  // namespace lazyrep::core

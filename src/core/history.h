@@ -1,0 +1,87 @@
+#ifndef LAZYREP_CORE_HISTORY_H_
+#define LAZYREP_CORE_HISTORY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/database.h"
+
+namespace lazyrep::core {
+
+/// Records every committed (sub)transaction at every site together with
+/// the site-local commit order. Because each site runs strict 2PL, the
+/// local commit order is a serialization order of the site's schedule —
+/// exactly the premise the paper's correctness arguments build on.
+class HistoryRecorder : public storage::HistoryObserver {
+ public:
+  struct Record {
+    SiteId site;
+    GlobalTxnId origin;  // Secondaries/proxies carry their origin's id.
+    int64_t commit_seq;
+    std::set<ItemId> reads;
+    std::set<ItemId> writes;
+    /// Value observed by the first (non-own-write) read per item; may be
+    /// missing for lock-only reads (PSL proxies).
+    std::map<ItemId, Value> reads_observed;
+    /// Final value installed per written item.
+    std::map<ItemId, Value> writes_final;
+  };
+
+  void OnCommit(SiteId site, const storage::Transaction& txn,
+                int64_t commit_seq) override;
+  void OnAbort(SiteId site, const storage::Transaction& txn) override;
+
+  /// Appends a record directly (scripted histories in tests/examples).
+  void AddRecord(Record record) { records_.push_back(std::move(record)); }
+
+  const std::vector<Record>& records() const { return records_; }
+  int64_t aborts_seen() const { return aborts_; }
+
+ private:
+  std::vector<Record> records_;
+  int64_t aborts_ = 0;
+};
+
+/// Result of a global serializability check.
+struct SerializabilityVerdict {
+  bool serializable = true;
+  /// A witness cycle of origin transaction ids when not serializable.
+  std::vector<GlobalTxnId> cycle;
+  size_t nodes = 0;
+  size_t edges = 0;
+
+  std::string ToString() const;
+};
+
+/// Builds the global conflict (serialization) graph from per-site commit
+/// orders and checks it for cycles — the paper's serializability
+/// criterion: the union over sites of each site's serialization order,
+/// with secondary subtransactions identified with their origin
+/// transaction, must be acyclic.
+///
+/// Edge rule at each site, per item, scanning commits in commit-seq
+/// order: write→write, write→read and read→write conflicts produce edges
+/// from the earlier committer to the later one.
+SerializabilityVerdict CheckSerializability(const HistoryRecorder& history);
+
+/// Result of the per-site read-consistency check.
+struct ReadConsistencyVerdict {
+  bool consistent = true;
+  size_t reads_checked = 0;
+  /// First violation found, for diagnostics.
+  std::string violation;
+};
+
+/// Verifies a strict-2PL value invariant at every site: each committed
+/// transaction's first read of an item observed exactly the value
+/// installed by the last writer committed before it at that site (or the
+/// initial value 0). Catches undo/isolation bugs the conflict-graph
+/// checker cannot see.
+ReadConsistencyVerdict CheckReadConsistency(const HistoryRecorder& history);
+
+}  // namespace lazyrep::core
+
+#endif  // LAZYREP_CORE_HISTORY_H_

@@ -1,0 +1,165 @@
+#ifndef LAZYREP_CORE_MESSAGES_H_
+#define LAZYREP_CORE_MESSAGES_H_
+
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "core/timestamp.h"
+
+namespace lazyrep::core {
+
+/// One write of a propagated transaction.
+struct WriteRecord {
+  ItemId item = kInvalidItem;
+  Value value = 0;
+};
+
+/// A forwarded secondary subtransaction: the origin transaction's writes,
+/// carried along tree edges (DAG(WT)/BackEdge) or copy-graph edges
+/// (DAG(T)/NaiveLazy).
+struct SecondaryUpdate {
+  GlobalTxnId origin;
+  std::vector<WriteRecord> writes;
+  /// DAG(T): the transaction's timestamp; unused by the other protocols.
+  Timestamp ts;
+  /// DAG(T) §3.3: an empty update that only pushes the receiver's site
+  /// timestamp/epoch forward.
+  bool is_dummy = false;
+  /// BackEdge §4.1: a "special" secondary subtransaction relayed down the
+  /// tree from the farthest backedge site toward the origin; executed but
+  /// not committed until the 2PC at the origin.
+  bool is_special = false;
+  /// Origin site of the transaction (identifies the special's endpoint).
+  SiteId origin_site = kInvalidSite;
+  /// When the origin (primary) committed — propagation-delay metric.
+  SimTime origin_commit_time = 0;
+};
+
+/// BackEdge §4.1 step 1: the first backedge subtransaction, sent directly
+/// from the origin to the farthest backedge site.
+struct BackedgeStart {
+  GlobalTxnId origin;
+  SiteId origin_site = kInvalidSite;
+  std::vector<WriteRecord> writes;
+  SimTime primary_done_time = 0;
+};
+
+/// BackEdge: the origin transaction was chosen as a deadlock victim;
+/// every site on the backedge path rolls back its uncommitted proxy.
+struct BackedgeAbort {
+  GlobalTxnId origin;
+};
+
+/// Two-phase-commit messages (BackEdge step 3; Eager commit).
+struct TpcPrepare {
+  GlobalTxnId origin;
+  SiteId coordinator = kInvalidSite;
+  /// Eager only: the writes to apply at the participant before voting.
+  std::vector<WriteRecord> writes;
+  bool carries_writes = false;
+};
+struct TpcVote {
+  GlobalTxnId origin;
+  bool yes = false;
+};
+struct TpcDecision {
+  GlobalTxnId origin;
+  bool commit = false;
+  SimTime origin_commit_time = 0;
+};
+struct TpcAck {
+  GlobalTxnId origin;
+};
+
+/// PSL remote read: request an S lock (and the current value) from the
+/// item's primary site.
+struct PslLockRequest {
+  GlobalTxnId origin;
+  ItemId item = kInvalidItem;
+  uint64_t request_id = 0;
+};
+struct PslLockResponse {
+  GlobalTxnId origin;
+  ItemId item = kInvalidItem;
+  uint64_t request_id = 0;
+  bool granted = false;
+  Value value = 0;
+};
+/// PSL: the origin committed or aborted; release its proxy locks here.
+/// `committed` decides whether the proxy commits (records history) or
+/// rolls back.
+struct PslRelease {
+  GlobalTxnId origin;
+  bool committed = false;
+};
+
+/// DAG(WT) batching extension: several secondary subtransactions shipped
+/// in one message (in forwarding order) to amortize per-message costs.
+struct SecondaryBatch {
+  std::vector<SecondaryUpdate> updates;
+};
+
+using ProtocolMessage =
+    std::variant<SecondaryUpdate, BackedgeStart, BackedgeAbort, TpcPrepare,
+                 TpcVote, TpcDecision, TpcAck, PslLockRequest,
+                 PslLockResponse, PslRelease, SecondaryBatch>;
+
+/// Short kind label for logging/tracing.
+inline std::string_view MessageKindName(const ProtocolMessage& message) {
+  struct Visitor {
+    std::string_view operator()(const SecondaryUpdate& u) const {
+      if (u.is_dummy) return "dummy";
+      return u.is_special ? "special_secondary" : "secondary";
+    }
+    std::string_view operator()(const BackedgeStart&) const {
+      return "backedge_start";
+    }
+    std::string_view operator()(const BackedgeAbort&) const {
+      return "backedge_abort";
+    }
+    std::string_view operator()(const TpcPrepare&) const {
+      return "2pc_prepare";
+    }
+    std::string_view operator()(const TpcVote&) const { return "2pc_vote"; }
+    std::string_view operator()(const TpcDecision&) const {
+      return "2pc_decision";
+    }
+    std::string_view operator()(const TpcAck&) const { return "2pc_ack"; }
+    std::string_view operator()(const PslLockRequest&) const {
+      return "psl_lock_request";
+    }
+    std::string_view operator()(const PslLockResponse&) const {
+      return "psl_lock_response";
+    }
+    std::string_view operator()(const PslRelease&) const {
+      return "psl_release";
+    }
+    std::string_view operator()(const SecondaryBatch&) const {
+      return "secondary_batch";
+    }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+/// Origin transaction a message belongs to (invalid id for kinds without
+/// one).
+inline GlobalTxnId MessageOrigin(const ProtocolMessage& message) {
+  return std::visit(
+      [](const auto& m) -> GlobalTxnId {
+        if constexpr (requires { m.origin; }) {
+          return m.origin;
+        } else if constexpr (requires { m.updates; }) {
+          return m.updates.empty() ? GlobalTxnId{} : m.updates[0].origin;
+        } else {
+          return GlobalTxnId{};
+        }
+      },
+      message);
+}
+
+}  // namespace lazyrep::core
+
+#endif  // LAZYREP_CORE_MESSAGES_H_

@@ -1,0 +1,31 @@
+#include "core/metrics.h"
+
+#include "common/strings.h"
+
+namespace lazyrep::core {
+
+int64_t MetricsCollector::total_committed() const {
+  int64_t n = 0;
+  for (int64_t c : committed_) n += c;
+  return n;
+}
+
+int64_t MetricsCollector::total_aborted() const {
+  int64_t n = 0;
+  for (int64_t a : aborted_) n += a;
+  return n;
+}
+
+std::string RunMetrics::ToString() const {
+  return StrPrintf(
+      "throughput=%.2f txn/s/site abort=%.2f%% resp=%.1fms "
+      "prop=%.1fms msgs=%llu elapsed=%s%s%s",
+      avg_site_throughput, abort_rate_pct, response_ms.mean(),
+      propagation_delay_ms.mean(),
+      static_cast<unsigned long long>(messages),
+      FormatDuration(workload_elapsed).c_str(),
+      checked ? (serializable ? " SR" : " NOT-SR") : "",
+      converged ? "" : " DIVERGED");
+}
+
+}  // namespace lazyrep::core

@@ -1,0 +1,143 @@
+#ifndef LAZYREP_CORE_METRICS_H_
+#define LAZYREP_CORE_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace lazyrep::core {
+
+/// Per-site slice of the run metrics.
+struct SiteMetrics {
+  SiteId site = kInvalidSite;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  double throughput = 0;  // Committed per second at this site.
+};
+
+/// Final metrics of one run, in the units the paper reports.
+struct RunMetrics {
+  /// Average over sites of committed-primaries-per-second — the paper's
+  /// "Average Throughput" (§5.3).
+  double avg_site_throughput = 0;
+  /// Percent of primary subtransactions that aborted — "Abort Rate".
+  double abort_rate_pct = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  /// Response time of committed primary transactions (ms).
+  Summary response_ms;
+  /// Response-time percentiles (ms).
+  double response_p50_ms = 0;
+  double response_p95_ms = 0;
+  double response_p99_ms = 0;
+  /// Response-time distribution (ms, log buckets from 0.1 ms).
+  LogHistogram response_histogram;
+  /// Time from a primary's commit until its updates reached ALL replicas
+  /// (ms) — §5.3.4's propagation recency metric.
+  Summary propagation_delay_ms;
+  /// Per-application propagation delay (each secondary site counted).
+  Summary per_site_apply_delay_ms;
+  uint64_t messages = 0;
+  /// Wire bytes posted (per the core/wire.h encoding).
+  uint64_t bytes = 0;
+  /// Virtual time at which all worker threads had finished.
+  Duration workload_elapsed = 0;
+  /// Virtual time at which propagation fully drained.
+  Duration drain_elapsed = 0;
+  /// Serializability verdict (when checking was enabled).
+  bool checked = false;
+  bool serializable = true;
+  std::string verdict;
+  /// Value-level read-consistency verdict (when checking was enabled).
+  bool reads_consistent = true;
+  size_t reads_checked = 0;
+  /// All replicas equal their primaries after drain (protocols that
+  /// propagate values; PSL is exempt by design).
+  bool converged = true;
+  /// The safety time cap was hit before quiescence.
+  bool timed_out = false;
+  /// Lock-manager aggregates summed over sites.
+  uint64_t lock_timeouts = 0;
+  uint64_t lock_waits = 0;
+  /// Per-site breakdown.
+  std::vector<SiteMetrics> per_site;
+
+  std::string ToString() const;
+};
+
+/// Collects per-site counters and propagation bookkeeping during a run.
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(int num_sites)
+      : committed_(num_sites, 0), aborted_(num_sites, 0) {}
+
+  void OnPrimaryCommit(SiteId site, Duration response) {
+    ++committed_[site];
+    response_ms_.Add(ToMillis(response));
+    response_percentiles_.Add(ToMillis(response));
+    response_histogram_.Add(ToMillis(response));
+  }
+  void OnPrimaryAbort(SiteId site) { ++aborted_[site]; }
+
+  /// Registers a committed primary whose updates must reach
+  /// `expected_sites` secondary sites.
+  void RegisterPropagation(const GlobalTxnId& origin, int expected_sites,
+                           SimTime commit_time) {
+    if (expected_sites <= 0) return;
+    pending_[origin] = {expected_sites, commit_time};
+  }
+
+  /// One secondary application of `origin`'s updates finished at `now`.
+  void OnSecondaryApplied(const GlobalTxnId& origin, SimTime now) {
+    auto it = pending_.find(origin);
+    if (it == pending_.end()) return;
+    per_site_apply_ms_.Add(ToMillis(now - it->second.commit_time));
+    if (--it->second.remaining == 0) {
+      full_propagation_ms_.Add(ToMillis(now - it->second.commit_time));
+      pending_.erase(it);
+    }
+  }
+
+  /// Propagation registered but aborted later (BackEdge victim): drop it.
+  void CancelPropagation(const GlobalTxnId& origin) {
+    pending_.erase(origin);
+  }
+
+  size_t pending_propagations() const { return pending_.size(); }
+  int64_t committed_at(SiteId s) const { return committed_[s]; }
+  int64_t aborted_at(SiteId s) const { return aborted_[s]; }
+  int64_t total_committed() const;
+  int64_t total_aborted() const;
+  const Summary& response_ms() const { return response_ms_; }
+  const PercentileTracker& response_percentiles() const {
+    return response_percentiles_;
+  }
+  const LogHistogram& response_histogram() const {
+    return response_histogram_;
+  }
+  const Summary& full_propagation_ms() const { return full_propagation_ms_; }
+  const Summary& per_site_apply_ms() const { return per_site_apply_ms_; }
+  int num_sites() const { return static_cast<int>(committed_.size()); }
+
+ private:
+  struct Pending {
+    int remaining = 0;
+    SimTime commit_time = 0;
+  };
+  std::vector<int64_t> committed_;
+  std::vector<int64_t> aborted_;
+  Summary response_ms_;
+  PercentileTracker response_percentiles_;
+  LogHistogram response_histogram_;
+  Summary full_propagation_ms_;
+  Summary per_site_apply_ms_;
+  std::map<GlobalTxnId, Pending> pending_;
+};
+
+}  // namespace lazyrep::core
+
+#endif  // LAZYREP_CORE_METRICS_H_

@@ -1,0 +1,202 @@
+#include "core/routing.h"
+
+#include <algorithm>
+
+namespace lazyrep::core {
+
+std::map<graph::Edge, double> EdgeTrafficWeights(
+    const graph::Placement& placement) {
+  std::map<graph::Edge, double> weights;
+  for (ItemId i = 0; i < placement.num_items; ++i) {
+    for (SiteId s : placement.replicas[i]) {
+      weights[{placement.primary[i], s}] += 1.0;
+    }
+  }
+  return weights;
+}
+
+double Routing::BackedgeTrafficWeight() const {
+  std::map<graph::Edge, double> weights = EdgeTrafficWeights(placement_);
+  return graph::EdgeSetWeight(backedges_, &weights);
+}
+
+Result<std::shared_ptr<const Routing>> Routing::Build(
+    const graph::Placement& placement, Protocol protocol,
+    const EngineOptions& options) {
+  LAZYREP_RETURN_IF_ERROR(placement.Validate());
+  auto routing = std::shared_ptr<Routing>(new Routing());
+  routing->placement_ = placement;
+  routing->copy_graph_ = graph::CopyGraph::FromPlacement(placement);
+
+  // Backedge set: empty for DAG protocols (which require a DAG), chosen
+  // by the configured method for BackEdge, irrelevant for the rest.
+  switch (protocol) {
+    case Protocol::kDagWt:
+    case Protocol::kDagT:
+      if (!routing->copy_graph_.IsDag()) {
+        return Status::Unsupported(
+            "DAG protocols require an acyclic copy graph (use BackEdge)");
+      }
+      routing->backedges_.clear();
+      break;
+    case Protocol::kBackEdge:
+      switch (options.backedge_method) {
+        case BackedgeMethod::kSiteOrder: {
+          std::vector<SiteId> natural(placement.num_sites);
+          for (SiteId s = 0; s < placement.num_sites; ++s) natural[s] = s;
+          routing->backedges_ =
+              graph::OrderBackedges(routing->copy_graph_, natural);
+          break;
+        }
+        case BackedgeMethod::kDfs:
+          routing->backedges_ = graph::DfsBackedges(routing->copy_graph_);
+          break;
+        case BackedgeMethod::kGreedy:
+          routing->backedges_ =
+              graph::GreedyFeedbackArcSet(routing->copy_graph_);
+          break;
+        case BackedgeMethod::kWeightedGreedy: {
+          std::map<graph::Edge, double> weights =
+              EdgeTrafficWeights(placement);
+          routing->backedges_ = graph::LocalSearchFeedbackArcSet(
+              routing->copy_graph_, &weights);
+          break;
+        }
+      }
+      break;
+    case Protocol::kPsl:
+    case Protocol::kNaiveLazy:
+    case Protocol::kEager:
+      routing->backedges_.clear();
+      break;
+  }
+  routing->gdag_ = routing->copy_graph_.Without(routing->backedges_);
+
+  // Propagation tree over the DAG part for the tree-based protocols.
+  if (protocol == Protocol::kDagWt || protocol == Protocol::kBackEdge) {
+    Result<graph::Tree> tree = options.tree == TreeKind::kChain
+                                   ? graph::BuildChainTree(routing->gdag_)
+                                   : graph::BuildGreedyTree(routing->gdag_);
+    LAZYREP_RETURN_IF_ERROR(tree.status());
+    routing->tree_.emplace(std::move(tree).value());
+    if (protocol == Protocol::kBackEdge) {
+      // Every replica site must be tree-comparable with its primary:
+      // descendants get lazy updates, ancestors the eager backedge path.
+      // A branching tree with a non-minimal backedge set can leave a
+      // replica in a sibling subtree; the chain (a total order) cannot.
+      bool comparable = true;
+      for (const graph::Edge& e : routing->copy_graph_.Edges()) {
+        if (!routing->tree_->IsAncestor(e.from, e.to) &&
+            !routing->tree_->IsAncestor(e.to, e.from)) {
+          comparable = false;
+          break;
+        }
+      }
+      if (!comparable) {
+        LAZYREP_ASSIGN_OR_RETURN(graph::Tree chain,
+                                 graph::BuildChainTree(routing->gdag_));
+        routing->tree_.emplace(std::move(chain));
+      }
+    }
+  }
+
+  // Total site order for DAG(T) timestamps: a topological order of the
+  // DAG part. Protocols that never consult ranks (PSL, NaiveLazy, Eager)
+  // may run on cyclic graphs; give them identity ranks.
+  routing->topo_rank_.resize(placement.num_sites);
+  for (SiteId s = 0; s < placement.num_sites; ++s) {
+    routing->topo_rank_[s] = s;
+  }
+  if (Result<std::vector<SiteId>> order =
+          routing->gdag_.TopologicalOrder();
+      order.ok()) {
+    for (size_t i = 0; i < order->size(); ++i) {
+      routing->topo_rank_[(*order)[i]] = static_cast<int>(i);
+    }
+  } else if (protocol == Protocol::kDagT) {
+    return order.status();
+  }
+
+  // Replica-site index.
+  routing->replica_sites_.resize(placement.num_items);
+  for (ItemId i = 0; i < placement.num_items; ++i) {
+    routing->replica_sites_[i].insert(placement.replicas[i].begin(),
+                                      placement.replicas[i].end());
+  }
+
+  // Subtree replica index for the relevance rule.
+  routing->subtree_replicas_.assign(placement.num_sites, {});
+  if (routing->tree_.has_value()) {
+    for (SiteId s = 0; s < placement.num_sites; ++s) {
+      for (SiteId member : routing->tree_->Subtree(s)) {
+        for (ItemId i = 0; i < placement.num_items; ++i) {
+          if (routing->replica_sites_[i].count(member) > 0) {
+            routing->subtree_replicas_[s].insert(i);
+          }
+        }
+      }
+    }
+  }
+  return std::shared_ptr<const Routing>(routing);
+}
+
+int Routing::CountReplicaTargets(
+    const std::vector<WriteRecord>& writes) const {
+  std::set<SiteId> targets;
+  for (const WriteRecord& w : writes) {
+    const auto& sites = replica_sites_[w.item];
+    targets.insert(sites.begin(), sites.end());
+  }
+  return static_cast<int>(targets.size());
+}
+
+std::vector<SiteId> Routing::RelevantTreeChildren(
+    SiteId site, const std::vector<WriteRecord>& writes) const {
+  LAZYREP_CHECK(tree_.has_value());
+  std::vector<SiteId> out;
+  for (SiteId child : tree_->Children(site)) {
+    const std::set<ItemId>& needed = subtree_replicas_[child];
+    for (const WriteRecord& w : writes) {
+      if (needed.count(w.item) > 0) {
+        out.push_back(child);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SiteId> Routing::RelevantCopyChildren(
+    SiteId site, const std::vector<WriteRecord>& writes) const {
+  std::set<SiteId> targets;
+  for (const WriteRecord& w : writes) {
+    for (SiteId s : replica_sites_[w.item]) targets.insert(s);
+  }
+  std::vector<SiteId> out;
+  for (SiteId child : copy_graph_.Children(site)) {
+    if (targets.count(child) > 0) out.push_back(child);
+  }
+  return out;
+}
+
+std::vector<SiteId> Routing::BackedgeTargets(
+    SiteId site, const std::vector<WriteRecord>& writes) const {
+  LAZYREP_CHECK(tree_.has_value());
+  std::set<SiteId> targets;
+  for (const WriteRecord& w : writes) {
+    for (SiteId s : replica_sites_[w.item]) {
+      if (tree_->IsAncestor(s, site)) targets.insert(s);
+    }
+  }
+  std::vector<SiteId> out(targets.begin(), targets.end());
+  // Farthest from `site` = smallest tree depth first.
+  std::sort(out.begin(), out.end(), [this](SiteId a, SiteId b) {
+    if (tree_->Depth(a) != tree_->Depth(b)) {
+      return tree_->Depth(a) < tree_->Depth(b);
+    }
+    return a < b;
+  });
+  return out;
+}
+
+}  // namespace lazyrep::core

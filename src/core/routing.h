@@ -1,0 +1,105 @@
+#ifndef LAZYREP_CORE_ROUTING_H_
+#define LAZYREP_CORE_ROUTING_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "core/config.h"
+#include "core/messages.h"
+#include "graph/copy_graph.h"
+#include "graph/feedback_arc_set.h"
+#include "graph/tree.h"
+
+namespace lazyrep::core {
+
+/// Per-edge update-propagation frequency weights (§4.2): the number of
+/// items inducing each copy-graph edge. With writes uniform over a
+/// site's primaries this is proportional to the expected propagation
+/// traffic along the edge.
+std::map<graph::Edge, double> EdgeTrafficWeights(
+    const graph::Placement& placement);
+
+/// Immutable, precomputed routing state shared by every site's engine:
+/// the copy graph, the backedge set and resulting DAG, the propagation
+/// tree, and per-subtree replica indexes used for the "relevant children"
+/// rule (§2: forward a subtransaction to a child only when the child's
+/// subtree holds a replica of an updated item).
+class Routing {
+ public:
+  /// Builds routing for `protocol`. Fails with Unsupported when a DAG
+  /// protocol is configured on a cyclic copy graph.
+  static Result<std::shared_ptr<const Routing>> Build(
+      const graph::Placement& placement, Protocol protocol,
+      const EngineOptions& options);
+
+  const graph::Placement& placement() const { return placement_; }
+  const graph::CopyGraph& copy_graph() const { return copy_graph_; }
+  /// Copy graph minus backedges (equals the copy graph for DAG inputs).
+  const graph::CopyGraph& gdag() const { return gdag_; }
+  const std::vector<graph::Edge>& backedges() const { return backedges_; }
+
+  /// Total traffic weight (per EdgeTrafficWeights) of the chosen
+  /// backedge set — the §4.2 minimization objective.
+  double BackedgeTrafficWeight() const;
+  /// Present for tree-based protocols (DAG(WT), BackEdge) and for DAG(T)
+  /// ordering checks; absent for protocols that do not need one.
+  const std::optional<graph::Tree>& tree() const { return tree_; }
+
+  /// Secondary sites holding a replica of `item`.
+  const std::set<SiteId>& ReplicaSites(ItemId item) const {
+    return replica_sites_[item];
+  }
+
+  /// Number of distinct secondary sites holding a replica of any written
+  /// item — the expected number of secondary applications.
+  int CountReplicaTargets(const std::vector<WriteRecord>& writes) const;
+
+  /// Tree children of `site` whose subtree holds a replica of an item in
+  /// `writes` (DAG(WT) forwarding rule).
+  std::vector<SiteId> RelevantTreeChildren(
+      SiteId site, const std::vector<WriteRecord>& writes) const;
+
+  /// Copy-graph children of `site` holding a replica of an item in
+  /// `writes` (DAG(T) scheduling rule; for a primary at `site` this is
+  /// every replica site of the write set).
+  std::vector<SiteId> RelevantCopyChildren(
+      SiteId site, const std::vector<WriteRecord>& writes) const;
+
+  /// BackEdge: replica targets of `writes` that are tree ancestors of
+  /// `site` — exactly the backedge subtransaction sites, sorted farthest
+  /// (nearest the root) first (§4.1).
+  std::vector<SiteId> BackedgeTargets(
+      SiteId site, const std::vector<WriteRecord>& writes) const;
+
+  /// True when `site` holds a replica (secondary copy) of `item`.
+  bool HasReplica(SiteId site, ItemId item) const {
+    return replica_sites_[item].count(site) > 0;
+  }
+
+  /// Position of `site` in a fixed topological order of `gdag()` — the
+  /// total site order `s_1 < s_2 < ... < s_m` that DAG(T) timestamps are
+  /// built over (§3.1). Ancestors always have smaller rank.
+  int TopoRank(SiteId site) const { return topo_rank_[site]; }
+
+  int num_sites() const { return placement_.num_sites; }
+
+ private:
+  Routing() : copy_graph_(1), gdag_(1) {}
+
+  graph::Placement placement_;
+  graph::CopyGraph copy_graph_;
+  graph::CopyGraph gdag_;
+  std::vector<graph::Edge> backedges_;
+  std::optional<graph::Tree> tree_;
+  std::vector<std::set<SiteId>> replica_sites_;       // item -> sites
+  std::vector<std::set<ItemId>> subtree_replicas_;    // site -> items
+  std::vector<int> topo_rank_;                        // site -> rank
+
+};
+
+}  // namespace lazyrep::core
+
+#endif  // LAZYREP_CORE_ROUTING_H_

@@ -1,0 +1,404 @@
+#include "core/system.h"
+
+#include "core/wire.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lazyrep::core {
+
+/// Forwards commit/abort notifications to the history recorder (when
+/// checking) and the trace log (when tracing).
+class System::ObserverMux : public storage::HistoryObserver {
+ public:
+  ObserverMux(HistoryRecorder* recorder, TraceLog* trace,
+              sim::Simulator* sim)
+      : recorder_(recorder), trace_(trace), sim_(sim) {}
+
+  void OnCommit(SiteId site, const storage::Transaction& txn,
+                int64_t commit_seq) override {
+    if (recorder_ != nullptr) recorder_->OnCommit(site, txn, commit_seq);
+    if (trace_ != nullptr) {
+      TraceEvent event;
+      event.time = sim_->Now();
+      event.kind = TraceEvent::Kind::kTxnCommit;
+      event.site = site;
+      event.txn = txn.id();
+      trace_->Record(std::move(event));
+    }
+  }
+
+  void OnAbort(SiteId site, const storage::Transaction& txn) override {
+    if (recorder_ != nullptr) recorder_->OnAbort(site, txn);
+    if (trace_ != nullptr) {
+      TraceEvent event;
+      event.time = sim_->Now();
+      event.kind = TraceEvent::Kind::kTxnAbort;
+      event.site = site;
+      event.txn = txn.id();
+      event.detail = txn.abort_reason().ToString();
+      trace_->Record(std::move(event));
+    }
+  }
+
+ private:
+  HistoryRecorder* recorder_;
+  TraceLog* trace_;
+  sim::Simulator* sim_;
+};
+
+System::System(SystemConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      metrics_(config_.workload.num_sites),
+      workers_done_(&sim_) {}
+
+System::~System() {
+  // Destroy all parked/in-flight coroutine frames before the members they
+  // reference (mailboxes, databases, engines) are torn down.
+  sim_.Shutdown();
+}
+
+Result<std::unique_ptr<System>> System::Create(SystemConfig config) {
+  auto system = std::unique_ptr<System>(new System(std::move(config)));
+  LAZYREP_RETURN_IF_ERROR(system->Build());
+  return system;
+}
+
+Status System::Build() {
+  workload::Params& params = config_.workload;
+  if (params.num_sites <= 0 || params.sites_per_machine <= 0) {
+    return Status::InvalidArgument("bad site/machine counts");
+  }
+  if (config_.engine.batch_window > 0 &&
+      config_.protocol != Protocol::kDagWt) {
+    return Status::InvalidArgument(
+        "batch_window is only supported by DAG(WT) (batching would "
+        "reorder BackEdge special subtransactions)");
+  }
+
+  // Placement: explicit override or generated per §5.2.
+  graph::Placement placement =
+      config_.placement.has_value()
+          ? *config_.placement
+          : workload::GeneratePlacement(params, &rng_);
+  if (placement.num_sites != params.num_sites) {
+    return Status::InvalidArgument(
+        "placement num_sites does not match workload num_sites");
+  }
+
+  LAZYREP_ASSIGN_OR_RETURN(
+      routing_, Routing::Build(placement, config_.protocol, config_.engine));
+  generator_ =
+      std::make_unique<workload::TxnGenerator>(params, placement);
+
+  // Machines: `sites_per_machine` co-located sites share one CPU.
+  site_cpu_.assign(params.num_sites, nullptr);
+  if (config_.costs.model_cpu) {
+    int num_machines = (params.num_sites + params.sites_per_machine - 1) /
+                       params.sites_per_machine;
+    for (int m = 0; m < num_machines; ++m) {
+      machine_cpus_.push_back(std::make_unique<sim::Resource>(&sim_, 1));
+    }
+    for (SiteId s = 0; s < params.num_sites; ++s) {
+      site_cpu_[s] = machine_cpus_[s / params.sites_per_machine].get();
+    }
+  }
+
+  // Network: latency + shared-bus bandwidth over real wire sizes;
+  // co-located sites talk over loopback.
+  ProtocolNetwork::Config net_config;
+  net_config.latency = params.network_latency;
+  net_config.jitter = config_.costs.net_jitter;
+  net_config.send_cpu = config_.costs.msg_send_cpu;
+  net_config.recv_cpu = config_.costs.msg_recv_cpu;
+  net_config.bandwidth_bytes_per_sec =
+      config_.costs.net_bandwidth_bytes_per_sec;
+  net_config.shared_medium = config_.costs.net_shared_medium;
+  net_config.loopback_latency = config_.costs.loopback_latency;
+  network_ = std::make_unique<ProtocolNetwork>(
+      &sim_, params.num_sites, net_config, site_cpu_, rng_.Split());
+  network_->SetSizer(
+      [](const ProtocolMessage& message) { return Wire::EncodedSize(message); });
+  {
+    std::vector<int> machine_of(params.num_sites);
+    for (SiteId s = 0; s < params.num_sites; ++s) {
+      machine_of[s] = s / params.sites_per_machine;
+    }
+    network_->SetMachineMap(std::move(machine_of));
+  }
+
+  // Tracing.
+  if (config_.enable_trace) {
+    trace_ = std::make_unique<TraceLog>(config_.trace_max_events);
+    network_->SetObserver(
+        [this](const ProtocolNetwork::Envelope& env, bool delivered) {
+          TraceEvent event;
+          event.time = sim_.Now();
+          event.kind = delivered ? TraceEvent::Kind::kMsgDeliver
+                                 : TraceEvent::Kind::kMsgPost;
+          event.site = delivered ? env.dst : env.src;
+          event.peer = delivered ? env.src : env.dst;
+          event.txn = MessageOrigin(env.payload);
+          event.detail = std::string(MessageKindName(env.payload));
+          trace_->Record(std::move(event));
+        });
+  }
+
+  // Sites: database + engine; initial value of every copy is 0.
+  observer_mux_ = std::make_unique<ObserverMux>(
+      config_.check_serializability ? &history_ : nullptr, trace_.get(),
+      &sim_);
+  storage::HistoryObserver* observer =
+      (config_.check_serializability || config_.enable_trace)
+          ? observer_mux_.get()
+          : nullptr;
+  for (SiteId s = 0; s < params.num_sites; ++s) {
+    storage::Database::Options options;
+    options.site = s;
+    options.costs = config_.costs.op;
+    options.lock_config.wait_timeout = params.deadlock_timeout;
+    options.lock_config.policy = config_.engine.deadlock_policy;
+    options.lock_config.grant = config_.engine.grant_policy;
+    options.enable_wal = config_.enable_wal;
+    databases_.push_back(std::make_unique<storage::Database>(
+        &sim_, options, site_cpu_[s], observer));
+    for (ItemId item : placement.ItemsAt(s)) {
+      databases_.back()->store().AddItem(item, 0);
+    }
+    if (config_.enable_trace) {
+      databases_.back()->locks().SetEventHooks(
+          [this, s](const storage::Transaction& txn, ItemId item) {
+            TraceEvent event;
+            event.time = sim_.Now();
+            event.kind = TraceEvent::Kind::kLockWait;
+            event.site = s;
+            event.txn = txn.id();
+            event.item = item;
+            trace_->Record(std::move(event));
+          },
+          [this, s](const storage::Transaction& txn, ItemId item) {
+            TraceEvent event;
+            event.time = sim_.Now();
+            event.kind = TraceEvent::Kind::kLockTimeout;
+            event.site = s;
+            event.txn = txn.id();
+            event.item = item;
+            trace_->Record(std::move(event));
+          });
+    }
+  }
+  for (SiteId s = 0; s < params.num_sites; ++s) {
+    ReplicationEngine::Context ctx;
+    ctx.site = s;
+    ctx.sim = &sim_;
+    ctx.db = databases_[s].get();
+    ctx.net = network_.get();
+    ctx.routing = routing_;
+    ctx.metrics = &metrics_;
+    ctx.config = &config_;
+    engines_.push_back(MakeEngine(std::move(ctx)));
+    network_->SetHandler(s, [this, s](ProtocolNetwork::Envelope env) {
+      engines_[s]->OnMessage(std::move(env));
+    });
+  }
+  next_txn_seq_.assign(params.num_sites, 0);
+  LAZYREP_LOG(kInfo) << "system built: " << ProtocolName(config_.protocol)
+                     << " | " << params.ToString() << " | "
+                     << routing_->copy_graph().num_edges()
+                     << " copy edges, " << routing_->backedges().size()
+                     << " backedges";
+  return Status::OK();
+}
+
+sim::Co<void> System::Worker(SiteId site, int thread_index, Rng rng) {
+  (void)thread_index;
+  const workload::Params& params = config_.workload;
+  for (int i = 0; i < params.txns_per_thread; ++i) {
+    workload::TxnSpec spec = generator_->Next(site, &rng);
+    SimTime start = sim_.Now();
+    // Warmup exclusion: run the transaction, skip its metrics.
+    bool measured = start >= config_.warmup;
+    double backoff_ms = 2.0;
+    for (;;) {
+      GlobalTxnId id{site, next_txn_seq_[site]++};
+      Status st = co_await engines_[site]->ExecutePrimary(id, spec);
+      if (st.ok()) {
+        if (measured) metrics_.OnPrimaryCommit(site, sim_.Now() - start);
+        break;
+      }
+      LAZYREP_CHECK(st.IsAbort()) << st.ToString();
+      if (measured) metrics_.OnPrimaryAbort(site);
+      if (config_.retry == RetryPolicy::kNone) break;
+      // Randomized exponential backoff: keeps repeated aborts of the same
+      // conflicting transactions from livelocking in lock-step, and lets
+      // a starving backedge transaction eventually find a quiet window.
+      co_await sim_.Delay(static_cast<Duration>(
+          rng.Exponential(backoff_ms) * static_cast<double>(kMillisecond)));
+      backoff_ms = std::min(backoff_ms * 2.0, 250.0);
+    }
+  }
+  workers_done_.Done();
+}
+
+bool System::AllQuiescent() const {
+  if (metrics_.pending_propagations() > 0) return false;
+  for (const auto& engine : engines_) {
+    if (!engine->Quiescent()) return false;
+  }
+  return true;
+}
+
+sim::Co<void> System::QuiesceAndShutdown() {
+  co_await workers_done_.Wait();
+  workload_elapsed_ = sim_.Now();
+  while (!AllQuiescent()) {
+    co_await sim_.Delay(config_.quiesce_poll);
+  }
+  drain_elapsed_ = sim_.Now();
+  for (auto& engine : engines_) engine->BeginShutdown();
+}
+
+RunMetrics System::Run() {
+  LAZYREP_CHECK(!ran_) << "System::Run is one-shot";
+  ran_ = true;
+  const workload::Params& params = config_.workload;
+  EnsureStarted();
+  Rng worker_seeds = rng_.Split();
+  for (SiteId s = 0; s < params.num_sites; ++s) {
+    for (int t = 0; t < params.threads_per_site; ++t) {
+      workers_done_.Add();
+      sim_.Spawn(Worker(s, t, worker_seeds.Split()));
+    }
+  }
+  sim_.Spawn(QuiesceAndShutdown());
+  if (config_.max_sim_time > 0) {
+    sim_.RunUntil(config_.max_sim_time);
+    timed_out_ = (drain_elapsed_ == 0);
+  } else {
+    sim_.Run();
+  }
+
+  RunMetrics out;
+  out.committed = metrics_.total_committed();
+  out.aborted = metrics_.total_aborted();
+  out.workload_elapsed = workload_elapsed_;
+  out.drain_elapsed = drain_elapsed_;
+  out.timed_out = timed_out_;
+  double elapsed_s =
+      ToSeconds(std::max<Duration>(workload_elapsed_ - config_.warmup, 0));
+  out.per_site.resize(params.num_sites);
+  if (elapsed_s > 0) {
+    double sum = 0;
+    for (SiteId s = 0; s < params.num_sites; ++s) {
+      SiteMetrics& site = out.per_site[s];
+      site.site = s;
+      site.committed = metrics_.committed_at(s);
+      site.aborted = metrics_.aborted_at(s);
+      site.throughput = static_cast<double>(site.committed) / elapsed_s;
+      sum += site.throughput;
+    }
+    out.avg_site_throughput = sum / params.num_sites;
+  }
+  int64_t attempts = out.committed + out.aborted;
+  out.abort_rate_pct =
+      attempts > 0 ? 100.0 * static_cast<double>(out.aborted) /
+                         static_cast<double>(attempts)
+                   : 0.0;
+  out.response_ms = metrics_.response_ms();
+  out.response_p50_ms = metrics_.response_percentiles().Percentile(50);
+  out.response_p95_ms = metrics_.response_percentiles().Percentile(95);
+  out.response_p99_ms = metrics_.response_percentiles().Percentile(99);
+  out.response_histogram = metrics_.response_histogram();
+  out.propagation_delay_ms = metrics_.full_propagation_ms();
+  out.per_site_apply_delay_ms = metrics_.per_site_apply_ms();
+  out.messages = network_->total_messages();
+  out.bytes = network_->total_bytes();
+  for (const auto& db : databases_) {
+    out.lock_timeouts += db->locks().stats().timeouts;
+    out.lock_waits += db->locks().stats().waits;
+  }
+  if (config_.check_serializability) {
+    out.checked = true;
+    SerializabilityVerdict verdict = CheckHistory();
+    out.serializable = verdict.serializable;
+    out.verdict = verdict.ToString();
+    ReadConsistencyVerdict reads = CheckReadConsistency(history_);
+    out.reads_consistent = reads.consistent;
+    out.reads_checked = reads.reads_checked;
+    if (!reads.consistent) out.verdict += "; " + reads.violation;
+  }
+  out.converged =
+      config_.protocol == Protocol::kPsl ? true : ReplicasConverged();
+  return out;
+}
+
+void System::EnsureStarted() {
+  if (started_) return;
+  started_ = true;
+  for (auto& engine : engines_) engine->Start();
+}
+
+Status System::RunOneTransaction(SiteId site,
+                                 const workload::TxnSpec& spec) {
+  EnsureStarted();
+  Status result = Status::Internal("transaction did not run");
+  bool done = false;
+  GlobalTxnId id{site, next_txn_seq_[site]++};
+  sim_.Spawn([](System* system, SiteId s, GlobalTxnId txn_id,
+                workload::TxnSpec txn_spec, Status* out,
+                bool* flag) -> sim::Co<void> {
+    *out = co_await system->engines_[s]->ExecutePrimary(txn_id, txn_spec);
+    *flag = true;
+    // Halt the loop; periodic protocol processes would otherwise keep
+    // the event queue busy forever.
+    system->sim_.Stop();
+  }(this, site, id, spec, &result, &done));
+  while (!done) {
+    uint64_t processed = sim_.Run();
+    LAZYREP_CHECK(processed > 0 || done)
+        << "transaction cannot make progress";
+  }
+  return result;
+}
+
+void System::InjectCpuStall(int machine, SimTime at, Duration duration) {
+  if (machine_cpus_.empty()) return;  // CPU modelling off.
+  LAZYREP_CHECK(machine >= 0 &&
+                machine < static_cast<int>(machine_cpus_.size()));
+  LAZYREP_CHECK_GE(at, sim_.Now());
+  sim::Resource* cpu = machine_cpus_[static_cast<size_t>(machine)].get();
+  sim_.ScheduleCallback(at - sim_.Now(), [this, cpu, duration] {
+    sim_.Spawn(cpu->Consume(duration));
+  });
+}
+
+void System::DrainPropagation() {
+  EnsureStarted();
+  int guard = 0;
+  while (!AllQuiescent()) {
+    sim_.RunUntil(sim_.Now() + config_.quiesce_poll);
+    LAZYREP_CHECK(++guard < 1000000) << "propagation never quiesced";
+  }
+  // Engines stay running (periodic processes included) so further
+  // scripted transactions can follow; everything is torn down with the
+  // System.
+}
+
+bool System::ReplicasConverged() const {
+  const graph::Placement& placement = routing_->placement();
+  for (ItemId item = 0; item < placement.num_items; ++item) {
+    Result<Value> primary_value =
+        databases_[placement.primary[item]]->store().Get(item);
+    LAZYREP_CHECK(primary_value.ok());
+    for (SiteId s : placement.replicas[item]) {
+      Result<Value> replica_value = databases_[s]->store().Get(item);
+      LAZYREP_CHECK(replica_value.ok());
+      if (*replica_value != *primary_value) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lazyrep::core

@@ -1,0 +1,128 @@
+#ifndef LAZYREP_CORE_SYSTEM_H_
+#define LAZYREP_CORE_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "core/history.h"
+#include "core/metrics.h"
+#include "core/trace.h"
+#include "net/network.h"
+#include "sim/primitives.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace lazyrep::core {
+
+/// A complete simulated replicated-database system: machines (shared CPU
+/// resources), sites (database + protocol engine), the network, and the
+/// workload threads of §5.2.
+///
+/// Typical use:
+///
+///   SystemConfig config;
+///   config.protocol = Protocol::kBackEdge;
+///   auto system = System::Create(config);
+///   RunMetrics metrics = system.value()->Run();
+///
+/// `Run` drives the workload to completion, waits for propagation to
+/// quiesce, and returns the paper's metrics (plus serializability and
+/// convergence verdicts).
+class System {
+ public:
+  /// Validates the configuration (e.g. DAG protocols on DAG graphs) and
+  /// assembles the system.
+  static Result<std::unique_ptr<System>> Create(SystemConfig config);
+
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Runs the full experiment (idempotent: one call per System).
+  RunMetrics Run();
+
+  /// Starts the engines' background processes (appliers, tickers) without
+  /// running a workload — needed before driving engines directly via
+  /// `engine(s).ExecutePrimary` in scripted scenarios. Idempotent; `Run`
+  /// and `RunOneTransaction` call it themselves.
+  void StartEngines() { EnsureStarted(); }
+
+  /// Submits a single transaction at `site` outside the generated
+  /// workload and runs the simulator until it finishes. For examples and
+  /// tests that script explicit scenarios; do not mix with `Run`.
+  Status RunOneTransaction(SiteId site, const workload::TxnSpec& spec);
+
+  /// Drains in-flight propagation (runs the simulator until quiescent),
+  /// for use after scripted `RunOneTransaction` calls.
+  void DrainPropagation();
+
+  /// Fault injection: occupies `machine`'s CPU for `duration` starting at
+  /// virtual time `at` — a stall (swap storm, co-located job, GC pause).
+  /// The protocols must ride it out: transactions and appliers on the
+  /// machine freeze, timeouts fire, and correctness must hold. Call
+  /// before `Run`. No-op when CPU modelling is disabled.
+  void InjectCpuStall(int machine, SimTime at, Duration duration);
+
+  int num_machines() const { return static_cast<int>(machine_cpus_.size()); }
+
+  // --- Introspection (primarily for tests and examples) ----------------
+  sim::Simulator& simulator() { return sim_; }
+  storage::Database& database(SiteId site) { return *databases_[site]; }
+  ReplicationEngine& engine(SiteId site) { return *engines_[site]; }
+  const Routing& routing() const { return *routing_; }
+  const HistoryRecorder& history() const { return history_; }
+  /// Present when `SystemConfig::enable_trace` was set.
+  const TraceLog* trace() const { return trace_.get(); }
+  MetricsCollector& metrics() { return metrics_; }
+  ProtocolNetwork& network() { return *network_; }
+  const SystemConfig& config() const { return config_; }
+
+  /// Runs the serializability checker over the recorded history.
+  SerializabilityVerdict CheckHistory() const {
+    return CheckSerializability(history_);
+  }
+
+  /// True when every replica equals its primary copy. `require_applied`
+  /// protocols only (not PSL, which never propagates).
+  bool ReplicasConverged() const;
+
+ private:
+  explicit System(SystemConfig config);
+
+  Status Build();
+  void EnsureStarted();
+  bool AllQuiescent() const;
+  sim::Co<void> Worker(SiteId site, int thread_index, Rng rng);
+  sim::Co<void> QuiesceAndShutdown();
+
+  SystemConfig config_;
+  sim::Simulator sim_;
+  Rng rng_;
+  std::shared_ptr<const Routing> routing_;
+  std::unique_ptr<workload::TxnGenerator> generator_;
+  MetricsCollector metrics_;
+  HistoryRecorder history_;
+  std::unique_ptr<TraceLog> trace_;
+  /// Fans OnCommit/OnAbort out to the recorder and the trace.
+  class ObserverMux;
+  std::unique_ptr<ObserverMux> observer_mux_;
+  std::vector<std::unique_ptr<sim::Resource>> machine_cpus_;
+  std::vector<sim::Resource*> site_cpu_;  // site -> machine CPU (or null)
+  std::unique_ptr<ProtocolNetwork> network_;
+  std::vector<std::unique_ptr<storage::Database>> databases_;
+  std::vector<std::unique_ptr<ReplicationEngine>> engines_;
+  std::vector<int64_t> next_txn_seq_;
+  sim::WaitGroup workers_done_;
+  Duration workload_elapsed_ = 0;
+  Duration drain_elapsed_ = 0;
+  bool timed_out_ = false;
+  bool ran_ = false;
+  bool started_ = false;
+};
+
+}  // namespace lazyrep::core
+
+#endif  // LAZYREP_CORE_SYSTEM_H_

@@ -1,0 +1,91 @@
+#ifndef LAZYREP_CORE_TIMESTAMP_H_
+#define LAZYREP_CORE_TIMESTAMP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lazyrep::core {
+
+/// A tuple `(s_i, LTS_i)` — Definition 3.1. `lts` counts the primary
+/// subtransactions committed at the site.
+struct TsTuple {
+  SiteId site = kInvalidSite;
+  int64_t lts = 0;
+
+  friend bool operator==(const TsTuple&, const TsTuple&) = default;
+};
+
+/// A DAG(T) timestamp — Definition 3.2 extended with the epoch number of
+/// §3.3.
+///
+/// The timestamp is a vector of tuples, at most one per site, kept sorted
+/// by ascending site id; the last tuple always belongs to the owning site.
+/// Comparison (Definition 3.3, implemented by `Compare`):
+///
+///   * different epochs: the smaller epoch is smaller;
+///   * one vector a proper prefix of the other: the prefix is smaller;
+///   * otherwise find the first position where the tuples differ:
+///     the timestamp whose tuple has the *larger* site id is smaller
+///     (reverse site order!); at equal sites the smaller counter wins.
+class Timestamp {
+ public:
+  Timestamp() = default;
+
+  /// Initial site timestamp `(s, 0)` at epoch 0.
+  static Timestamp Initial(SiteId site) {
+    Timestamp ts;
+    ts.tuples_.push_back({site, 0});
+    return ts;
+  }
+
+  int64_t epoch() const { return epoch_; }
+  void set_epoch(int64_t epoch) { epoch_ = epoch; }
+
+  const std::vector<TsTuple>& tuples() const { return tuples_; }
+  bool empty() const { return tuples_.empty(); }
+
+  /// The owning site's tuple (the last one).
+  const TsTuple& OwnTuple() const;
+
+  /// Increments the owning site's counter — primary-commit step 1
+  /// (§3.2.2).
+  void BumpOwnLts();
+
+  /// Returns `TS(T) ⊕ (site, lts)` at epoch `epoch` — the secondary-commit
+  /// rule (§3.2.3): the committing subtransaction's timestamp concatenated
+  /// with the local site tuple. In a DAG all tuples of `TS(T)` belong to
+  /// ancestors of `site`, so plain concatenation keeps the vector sorted;
+  /// this is CHECKed.
+  Timestamp ExtendedWith(SiteId site, int64_t lts, int64_t epoch) const;
+
+  /// Three-way comparison per Definition 3.3 (+ epoch dominance).
+  /// Returns <0, 0, >0.
+  static int Compare(const Timestamp& a, const Timestamp& b);
+
+  friend bool operator==(const Timestamp& a, const Timestamp& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator<(const Timestamp& a, const Timestamp& b) {
+    return Compare(a, b) < 0;
+  }
+  friend bool operator<=(const Timestamp& a, const Timestamp& b) {
+    return Compare(a, b) <= 0;
+  }
+  friend bool operator>(const Timestamp& a, const Timestamp& b) {
+    return Compare(a, b) > 0;
+  }
+
+  /// e.g. "e0:(s1,1)(s2,3)".
+  std::string ToString() const;
+
+ private:
+  int64_t epoch_ = 0;
+  std::vector<TsTuple> tuples_;
+};
+
+}  // namespace lazyrep::core
+
+#endif  // LAZYREP_CORE_TIMESTAMP_H_

@@ -1,0 +1,51 @@
+#include "core/trace.h"
+
+#include "common/strings.h"
+
+namespace lazyrep::core {
+
+std::string_view TraceEvent::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kTxnCommit: return "txn_commit";
+    case Kind::kTxnAbort: return "txn_abort";
+    case Kind::kMsgPost: return "msg_post";
+    case Kind::kMsgDeliver: return "msg_deliver";
+    case Kind::kLockWait: return "lock_wait";
+    case Kind::kLockTimeout: return "lock_timeout";
+  }
+  return "?";
+}
+
+std::vector<const TraceEvent*> TraceLog::OfKind(
+    TraceEvent::Kind kind) const {
+  std::vector<const TraceEvent*> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) out.push_back(&e);
+  }
+  return out;
+}
+
+void TraceLog::WriteJsonl(std::ostream& out) const {
+  for (const TraceEvent& e : events_) {
+    out << StrPrintf("{\"t_us\":%lld,\"kind\":\"%s\",\"site\":%d",
+                     static_cast<long long>(e.time / kMicrosecond),
+                     std::string(TraceEvent::KindName(e.kind)).c_str(),
+                     e.site);
+    if (e.txn.origin_site != kInvalidSite) {
+      out << StrPrintf(",\"txn\":\"s%d#%lld\"", e.txn.origin_site,
+                       static_cast<long long>(e.txn.seq));
+    }
+    if (e.peer != kInvalidSite) {
+      out << StrPrintf(",\"peer\":%d", e.peer);
+    }
+    if (e.item != kInvalidItem) {
+      out << StrPrintf(",\"item\":%d", e.item);
+    }
+    if (!e.detail.empty()) {
+      out << ",\"detail\":\"" << e.detail << "\"";
+    }
+    out << "}\n";
+  }
+}
+
+}  // namespace lazyrep::core

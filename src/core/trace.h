@@ -1,0 +1,72 @@
+#ifndef LAZYREP_CORE_TRACE_H_
+#define LAZYREP_CORE_TRACE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace lazyrep::core {
+
+/// One traced protocol event. Kept deliberately flat so a trace can be
+/// dumped as JSONL and inspected with standard tools.
+struct TraceEvent {
+  enum class Kind {
+    kTxnCommit,
+    kTxnAbort,
+    kMsgPost,
+    kMsgDeliver,
+    kLockWait,
+    kLockTimeout,
+  };
+
+  SimTime time = 0;
+  Kind kind = Kind::kTxnCommit;
+  SiteId site = kInvalidSite;   // Where the event happened.
+  GlobalTxnId txn;              // Involved transaction (when known).
+  SiteId peer = kInvalidSite;   // Message destination/source.
+  ItemId item = kInvalidItem;   // Lock events.
+  std::string detail;           // Message kind, abort reason, ...
+
+  static std::string_view KindName(Kind kind);
+};
+
+/// In-memory, bounded event trace. Recording is cheap (one vector push);
+/// `WriteJsonl` renders one JSON object per line. When the cap is hit,
+/// recording stops and `truncated()` reports it — a trace is a debugging
+/// aid, not a metrics source.
+class TraceLog {
+ public:
+  explicit TraceLog(size_t max_events = 1 << 20)
+      : max_events_(max_events) {}
+
+  void Record(TraceEvent event) {
+    if (events_.size() >= max_events_) {
+      truncated_ = true;
+      return;
+    }
+    events_.push_back(std::move(event));
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool truncated() const { return truncated_; }
+
+  /// Events of one kind (convenience for tests/inspection).
+  std::vector<const TraceEvent*> OfKind(TraceEvent::Kind kind) const;
+
+  /// One JSON object per line:
+  ///   {"t_us":123,"kind":"msg_post","site":0,"txn":"s0#4",...}
+  void WriteJsonl(std::ostream& out) const;
+
+ private:
+  size_t max_events_;
+  bool truncated_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace lazyrep::core
+
+#endif  // LAZYREP_CORE_TRACE_H_

@@ -1,0 +1,363 @@
+#include "core/wire.h"
+
+namespace lazyrep::core {
+namespace {
+
+constexpr uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+constexpr int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Sink that appends real bytes.
+struct ByteSink {
+  std::vector<uint8_t>* out;
+  void Byte(uint8_t b) { out->push_back(b); }
+  void Varint(uint64_t v) { Wire::PutVarint(out, v); }
+  void Signed(int64_t v) { Wire::PutSigned(out, v); }
+};
+
+/// Sink that only counts.
+struct CountSink {
+  size_t n = 0;
+  void Byte(uint8_t) { ++n; }
+  void Varint(uint64_t v) { n += Wire::VarintSize(v); }
+  void Signed(int64_t v) { n += Wire::SignedSize(v); }
+};
+
+template <typename Sink>
+void PutTxnId(Sink* s, const GlobalTxnId& id) {
+  s->Signed(id.origin_site);
+  s->Signed(id.seq);
+}
+
+template <typename Sink>
+void PutWrites(Sink* s, const std::vector<WriteRecord>& writes) {
+  s->Varint(writes.size());
+  for (const WriteRecord& w : writes) {
+    s->Signed(w.item);
+    s->Signed(w.value);
+  }
+}
+
+template <typename Sink>
+void PutTimestamp(Sink* s, const Timestamp& ts) {
+  s->Signed(ts.epoch());
+  s->Varint(ts.tuples().size());
+  for (const TsTuple& t : ts.tuples()) {
+    s->Signed(t.site);
+    s->Signed(t.lts);
+  }
+}
+
+template <typename Sink>
+struct EncodeVisitor {
+  Sink* s;
+
+  void operator()(const SecondaryUpdate& u) const {
+    PutTxnId(s, u.origin);
+    s->Signed(u.origin_site);
+    s->Signed(u.origin_commit_time);
+    s->Byte(static_cast<uint8_t>((u.is_dummy ? 1 : 0) |
+                                 (u.is_special ? 2 : 0)));
+    PutTimestamp(s, u.ts);
+    PutWrites(s, u.writes);
+  }
+  void operator()(const BackedgeStart& m) const {
+    PutTxnId(s, m.origin);
+    s->Signed(m.origin_site);
+    s->Signed(m.primary_done_time);
+    PutWrites(s, m.writes);
+  }
+  void operator()(const BackedgeAbort& m) const { PutTxnId(s, m.origin); }
+  void operator()(const TpcPrepare& m) const {
+    PutTxnId(s, m.origin);
+    s->Signed(m.coordinator);
+    s->Byte(m.carries_writes ? 1 : 0);
+    PutWrites(s, m.writes);
+  }
+  void operator()(const TpcVote& m) const {
+    PutTxnId(s, m.origin);
+    s->Byte(m.yes ? 1 : 0);
+  }
+  void operator()(const TpcDecision& m) const {
+    PutTxnId(s, m.origin);
+    s->Byte(m.commit ? 1 : 0);
+    s->Signed(m.origin_commit_time);
+  }
+  void operator()(const TpcAck& m) const { PutTxnId(s, m.origin); }
+  void operator()(const PslLockRequest& m) const {
+    PutTxnId(s, m.origin);
+    s->Signed(m.item);
+    s->Varint(m.request_id);
+  }
+  void operator()(const PslLockResponse& m) const {
+    PutTxnId(s, m.origin);
+    s->Signed(m.item);
+    s->Varint(m.request_id);
+    s->Byte(m.granted ? 1 : 0);
+    s->Signed(m.value);
+  }
+  void operator()(const PslRelease& m) const {
+    PutTxnId(s, m.origin);
+    s->Byte(m.committed ? 1 : 0);
+  }
+  void operator()(const SecondaryBatch& m) const {
+    s->Varint(m.updates.size());
+    for (const SecondaryUpdate& u : m.updates) (*this)(u);
+  }
+};
+
+// ---- decoding helpers -----------------------------------------------
+
+struct Reader {
+  const std::vector<uint8_t>& in;
+  size_t pos = 0;
+  Status status;
+
+  uint8_t Byte() {
+    if (!status.ok()) return 0;
+    if (pos >= in.size()) {
+      status = Status::InvalidArgument("truncated message");
+      return 0;
+    }
+    return in[pos++];
+  }
+  uint64_t Varint() {
+    if (!status.ok()) return 0;
+    Result<uint64_t> r = Wire::GetVarint(in, &pos);
+    if (!r.ok()) {
+      status = r.status();
+      return 0;
+    }
+    return *r;
+  }
+  int64_t Signed() { return UnZigZag(Varint()); }
+
+  GlobalTxnId TxnId() {
+    GlobalTxnId id;
+    id.origin_site = static_cast<SiteId>(Signed());
+    id.seq = Signed();
+    return id;
+  }
+  std::vector<WriteRecord> Writes() {
+    uint64_t n = Varint();
+    if (!status.ok() || n > in.size()) {  // Sanity bound.
+      if (status.ok()) status = Status::InvalidArgument("bad write count");
+      return {};
+    }
+    std::vector<WriteRecord> out;
+    out.reserve(n);
+    for (uint64_t i = 0; i < n && status.ok(); ++i) {
+      WriteRecord w;
+      w.item = static_cast<ItemId>(Signed());
+      w.value = Signed();
+      out.push_back(w);
+    }
+    return out;
+  }
+  Timestamp Ts() {
+    int64_t epoch = Signed();
+    uint64_t n = Varint();
+    if (!status.ok() || n > in.size()) {
+      if (status.ok()) status = Status::InvalidArgument("bad tuple count");
+      return {};
+    }
+    Timestamp ts;
+    SiteId prev = kInvalidSite;
+    for (uint64_t i = 0; i < n && status.ok(); ++i) {
+      SiteId site = static_cast<SiteId>(Signed());
+      int64_t lts = Signed();
+      if (!status.ok()) break;
+      if (prev != kInvalidSite && site <= prev) {
+        status = Status::InvalidArgument("timestamp tuples out of order");
+        break;
+      }
+      prev = site;
+      ts = ts.ExtendedWith(site, lts, epoch);
+    }
+    ts.set_epoch(epoch);
+    return ts;
+  }
+};
+
+}  // namespace
+
+void Wire::PutVarint(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+void Wire::PutSigned(std::vector<uint8_t>* out, int64_t value) {
+  PutVarint(out, ZigZag(value));
+}
+
+Result<uint64_t> Wire::GetVarint(const std::vector<uint8_t>& in,
+                                 size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (*pos < in.size() && shift < 64) {
+    uint8_t byte = in[(*pos)++];
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return Status::InvalidArgument("truncated varint");
+}
+
+Result<int64_t> Wire::GetSigned(const std::vector<uint8_t>& in,
+                                size_t* pos) {
+  LAZYREP_ASSIGN_OR_RETURN(uint64_t raw, GetVarint(in, pos));
+  return UnZigZag(raw);
+}
+
+size_t Wire::VarintSize(uint64_t value) {
+  size_t n = 1;
+  while (value >= 0x80) {
+    ++n;
+    value >>= 7;
+  }
+  return n;
+}
+
+size_t Wire::SignedSize(int64_t value) { return VarintSize(ZigZag(value)); }
+
+std::vector<uint8_t> Wire::Encode(const ProtocolMessage& message) {
+  std::vector<uint8_t> out;
+  out.push_back(static_cast<uint8_t>(message.index()));
+  ByteSink sink{&out};
+  std::visit(EncodeVisitor<ByteSink>{&sink}, message);
+  return out;
+}
+
+size_t Wire::EncodedSize(const ProtocolMessage& message) {
+  CountSink sink;
+  std::visit(EncodeVisitor<CountSink>{&sink}, message);
+  return sink.n + 1;  // Kind tag.
+}
+
+Result<ProtocolMessage> Wire::Decode(const std::vector<uint8_t>& bytes) {
+  if (bytes.empty()) return Status::InvalidArgument("empty message");
+  Reader r{bytes, 1, Status::OK()};
+  ProtocolMessage message;
+  switch (bytes[0]) {
+    case 0: {
+      SecondaryUpdate u;
+      u.origin = r.TxnId();
+      u.origin_site = static_cast<SiteId>(r.Signed());
+      u.origin_commit_time = r.Signed();
+      uint8_t flags = r.Byte();
+      u.is_dummy = (flags & 1) != 0;
+      u.is_special = (flags & 2) != 0;
+      u.ts = r.Ts();
+      u.writes = r.Writes();
+      message = std::move(u);
+      break;
+    }
+    case 1: {
+      BackedgeStart m;
+      m.origin = r.TxnId();
+      m.origin_site = static_cast<SiteId>(r.Signed());
+      m.primary_done_time = r.Signed();
+      m.writes = r.Writes();
+      message = std::move(m);
+      break;
+    }
+    case 2: {
+      BackedgeAbort m;
+      m.origin = r.TxnId();
+      message = m;
+      break;
+    }
+    case 3: {
+      TpcPrepare m;
+      m.origin = r.TxnId();
+      m.coordinator = static_cast<SiteId>(r.Signed());
+      m.carries_writes = r.Byte() != 0;
+      m.writes = r.Writes();
+      message = std::move(m);
+      break;
+    }
+    case 4: {
+      TpcVote m;
+      m.origin = r.TxnId();
+      m.yes = r.Byte() != 0;
+      message = m;
+      break;
+    }
+    case 5: {
+      TpcDecision m;
+      m.origin = r.TxnId();
+      m.commit = r.Byte() != 0;
+      m.origin_commit_time = r.Signed();
+      message = m;
+      break;
+    }
+    case 6: {
+      TpcAck m;
+      m.origin = r.TxnId();
+      message = m;
+      break;
+    }
+    case 7: {
+      PslLockRequest m;
+      m.origin = r.TxnId();
+      m.item = static_cast<ItemId>(r.Signed());
+      m.request_id = r.Varint();
+      message = m;
+      break;
+    }
+    case 8: {
+      PslLockResponse m;
+      m.origin = r.TxnId();
+      m.item = static_cast<ItemId>(r.Signed());
+      m.request_id = r.Varint();
+      m.granted = r.Byte() != 0;
+      m.value = r.Signed();
+      message = m;
+      break;
+    }
+    case 9: {
+      PslRelease m;
+      m.origin = r.TxnId();
+      m.committed = r.Byte() != 0;
+      message = m;
+      break;
+    }
+    case 10: {
+      SecondaryBatch batch;
+      uint64_t n = r.Varint();
+      if (r.status.ok() && n > bytes.size()) {
+        r.status = Status::InvalidArgument("bad batch count");
+      }
+      for (uint64_t i = 0; i < n && r.status.ok(); ++i) {
+        SecondaryUpdate u;
+        u.origin = r.TxnId();
+        u.origin_site = static_cast<SiteId>(r.Signed());
+        u.origin_commit_time = r.Signed();
+        uint8_t flags = r.Byte();
+        u.is_dummy = (flags & 1) != 0;
+        u.is_special = (flags & 2) != 0;
+        u.ts = r.Ts();
+        u.writes = r.Writes();
+        batch.updates.push_back(std::move(u));
+      }
+      message = std::move(batch);
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown message kind tag");
+  }
+  LAZYREP_RETURN_IF_ERROR(r.status);
+  if (r.pos != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes after message");
+  }
+  return message;
+}
+
+}  // namespace lazyrep::core

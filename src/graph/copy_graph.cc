@@ -1,0 +1,210 @@
+#include "graph/copy_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/strings.h"
+
+namespace lazyrep::graph {
+
+bool Placement::HasCopy(ItemId item, SiteId site) const {
+  if (primary[item] == site) return true;
+  const auto& reps = replicas[item];
+  return std::find(reps.begin(), reps.end(), site) != reps.end();
+}
+
+std::vector<ItemId> Placement::PrimaryItemsAt(SiteId site) const {
+  std::vector<ItemId> out;
+  for (ItemId i = 0; i < num_items; ++i) {
+    if (primary[i] == site) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<ItemId> Placement::ItemsAt(SiteId site) const {
+  std::vector<ItemId> out;
+  for (ItemId i = 0; i < num_items; ++i) {
+    if (HasCopy(i, site)) out.push_back(i);
+  }
+  return out;
+}
+
+size_t Placement::TotalReplicas() const {
+  size_t n = 0;
+  for (const auto& r : replicas) n += r.size();
+  return n;
+}
+
+Status Placement::Validate() const {
+  if (static_cast<int>(primary.size()) != num_items ||
+      static_cast<int>(replicas.size()) != num_items) {
+    return Status::InvalidArgument("placement vectors sized != num_items");
+  }
+  for (ItemId i = 0; i < num_items; ++i) {
+    if (primary[i] < 0 || primary[i] >= num_sites) {
+      return Status::InvalidArgument(
+          StrPrintf("item %d primary out of range", i));
+    }
+    std::set<SiteId> seen;
+    for (SiteId s : replicas[i]) {
+      if (s < 0 || s >= num_sites) {
+        return Status::InvalidArgument(
+            StrPrintf("item %d replica site out of range", i));
+      }
+      if (s == primary[i]) {
+        return Status::InvalidArgument(
+            StrPrintf("item %d replicated at its primary site", i));
+      }
+      if (!seen.insert(s).second) {
+        return Status::InvalidArgument(
+            StrPrintf("item %d has duplicate replica site %d", i, s));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+CopyGraph::CopyGraph(int num_sites)
+    : num_sites_(num_sites),
+      children_(num_sites),
+      parents_(num_sites) {
+  LAZYREP_CHECK_GT(num_sites, 0);
+}
+
+CopyGraph CopyGraph::FromPlacement(const Placement& placement) {
+  CopyGraph g(placement.num_sites);
+  for (ItemId i = 0; i < placement.num_items; ++i) {
+    for (SiteId s : placement.replicas[i]) {
+      g.AddEdge(placement.primary[i], s);
+    }
+  }
+  return g;
+}
+
+void CopyGraph::AddEdge(SiteId from, SiteId to) {
+  LAZYREP_CHECK(from >= 0 && from < num_sites_);
+  LAZYREP_CHECK(to >= 0 && to < num_sites_);
+  LAZYREP_CHECK_NE(from, to) << "copy graph has no self-loops";
+  auto& kids = children_[from];
+  auto pos = std::lower_bound(kids.begin(), kids.end(), to);
+  if (pos != kids.end() && *pos == to) return;  // Idempotent.
+  kids.insert(pos, to);
+  auto& pars = parents_[to];
+  pars.insert(std::lower_bound(pars.begin(), pars.end(), from), from);
+  ++num_edges_;
+}
+
+bool CopyGraph::HasEdge(SiteId from, SiteId to) const {
+  const auto& kids = children_[from];
+  return std::binary_search(kids.begin(), kids.end(), to);
+}
+
+const std::vector<SiteId>& CopyGraph::Children(SiteId site) const {
+  return children_[site];
+}
+
+const std::vector<SiteId>& CopyGraph::Parents(SiteId site) const {
+  return parents_[site];
+}
+
+std::vector<Edge> CopyGraph::Edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges_);
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    for (SiteId c : children_[s]) out.push_back({s, c});
+  }
+  return out;
+}
+
+Result<std::vector<SiteId>> CopyGraph::TopologicalOrder() const {
+  // Kahn's algorithm; ties broken by smallest site id so the order is
+  // stable and consistent with the natural site numbering when possible.
+  std::vector<int> indegree(num_sites_, 0);
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    indegree[s] = static_cast<int>(parents_[s].size());
+  }
+  std::set<SiteId> ready;
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    if (indegree[s] == 0) ready.insert(s);
+  }
+  std::vector<SiteId> order;
+  order.reserve(num_sites_);
+  while (!ready.empty()) {
+    SiteId s = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(s);
+    for (SiteId c : children_[s]) {
+      if (--indegree[c] == 0) ready.insert(c);
+    }
+  }
+  if (static_cast<int>(order.size()) != num_sites_) {
+    return Status::Unsupported("copy graph is cyclic");
+  }
+  return order;
+}
+
+bool CopyGraph::IsDag() const { return TopologicalOrder().ok(); }
+
+bool CopyGraph::UndirectedAcyclic() const {
+  // Union-find over the undirected edge set: a cycle exists iff an edge
+  // joins two already-connected vertices. Parallel directed edges
+  // (s->t and t->s) form an undirected cycle of length two.
+  std::vector<SiteId> parent(static_cast<size_t>(num_sites_));
+  for (SiteId s = 0; s < num_sites_; ++s) parent[s] = s;
+  auto find = [&](SiteId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    for (SiteId c : children_[s]) {
+      if (HasEdge(c, s)) {
+        // Anti-parallel pair s<->c: an undirected 2-cycle.
+        if (c < s) return false;  // (Reported once.)
+        continue;  // The c<s side handles/reports this pair.
+      }
+      // Unique direction: this is the only visit of the pair {s, c}.
+      SiteId a = find(s);
+      SiteId b = find(c);
+      if (a == b) return false;
+      parent[a] = b;
+    }
+  }
+  return true;
+}
+
+CopyGraph CopyGraph::Without(const std::vector<Edge>& removed) const {
+  std::set<Edge> drop(removed.begin(), removed.end());
+  CopyGraph g(num_sites_);
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    for (SiteId c : children_[s]) {
+      if (drop.find(Edge{s, c}) == drop.end()) g.AddEdge(s, c);
+    }
+  }
+  return g;
+}
+
+std::vector<SiteId> CopyGraph::Sources() const {
+  std::vector<SiteId> out;
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    if (parents_[s].empty()) out.push_back(s);
+  }
+  return out;
+}
+
+std::set<SiteId> CopyGraph::ReachableFrom(SiteId from) const {
+  std::set<SiteId> seen;
+  std::deque<SiteId> frontier{from};
+  while (!frontier.empty()) {
+    SiteId s = frontier.front();
+    frontier.pop_front();
+    for (SiteId c : children_[s]) {
+      if (seen.insert(c).second) frontier.push_back(c);
+    }
+  }
+  return seen;
+}
+
+}  // namespace lazyrep::graph

@@ -1,0 +1,66 @@
+#ifndef LAZYREP_GRAPH_FEEDBACK_ARC_SET_H_
+#define LAZYREP_GRAPH_FEEDBACK_ARC_SET_H_
+
+#include <map>
+#include <vector>
+
+#include "graph/copy_graph.h"
+
+namespace lazyrep::graph {
+
+/// Backedge-set computation (§4, §4.2). A set of edges `B` is a backedge
+/// set when deleting it makes the copy graph acyclic; the paper wants a
+/// *minimal* set (re-inserting any edge of `B` re-creates a cycle) and, as
+/// an optimization, a minimum-weight one — the latter is the NP-hard
+/// feedback arc set problem, for which we provide a greedy approximation.
+
+/// Backedges via depth-first search (the paper's "simple depth first
+/// search"). The returned set is minimal: for every returned edge u→v,
+/// the DFS tree keeps a v⇝u path in the remaining DAG.
+std::vector<Edge> DfsBackedges(const CopyGraph& graph);
+
+/// Edges that go backwards with respect to a given total order of the
+/// sites (position of `from` after position of `to`). This matches the
+/// experimental setup of §5.2, where the site total order defines which
+/// copy-graph edges are backedges. Removing them always yields a DAG.
+std::vector<Edge> OrderBackedges(const CopyGraph& graph,
+                                 const std::vector<SiteId>& order);
+
+/// Greedy weighted feedback-arc-set heuristic (Eades–Lin–Smyth): computes
+/// a vertex ordering by repeatedly peeling sinks, sources, and otherwise
+/// the vertex maximizing weighted out-degree minus in-degree; returns the
+/// edges that go backwards in that ordering. `weight` defaults to 1 per
+/// edge (§4.2: weights model propagation frequency along each edge).
+std::vector<Edge> GreedyFeedbackArcSet(
+    const CopyGraph& graph,
+    const std::map<Edge, double>* weights = nullptr);
+
+/// Greedy FAS refined by adjacent-swap local search on the vertex
+/// ordering: starting from the Eades–Lin–Smyth order, repeatedly swaps
+/// neighbouring vertices while the total weight of backward edges
+/// decreases. Deterministic; never worse than GreedyFeedbackArcSet on
+/// the same input.
+std::vector<Edge> LocalSearchFeedbackArcSet(
+    const CopyGraph& graph,
+    const std::map<Edge, double>* weights = nullptr);
+
+/// Total weight of an edge set (1 per edge without weights).
+double EdgeSetWeight(const std::vector<Edge>& edges,
+                     const std::map<Edge, double>* weights);
+
+/// True when removing `edges` from `graph` yields a DAG.
+bool BreaksAllCycles(const CopyGraph& graph, const std::vector<Edge>& edges);
+
+/// True when `edges` is a minimal backedge set of `graph`: it breaks all
+/// cycles and re-inserting any single edge re-creates one.
+bool IsMinimalBackedgeSet(const CopyGraph& graph,
+                          const std::vector<Edge>& edges);
+
+/// Prunes a backedge set to a minimal one by re-inserting edges that do
+/// not re-create a cycle.
+std::vector<Edge> MakeMinimal(const CopyGraph& graph,
+                              std::vector<Edge> edges);
+
+}  // namespace lazyrep::graph
+
+#endif  // LAZYREP_GRAPH_FEEDBACK_ARC_SET_H_

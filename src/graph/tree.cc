@@ -1,0 +1,131 @@
+#include "graph/tree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lazyrep::graph {
+
+Tree::Tree(SiteId root, std::vector<SiteId> parent)
+    : root_(root),
+      parent_(std::move(parent)),
+      children_(parent_.size()),
+      depth_(parent_.size(), -1) {
+  const int n = static_cast<int>(parent_.size());
+  LAZYREP_CHECK(root_ >= 0 && root_ < n);
+  LAZYREP_CHECK(parent_[root_] == kInvalidSite);
+  for (SiteId v = 0; v < n; ++v) {
+    if (v == root_) continue;
+    LAZYREP_CHECK(parent_[v] >= 0 && parent_[v] < n)
+        << "site " << v << " has no parent";
+    children_[parent_[v]].push_back(v);
+  }
+  // Depths via BFS from the root; also validates connectivity/acyclicity.
+  std::vector<SiteId> frontier{root_};
+  depth_[root_] = 0;
+  int seen = 1;
+  while (!frontier.empty()) {
+    std::vector<SiteId> next;
+    for (SiteId v : frontier) {
+      for (SiteId c : children_[v]) {
+        LAZYREP_CHECK_EQ(depth_[c], -1) << "tree has a cycle";
+        depth_[c] = depth_[v] + 1;
+        ++seen;
+        next.push_back(c);
+      }
+    }
+    frontier = std::move(next);
+  }
+  LAZYREP_CHECK_EQ(seen, n) << "tree is disconnected";
+}
+
+bool Tree::IsAncestor(SiteId a, SiteId d) const {
+  if (a == d) return false;
+  // Walk up from the (deeper) descendant.
+  SiteId v = d;
+  while (v != kInvalidSite && depth_[v] > depth_[a]) v = parent_[v];
+  return v == a;
+}
+
+std::vector<SiteId> Tree::Subtree(SiteId v) const {
+  std::vector<SiteId> out;
+  std::vector<SiteId> stack{v};
+  while (!stack.empty()) {
+    SiteId u = stack.back();
+    stack.pop_back();
+    out.push_back(u);
+    for (SiteId c : children_[u]) stack.push_back(c);
+  }
+  return out;
+}
+
+SiteId Tree::ChildToward(SiteId from, SiteId to) const {
+  LAZYREP_CHECK(IsAncestor(from, to));
+  SiteId v = to;
+  while (parent_[v] != from) v = parent_[v];
+  return v;
+}
+
+std::vector<SiteId> Tree::PathDown(SiteId from, SiteId to) const {
+  LAZYREP_CHECK(from == to || IsAncestor(from, to));
+  std::vector<SiteId> rev;
+  SiteId v = to;
+  while (v != from) {
+    rev.push_back(v);
+    v = parent_[v];
+  }
+  rev.push_back(from);
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+bool Tree::SatisfiesAncestorProperty(const CopyGraph& dag) const {
+  for (const Edge& e : dag.Edges()) {
+    if (!IsAncestor(e.from, e.to)) return false;
+  }
+  return true;
+}
+
+Result<Tree> BuildChainTree(const CopyGraph& dag) {
+  LAZYREP_ASSIGN_OR_RETURN(std::vector<SiteId> order,
+                           dag.TopologicalOrder());
+  std::vector<SiteId> parent(order.size(), kInvalidSite);
+  for (size_t i = 1; i < order.size(); ++i) {
+    parent[order[i]] = order[i - 1];
+  }
+  return Tree(order[0], std::move(parent));
+}
+
+Result<Tree> BuildGreedyTree(const CopyGraph& dag) {
+  LAZYREP_ASSIGN_OR_RETURN(std::vector<SiteId> order,
+                           dag.TopologicalOrder());
+  std::vector<int> pos(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    pos[order[i]] = static_cast<int>(i);
+  }
+  SiteId root = order[0];
+  std::vector<SiteId> parent(order.size(), kInvalidSite);
+  for (size_t i = 1; i < order.size(); ++i) {
+    SiteId v = order[i];
+    const auto& dag_parents = dag.Parents(v);
+    if (dag_parents.empty()) {
+      // Independent source: hang under the root (adds no constraints).
+      parent[v] = root;
+      continue;
+    }
+    // Attach under the DAG parent appearing latest in topological order —
+    // the deepest constraint.
+    SiteId best = dag_parents[0];
+    for (SiteId p : dag_parents) {
+      if (pos[p] > pos[best]) best = p;
+    }
+    parent[v] = best;
+  }
+  Tree tree(root, std::move(parent));
+  if (tree.SatisfiesAncestorProperty(dag)) return tree;
+  // Diamond-like sharing forces chaining; fall back to the always-valid
+  // chain construction.
+  return BuildChainTree(dag);
+}
+
+}  // namespace lazyrep::graph

@@ -1,0 +1,67 @@
+#ifndef LAZYREP_GRAPH_TREE_H_
+#define LAZYREP_GRAPH_TREE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "graph/copy_graph.h"
+
+namespace lazyrep::graph {
+
+/// A rooted tree over the sites — the propagation tree `T` of the
+/// DAG(WT)/BackEdge protocols (§2, §4.1).
+class Tree {
+ public:
+  Tree(SiteId root, std::vector<SiteId> parent);
+
+  SiteId root() const { return root_; }
+  int num_sites() const { return static_cast<int>(parent_.size()); }
+
+  /// kInvalidSite for the root.
+  SiteId Parent(SiteId v) const { return parent_[v]; }
+  const std::vector<SiteId>& Children(SiteId v) const {
+    return children_[v];
+  }
+  int Depth(SiteId v) const { return depth_[v]; }
+
+  /// True when `a` is a proper ancestor of `d`.
+  bool IsAncestor(SiteId a, SiteId d) const;
+
+  /// Sites in the subtree rooted at `v` (including `v`), preorder.
+  std::vector<SiteId> Subtree(SiteId v) const;
+
+  /// The unique child of `from` on the path toward descendant `to`.
+  /// `from` must be a proper ancestor of `to`.
+  SiteId ChildToward(SiteId from, SiteId to) const;
+
+  /// Path `from` → ... → `to` (inclusive); `from` must be an ancestor of
+  /// `to` (or equal).
+  std::vector<SiteId> PathDown(SiteId from, SiteId to) const;
+
+  /// Checks the DAG(WT) tree property: for every copy-graph edge
+  /// s_i → s_j of `dag`, s_j is a descendant of s_i in this tree.
+  bool SatisfiesAncestorProperty(const CopyGraph& dag) const;
+
+ private:
+  SiteId root_;
+  std::vector<SiteId> parent_;
+  std::vector<std::vector<SiteId>> children_;
+  std::vector<int> depth_;
+};
+
+/// Builds the chain tree used by the paper's implementation (§5.1):
+/// sites linked in a topological order of the DAG. Always satisfies the
+/// ancestor property. Unsupported when `dag` is cyclic.
+Result<Tree> BuildChainTree(const CopyGraph& dag);
+
+/// Builds a (possibly branching) tree: each site hangs under its
+/// latest-in-topological-order DAG parent when this preserves the
+/// ancestor property for all edges; otherwise falls back to the chain
+/// tree. For warehouse-style out-tree DAGs this returns the DAG itself as
+/// the propagation tree, avoiding DAG(WT)'s pure-chain relay overhead.
+Result<Tree> BuildGreedyTree(const CopyGraph& dag);
+
+}  // namespace lazyrep::graph
+
+#endif  // LAZYREP_GRAPH_TREE_H_

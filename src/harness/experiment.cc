@@ -1,0 +1,146 @@
+#include "harness/experiment.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace lazyrep::harness {
+
+core::SystemConfig PaperConfig(core::Protocol protocol) {
+  core::SystemConfig config;
+  config.protocol = protocol;
+  // workload::Params defaults are Table 1's defaults already.
+  // Cost model calibration (EXPERIMENTS.md): 1999-era per-message CPU
+  // dominates the wire; storage ops tens of microseconds; 3 sites share
+  // each machine CPU.
+  config.costs.model_cpu = true;
+  config.check_serializability = true;
+  config.max_sim_time = Seconds(3600);
+  return config;
+}
+
+AggregateResult RunSeeds(core::SystemConfig config, int num_seeds,
+                         bool allow_timeout) {
+  LAZYREP_CHECK_GT(num_seeds, 0);
+  AggregateResult out;
+  Summary throughput;
+  Summary abort_rate;
+  Summary response;
+  Summary response_p95;
+  Summary propagation;
+  Summary msgs_per_txn;
+  for (int i = 0; i < num_seeds; ++i) {
+    core::SystemConfig run_config = config;
+    run_config.seed = config.seed + 7919u * static_cast<uint64_t>(i);
+    Result<std::unique_ptr<core::System>> system =
+        core::System::Create(std::move(run_config));
+    LAZYREP_CHECK(system.ok()) << system.status().ToString();
+    core::RunMetrics metrics = (*system)->Run();
+    if (metrics.timed_out) {
+      LAZYREP_CHECK(allow_timeout) << "run hit the simulation time cap";
+      out.saturated = true;
+      continue;
+    }
+    throughput.Add(metrics.avg_site_throughput);
+    abort_rate.Add(metrics.abort_rate_pct);
+    response.Add(metrics.response_ms.mean());
+    response_p95.Add(metrics.response_p95_ms);
+    propagation.Add(metrics.propagation_delay_ms.mean());
+    int64_t attempts = metrics.committed + metrics.aborted;
+    msgs_per_txn.Add(attempts > 0 ? static_cast<double>(metrics.messages) /
+                                        static_cast<double>(attempts)
+                                  : 0.0);
+    out.committed += metrics.committed;
+    out.all_serializable &= (!metrics.checked || metrics.serializable);
+    out.all_converged &= metrics.converged;
+    ++out.runs;
+  }
+  out.throughput = throughput.mean();
+  out.throughput_sd = throughput.stddev();
+  out.abort_rate_pct = abort_rate.mean();
+  out.response_ms = response.mean();
+  out.response_p95_ms = response_p95.mean();
+  out.propagation_ms = propagation.mean();
+  out.messages_per_txn = msgs_per_txn.mean();
+  return out;
+}
+
+BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      options.quick = true;
+      options.txns_per_thread = 100;
+      options.seeds = 1;
+    } else if (std::strcmp(arg, "--full") == 0) {
+      options.txns_per_thread = 1000;  // The paper's setting.
+      options.seeds = 3;
+    } else if (std::strncmp(arg, "--txns=", 7) == 0) {
+      options.txns_per_thread = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--seeds=", 8) == 0) {
+      options.seeds = std::atoi(arg + 8);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      options.csv = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s' "
+                   "(supported: --quick --full --txns=N --seeds=N)\n",
+                   arg);
+    }
+  }
+  return options;
+}
+
+void ApplyOptions(const BenchOptions& options,
+                  core::SystemConfig* config) {
+  config->workload.txns_per_thread = options.txns_per_thread;
+}
+
+Table::Table(std::vector<std::string> headers, bool csv)
+    : headers_(std::move(headers)), csv_(csv) {
+  for (const std::string& h : headers_) {
+    widths_.push_back(std::max<size_t>(h.size() + 2, 12));
+  }
+}
+
+void Table::PrintHeader() const {
+  if (csv_) {
+    std::printf("%s\n", StrJoin(headers_, ",").c_str());
+    return;
+  }
+  std::string line;
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    line += StrPrintf("%-*s", static_cast<int>(widths_[i]),
+                      headers_[i].c_str());
+  }
+  std::printf("%s\n", line.c_str());
+  std::printf("%s\n", std::string(line.size(), '-').c_str());
+}
+
+void Table::PrintRow(const std::vector<std::string>& cells) const {
+  LAZYREP_CHECK_EQ(cells.size(), headers_.size());
+  if (csv_) {
+    std::printf("%s\n", StrJoin(cells, ",").c_str());
+    std::fflush(stdout);
+    return;
+  }
+  std::string line;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    line += StrPrintf("%-*s", static_cast<int>(widths_[i]),
+                      cells[i].c_str());
+  }
+  std::printf("%s\n", line.c_str());
+  std::fflush(stdout);
+}
+
+std::string Table::Num(double v, int decimals) {
+  return StrPrintf("%.*f", decimals, v);
+}
+
+}  // namespace lazyrep::harness

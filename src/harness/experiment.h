@@ -1,0 +1,77 @@
+#ifndef LAZYREP_HARNESS_EXPERIMENT_H_
+#define LAZYREP_HARNESS_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace lazyrep::harness {
+
+/// A SystemConfig pre-loaded with the paper's Table 1 defaults and the
+/// calibrated cost model (see DESIGN.md §5 / EXPERIMENTS.md).
+core::SystemConfig PaperConfig(core::Protocol protocol);
+
+/// Aggregated results of one configuration over several seeds.
+struct AggregateResult {
+  double throughput = 0;        // txn/s per site, mean over seeds.
+  double throughput_sd = 0;     // Across-seed standard deviation.
+  double abort_rate_pct = 0;
+  double response_ms = 0;
+  double response_p95_ms = 0;
+  double propagation_ms = 0;
+  double messages_per_txn = 0;
+  int64_t committed = 0;
+  bool all_serializable = true;
+  bool all_converged = true;
+  /// Some run hit the simulation-time safety cap (the configuration is
+  /// saturated and cannot finish its workload).
+  bool saturated = false;
+  int runs = 0;
+};
+
+/// Runs `config` once per seed (seeds 1..num_seeds scaled into the config
+/// seed space) and aggregates. CHECK-fails if the system cannot be built,
+/// or (unless `allow_timeout`) if a run hits the simulation time cap.
+AggregateResult RunSeeds(core::SystemConfig config, int num_seeds,
+                         bool allow_timeout = false);
+
+/// Command-line options shared by all bench binaries.
+struct BenchOptions {
+  /// Transactions per thread (default trimmed from the paper's 1000 to
+  /// keep a full sweep under a minute; pass --full for 1000).
+  int txns_per_thread = 300;
+  int seeds = 3;
+  bool quick = false;  // --quick: 100 txns, 1 seed.
+  bool csv = false;    // --csv: machine-readable output for plotting.
+};
+
+/// Parses --quick / --full / --txns=N / --seeds=N / --csv.
+BenchOptions ParseBenchArgs(int argc, char** argv);
+
+/// Applies the options to a config.
+void ApplyOptions(const BenchOptions& options, core::SystemConfig* config);
+
+/// Fixed-width table writer for paper-style result rows; in CSV mode it
+/// emits comma-separated lines instead.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, bool csv = false);
+
+  /// Prints the header row (call once).
+  void PrintHeader() const;
+
+  /// Prints one row; `cells.size()` must equal the header count.
+  void PrintRow(const std::vector<std::string>& cells) const;
+
+  static std::string Num(double v, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+  bool csv_ = false;
+};
+
+}  // namespace lazyrep::harness
+
+#endif  // LAZYREP_HARNESS_EXPERIMENT_H_

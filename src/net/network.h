@@ -1,0 +1,232 @@
+#ifndef LAZYREP_NET_NETWORK_H_
+#define LAZYREP_NET_NETWORK_H_
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "sim/primitives.h"
+#include "sim/simulator.h"
+
+namespace lazyrep::net {
+
+/// Simulated message network between sites.
+///
+/// Semantics match the paper's system model (§1.1): delivery is reliable
+/// and FIFO between any two sites (the paper ran TCP). Each message pays:
+///
+///   * send CPU on the source machine (protocol/syscall overhead, charged
+///     asynchronously so posting never blocks the sender — this mirrors a
+///     buffered socket write),
+///   * wire latency (+ optional uniform jitter), with per-channel FIFO
+///     enforced by a channel clock,
+///   * receive CPU on the destination machine before the handler runs.
+///
+/// `T` is the payload type; the replication layer instantiates it with its
+/// protocol message variant. Delivery invokes the handler registered for
+/// the destination endpoint.
+template <typename T>
+class Network {
+ public:
+  struct Config {
+    /// One-way wire latency (default: the 0.15 ms the paper measured on
+    /// its 10 Mbit ethernet).
+    Duration latency = Millis(0.15);
+    /// Extra uniform-random latency in [0, jitter].
+    Duration jitter = 0;
+    /// CPU charged on the sender's machine per message.
+    Duration send_cpu = 0;
+    /// CPU charged on the receiver's machine per message.
+    Duration recv_cpu = 0;
+    /// Link bandwidth in bytes/second; 0 disables transmission-time
+    /// modelling. (The paper's 10 Mbit ethernet is 1.25e6 B/s.) Needs a
+    /// sizer (SetSizer) to take effect.
+    uint64_t bandwidth_bytes_per_sec = 0;
+    /// true: one shared half-duplex segment (1990s ethernet) — all
+    /// non-loopback transmissions serialize on a single bus. false:
+    /// independent point-to-point links per channel.
+    bool shared_medium = true;
+    /// Latency for messages between endpoints on the same machine
+    /// (loopback TCP; no bus occupancy). Negative = use `latency`.
+    Duration loopback_latency = -1;
+  };
+
+  struct Envelope {
+    SiteId src = kInvalidSite;
+    SiteId dst = kInvalidSite;
+    SimTime send_time = 0;
+    T payload;
+  };
+
+  using Handler = std::function<void(Envelope)>;
+
+  /// `cpus[i]` is the machine CPU serving endpoint `i` (entries may repeat
+  /// when sites share a machine, and may be nullptr to skip CPU charging).
+  Network(sim::Simulator* sim, int num_endpoints, Config config,
+          std::vector<sim::Resource*> cpus, Rng rng)
+      : sim_(sim),
+        config_(config),
+        cpus_(std::move(cpus)),
+        rng_(rng),
+        num_endpoints_(num_endpoints),
+        channel_clock_(
+            static_cast<size_t>(num_endpoints) * num_endpoints, 0),
+        link_busy_until_(
+            static_cast<size_t>(num_endpoints) * num_endpoints, 0),
+        handlers_(num_endpoints),
+        sent_from_(num_endpoints, 0),
+        received_at_(num_endpoints, 0) {
+    LAZYREP_CHECK_GT(num_endpoints, 0);
+    LAZYREP_CHECK_EQ(cpus_.size(), static_cast<size_t>(num_endpoints));
+  }
+
+  /// Registers the delivery handler for endpoint `dst`. Must be set before
+  /// the first message to `dst` is delivered.
+  void SetHandler(SiteId dst, Handler handler) {
+    handlers_[Check(dst)] = std::move(handler);
+  }
+
+  /// Optional tracing observer: invoked on every post (`delivered` =
+  /// false) and every delivery (`delivered` = true, just before the
+  /// handler runs).
+  using Observer = std::function<void(const Envelope&, bool delivered)>;
+  void SetObserver(Observer observer) { observer_ = std::move(observer); }
+
+  /// Wire-size function for the bandwidth model (e.g. Wire::EncodedSize).
+  using Sizer = std::function<size_t(const T&)>;
+  void SetSizer(Sizer sizer) { sizer_ = std::move(sizer); }
+
+  /// Endpoint-to-machine mapping: messages between endpoints of the same
+  /// machine use loopback (no bus occupancy, loopback latency). Default:
+  /// every endpoint on its own machine.
+  void SetMachineMap(std::vector<int> machine_of) {
+    LAZYREP_CHECK_EQ(machine_of.size(),
+                     static_cast<size_t>(num_endpoints_));
+    machine_of_ = std::move(machine_of);
+  }
+
+  /// Posts a message; never blocks the caller. Messages posted on the same
+  /// (src, dst) channel are delivered in post order.
+  void Post(SiteId src, SiteId dst, T payload) {
+    Check(src);
+    Check(dst);
+    LAZYREP_CHECK_NE(src, dst) << "no loopback channel";
+    ++sent_from_[src];
+    ++total_messages_;
+
+    // Send-side CPU: charge the source machine asynchronously.
+    if (cpus_[src] != nullptr && config_.send_cpu > 0) {
+      sim_->Spawn(cpus_[src]->Consume(config_.send_cpu));
+    }
+
+    bool loopback = !machine_of_.empty() &&
+                    machine_of_[src] == machine_of_[dst];
+    size_t size = sizer_ ? sizer_(payload) : 0;
+    total_bytes_ += size;
+
+    // Departure: transmission occupies the medium (shared bus or the
+    // point-to-point link) for size/bandwidth; loopback skips the wire.
+    SimTime depart = sim_->Now();
+    if (!loopback && config_.bandwidth_bytes_per_sec > 0 && size > 0) {
+      Duration tx = static_cast<Duration>(
+          static_cast<double>(size) * static_cast<double>(kSecond) /
+          static_cast<double>(config_.bandwidth_bytes_per_sec));
+      SimTime& busy = config_.shared_medium
+                          ? bus_busy_until_
+                          : link_busy_until_[ChannelIndex(src, dst)];
+      SimTime start = std::max(sim_->Now(), busy);
+      busy = start + tx;
+      depart = busy;
+    }
+
+    Duration lat = config_.latency;
+    if (loopback && config_.loopback_latency >= 0) {
+      lat = config_.loopback_latency;
+    }
+    Duration extra =
+        (!loopback && config_.jitter > 0)
+            ? static_cast<Duration>(rng_.Below(
+                  static_cast<uint64_t>(config_.jitter) + 1))
+            : 0;
+    SimTime arrive = depart + lat + extra;
+    // FIFO channel: never deliver before an earlier message on the same
+    // channel.
+    SimTime& clock = channel_clock_[ChannelIndex(src, dst)];
+    if (arrive <= clock) arrive = clock + 1;
+    clock = arrive;
+
+    Envelope env{src, dst, sim_->Now(), std::move(payload)};
+    if (observer_) observer_(env, /*delivered=*/false);
+    sim_->ScheduleCallback(arrive - sim_->Now(),
+                           [this, env = std::move(env)]() mutable {
+                             Deliver(std::move(env));
+                           });
+  }
+
+  uint64_t total_messages() const { return total_messages_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t sent_from(SiteId s) const { return sent_from_[Check(s)]; }
+  uint64_t received_at(SiteId s) const { return received_at_[Check(s)]; }
+  const Config& config() const { return config_; }
+
+ private:
+  size_t ChannelIndex(SiteId src, SiteId dst) const {
+    return static_cast<size_t>(src) * num_endpoints_ + dst;
+  }
+
+  SiteId Check(SiteId s) const {
+    LAZYREP_CHECK(s >= 0 && s < num_endpoints_) << "bad endpoint " << s;
+    return s;
+  }
+
+  void Deliver(Envelope env) {
+    SiteId dst = env.dst;
+    ++received_at_[dst];
+    if (cpus_[dst] != nullptr && config_.recv_cpu > 0) {
+      // Charge receive CPU before the handler observes the message. The
+      // destination CPU is FCFS, so per-channel order is preserved.
+      sim_->Spawn(ReceiveWithCpu(std::move(env)));
+    } else {
+      InvokeHandler(std::move(env));
+    }
+  }
+
+  sim::Co<void> ReceiveWithCpu(Envelope env) {
+    co_await cpus_[env.dst]->Consume(config_.recv_cpu);
+    InvokeHandler(std::move(env));
+  }
+
+  void InvokeHandler(Envelope env) {
+    Handler& h = handlers_[env.dst];
+    LAZYREP_CHECK(h != nullptr)
+        << "no handler registered for endpoint " << env.dst;
+    if (observer_) observer_(env, /*delivered=*/true);
+    h(std::move(env));
+  }
+
+  sim::Simulator* sim_;
+  Config config_;
+  std::vector<sim::Resource*> cpus_;
+  Rng rng_;
+  int num_endpoints_;
+  std::vector<SimTime> channel_clock_;
+  std::vector<SimTime> link_busy_until_;
+  SimTime bus_busy_until_ = 0;
+  std::vector<Handler> handlers_;
+  Observer observer_;
+  Sizer sizer_;
+  std::vector<int> machine_of_;
+  std::vector<uint64_t> sent_from_;
+  std::vector<uint64_t> received_at_;
+  uint64_t total_messages_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace lazyrep::net
+
+#endif  // LAZYREP_NET_NETWORK_H_

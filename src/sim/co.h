@@ -1,0 +1,131 @@
+#ifndef LAZYREP_SIM_CO_H_
+#define LAZYREP_SIM_CO_H_
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lazyrep::sim {
+
+/// `Co<T>` is a lazy coroutine task: the body does not start until the task
+/// is `co_await`ed, and completion resumes the awaiter via symmetric
+/// transfer. It is the unit of composition for simulation processes:
+///
+///   Co<int> Child();
+///   Co<void> Parent() {
+///     int v = co_await Child();   // runs Child to completion
+///   }
+///
+/// A `Co` owns its coroutine frame (move-only); destroying an unfinished
+/// `Co` destroys the frame, which recursively destroys any child frames it
+/// is awaiting. Root processes are launched with `Simulator::Spawn`.
+///
+/// Exceptions are not used in this codebase; an escaping exception
+/// terminates the process.
+template <typename T>
+class Co;
+
+namespace internal {
+
+/// Final awaiter: transfers control back to the awaiting coroutine, or
+/// parks at final suspend for the owner to destroy.
+template <typename Promise>
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    std::coroutine_handle<> cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() noexcept {}
+};
+
+template <typename T>
+struct CoPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::optional<T> value;
+
+  void return_value(T v) { value.emplace(std::move(v)); }
+  void unhandled_exception() { std::terminate(); }
+};
+
+template <>
+struct CoPromiseBase<void> {
+  std::coroutine_handle<> continuation;
+
+  void return_void() {}
+  void unhandled_exception() { std::terminate(); }
+};
+
+}  // namespace internal
+
+template <typename T>
+class Co {
+ public:
+  struct promise_type : internal::CoPromiseBase<T> {
+    Co get_return_object() {
+      return Co(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    internal::FinalAwaiter<promise_type> final_suspend() noexcept {
+      return {};
+    }
+  };
+
+  Co() = default;
+  Co(Co&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Co& operator=(Co&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  ~Co() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  /// Awaiting starts the task and yields its result. Rvalue-only: a task
+  /// runs exactly once.
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        h.promise().continuation = cont;
+        return h;  // Symmetric transfer into the child.
+      }
+      T await_resume() {
+        if constexpr (!std::is_void_v<T>) {
+          return std::move(*h.promise().value);
+        }
+      }
+    };
+    LAZYREP_CHECK(handle_ != nullptr) << "awaiting an empty Co";
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Simulator;
+
+  explicit Co(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace lazyrep::sim
+
+#endif  // LAZYREP_SIM_CO_H_

@@ -1,0 +1,282 @@
+#ifndef LAZYREP_SIM_PRIMITIVES_H_
+#define LAZYREP_SIM_PRIMITIVES_H_
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "sim/simulator.h"
+
+namespace lazyrep::sim {
+
+/// FIFO wait list, the building block for condition-style waiting:
+///
+///   while (!predicate()) co_await queue.Wait();
+///
+/// `NotifyOne`/`NotifyAll` schedule waiters at the current virtual time
+/// (they do not resume inline), which keeps notification non-reentrant and
+/// deterministic.
+class WaitQueue {
+ public:
+  explicit WaitQueue(Simulator* sim) : sim_(sim) {}
+
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  auto Wait() {
+    struct Awaiter {
+      WaitQueue* q;
+      bool await_ready() { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        q->waiters_.push_back(h);
+      }
+      void await_resume() {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Wakes the longest-waiting process, if any.
+  void NotifyOne() {
+    if (waiters_.empty()) return;
+    std::coroutine_handle<> h = waiters_.front();
+    waiters_.pop_front();
+    sim_->ScheduleHandle(0, h);
+  }
+
+  /// Wakes every currently-parked process.
+  void NotifyAll() {
+    while (!waiters_.empty()) NotifyOne();
+  }
+
+  size_t waiter_count() const { return waiters_.size(); }
+  Simulator* simulator() const { return sim_; }
+
+ private:
+  Simulator* sim_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// One-shot broadcast event: once `Set`, all current and future waiters
+/// proceed immediately.
+class Event {
+ public:
+  explicit Event(Simulator* sim) : queue_(sim) {}
+
+  bool is_set() const { return set_; }
+
+  void Set() {
+    if (set_) return;
+    set_ = true;
+    queue_.NotifyAll();
+  }
+
+  Co<void> Wait() {
+    while (!set_) co_await queue_.Wait();
+  }
+
+ private:
+  WaitQueue queue_;
+  bool set_ = false;
+};
+
+/// Single-consumer one-shot result cell. The producer side calls
+/// `TryFire(value)` (first call wins, later calls are ignored); the single
+/// consumer awaits `Wait()`. Used for request/response interactions such
+/// as lock grants racing a timeout timer.
+template <typename T>
+class OneShot {
+ public:
+  explicit OneShot(Simulator* sim) : sim_(sim) {}
+
+  OneShot(const OneShot&) = delete;
+  OneShot& operator=(const OneShot&) = delete;
+
+  bool fired() const { return value_.has_value(); }
+
+  /// Fires with `value` unless already fired. Returns true when this call
+  /// won the race.
+  bool TryFire(T value) {
+    if (value_.has_value()) return false;
+    value_.emplace(std::move(value));
+    if (waiter_) {
+      sim_->ScheduleHandle(0, waiter_);
+      waiter_ = nullptr;
+    }
+    return true;
+  }
+
+  auto Wait() {
+    struct Awaiter {
+      OneShot* cell;
+      bool await_ready() { return cell->value_.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        LAZYREP_CHECK(cell->waiter_ == nullptr)
+            << "OneShot supports a single waiter";
+        cell->waiter_ = h;
+      }
+      T await_resume() { return std::move(*cell->value_); }
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulator* sim_;
+  std::optional<T> value_;
+  std::coroutine_handle<> waiter_ = nullptr;
+};
+
+/// Completion counter for fan-out/fan-in: `Add` before spawning children,
+/// each child calls `Done`, the parent awaits `Wait`.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulator* sim) : queue_(sim) {}
+
+  void Add(int64_t n = 1) { pending_ += n; }
+
+  void Done() {
+    LAZYREP_CHECK_GT(pending_, 0);
+    if (--pending_ == 0) queue_.NotifyAll();
+  }
+
+  Co<void> Wait() {
+    while (pending_ > 0) co_await queue_.Wait();
+  }
+
+  int64_t pending() const { return pending_; }
+
+ private:
+  WaitQueue queue_;
+  int64_t pending_ = 0;
+};
+
+/// Unbounded FIFO message queue with a single logical consumer. Producers
+/// `Send`; the consumer either awaits `Receive()` (pop) or awaits
+/// `WaitNonEmpty()` and then inspects `Front()` — the latter is what the
+/// DAG(T) applier needs to compare queue heads across parents before
+/// popping the minimum.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulator* sim) : nonempty_(sim) {}
+
+  void Send(T msg) {
+    items_.push_back(std::move(msg));
+    ++total_sent_;
+    nonempty_.NotifyAll();
+  }
+
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+
+  const T& Front() const {
+    LAZYREP_CHECK(!items_.empty());
+    return items_.front();
+  }
+
+  T Pop() {
+    LAZYREP_CHECK(!items_.empty());
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Resumes when the mailbox has at least one message (immediately if it
+  /// already does).
+  Co<void> WaitNonEmpty() {
+    while (items_.empty()) co_await nonempty_.Wait();
+  }
+
+  /// Pops the head, waiting for one to arrive if necessary.
+  Co<T> Receive() {
+    while (items_.empty()) co_await nonempty_.Wait();
+    co_return Pop();
+  }
+
+  /// Notification hook for multi-queue consumers.
+  WaitQueue& nonempty_queue() { return nonempty_; }
+
+  /// Read-only view of the queued messages (quiescence inspection).
+  const std::deque<T>& items() const { return items_; }
+
+  uint64_t total_sent() const { return total_sent_; }
+
+ private:
+  WaitQueue nonempty_;
+  std::deque<T> items_;
+  uint64_t total_sent_ = 0;
+};
+
+/// Non-preemptive FCFS server with integer capacity — models a machine
+/// CPU shared by the co-located database instances (the paper ran 3 sites
+/// per UltraSparc). Work is charged in small chunks, which approximates
+/// processor sharing closely at the op granularity used here.
+class Resource {
+ public:
+  Resource(Simulator* sim, int capacity = 1)
+      : sim_(sim), available_(capacity), capacity_(capacity) {
+    LAZYREP_CHECK_GT(capacity, 0);
+  }
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Acquires one unit (FIFO).
+  auto Acquire() {
+    struct Awaiter {
+      Resource* r;
+      bool await_ready() {
+        if (r->available_ > 0) {
+          --r->available_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        r->waiters_.push_back(h);
+      }
+      // When resumed from Release, the unit has been transferred to us.
+      void await_resume() {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Releases one unit; hands it directly to the next waiter if any.
+  void Release() {
+    if (!waiters_.empty()) {
+      std::coroutine_handle<> h = waiters_.front();
+      waiters_.pop_front();
+      sim_->ScheduleHandle(0, h);
+    } else {
+      ++available_;
+      LAZYREP_CHECK_LE(available_, capacity_);
+    }
+  }
+
+  /// Occupies one unit for `d` of virtual time (acquire, delay, release).
+  /// This is how simulated CPU work is charged.
+  Co<void> Consume(Duration d) {
+    co_await Acquire();
+    busy_time_ += d;
+    co_await sim_->Delay(d);
+    Release();
+  }
+
+  int available() const { return available_; }
+  size_t queue_length() const { return waiters_.size(); }
+
+  /// Total busy time accumulated (for utilization reporting).
+  Duration busy_time() const { return busy_time_; }
+
+ private:
+  Simulator* sim_;
+  int available_;
+  int capacity_;
+  Duration busy_time_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace lazyrep::sim
+
+#endif  // LAZYREP_SIM_PRIMITIVES_H_

@@ -1,0 +1,93 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace lazyrep::sim {
+
+Simulator::RootTask Simulator::RootPromise::get_return_object() {
+  return RootTask{
+      std::coroutine_handle<RootPromise>::from_promise(*this)};
+}
+
+Simulator::RootTask Simulator::MakeRoot(Co<void> co) {
+  co_await std::move(co);
+}
+
+void Simulator::Spawn(Co<void> co) {
+  LAZYREP_CHECK(co.valid()) << "spawning an empty Co";
+  RootTask task = MakeRoot(std::move(co));
+  uint64_t id = next_root_id_++;
+  task.handle.promise().sim = this;
+  task.handle.promise().id = id;
+  roots_.emplace(id, task.handle);
+  // Start the process now; it runs until its first suspension point.
+  task.handle.resume();
+}
+
+void Simulator::ScheduleHandle(Duration delay, std::coroutine_handle<> h) {
+  LAZYREP_CHECK_GE(delay, 0);
+  PushEvent(Event{now_ + delay, next_seq_++, h, nullptr});
+}
+
+void Simulator::ScheduleCallback(Duration delay, std::function<void()> fn) {
+  LAZYREP_CHECK_GE(delay, 0);
+  PushEvent(Event{now_ + delay, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Simulator::PushEvent(Event ev) {
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+bool Simulator::PopAndDispatch() {
+  std::pop_heap(heap_.begin(), heap_.end());
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  LAZYREP_CHECK_GE(ev.when, now_) << "time went backwards";
+  now_ = ev.when;
+  ++events_processed_;
+  if (ev.callback) {
+    ev.callback();
+  } else {
+    ev.handle.resume();
+  }
+  return true;
+}
+
+uint64_t Simulator::Run() {
+  stopped_ = false;
+  uint64_t n = 0;
+  while (!stopped_ && !heap_.empty()) {
+    PopAndDispatch();
+    ++n;
+  }
+  return n;
+}
+
+uint64_t Simulator::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  uint64_t n = 0;
+  while (!stopped_ && !heap_.empty() && heap_.front().when <= deadline) {
+    PopAndDispatch();
+    ++n;
+  }
+  // Standard DES semantics: the clock reaches the deadline even when no
+  // event falls inside the window (otherwise deadline-polling loops spin
+  // at a frozen clock).
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+  return n;
+}
+
+void Simulator::Shutdown() {
+  // Discard pending events first so no handle into a destroyed frame can
+  // ever be resumed, then tear down unfinished process chains (each root
+  // frame owns the Co objects of its children, so destruction cascades).
+  heap_.clear();
+  auto roots = std::move(roots_);
+  roots_.clear();
+  for (auto& [id, handle] : roots) {
+    handle.destroy();
+  }
+}
+
+}  // namespace lazyrep::sim

@@ -1,0 +1,146 @@
+#ifndef LAZYREP_SIM_SIMULATOR_H_
+#define LAZYREP_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/sim_time.h"
+#include "sim/co.h"
+
+namespace lazyrep::sim {
+
+/// Deterministic discrete-event simulator.
+///
+/// Processes are coroutines (`Co<void>`) launched with `Spawn`; they
+/// advance virtual time by awaiting `Delay`, and synchronize through the
+/// primitives in primitives.h. Events that fire at the same virtual time
+/// run in schedule order (stable tie-breaking), so a run is fully
+/// deterministic.
+///
+/// The simulator is strictly single-threaded; "concurrency" between sites
+/// and worker threads is interleaving at await points, which mirrors where
+/// an operating system would preempt (lock waits, network waits, CPU
+/// queueing).
+class Simulator {
+ public:
+  Simulator() = default;
+  ~Simulator() { Shutdown(); }
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Awaitable that resumes the caller `d` nanoseconds from now
+  /// (`d >= 0`; zero yields to other events scheduled at the same time).
+  auto Delay(Duration d) {
+    struct Awaiter {
+      Simulator* sim;
+      Duration d;
+      bool await_ready() { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->ScheduleHandle(d, h);
+      }
+      void await_resume() {}
+    };
+    LAZYREP_CHECK_GE(d, 0);
+    return Awaiter{this, d};
+  }
+
+  /// Launches a root process. The process starts running immediately
+  /// (until its first suspension point); its frame is destroyed when it
+  /// completes or when the simulator shuts down.
+  void Spawn(Co<void> co);
+
+  /// Schedules `h` to resume `delay` from now. Exposed for the
+  /// synchronization primitives.
+  void ScheduleHandle(Duration delay, std::coroutine_handle<> h);
+
+  /// Schedules a plain callback `delay` from now (used for timers such as
+  /// the lock-wait timeout). Callbacks must not block.
+  void ScheduleCallback(Duration delay, std::function<void()> fn);
+
+  /// Runs until the event queue is empty or `Stop()` is called. Returns
+  /// the number of events processed.
+  uint64_t Run();
+
+  /// Runs until the event queue is empty, `Stop()` is called, or virtual
+  /// time would exceed `deadline`. Events at exactly `deadline` still run.
+  uint64_t RunUntil(SimTime deadline);
+
+  /// Makes `Run` return after the event currently being processed.
+  void Stop() { stopped_ = true; }
+
+  /// Clears pending events and destroys every unfinished process frame.
+  /// After shutdown the simulator can be reused (time is NOT reset).
+  void Shutdown();
+
+  /// Number of processes spawned and not yet completed.
+  size_t live_process_count() const { return roots_.size(); }
+
+  /// Total events processed over the simulator's lifetime.
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct RootTask;
+  struct RootPromise {
+    Simulator* sim = nullptr;
+    uint64_t id = 0;
+
+    RootTask get_return_object();
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    auto final_suspend() noexcept {
+      struct Awaiter {
+        bool await_ready() noexcept { return false; }
+        void await_suspend(
+            std::coroutine_handle<RootPromise> h) noexcept {
+          RootPromise& p = h.promise();
+          p.sim->roots_.erase(p.id);
+          h.destroy();
+        }
+        void await_resume() noexcept {}
+      };
+      return Awaiter{};
+    }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+  struct RootTask {
+    using promise_type = RootPromise;
+    std::coroutine_handle<RootPromise> handle;
+  };
+
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // FIFO tie-break at equal time.
+    std::coroutine_handle<> handle;
+    std::function<void()> callback;
+
+    /// Max-heap comparator inverted for a min-heap on (when, seq).
+    friend bool operator<(const Event& a, const Event& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  RootTask MakeRoot(Co<void> co);
+  void PushEvent(Event ev);
+  bool PopAndDispatch();
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_root_id_ = 0;
+  uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+  std::vector<Event> heap_;
+  std::unordered_map<uint64_t, std::coroutine_handle<RootPromise>> roots_;
+};
+
+}  // namespace lazyrep::sim
+
+#endif  // LAZYREP_SIM_SIMULATOR_H_

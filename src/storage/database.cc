@@ -1,0 +1,156 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace lazyrep::storage {
+
+Database::Database(sim::Simulator* sim, Options options,
+                   sim::Resource* cpu, HistoryObserver* observer)
+    : sim_(sim),
+      options_(options),
+      cpu_(cpu),
+      observer_(observer),
+      locks_(sim, options.lock_config) {
+  if (options_.enable_wal) wal_ = std::make_unique<Wal>();
+}
+
+TxnPtr Database::Begin(GlobalTxnId id, TxnKind kind) {
+  return std::make_shared<Transaction>(id, kind, sim_->Now(),
+                                       next_arrival_seq_++);
+}
+
+sim::Co<void> Database::ChargeCpu(Duration d) {
+  if (cpu_ != nullptr && d > 0) co_await cpu_->Consume(d);
+}
+
+Status Database::CheckActive(const Transaction& txn) const {
+  if (txn.state() != TxnState::kActive) {
+    return Status::FailedPrecondition("transaction is not active");
+  }
+  if (txn.abort_requested()) return txn.abort_reason();
+  return Status::OK();
+}
+
+Status Database::OutcomeToStatus(LockOutcome outcome) {
+  switch (outcome) {
+    case LockOutcome::kGranted:
+      return Status::OK();
+    case LockOutcome::kTimeout:
+      return Status::DeadlockAbort("lock wait timeout");
+    case LockOutcome::kAborted:
+      return Status::ExternalAbort("aborted while waiting for a lock");
+  }
+  return Status::Internal("unreachable");
+}
+
+sim::Co<Status> Database::Read(TxnPtr txn, ItemId item, Value* out) {
+  LAZYREP_CO_RETURN_IF_ERROR(CheckActive(*txn));
+  LockOutcome lo =
+      co_await locks_.Acquire(txn.get(), item, LockMode::kShared);
+  if (lo != LockOutcome::kGranted) co_return OutcomeToStatus(lo);
+  co_await ChargeCpu(options_.costs.read_cpu);
+  if (txn->abort_requested()) co_return txn->abort_reason();
+  Result<Value> v = store_.Get(item);
+  if (!v.ok()) co_return v.status();
+  if (txn->read_set_.insert(item).second &&
+      txn->write_set_.count(item) == 0) {
+    // First, non-own-write read: what the checker validates.
+    txn->reads_observed_.emplace(item, *v);
+  }
+  *out = *v;
+  co_return Status::OK();
+}
+
+sim::Co<Status> Database::Write(TxnPtr txn, ItemId item, Value value) {
+  LAZYREP_CO_RETURN_IF_ERROR(CheckActive(*txn));
+  LockOutcome lo =
+      co_await locks_.Acquire(txn.get(), item, LockMode::kExclusive);
+  if (lo != LockOutcome::kGranted) co_return OutcomeToStatus(lo);
+  co_await ChargeCpu(options_.costs.write_cpu);
+  if (txn->abort_requested()) co_return txn->abort_reason();
+  co_return WriteLocked(txn.get(), item, value);
+}
+
+sim::Co<Status> Database::AcquireOnly(TxnPtr txn, ItemId item,
+                                      LockMode mode) {
+  LAZYREP_CO_RETURN_IF_ERROR(CheckActive(*txn));
+  LockOutcome lo = co_await locks_.Acquire(txn.get(), item, mode);
+  if (lo != LockOutcome::kGranted) co_return OutcomeToStatus(lo);
+  if (mode == LockMode::kShared) {
+    txn->read_set_.insert(item);
+  } else {
+    txn->write_set_.insert(item);
+  }
+  co_return Status::OK();
+}
+
+Result<Value> Database::ReadLocked(Transaction* txn, ItemId item) {
+  LAZYREP_CHECK(locks_.Holds(txn, item, LockMode::kShared))
+      << "ReadLocked without a lock on item " << item;
+  Result<Value> v = store_.Get(item);
+  if (v.ok() && txn->read_set_.insert(item).second &&
+      txn->write_set_.count(item) == 0) {
+    txn->reads_observed_.emplace(item, *v);
+  }
+  return v;
+}
+
+Status Database::WriteLocked(Transaction* txn, ItemId item, Value value) {
+  LAZYREP_CHECK(locks_.Holds(txn, item, LockMode::kExclusive))
+      << "WriteLocked without an X lock on item " << item;
+  Result<Value> old = store_.Put(item, value);
+  if (!old.ok()) return old.status();
+  if (txn->write_set_.insert(item).second) {
+    // First write of this item: remember the before-image for rollback.
+    txn->undo_log_.push_back({item, *old});
+  }
+  txn->writes_final_[item] = value;
+  if (wal_) wal_->LogUpdate(txn->id(), item, value);
+  return Status::OK();
+}
+
+sim::Co<Status> Database::Commit(
+    TxnPtr txn, std::function<void(int64_t commit_seq)> atomic_hook) {
+  LAZYREP_CHECK(txn->state() == TxnState::kActive);
+  LAZYREP_CHECK(!txn->abort_requested())
+      << "commit of a transaction marked for abort";
+  co_await ChargeCpu(options_.costs.commit_cpu);
+  // The paper requires commits (and the forwarding they trigger) to be
+  // atomic with respect to each other; everything below runs without a
+  // suspension point.
+  if (txn->abort_requested()) {
+    // Marked while paying the commit CPU cost — too late to win; roll
+    // back instead.
+    co_await Abort(txn);
+    co_return txn->abort_reason();
+  }
+  int64_t seq = next_commit_seq_++;
+  txn->state_ = TxnState::kCommitted;
+  ++commits_;
+  if (wal_) wal_->LogCommit(txn->id());
+  if (atomic_hook) atomic_hook(seq);
+  if (observer_ != nullptr) observer_->OnCommit(options_.site, *txn, seq);
+  locks_.ReleaseAll(txn.get());
+  co_return Status::OK();
+}
+
+sim::Co<void> Database::Abort(TxnPtr txn) {
+  LAZYREP_CHECK(txn->state() == TxnState::kActive);
+  // Restore before-images in reverse write order.
+  for (auto it = txn->undo_log_.rbegin(); it != txn->undo_log_.rend();
+       ++it) {
+    Result<Value> r = store_.Put(it->item, it->old_value);
+    LAZYREP_CHECK(r.ok());
+  }
+  txn->undo_log_.clear();
+  co_await ChargeCpu(options_.costs.abort_cpu);
+  txn->state_ = TxnState::kAborted;
+  ++aborts_;
+  if (wal_) wal_->LogAbort(txn->id());
+  if (observer_ != nullptr) observer_->OnAbort(options_.site, *txn);
+  locks_.ReleaseAll(txn.get());
+}
+
+}  // namespace lazyrep::storage

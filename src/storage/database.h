@@ -1,0 +1,131 @@
+#ifndef LAZYREP_STORAGE_DATABASE_H_
+#define LAZYREP_STORAGE_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "sim/primitives.h"
+#include "sim/simulator.h"
+#include "storage/item_store.h"
+#include "storage/lock_manager.h"
+#include "storage/transaction.h"
+#include "storage/wal.h"
+
+namespace lazyrep::storage {
+
+using TxnPtr = std::shared_ptr<Transaction>;
+
+/// CPU cost of storage operations (charged to the site's machine CPU).
+struct OpCosts {
+  Duration read_cpu = Micros(100);
+  Duration write_cpu = Micros(120);
+  Duration commit_cpu = Micros(200);
+  Duration abort_cpu = Micros(200);
+};
+
+/// Observer of local commit/abort events. The serializability checker
+/// implements this to reconstruct each site's serialization order.
+class HistoryObserver {
+ public:
+  virtual ~HistoryObserver() = default;
+
+  /// `commit_seq` is the site-local commit sequence number; under strict
+  /// 2PL it is a serialization order for the site's schedule.
+  virtual void OnCommit(SiteId site, const Transaction& txn,
+                        int64_t commit_seq) = 0;
+  virtual void OnAbort(SiteId site, const Transaction& txn) = 0;
+};
+
+/// One site's database instance: main-memory item store + strict-2PL lock
+/// manager + undo-based rollback (+ optional redo WAL), mirroring the
+/// DataBlitz instance each site ran in the paper's study.
+///
+/// Composite operations (`Read`, `Write`, `Commit`, `Abort`) are what
+/// primary transactions use. The replication engines additionally use the
+/// split-level API (`locks()` + `ReadLocked`/`WriteLocked`) to implement
+/// the secondary-subtransaction retry/victim rules.
+class Database {
+ public:
+  struct Options {
+    SiteId site = 0;
+    OpCosts costs;
+    LockManager::Config lock_config;
+    /// When true, maintain a redo WAL for the site.
+    bool enable_wal = false;
+  };
+
+  /// `cpu` may be nullptr (no CPU modelling); `observer` may be nullptr.
+  Database(sim::Simulator* sim, Options options, sim::Resource* cpu,
+           HistoryObserver* observer);
+
+  SiteId site() const { return options_.site; }
+  ItemStore& store() { return store_; }
+  const ItemStore& store() const { return store_; }
+  LockManager& locks() { return locks_; }
+  const Wal* wal() const { return wal_.get(); }
+  sim::Simulator* simulator() const { return sim_; }
+
+  /// Starts a transaction. The returned handle stays valid (shared
+  /// ownership) after commit/abort; its state tells what happened.
+  TxnPtr Begin(GlobalTxnId id, TxnKind kind);
+
+  /// Charges `d` of CPU on the site's machine (no-op without a CPU).
+  sim::Co<void> ChargeCpu(Duration d);
+
+  /// Acquires an S lock and reads the item. Returns an abort status on
+  /// lock timeout (the caller must then call `Abort`), or the abort
+  /// reason if the transaction was marked for abort.
+  sim::Co<Status> Read(TxnPtr txn, ItemId item, Value* out);
+
+  /// Acquires an X lock and writes the item (undo-logged).
+  sim::Co<Status> Write(TxnPtr txn, ItemId item, Value value);
+
+  /// Acquires a lock without touching data (PSL remote-read proxies).
+  /// On success records the item in the proxy's read/write set.
+  sim::Co<Status> AcquireOnly(TxnPtr txn, ItemId item, LockMode mode);
+
+  /// Reads under an already-held lock (synchronous; no CPU charge).
+  Result<Value> ReadLocked(Transaction* txn, ItemId item);
+
+  /// Writes under an already-held X lock (synchronous; no CPU charge).
+  Status WriteLocked(Transaction* txn, ItemId item, Value value);
+
+  /// Commits: charges commit CPU, then atomically (no interleaving)
+  /// assigns the site commit sequence, runs `atomic_hook` (protocol
+  /// engines post propagation messages here so forwarding order equals
+  /// commit order, §2), notifies the observer, and releases all locks.
+  sim::Co<Status> Commit(TxnPtr txn,
+                         std::function<void(int64_t commit_seq)>
+                             atomic_hook = nullptr);
+
+  /// Rolls back: restores undo images, charges abort CPU, releases locks.
+  sim::Co<void> Abort(TxnPtr txn);
+
+  int64_t commits() const { return commits_; }
+  int64_t aborts() const { return aborts_; }
+  int64_t next_commit_seq() const { return next_commit_seq_; }
+
+ private:
+  Status CheckActive(const Transaction& txn) const;
+  static Status OutcomeToStatus(LockOutcome outcome);
+
+  sim::Simulator* sim_;
+  Options options_;
+  sim::Resource* cpu_;
+  HistoryObserver* observer_;
+  ItemStore store_;
+  LockManager locks_;
+  std::unique_ptr<Wal> wal_;
+  int64_t next_arrival_seq_ = 0;
+  int64_t next_commit_seq_ = 0;
+  int64_t commits_ = 0;
+  int64_t aborts_ = 0;
+};
+
+}  // namespace lazyrep::storage
+
+#endif  // LAZYREP_STORAGE_DATABASE_H_

@@ -1,0 +1,46 @@
+#include "storage/item_store.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace lazyrep::storage {
+
+void ItemStore::AddItem(ItemId item, Value initial) {
+  auto [it, inserted] = values_.emplace(item, Slot{initial, 0});
+  LAZYREP_CHECK(inserted) << "item " << item << " already present";
+}
+
+Result<Value> ItemStore::Get(ItemId item) const {
+  auto it = values_.find(item);
+  if (it == values_.end()) {
+    return Status::NotFound(StrPrintf("item %d has no copy here", item));
+  }
+  return it->second.value;
+}
+
+Result<Value> ItemStore::Put(ItemId item, Value value) {
+  auto it = values_.find(item);
+  if (it == values_.end()) {
+    return Status::NotFound(StrPrintf("item %d has no copy here", item));
+  }
+  Value old = it->second.value;
+  it->second.value = value;
+  ++it->second.version;
+  return old;
+}
+
+int64_t ItemStore::Version(ItemId item) const {
+  auto it = values_.find(item);
+  return it == values_.end() ? 0 : it->second.version;
+}
+
+std::vector<std::pair<ItemId, Value>> ItemStore::Snapshot() const {
+  std::vector<std::pair<ItemId, Value>> out;
+  out.reserve(values_.size());
+  for (const auto& [item, slot] : values_) out.emplace_back(item, slot.value);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lazyrep::storage

@@ -1,0 +1,50 @@
+#ifndef LAZYREP_STORAGE_ITEM_STORE_H_
+#define LAZYREP_STORAGE_ITEM_STORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace lazyrep::storage {
+
+/// Hash-indexed main-memory item store — the DataBlitz stand-in. One
+/// instance per site holds exactly the items that have a copy (primary or
+/// replica) at that site. Values are updated in place; isolation is the
+/// lock manager's job, atomicity the undo log's.
+class ItemStore {
+ public:
+  /// Registers `item` with an initial value. Idempotent registration of
+  /// the same item is an error.
+  void AddItem(ItemId item, Value initial = 0);
+
+  bool Contains(ItemId item) const {
+    return values_.find(item) != values_.end();
+  }
+
+  Result<Value> Get(ItemId item) const;
+
+  /// Overwrites the value; the item must exist. Returns the old value (for
+  /// undo logging). Bumps the item's local version counter.
+  Result<Value> Put(ItemId item, Value value);
+
+  /// Number of in-place updates applied to `item` (0 when absent).
+  int64_t Version(ItemId item) const;
+
+  size_t item_count() const { return values_.size(); }
+
+  /// Sorted (item, value) snapshot — used by replica-convergence checks.
+  std::vector<std::pair<ItemId, Value>> Snapshot() const;
+
+ private:
+  struct Slot {
+    Value value = 0;
+    int64_t version = 0;
+  };
+  std::unordered_map<ItemId, Slot> values_;
+};
+
+}  // namespace lazyrep::storage
+
+#endif  // LAZYREP_STORAGE_ITEM_STORE_H_

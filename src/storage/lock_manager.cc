@@ -1,0 +1,257 @@
+#include "storage/lock_manager.h"
+
+#include <algorithm>
+
+namespace lazyrep::storage {
+
+bool LockManager::Holds(const Transaction* txn, ItemId item,
+                        LockMode mode) const {
+  auto it = table_.find(item);
+  if (it == table_.end()) return false;
+  for (const auto& [holder, held_mode] : it->second.holders) {
+    if (holder == txn) {
+      return held_mode == LockMode::kExclusive || mode == LockMode::kShared;
+    }
+  }
+  return false;
+}
+
+std::vector<Transaction*> LockManager::BlockingHolders(
+    const Transaction* txn, ItemId item, LockMode mode) const {
+  std::vector<Transaction*> out;
+  auto it = table_.find(item);
+  if (it == table_.end()) return out;
+  for (const auto& [holder, held_mode] : it->second.holders) {
+    if (holder == txn) continue;
+    if (!Compatible(held_mode, mode) || !Compatible(mode, held_mode)) {
+      out.push_back(holder);
+    }
+  }
+  return out;
+}
+
+size_t LockManager::HeldCount(const Transaction* txn) const {
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+bool LockManager::CanGrant(const LockState& ls, const Transaction* txn,
+                           LockMode mode, bool upgrade) const {
+  if (upgrade) {
+    // Upgrade S -> X: grantable only when `txn` is the sole holder.
+    return ls.holders.size() == 1 && ls.holders[0].first == txn;
+  }
+  for (const auto& [holder, held_mode] : ls.holders) {
+    if (holder == txn) continue;  // Shouldn't happen for non-upgrades.
+    if (!Compatible(held_mode, mode)) return false;
+  }
+  return true;
+}
+
+void LockManager::GrantNow(LockState* ls, Transaction* txn, LockMode mode,
+                           bool upgrade) {
+  if (upgrade) {
+    LAZYREP_CHECK_EQ(ls->holders.size(), 1u);
+    LAZYREP_CHECK(ls->holders[0].first == txn);
+    ls->holders[0].second = LockMode::kExclusive;
+    return;  // Already tracked in held_.
+  }
+  ls->holders.emplace_back(txn, mode);
+}
+
+void LockManager::RunGrantLoop(ItemId item) {
+  auto it = table_.find(item);
+  if (it == table_.end()) return;
+  LockState& ls = it->second;
+  size_t i = 0;
+  while (i < ls.queue.size()) {
+    std::shared_ptr<Waiter> w = ls.queue[i];
+    if (!CanGrant(ls, w->txn, w->mode, w->is_upgrade)) {
+      if (config_.grant == GrantPolicy::kFifo) break;
+      // Immediate policy: later compatible waiters may still proceed.
+      ++i;
+      continue;
+    }
+    ls.queue.erase(ls.queue.begin() + static_cast<ptrdiff_t>(i));
+    w->linked = false;
+    waiting_on_.erase(w->txn);
+    GrantNow(&ls, w->txn, w->mode, w->is_upgrade);
+    held_[w->txn].insert(item);
+    stats_.wait_time_ms.Add(ToMillis(sim_->Now() - w->enqueue_time));
+    w->cell.TryFire(LockOutcome::kGranted);
+  }
+}
+
+void LockManager::Unlink(const std::shared_ptr<Waiter>& w) {
+  if (!w->linked) return;
+  w->linked = false;
+  auto it = table_.find(w->item);
+  LAZYREP_CHECK(it != table_.end());
+  auto& q = it->second.queue;
+  auto pos = std::find(q.begin(), q.end(), w);
+  LAZYREP_CHECK(pos != q.end());
+  q.erase(pos);
+  waiting_on_.erase(w->txn);
+  // Removing a blocked head may unblock later compatible waiters.
+  RunGrantLoop(w->item);
+}
+
+sim::Co<LockOutcome> LockManager::Acquire(Transaction* txn, ItemId item,
+                                          LockMode mode) {
+  ++stats_.requests;
+  if (txn->abort_requested()) co_return LockOutcome::kAborted;
+
+  LockState& ls = table_[item];
+  if (Holds(txn, item, mode)) {
+    ++stats_.immediate_grants;
+    co_return LockOutcome::kGranted;
+  }
+  bool upgrade =
+      mode == LockMode::kExclusive && Holds(txn, item, LockMode::kShared);
+
+  // Under the FIFO policy a fresh request queues behind existing waiters
+  // even when compatible with the current holders; under the immediate
+  // policy holder-compatibility suffices.
+  bool may_bypass_queue = upgrade || ls.queue.empty() ||
+                          config_.grant == GrantPolicy::kImmediate;
+  if (may_bypass_queue && CanGrant(ls, txn, mode, upgrade)) {
+    GrantNow(&ls, txn, mode, upgrade);
+    held_[txn].insert(item);
+    ++stats_.immediate_grants;
+    co_return LockOutcome::kGranted;
+  }
+
+  // Block.
+  ++stats_.waits;
+  if (on_wait_) on_wait_(*txn, item);
+  LAZYREP_CHECK(waiting_on_.find(txn) == waiting_on_.end())
+      << "transaction already has a pending lock request";
+  auto w = std::make_shared<Waiter>(sim_, txn, item, mode, upgrade);
+  w->enqueue_time = sim_->Now();
+  // Upgrades go to the front: the holder blocks everything behind it
+  // anyway, and draining it first shortens the queue.
+  if (upgrade) {
+    ls.queue.push_front(w);
+  } else {
+    ls.queue.push_back(w);
+  }
+  waiting_on_.emplace(txn, w);
+
+  uint64_t hook = txn->AddAbortHook([this, w] {
+    if (!w->linked) return;
+    Unlink(w);
+    ++stats_.wait_aborts;
+    w->cell.TryFire(LockOutcome::kAborted);
+  });
+  sim_->ScheduleCallback(config_.wait_timeout, [this, w] {
+    if (!w->linked) return;
+    Unlink(w);
+    ++stats_.timeouts;
+    if (on_timeout_) on_timeout_(*w->txn, w->item);
+    w->cell.TryFire(LockOutcome::kTimeout);
+  });
+
+  if (config_.policy == DeadlockPolicy::kLocalDetection) {
+    DetectAndResolve(txn);
+  }
+
+  LockOutcome outcome = co_await w->cell.Wait();
+  txn->RemoveAbortHook(hook);
+  co_return outcome;
+}
+
+void LockManager::ReleaseAll(Transaction* txn) {
+  LAZYREP_CHECK(waiting_on_.find(txn) == waiting_on_.end())
+      << "releasing a transaction with a pending lock request";
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  std::set<ItemId> items = std::move(it->second);
+  held_.erase(it);
+  for (ItemId item : items) {
+    LockState& ls = table_[item];
+    auto pos =
+        std::find_if(ls.holders.begin(), ls.holders.end(),
+                     [txn](const auto& h) { return h.first == txn; });
+    LAZYREP_CHECK(pos != ls.holders.end());
+    ls.holders.erase(pos);
+    RunGrantLoop(item);
+  }
+}
+
+void LockManager::DetectAndResolve(Transaction* waiter_txn) {
+  // Depth-first search over the local waits-for graph: a waiting
+  // transaction points at every holder blocking its pending request.
+  std::vector<Transaction*> path;
+  std::set<const Transaction*> on_path;
+  std::set<const Transaction*> visited;
+
+  // Iterative DFS with explicit stack of (txn, next-blocker-index).
+  struct Frame {
+    Transaction* txn;
+    std::vector<Transaction*> blockers;
+    size_t next = 0;
+  };
+  std::vector<Frame> stack;
+
+  auto blockers_of = [this](Transaction* t) -> std::vector<Transaction*> {
+    auto wit = waiting_on_.find(t);
+    if (wit == waiting_on_.end()) return {};
+    const Waiter& w = *wit->second;
+    return BlockingHolders(t, w.item, w.mode);
+  };
+
+  stack.push_back({waiter_txn, blockers_of(waiter_txn), 0});
+  on_path.insert(waiter_txn);
+  path.push_back(waiter_txn);
+  visited.insert(waiter_txn);
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next >= f.blockers.size()) {
+      on_path.erase(f.txn);
+      path.pop_back();
+      stack.pop_back();
+      continue;
+    }
+    Transaction* next = f.blockers[f.next++];
+    if (on_path.count(next)) {
+      // Cycle: everything on the path from `next` onward.
+      std::vector<Transaction*> cycle;
+      bool in_cycle = false;
+      for (Transaction* t : path) {
+        if (t == next) in_cycle = true;
+        if (in_cycle) cycle.push_back(t);
+      }
+      ++stats_.detected_deadlocks;
+      Transaction* victim = PickDeadlockVictim(cycle);
+      if (victim != nullptr) {
+        victim->RequestAbort(Status::DeadlockAbort("local WFG cycle"));
+      }
+      return;  // Resolve one cycle per block; others resolve on retry.
+    }
+    if (visited.count(next)) continue;
+    visited.insert(next);
+    on_path.insert(next);
+    path.push_back(next);
+    stack.push_back({next, blockers_of(next), 0});
+  }
+}
+
+Transaction* LockManager::PickDeadlockVictim(
+    const std::vector<Transaction*>& cycle) {
+  // Paper-faithful victim preferences (§4.1, Example 4.1 and the fairness
+  // discussion in §2): (1) a backedge-pending primary; (2) the
+  // latest-arriving primary; never a secondary subtransaction.
+  Transaction* latest_primary = nullptr;
+  for (Transaction* t : cycle) {
+    if (!t->CanBeVictim()) continue;
+    if (t->backedge_pending()) return t;
+    if (latest_primary == nullptr ||
+        t->arrival_seq() > latest_primary->arrival_seq()) {
+      latest_primary = t;
+    }
+  }
+  return latest_primary;
+}
+
+}  // namespace lazyrep::storage

@@ -1,0 +1,178 @@
+#ifndef LAZYREP_STORAGE_LOCK_MANAGER_H_
+#define LAZYREP_STORAGE_LOCK_MANAGER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "sim/primitives.h"
+#include "sim/simulator.h"
+#include "storage/transaction.h"
+
+namespace lazyrep::storage {
+
+enum class LockMode { kShared, kExclusive };
+
+/// Result of a lock request.
+enum class LockOutcome {
+  kGranted,
+  /// The wait exceeded the deadlock timeout (the paper's mechanism for
+  /// both local and global deadlocks, §5: 50 ms). The caller decides the
+  /// victim: primaries abort themselves; secondaries abort a blocking
+  /// holder and retry (§2, §4.1).
+  kTimeout,
+  /// The waiting transaction was marked for abort while queued (external
+  /// victim selection).
+  kAborted,
+};
+
+/// When a new request may be granted.
+enum class GrantPolicy {
+  /// Grant whenever compatible with the current *holders* (readers never
+  /// queue behind a waiting writer). This is the common main-memory-DBMS
+  /// behaviour and the default; it minimizes false blocking at the cost
+  /// of potential writer starvation (bounded here by the wait timeout).
+  kImmediate,
+  /// Strict FIFO: a request waits behind any earlier conflicting waiter.
+  /// Starvation-free but creates more blocking (ablation option).
+  kFifo,
+};
+
+/// How local deadlocks are resolved.
+enum class DeadlockPolicy {
+  /// Timeout only — what the paper's implementation used.
+  kTimeoutOnly,
+  /// Additionally run local waits-for cycle detection on each block and
+  /// abort a victim immediately (timeout remains as a backstop for
+  /// distributed deadlocks). Extension used for ablation.
+  kLocalDetection,
+};
+
+/// Strict two-phase locking manager for one site.
+///
+/// * Shared/exclusive item locks with upgrade (S→X when sole holder;
+///   upgrades queue at the front otherwise).
+/// * FIFO grant order — a request waits behind earlier conflicting
+///   waiters, which prevents writer starvation.
+/// * Waits are bounded by `Config::wait_timeout`; expiry resumes the
+///   waiter with `kTimeout` (the request is dequeued — retry re-queues).
+/// * `Transaction::RequestAbort` unlinks any queued request of that
+///   transaction and resumes it with `kAborted`.
+///
+/// No lock is released before `ReleaseAll` (strictness): a transaction's
+/// locks are freed only at commit or after rollback completes.
+class LockManager {
+ public:
+  struct Config {
+    Duration wait_timeout = Millis(50);
+    DeadlockPolicy policy = DeadlockPolicy::kTimeoutOnly;
+    GrantPolicy grant = GrantPolicy::kImmediate;
+  };
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t immediate_grants = 0;
+    uint64_t waits = 0;
+    uint64_t timeouts = 0;
+    uint64_t wait_aborts = 0;
+    uint64_t detected_deadlocks = 0;
+    Summary wait_time_ms;
+  };
+
+  LockManager(sim::Simulator* sim, Config config)
+      : sim_(sim), config_(config) {}
+
+  /// Optional event hooks (tracing): invoked when a request blocks and
+  /// when a wait times out.
+  using LockEventHook =
+      std::function<void(const Transaction& txn, ItemId item)>;
+  void SetEventHooks(LockEventHook on_wait, LockEventHook on_timeout) {
+    on_wait_ = std::move(on_wait);
+    on_timeout_ = std::move(on_timeout);
+  }
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires `mode` on `item` for `txn`, waiting if necessary.
+  /// Re-entrant: succeeds immediately when the transaction already holds
+  /// a sufficient lock.
+  sim::Co<LockOutcome> Acquire(Transaction* txn, ItemId item,
+                               LockMode mode);
+
+  /// Releases every lock held by `txn` and re-runs grant scheduling on
+  /// the affected items. The transaction must not have a queued request.
+  void ReleaseAll(Transaction* txn);
+
+  /// True when `txn` holds `item` in a mode at least as strong as `mode`.
+  bool Holds(const Transaction* txn, ItemId item, LockMode mode) const;
+
+  /// Holders whose lock on `item` conflicts with a `mode` request by
+  /// `txn`. This is what the BackEdge victim rule inspects after a
+  /// timeout.
+  std::vector<Transaction*> BlockingHolders(const Transaction* txn,
+                                            ItemId item,
+                                            LockMode mode) const;
+
+  /// Number of locks held by `txn`.
+  size_t HeldCount(const Transaction* txn) const;
+
+  /// Number of transactions currently blocked in some lock queue.
+  size_t waiting_count() const { return waiting_on_.size(); }
+
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct Waiter {
+    Waiter(sim::Simulator* sim, Transaction* t, ItemId i, LockMode m,
+           bool up)
+        : txn(t), item(i), mode(m), is_upgrade(up), cell(sim) {}
+    Transaction* txn;
+    ItemId item;
+    LockMode mode;
+    bool is_upgrade;
+    bool linked = true;
+    SimTime enqueue_time = 0;
+    sim::OneShot<LockOutcome> cell;
+  };
+
+  struct LockState {
+    // (txn, mode); all kShared or a single kExclusive entry.
+    std::vector<std::pair<Transaction*, LockMode>> holders;
+    std::deque<std::shared_ptr<Waiter>> queue;
+  };
+
+  static bool Compatible(LockMode held, LockMode requested) {
+    return held == LockMode::kShared && requested == LockMode::kShared;
+  }
+
+  bool CanGrant(const LockState& ls, const Transaction* txn, LockMode mode,
+                bool upgrade) const;
+  void GrantNow(LockState* ls, Transaction* txn, LockMode mode,
+                bool upgrade);
+  void RunGrantLoop(ItemId item);
+  void Unlink(const std::shared_ptr<Waiter>& w);
+  void DetectAndResolve(Transaction* waiter_txn);
+  Transaction* PickDeadlockVictim(const std::vector<Transaction*>& cycle);
+
+  sim::Simulator* sim_;
+  Config config_;
+  Stats stats_;
+  LockEventHook on_wait_;
+  LockEventHook on_timeout_;
+  std::unordered_map<ItemId, LockState> table_;
+  std::unordered_map<const Transaction*, std::set<ItemId>> held_;
+  // At most one pending request per transaction.
+  std::unordered_map<const Transaction*, std::shared_ptr<Waiter>>
+      waiting_on_;
+};
+
+}  // namespace lazyrep::storage
+
+#endif  // LAZYREP_STORAGE_LOCK_MANAGER_H_

@@ -1,0 +1,36 @@
+#include "storage/transaction.h"
+
+#include "common/strings.h"
+
+namespace lazyrep::storage {
+namespace {
+
+const char* KindName(TxnKind kind) {
+  switch (kind) {
+    case TxnKind::kPrimary: return "primary";
+    case TxnKind::kSecondary: return "secondary";
+    case TxnKind::kRemoteProxy: return "proxy";
+  }
+  return "?";
+}
+
+const char* StateName(TxnState state) {
+  switch (state) {
+    case TxnState::kActive: return "active";
+    case TxnState::kCommitted: return "committed";
+    case TxnState::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Transaction::DebugString() const {
+  return StrPrintf("txn(s%d#%lld %s %s%s reads=%zu writes=%zu)",
+                   id_.origin_site, static_cast<long long>(id_.seq),
+                   KindName(kind_), StateName(state_),
+                   backedge_pending_ ? " backedge-pending" : "",
+                   read_set_.size(), write_set_.size());
+}
+
+}  // namespace lazyrep::storage

@@ -1,0 +1,158 @@
+#ifndef LAZYREP_STORAGE_TRANSACTION_H_
+#define LAZYREP_STORAGE_TRANSACTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lazyrep::storage {
+
+/// Role of a (sub)transaction at a site. The lock manager's victim
+/// selection (the BackEdge protocol's rule, §4.1) depends on it.
+enum class TxnKind {
+  /// A transaction that originated at this site.
+  kPrimary,
+  /// A forwarded secondary subtransaction (applies a remote transaction's
+  /// updates). Secondaries are never chosen as deadlock victims; they must
+  /// eventually commit for the protocols to make progress (§2).
+  kSecondary,
+  /// A proxy acquiring locks at this site on behalf of a transaction
+  /// running elsewhere (PSL remote reads; BackEdge backedge
+  /// subtransactions also use this kind at remote sites).
+  kRemoteProxy,
+};
+
+enum class TxnState { kActive, kCommitted, kAborted };
+
+/// Per-site transaction context: identity, lifecycle state, undo log and
+/// abort signalling. Lock bookkeeping lives in the LockManager; value
+/// bookkeeping in the Database.
+///
+/// Transactions are created by `Database::Begin` and owned by the
+/// Database until `Commit`/`Abort` completes.
+class Transaction {
+ public:
+  Transaction(GlobalTxnId id, TxnKind kind, SimTime start_time,
+              int64_t arrival_seq)
+      : id_(id),
+        kind_(kind),
+        start_time_(start_time),
+        arrival_seq_(arrival_seq) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  const GlobalTxnId& id() const { return id_; }
+  TxnKind kind() const { return kind_; }
+  TxnState state() const { return state_; }
+  SimTime start_time() const { return start_time_; }
+
+  /// Monotone per-site arrival number; the "latest arrival" deadlock
+  /// victim policy compares these.
+  int64_t arrival_seq() const { return arrival_seq_; }
+
+  /// True while the transaction originated a backedge subtransaction and
+  /// is holding its locks waiting for the special secondary subtransaction
+  /// to come back (BackEdge §4.1). Such transactions are the preferred
+  /// deadlock victims.
+  bool backedge_pending() const { return backedge_pending_; }
+  void set_backedge_pending(bool v) { backedge_pending_ = v; }
+
+  /// Pinned transactions are inside commit processing (e.g. a 2PC that
+  /// has started voting) and are skipped by deadlock victim selection —
+  /// they will release their locks shortly on their own.
+  bool pinned() const { return pinned_; }
+  void set_pinned(bool v) { pinned_ = v; }
+
+  /// Eligible for deadlock victim selection: secondaries must eventually
+  /// commit (§2) and pinned transactions are mid-commit.
+  bool CanBeVictim() const {
+    return kind_ != TxnKind::kSecondary && !pinned_;
+  }
+
+  /// --- Abort signalling -------------------------------------------------
+
+  bool abort_requested() const { return abort_requested_; }
+  const Status& abort_reason() const { return abort_reason_; }
+
+  /// Marks the transaction for abort and fires registered hooks (e.g. a
+  /// lock waiter unlinking itself). Idempotent. The owner of the
+  /// transaction's control flow performs the actual rollback when it next
+  /// observes the flag.
+  void RequestAbort(Status reason) {
+    if (abort_requested_ || state_ != TxnState::kActive) return;
+    abort_requested_ = true;
+    abort_reason_ = std::move(reason);
+    auto hooks = std::move(abort_hooks_);
+    abort_hooks_.clear();
+    for (auto& [token, fn] : hooks) fn();
+  }
+
+  /// Registers a hook invoked (once) if abort is requested; returns a
+  /// token for removal.
+  uint64_t AddAbortHook(std::function<void()> fn) {
+    uint64_t token = next_hook_token_++;
+    abort_hooks_.emplace(token, std::move(fn));
+    return token;
+  }
+
+  void RemoveAbortHook(uint64_t token) { abort_hooks_.erase(token); }
+
+  /// --- Read/write bookkeeping (maintained by Database) -----------------
+
+  /// Items read at this site.
+  const std::set<ItemId>& read_set() const { return read_set_; }
+  /// Items written at this site.
+  const std::set<ItemId>& write_set() const { return write_set_; }
+
+  /// Value observed by the FIRST read of each item at this site (later
+  /// reads may see the transaction's own writes). Used by the
+  /// read-consistency checker.
+  const std::map<ItemId, Value>& reads_observed() const {
+    return reads_observed_;
+  }
+  /// Final value installed per written item.
+  const std::map<ItemId, Value>& writes_final() const {
+    return writes_final_;
+  }
+
+  std::string DebugString() const;
+
+ private:
+  friend class Database;
+
+  struct UndoEntry {
+    ItemId item;
+    Value old_value;
+  };
+
+  GlobalTxnId id_;
+  TxnKind kind_;
+  SimTime start_time_;
+  int64_t arrival_seq_;
+  TxnState state_ = TxnState::kActive;
+  bool backedge_pending_ = false;
+  bool pinned_ = false;
+
+  bool abort_requested_ = false;
+  Status abort_reason_;
+  uint64_t next_hook_token_ = 0;
+  std::map<uint64_t, std::function<void()>> abort_hooks_;
+
+  std::set<ItemId> read_set_;
+  std::set<ItemId> write_set_;
+  std::map<ItemId, Value> reads_observed_;
+  std::map<ItemId, Value> writes_final_;
+  std::vector<UndoEntry> undo_log_;
+};
+
+}  // namespace lazyrep::storage
+
+#endif  // LAZYREP_STORAGE_TRANSACTION_H_

@@ -1,0 +1,33 @@
+#include "storage/wal.h"
+
+#include <map>
+#include <utility>
+
+namespace lazyrep::storage {
+
+void Wal::Replay(ItemStore* store) const {
+  std::map<GlobalTxnId, std::vector<std::pair<ItemId, Value>>> pending;
+  for (const Record& r : records_) {
+    switch (r.type) {
+      case RecordType::kUpdate:
+        pending[r.txn].emplace_back(r.item, r.value);
+        break;
+      case RecordType::kCommit: {
+        auto it = pending.find(r.txn);
+        if (it == pending.end()) break;
+        for (const auto& [item, value] : it->second) {
+          if (store->Contains(item)) {
+            (void)store->Put(item, value);
+          }
+        }
+        pending.erase(it);
+        break;
+      }
+      case RecordType::kAbort:
+        pending.erase(r.txn);
+        break;
+    }
+  }
+}
+
+}  // namespace lazyrep::storage

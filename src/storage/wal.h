@@ -1,0 +1,53 @@
+#ifndef LAZYREP_STORAGE_WAL_H_
+#define LAZYREP_STORAGE_WAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/item_store.h"
+
+namespace lazyrep::storage {
+
+/// Append-only redo log for one site — a faithful miniature of the
+/// DataBlitz/Dali logging design: update records are appended as writes
+/// happen, a commit record seals them, and recovery redoes committed
+/// transactions in commit order. Uncommitted updates are filtered out at
+/// replay (values are updated in place, but strict 2PL plus the undo log
+/// keep aborted work invisible, so redo-only recovery is sufficient).
+class Wal {
+ public:
+  enum class RecordType { kUpdate, kCommit, kAbort };
+
+  struct Record {
+    RecordType type;
+    GlobalTxnId txn;
+    ItemId item = kInvalidItem;  // kUpdate only.
+    Value value = 0;             // kUpdate only.
+  };
+
+  void LogUpdate(const GlobalTxnId& txn, ItemId item, Value value) {
+    records_.push_back({RecordType::kUpdate, txn, item, value});
+  }
+  void LogCommit(const GlobalTxnId& txn) {
+    records_.push_back({RecordType::kCommit, txn, kInvalidItem, 0});
+  }
+  void LogAbort(const GlobalTxnId& txn) {
+    records_.push_back({RecordType::kAbort, txn, kInvalidItem, 0});
+  }
+
+  /// Redo recovery: applies the updates of every committed transaction to
+  /// `store`, in commit order. Items unknown to `store` are skipped (the
+  /// store defines which items have a copy at the site).
+  void Replay(ItemStore* store) const;
+
+  size_t size() const { return records_.size(); }
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace lazyrep::storage
+
+#endif  // LAZYREP_STORAGE_WAL_H_

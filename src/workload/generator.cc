@@ -1,0 +1,108 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lazyrep::workload {
+
+graph::Placement GeneratePlacement(const Params& params, Rng* rng) {
+  LAZYREP_CHECK_GT(params.num_sites, 0);
+  LAZYREP_CHECK_GT(params.num_items, 0);
+  graph::Placement p;
+  p.num_sites = params.num_sites;
+  p.num_items = params.num_items;
+  p.primary.resize(params.num_items);
+  p.replicas.resize(params.num_items);
+  for (ItemId item = 0; item < params.num_items; ++item) {
+    // Uniform primary assignment: round-robin gives each site ~n/m
+    // primaries, as in the paper.
+    SiteId primary = item % params.num_sites;
+    p.primary[item] = primary;
+    if (!rng->Bernoulli(params.replication_prob)) continue;
+    bool all_sites_candidates = rng->Bernoulli(params.backedge_prob);
+    for (SiteId s = 0; s < params.num_sites; ++s) {
+      if (s == primary) continue;
+      if (!all_sites_candidates && s < primary) continue;
+      if (rng->Bernoulli(params.site_prob)) p.replicas[item].push_back(s);
+    }
+    std::sort(p.replicas[item].begin(), p.replicas[item].end());
+  }
+  LAZYREP_CHECK(p.Validate().ok());
+  return p;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double theta) {
+  LAZYREP_CHECK_GT(n, 0u);
+  cdf_.reserve(n);
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against rounding.
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(size_t i) const {
+  LAZYREP_CHECK_LT(i, cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+TxnGenerator::TxnGenerator(const Params& params,
+                           const graph::Placement& placement)
+    : params_(params),
+      readable_(params.num_sites),
+      writable_(params.num_sites) {
+  for (SiteId s = 0; s < params.num_sites; ++s) {
+    readable_[s] = placement.ItemsAt(s);
+    writable_[s] = placement.PrimaryItemsAt(s);
+    LAZYREP_CHECK(!readable_[s].empty())
+        << "site " << s << " has no readable items";
+  }
+  if (params.zipf_theta > 0) {
+    for (SiteId s = 0; s < params.num_sites; ++s) {
+      read_samplers_.emplace_back(readable_[s].size(), params.zipf_theta);
+      write_samplers_.emplace_back(
+          std::max<size_t>(writable_[s].size(), 1), params.zipf_theta);
+    }
+  }
+}
+
+ItemId TxnGenerator::PickRead(SiteId site, Rng* rng) const {
+  const auto& readable = readable_[site];
+  if (read_samplers_.empty()) return readable[rng->Index(readable.size())];
+  return readable[read_samplers_[site].Sample(rng)];
+}
+
+ItemId TxnGenerator::PickWrite(SiteId site, Rng* rng) const {
+  const auto& writable = writable_[site];
+  if (write_samplers_.empty()) return writable[rng->Index(writable.size())];
+  return writable[write_samplers_[site].Sample(rng)];
+}
+
+TxnSpec TxnGenerator::Next(SiteId site, Rng* rng) const {
+  TxnSpec spec;
+  spec.read_only = rng->Bernoulli(params_.read_txn_prob);
+  spec.ops.reserve(params_.ops_per_txn);
+  for (int i = 0; i < params_.ops_per_txn; ++i) {
+    bool is_read =
+        spec.read_only || rng->Bernoulli(params_.read_op_prob) ||
+        writable_[site].empty();
+    TxnOp op;
+    op.is_write = !is_read;
+    op.item = is_read ? PickRead(site, rng) : PickWrite(site, rng);
+    spec.ops.push_back(op);
+  }
+  return spec;
+}
+
+}  // namespace lazyrep::workload

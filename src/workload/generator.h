@@ -1,0 +1,85 @@
+#ifndef LAZYREP_WORKLOAD_GENERATOR_H_
+#define LAZYREP_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "graph/copy_graph.h"
+#include "workload/params.h"
+
+namespace lazyrep::workload {
+
+/// Generates a data placement per §5.2:
+///  * primary copies assigned round-robin (uniformly) across the sites;
+///  * each primary is replicated with probability `r`;
+///  * for a replicated item, with probability `b` every other site is a
+///    replica candidate (which can create backedges) and with probability
+///    `1-b` only sites after the primary in the total order are;
+///  * each candidate receives a replica with probability `s`.
+graph::Placement GeneratePlacement(const Params& params, Rng* rng);
+
+/// Zipf(θ) sampler over indexes 0..n-1: P(i) ∝ 1/(i+1)^θ. θ=0 is
+/// uniform. Sampling is a binary search over the precomputed CDF.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta);
+
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of index `i`.
+  double Probability(size_t i) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// One operation of a transaction.
+struct TxnOp {
+  bool is_write = false;
+  ItemId item = kInvalidItem;
+};
+
+/// A generated transaction: a sequence of reads/writes to run at its
+/// originating site.
+struct TxnSpec {
+  std::vector<TxnOp> ops;
+  bool read_only = false;
+};
+
+/// Generates transactions for a fixed placement per §5.2: each
+/// transaction has `ops_per_txn` operations; it is read-only with
+/// probability `read_txn_prob`, otherwise each operation is a read with
+/// probability `read_op_prob`. Reads target a uniform item with a copy at
+/// the originating site; writes a uniform item whose primary copy is
+/// local (the system model only permits updating local primaries).
+class TxnGenerator {
+ public:
+  TxnGenerator(const Params& params, const graph::Placement& placement);
+
+  TxnSpec Next(SiteId site, Rng* rng) const;
+
+  /// Items readable at `site` (any local copy).
+  const std::vector<ItemId>& ReadableAt(SiteId site) const {
+    return readable_[site];
+  }
+  /// Items writable at `site` (local primary copies).
+  const std::vector<ItemId>& WritableAt(SiteId site) const {
+    return writable_[site];
+  }
+
+ private:
+  ItemId PickRead(SiteId site, Rng* rng) const;
+  ItemId PickWrite(SiteId site, Rng* rng) const;
+
+  Params params_;
+  std::vector<std::vector<ItemId>> readable_;
+  std::vector<std::vector<ItemId>> writable_;
+  // Present when zipf_theta > 0; indexed by site.
+  std::vector<ZipfSampler> read_samplers_;
+  std::vector<ZipfSampler> write_samplers_;
+};
+
+}  // namespace lazyrep::workload
+
+#endif  // LAZYREP_WORKLOAD_GENERATOR_H_

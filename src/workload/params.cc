@@ -1,0 +1,17 @@
+#include "workload/params.h"
+
+#include "common/strings.h"
+
+namespace lazyrep::workload {
+
+std::string Params::ToString() const {
+  return StrPrintf(
+      "m=%d n=%d r=%.2f s=%.2f b=%.2f ops=%d threads=%d txns=%d "
+      "readop=%.2f readtxn=%.2f latency=%s timeout=%s",
+      num_sites, num_items, replication_prob, site_prob, backedge_prob,
+      ops_per_txn, threads_per_site, txns_per_thread, read_op_prob,
+      read_txn_prob, FormatDuration(network_latency).c_str(),
+      FormatDuration(deadlock_timeout).c_str());
+}
+
+}  // namespace lazyrep::workload

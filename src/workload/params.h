@@ -1,0 +1,55 @@
+#ifndef LAZYREP_WORKLOAD_PARAMS_H_
+#define LAZYREP_WORKLOAD_PARAMS_H_
+
+#include <string>
+
+#include "common/sim_time.h"
+
+namespace lazyrep::workload {
+
+/// The experimental parameters of Table 1, with the paper's default
+/// values. One instance fully describes data distribution, transaction
+/// mix and load for a run.
+struct Params {
+  /// Number of sites `m` (default 9; the paper ran 3 DataBlitz instances
+  /// on each of 3 machines).
+  int num_sites = 9;
+  /// Sites co-located per machine (shared CPU).
+  int sites_per_machine = 3;
+  /// Number of distinct items `n` (primaries, not counting replicas).
+  int num_items = 200;
+  /// Fraction `r` of a site's primary items that are replicated.
+  double replication_prob = 0.2;
+  /// Probability `s` that a candidate site receives a replica.
+  double site_prob = 0.5;
+  /// Probability `b` that replicas of an item may be placed at *all*
+  /// sites (potentially creating backedges) rather than only at sites
+  /// after the primary in the total order.
+  double backedge_prob = 0.2;
+  /// Operations per transaction.
+  int ops_per_txn = 10;
+  /// Concurrent threads per site (multiprogramming level).
+  int threads_per_site = 3;
+  /// Transactions each thread runs back-to-back.
+  int txns_per_thread = 1000;
+  /// Fraction of operations that are reads, within non-read-only
+  /// transactions.
+  double read_op_prob = 0.7;
+  /// Probability that a transaction is read-only.
+  double read_txn_prob = 0.5;
+  /// One-way network latency (the paper measured ~0.15 ms).
+  Duration network_latency = Millis(0.15);
+  /// Lock-wait timeout used to break (local and global) deadlocks.
+  Duration deadlock_timeout = Millis(50);
+  /// Access skew: items are drawn Zipf-distributed with this exponent
+  /// (P(rank i) ∝ 1/(i+1)^θ, ranks by ascending item id). 0 = uniform,
+  /// the paper's setting; >0 is an extension ablation.
+  double zipf_theta = 0.0;
+
+  /// Human-readable one-line summary.
+  std::string ToString() const;
+};
+
+}  // namespace lazyrep::workload
+
+#endif  // LAZYREP_WORKLOAD_PARAMS_H_

@@ -1,0 +1,418 @@
+// Tests for src/graph: placement, copy graph, feedback arc sets, and the
+// DAG(WT) propagation tree builders. Includes property-style sweeps over
+// random graphs.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/copy_graph.h"
+#include "graph/feedback_arc_set.h"
+#include "graph/tree.h"
+
+namespace lazyrep::graph {
+namespace {
+
+// The paper's Example 1.1 topology: a primary at s1 (here 0) replicated at
+// s2 (1) and s3 (2); b primary at s2 replicated at s3.
+Placement Example11Placement() {
+  Placement p;
+  p.num_sites = 3;
+  p.num_items = 2;
+  p.primary = {0, 1};
+  p.replicas = {{1, 2}, {2}};
+  return p;
+}
+
+CopyGraph RandomGraph(Rng* rng, int n, double edge_prob) {
+  CopyGraph g(n);
+  for (SiteId a = 0; a < n; ++a) {
+    for (SiteId b = 0; b < n; ++b) {
+      if (a != b && rng->Bernoulli(edge_prob)) g.AddEdge(a, b);
+    }
+  }
+  return g;
+}
+
+CopyGraph RandomDag(Rng* rng, int n, double edge_prob) {
+  CopyGraph g(n);
+  for (SiteId a = 0; a < n; ++a) {
+    for (SiteId b = a + 1; b < n; ++b) {
+      if (rng->Bernoulli(edge_prob)) g.AddEdge(a, b);
+    }
+  }
+  return g;
+}
+
+TEST(PlacementTest, Example11Queries) {
+  Placement p = Example11Placement();
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_TRUE(p.HasCopy(0, 0));
+  EXPECT_TRUE(p.HasCopy(0, 1));
+  EXPECT_TRUE(p.HasCopy(0, 2));
+  EXPECT_FALSE(p.HasCopy(1, 0));
+  EXPECT_EQ(p.PrimaryItemsAt(0), (std::vector<ItemId>{0}));
+  EXPECT_EQ(p.ItemsAt(2), (std::vector<ItemId>{0, 1}));
+  EXPECT_EQ(p.TotalReplicas(), 3u);
+}
+
+TEST(PlacementTest, ValidateRejectsBadPlacements) {
+  Placement p = Example11Placement();
+  p.replicas[0] = {0};  // Replica at its own primary.
+  EXPECT_FALSE(p.Validate().ok());
+  p = Example11Placement();
+  p.replicas[1] = {2, 2};  // Duplicate.
+  EXPECT_FALSE(p.Validate().ok());
+  p = Example11Placement();
+  p.primary[0] = 9;  // Out of range.
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(CopyGraphTest, FromPlacementBuildsExpectedEdges) {
+  CopyGraph g = CopyGraph::FromPlacement(Example11Placement());
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.Children(0), (std::vector<SiteId>{1, 2}));
+  EXPECT_EQ(g.Parents(2), (std::vector<SiteId>{0, 1}));
+}
+
+TEST(CopyGraphTest, AddEdgeIsIdempotent) {
+  CopyGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(CopyGraphTest, DagDetection) {
+  CopyGraph dag = CopyGraph::FromPlacement(Example11Placement());
+  EXPECT_TRUE(dag.IsDag());
+  CopyGraph cyc(2);
+  cyc.AddEdge(0, 1);
+  cyc.AddEdge(1, 0);
+  EXPECT_FALSE(cyc.IsDag());
+}
+
+TEST(CopyGraphTest, TopologicalOrderRespectsEdges) {
+  CopyGraph g(4);
+  g.AddEdge(2, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 1);
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::vector<int> pos(4);
+  for (size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  for (const Edge& e : g.Edges()) EXPECT_LT(pos[e.from], pos[e.to]);
+}
+
+TEST(CopyGraphTest, TopologicalOrderFailsOnCycle) {
+  CopyGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  EXPECT_EQ(g.TopologicalOrder().status().code(), StatusCode::kUnsupported);
+}
+
+TEST(CopyGraphTest, UndirectedAcyclicOnForests) {
+  // Directed chain: undirected path, acyclic.
+  CopyGraph chain(4);
+  chain.AddEdge(0, 1);
+  chain.AddEdge(1, 2);
+  chain.AddEdge(2, 3);
+  EXPECT_TRUE(chain.UndirectedAcyclic());
+  // Star out of 0.
+  CopyGraph star(4);
+  star.AddEdge(0, 1);
+  star.AddEdge(0, 2);
+  star.AddEdge(0, 3);
+  EXPECT_TRUE(star.UndirectedAcyclic());
+  // Disconnected forest.
+  CopyGraph forest(5);
+  forest.AddEdge(0, 1);
+  forest.AddEdge(3, 4);
+  EXPECT_TRUE(forest.UndirectedAcyclic());
+}
+
+TEST(CopyGraphTest, UndirectedCyclesDetected) {
+  // Example 1.1's graph is a DAG but undirected-CYCLIC (triangle) — the
+  // distinction at the heart of §1.2.
+  CopyGraph example11 = CopyGraph::FromPlacement(Example11Placement());
+  EXPECT_TRUE(example11.IsDag());
+  EXPECT_FALSE(example11.UndirectedAcyclic());
+  // Anti-parallel pair = undirected 2-cycle.
+  CopyGraph pair(2);
+  pair.AddEdge(0, 1);
+  pair.AddEdge(1, 0);
+  EXPECT_FALSE(pair.UndirectedAcyclic());
+  // Diamond.
+  CopyGraph diamond(4);
+  diamond.AddEdge(0, 1);
+  diamond.AddEdge(0, 2);
+  diamond.AddEdge(1, 3);
+  diamond.AddEdge(2, 3);
+  EXPECT_FALSE(diamond.UndirectedAcyclic());
+}
+
+TEST(CopyGraphTest, UndirectedAcyclicImpliesDag) {
+  // A directed cycle is also an undirected cycle, so undirected-acyclic
+  // graphs are always DAGs (property check over random graphs).
+  Rng rng(606);
+  for (int trial = 0; trial < 60; ++trial) {
+    CopyGraph g = RandomGraph(&rng, 3 + static_cast<int>(rng.Below(7)),
+                              0.25);
+    if (g.UndirectedAcyclic()) {
+      EXPECT_TRUE(g.IsDag());
+    }
+  }
+}
+
+TEST(CopyGraphTest, ReachableFrom) {
+  CopyGraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  EXPECT_EQ(g.ReachableFrom(0), (std::set<SiteId>{1, 2}));
+  EXPECT_EQ(g.ReachableFrom(3), (std::set<SiteId>{4}));
+  EXPECT_TRUE(g.ReachableFrom(2).empty());
+}
+
+TEST(CopyGraphTest, WithoutRemovesEdges) {
+  CopyGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  CopyGraph h = g.Without({{2, 0}});
+  EXPECT_TRUE(h.IsDag());
+  EXPECT_EQ(h.num_edges(), 2u);
+}
+
+TEST(FasTest, DfsBackedgesEmptyForDag) {
+  CopyGraph dag = CopyGraph::FromPlacement(Example11Placement());
+  EXPECT_TRUE(DfsBackedges(dag).empty());
+}
+
+TEST(FasTest, DfsBackedgesBreaksSimpleCycle) {
+  CopyGraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  auto back = DfsBackedges(g);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_TRUE(BreaksAllCycles(g, back));
+  EXPECT_TRUE(IsMinimalBackedgeSet(g, back));
+}
+
+TEST(FasTest, DfsBackedgesMinimalOnRandomGraphs) {
+  Rng rng(101);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = 3 + static_cast<int>(rng.Below(8));
+    CopyGraph g = RandomGraph(&rng, n, 0.3);
+    auto back = DfsBackedges(g);
+    EXPECT_TRUE(BreaksAllCycles(g, back));
+    EXPECT_TRUE(IsMinimalBackedgeSet(g, back))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(FasTest, OrderBackedgesMatchPaperDefinition) {
+  // §5.2: with the natural site order, an edge s_i -> s_j is a backedge
+  // iff j < i.
+  CopyGraph g(4);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 1);  // Backward.
+  g.AddEdge(3, 0);  // Backward.
+  g.AddEdge(1, 3);
+  std::vector<SiteId> natural{0, 1, 2, 3};
+  auto back = OrderBackedges(g, natural);
+  EXPECT_EQ(back, (std::vector<Edge>{{2, 1}, {3, 0}}));
+  EXPECT_TRUE(BreaksAllCycles(g, back));
+}
+
+TEST(FasTest, GreedyFasBreaksAllCyclesOnRandomGraphs) {
+  Rng rng(202);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = 3 + static_cast<int>(rng.Below(8));
+    CopyGraph g = RandomGraph(&rng, n, 0.35);
+    auto fas = GreedyFeedbackArcSet(g);
+    EXPECT_TRUE(BreaksAllCycles(g, fas));
+    EXPECT_TRUE(IsMinimalBackedgeSet(g, fas)) << "trial " << trial;
+  }
+}
+
+TEST(FasTest, GreedyFasRespectsWeights) {
+  // Cycle 0->1->0 where removing 0->1 costs 10 and 1->0 costs 1.
+  CopyGraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  std::map<Edge, double> w{{{0, 1}, 10.0}, {{1, 0}, 1.0}};
+  auto fas = GreedyFeedbackArcSet(g, &w);
+  ASSERT_EQ(fas.size(), 1u);
+  EXPECT_EQ(fas[0], (Edge{1, 0}));
+  EXPECT_DOUBLE_EQ(EdgeSetWeight(fas, &w), 1.0);
+}
+
+TEST(FasTest, GreedyNoWorseThanAllEdgesAndOftenSmall) {
+  Rng rng(303);
+  for (int trial = 0; trial < 20; ++trial) {
+    CopyGraph g = RandomGraph(&rng, 8, 0.4);
+    auto greedy = GreedyFeedbackArcSet(g);
+    EXPECT_LE(greedy.size(), g.num_edges());
+  }
+}
+
+TEST(FasTest, LocalSearchBreaksAllCyclesAndIsMinimal) {
+  Rng rng(707);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 3 + static_cast<int>(rng.Below(8));
+    CopyGraph g = RandomGraph(&rng, n, 0.35);
+    auto fas = LocalSearchFeedbackArcSet(g);
+    EXPECT_TRUE(BreaksAllCycles(g, fas));
+    EXPECT_TRUE(IsMinimalBackedgeSet(g, fas)) << "trial " << trial;
+  }
+}
+
+TEST(FasTest, LocalSearchNeverWorseThanGreedy) {
+  Rng rng(808);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 4 + static_cast<int>(rng.Below(8));
+    CopyGraph g = RandomGraph(&rng, n, 0.4);
+    std::map<Edge, double> weights;
+    for (const Edge& e : g.Edges()) {
+      weights[e] = 1.0 + static_cast<double>(rng.Below(9));
+    }
+    double greedy =
+        EdgeSetWeight(GreedyFeedbackArcSet(g, &weights), &weights);
+    double refined =
+        EdgeSetWeight(LocalSearchFeedbackArcSet(g, &weights), &weights);
+    EXPECT_LE(refined, greedy + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(FasTest, LocalSearchFindsTheCheapOrientation) {
+  // 3-cycle where one edge is far cheaper to cut.
+  CopyGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  std::map<Edge, double> w{{{0, 1}, 10}, {{1, 2}, 10}, {{2, 0}, 1}};
+  auto fas = LocalSearchFeedbackArcSet(g, &w);
+  ASSERT_EQ(fas.size(), 1u);
+  EXPECT_EQ(fas[0], (Edge{2, 0}));
+}
+
+TEST(FasTest, MakeMinimalPrunesRedundantEdges) {
+  CopyGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  // Removing two edges breaks the single cycle but is not minimal.
+  std::vector<Edge> fat{{2, 0}, {1, 2}};
+  auto minimal = MakeMinimal(g, fat);
+  EXPECT_EQ(minimal.size(), 1u);
+  EXPECT_TRUE(IsMinimalBackedgeSet(g, minimal));
+}
+
+TEST(TreeTest, BasicStructure) {
+  // Root 0 with children {1, 2}; 3 is a child of 2.
+  Tree t(0, {kInvalidSite, 0, 0, 2});
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.Depth(0), 0);
+  EXPECT_EQ(t.Depth(3), 2);
+  EXPECT_TRUE(t.IsAncestor(0, 3));
+  EXPECT_TRUE(t.IsAncestor(2, 3));
+  EXPECT_FALSE(t.IsAncestor(1, 3));
+  EXPECT_FALSE(t.IsAncestor(3, 3));
+  EXPECT_EQ(t.ChildToward(0, 3), 2);
+  EXPECT_EQ(t.PathDown(0, 3), (std::vector<SiteId>{0, 2, 3}));
+  auto sub = t.Subtree(2);
+  EXPECT_EQ((std::set<SiteId>(sub.begin(), sub.end())),
+            (std::set<SiteId>{2, 3}));
+}
+
+TEST(TreeTest, ChainTreeSatisfiesPropertyOnExample11) {
+  CopyGraph dag = CopyGraph::FromPlacement(Example11Placement());
+  auto tree = BuildChainTree(dag);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->SatisfiesAncestorProperty(dag));
+  // The only valid topo order is 0,1,2 -> chain 0-1-2 as in §2.
+  EXPECT_EQ(tree->root(), 0);
+  EXPECT_EQ(tree->Parent(1), 0);
+  EXPECT_EQ(tree->Parent(2), 1);
+}
+
+TEST(TreeTest, BuildersFailOnCyclicGraph) {
+  CopyGraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  EXPECT_FALSE(BuildChainTree(g).ok());
+  EXPECT_FALSE(BuildGreedyTree(g).ok());
+}
+
+TEST(TreeTest, GreedyTreeReproducesOutTreeDag) {
+  // Warehouse-style hierarchy: 0 feeds 1 and 2; 1 feeds 3 and 4.
+  CopyGraph dag(5);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(0, 2);
+  dag.AddEdge(1, 3);
+  dag.AddEdge(1, 4);
+  auto tree = BuildGreedyTree(dag);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->SatisfiesAncestorProperty(dag));
+  EXPECT_EQ(tree->Parent(1), 0);
+  EXPECT_EQ(tree->Parent(2), 0);
+  EXPECT_EQ(tree->Parent(3), 1);
+  EXPECT_EQ(tree->Parent(4), 1);
+  // Genuinely branching (not a chain).
+  EXPECT_EQ(tree->Children(0).size(), 2u);
+}
+
+TEST(TreeTest, GreedyTreeFallsBackToChainOnDiamond) {
+  CopyGraph dag(4);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(0, 2);
+  dag.AddEdge(1, 3);
+  dag.AddEdge(2, 3);
+  auto tree = BuildGreedyTree(dag);
+  ASSERT_TRUE(tree.ok());
+  // Any valid tree must chain 1 and 2 above 3.
+  EXPECT_TRUE(tree->SatisfiesAncestorProperty(dag));
+}
+
+TEST(TreeTest, PropertyHoldsOnRandomDags) {
+  Rng rng(404);
+  for (int trial = 0; trial < 60; ++trial) {
+    int n = 2 + static_cast<int>(rng.Below(10));
+    CopyGraph dag = RandomDag(&rng, n, 0.3);
+    auto chain = BuildChainTree(dag);
+    ASSERT_TRUE(chain.ok());
+    EXPECT_TRUE(chain->SatisfiesAncestorProperty(dag)) << "trial " << trial;
+    auto greedy = BuildGreedyTree(dag);
+    ASSERT_TRUE(greedy.ok());
+    EXPECT_TRUE(greedy->SatisfiesAncestorProperty(dag))
+        << "trial " << trial;
+  }
+}
+
+TEST(TreeTest, BackedgeTargetIsTreeAncestorAfterRemoval) {
+  // §4.1's structural claim: with a minimal backedge set B, for every
+  // backedge s_i -> s_j, s_j is an ancestor of s_i in any tree built from
+  // Gdag.
+  Rng rng(505);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = 3 + static_cast<int>(rng.Below(7));
+    CopyGraph g = RandomGraph(&rng, n, 0.3);
+    auto back = DfsBackedges(g);
+    if (back.empty()) continue;
+    CopyGraph gdag = g.Without(back);
+    auto tree = BuildChainTree(gdag);
+    ASSERT_TRUE(tree.ok());
+    for (const Edge& e : back) {
+      EXPECT_TRUE(tree->IsAncestor(e.to, e.from))
+          << "trial " << trial << " edge " << e.from << "->" << e.to;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lazyrep::graph

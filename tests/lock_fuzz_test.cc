@@ -1,0 +1,161 @@
+// Randomized invariant fuzzing of the strict-2PL lock manager: many
+// simulated transactions perform random acquire sequences with random
+// think times, commit or self-abort, while an invariant checker verifies
+// the lock-table axioms after every simulated step.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "storage/lock_manager.h"
+
+namespace lazyrep::storage {
+namespace {
+
+using sim::Co;
+using sim::Simulator;
+
+struct FuzzWorld {
+  explicit FuzzWorld(Simulator* s, LockManager::Config config)
+      : sim(s), locks(s, config) {}
+
+  Simulator* sim;
+  LockManager locks;
+  // Ground truth mirror: what each live transaction currently holds.
+  std::map<const Transaction*, std::map<ItemId, LockMode>> held;
+  int finished = 0;
+  int aborted = 0;
+  int64_t checks = 0;
+
+  void VerifyInvariants() {
+    ++checks;
+    // Per item: any number of S holders XOR exactly one X holder.
+    std::map<ItemId, std::pair<int, int>> counts;  // item -> (s, x)
+    for (const auto& [txn, items] : held) {
+      for (const auto& [item, mode] : items) {
+        if (mode == LockMode::kExclusive) {
+          ++counts[item].second;
+        } else {
+          ++counts[item].first;
+        }
+        EXPECT_TRUE(locks.Holds(txn, item, mode))
+            << "mirror says " << txn->DebugString() << " holds " << item;
+      }
+    }
+    for (const auto& [item, sx] : counts) {
+      auto [s, x] = sx;
+      EXPECT_LE(x, 1) << "two X holders on item " << item;
+      if (x == 1) {
+        EXPECT_EQ(s, 0) << "S and X coexist on item " << item;
+      }
+    }
+  }
+};
+
+Co<void> FuzzTxn(FuzzWorld* world, int64_t seq, Rng rng, int num_items) {
+  auto txn = std::make_shared<Transaction>(
+      GlobalTxnId{0, seq}, TxnKind::kPrimary, world->sim->Now(), seq);
+  world->held[txn.get()] = {};
+  int ops = 2 + static_cast<int>(rng.Below(8));
+  bool dead = false;
+  for (int i = 0; i < ops && !dead; ++i) {
+    ItemId item = static_cast<ItemId>(rng.Below(num_items));
+    LockMode mode =
+        rng.Bernoulli(0.4) ? LockMode::kExclusive : LockMode::kShared;
+    LockOutcome outcome =
+        co_await world->locks.Acquire(txn.get(), item, mode);
+    switch (outcome) {
+      case LockOutcome::kGranted: {
+        // Record the strongest mode we now hold.
+        auto& mine = world->held[txn.get()];
+        auto it = mine.find(item);
+        if (it == mine.end()) {
+          mine[item] = mode;
+        } else if (mode == LockMode::kExclusive) {
+          it->second = LockMode::kExclusive;
+        }
+        break;
+      }
+      case LockOutcome::kTimeout:
+      case LockOutcome::kAborted:
+        dead = true;
+        break;
+    }
+    world->VerifyInvariants();
+    co_await world->sim->Delay(
+        Micros(static_cast<double>(rng.Below(200))));
+  }
+  world->held.erase(txn.get());
+  world->locks.ReleaseAll(txn.get());
+  world->VerifyInvariants();
+  ++world->finished;
+  if (dead) ++world->aborted;
+}
+
+class LockFuzz : public ::testing::TestWithParam<
+                     std::tuple<DeadlockPolicy, GrantPolicy, uint64_t>> {};
+
+TEST_P(LockFuzz, InvariantsHoldUnderRandomWorkloads) {
+  auto [deadlock_policy, grant_policy, seed] = GetParam();
+  Simulator sim;
+  LockManager::Config config;
+  config.policy = deadlock_policy;
+  config.grant = grant_policy;
+  config.wait_timeout = Millis(5);  // Fast conflict resolution.
+  FuzzWorld world(&sim, config);
+  Rng rng(seed);
+  constexpr int kTxns = 150;
+  constexpr int kItems = 12;  // Small pool = heavy contention.
+  for (int64_t i = 0; i < kTxns; ++i) {
+    // Stagger arrivals.
+    sim.ScheduleCallback(
+        Micros(static_cast<double>(rng.Below(20000))),
+        [&world, i, r = rng.Split()]() mutable {
+          world.sim->Spawn(FuzzTxn(&world, i, r, kItems));
+        });
+  }
+  sim.Run();
+  EXPECT_EQ(world.finished, kTxns);
+  EXPECT_GT(world.checks, 0);
+  // Everything released at the end.
+  EXPECT_EQ(world.locks.waiting_count(), 0u);
+  // No residue: a fresh transaction can X-lock every item instantly.
+  auto probe = std::make_shared<Transaction>(
+      GlobalTxnId{0, 99999}, TxnKind::kPrimary, sim.Now(), 99999);
+  bool all_free = true;
+  sim.Spawn([](FuzzWorld* w, std::shared_ptr<Transaction> t,
+               bool* ok) -> Co<void> {
+    for (ItemId item = 0; item < kItems; ++item) {
+      LockOutcome lo =
+          co_await w->locks.Acquire(t.get(), item, LockMode::kExclusive);
+      if (lo != LockOutcome::kGranted) *ok = false;
+    }
+    w->locks.ReleaseAll(t.get());
+  }(&world, probe, &all_free));
+  sim.Run();
+  EXPECT_TRUE(all_free) << "locks leaked after fuzz";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, LockFuzz,
+    ::testing::Combine(
+        ::testing::Values(DeadlockPolicy::kTimeoutOnly,
+                          DeadlockPolicy::kLocalDetection),
+        ::testing::Values(GrantPolicy::kImmediate, GrantPolicy::kFifo),
+        ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) ==
+                                 DeadlockPolicy::kTimeoutOnly
+                             ? "Timeout"
+                             : "Detection";
+      name += std::get<1>(info.param) == GrantPolicy::kImmediate
+                  ? "Immediate"
+                  : "Fifo";
+      return name + "Seed" + std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace lazyrep::storage

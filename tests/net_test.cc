@@ -1,0 +1,284 @@
+// Tests for the simulated network (src/net): reliable delivery, FIFO
+// channels, latency/jitter, CPU charging.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace lazyrep::net {
+namespace {
+
+using sim::Co;
+using sim::Resource;
+using sim::Simulator;
+
+using IntNet = Network<int>;
+
+IntNet::Config NoCpuConfig(Duration latency) {
+  IntNet::Config cfg;
+  cfg.latency = latency;
+  return cfg;
+}
+
+TEST(NetworkTest, DeliversWithConfiguredLatency) {
+  Simulator sim;
+  IntNet net(&sim, 2, NoCpuConfig(Millis(5)), {nullptr, nullptr}, Rng(1));
+  std::vector<std::pair<int, SimTime>> got;
+  net.SetHandler(1, [&](IntNet::Envelope env) {
+    got.push_back({env.payload, sim.Now()});
+  });
+  net.Post(0, 1, 42);
+  sim.Run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 42);
+  EXPECT_EQ(got[0].second, Millis(5));
+}
+
+TEST(NetworkTest, ChannelIsFifoEvenWithJitter) {
+  Simulator sim;
+  IntNet::Config cfg;
+  cfg.latency = Millis(1);
+  cfg.jitter = Millis(10);  // Large jitter would reorder without the
+                            // channel clock.
+  IntNet net(&sim, 2, cfg, {nullptr, nullptr}, Rng(7));
+  std::vector<int> got;
+  net.SetHandler(1,
+                 [&](IntNet::Envelope env) { got.push_back(env.payload); });
+  for (int i = 0; i < 50; ++i) net.Post(0, 1, i);
+  sim.Run();
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(NetworkTest, IndependentChannelsDoNotBlockEachOther) {
+  Simulator sim;
+  IntNet net(&sim, 3, NoCpuConfig(Millis(1)), {nullptr, nullptr, nullptr},
+             Rng(1));
+  std::vector<std::pair<SiteId, int>> got;
+  net.SetHandler(2, [&](IntNet::Envelope env) {
+    got.push_back({env.src, env.payload});
+  });
+  net.Post(0, 2, 100);
+  net.Post(1, 2, 200);
+  sim.Run();
+  ASSERT_EQ(got.size(), 2u);
+  // Same latency, posted in order 0-then-1 at the same instant.
+  EXPECT_EQ(got[0], (std::pair<SiteId, int>{0, 100}));
+  EXPECT_EQ(got[1], (std::pair<SiteId, int>{1, 200}));
+}
+
+TEST(NetworkTest, EnvelopeCarriesMetadata) {
+  Simulator sim;
+  IntNet net(&sim, 2, NoCpuConfig(Millis(2)), {nullptr, nullptr}, Rng(1));
+  IntNet::Envelope seen;
+  net.SetHandler(0, [&](IntNet::Envelope env) { seen = env; });
+  sim.Spawn([](Simulator* s, IntNet* n) -> Co<void> {
+    co_await s->Delay(Millis(10));
+    n->Post(1, 0, 9);
+  }(&sim, &net));
+  sim.Run();
+  EXPECT_EQ(seen.src, 1);
+  EXPECT_EQ(seen.dst, 0);
+  EXPECT_EQ(seen.send_time, Millis(10));
+  EXPECT_EQ(seen.payload, 9);
+}
+
+TEST(NetworkTest, CountsMessages) {
+  Simulator sim;
+  IntNet net(&sim, 3, NoCpuConfig(Millis(1)), {nullptr, nullptr, nullptr},
+             Rng(1));
+  net.SetHandler(1, [](IntNet::Envelope) {});
+  net.SetHandler(2, [](IntNet::Envelope) {});
+  net.Post(0, 1, 1);
+  net.Post(0, 2, 2);
+  net.Post(1, 2, 3);
+  sim.Run();
+  EXPECT_EQ(net.total_messages(), 3u);
+  EXPECT_EQ(net.sent_from(0), 2u);
+  EXPECT_EQ(net.sent_from(1), 1u);
+  EXPECT_EQ(net.received_at(2), 2u);
+  EXPECT_EQ(net.received_at(1), 1u);
+  EXPECT_EQ(net.received_at(0), 0u);
+}
+
+TEST(NetworkTest, ReceiveCpuDelaysHandlerAndChargesMachine) {
+  Simulator sim;
+  Resource cpu(&sim, 1);
+  IntNet::Config cfg;
+  cfg.latency = Millis(1);
+  cfg.recv_cpu = Millis(2);
+  IntNet net(&sim, 2, cfg, {&cpu, &cpu}, Rng(1));
+  SimTime handled_at = -1;
+  net.SetHandler(1, [&](IntNet::Envelope) { handled_at = sim.Now(); });
+  net.Post(0, 1, 1);
+  sim.Run();
+  EXPECT_EQ(handled_at, Millis(3));  // 1 wire + 2 receive CPU.
+  EXPECT_EQ(cpu.busy_time(), Millis(2));
+}
+
+TEST(NetworkTest, SendCpuChargesSenderWithoutBlockingPost) {
+  Simulator sim;
+  Resource cpu0(&sim, 1);
+  Resource cpu1(&sim, 1);
+  IntNet::Config cfg;
+  cfg.latency = Millis(1);
+  cfg.send_cpu = Millis(4);
+  IntNet net(&sim, 2, cfg, {&cpu0, &cpu1}, Rng(1));
+  SimTime handled_at = -1;
+  net.SetHandler(1, [&](IntNet::Envelope) { handled_at = sim.Now(); });
+  net.Post(0, 1, 1);  // Returns immediately.
+  sim.Run();
+  // Wire transit is not delayed by the asynchronous send-CPU charge.
+  EXPECT_EQ(handled_at, Millis(1));
+  EXPECT_EQ(cpu0.busy_time(), Millis(4));
+  EXPECT_EQ(cpu1.busy_time(), 0);
+}
+
+TEST(NetworkTest, RecvCpuPreservesPerChannelOrder) {
+  Simulator sim;
+  Resource cpu(&sim, 1);
+  IntNet::Config cfg;
+  cfg.latency = Millis(1);
+  cfg.recv_cpu = Micros(100);
+  IntNet net(&sim, 2, cfg, {&cpu, &cpu}, Rng(3));
+  std::vector<int> got;
+  net.SetHandler(1,
+                 [&](IntNet::Envelope env) { got.push_back(env.payload); });
+  for (int i = 0; i < 20; ++i) net.Post(0, 1, i);
+  sim.Run();
+  ASSERT_EQ(got.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(NetworkTest, JitterIsDeterministicUnderSeed) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    IntNet::Config cfg;
+    cfg.latency = Millis(1);
+    cfg.jitter = Millis(3);
+    IntNet net(&sim, 2, cfg, {nullptr, nullptr}, Rng(seed));
+    std::vector<SimTime> times;
+    net.SetHandler(1, [&](IntNet::Envelope) { times.push_back(sim.Now()); });
+    for (int i = 0; i < 10; ++i) net.Post(0, 1, i);
+    sim.Run();
+    return times;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(NetworkTest, BandwidthAddsTransmissionTime) {
+  Simulator sim;
+  IntNet::Config cfg;
+  cfg.latency = Millis(1);
+  cfg.bandwidth_bytes_per_sec = 1000;  // 1 byte per ms.
+  IntNet net(&sim, 2, cfg, {nullptr, nullptr}, Rng(1));
+  net.SetSizer([](const int&) { return static_cast<size_t>(10); });
+  SimTime arrived = -1;
+  net.SetHandler(1, [&](IntNet::Envelope) { arrived = sim.Now(); });
+  net.Post(0, 1, 7);
+  sim.Run();
+  // 10 bytes at 1 B/ms = 10 ms transmission + 1 ms latency.
+  EXPECT_EQ(arrived, Millis(11));
+  EXPECT_EQ(net.total_bytes(), 10u);
+}
+
+TEST(NetworkTest, SharedMediumSerializesAllChannels) {
+  Simulator sim;
+  IntNet::Config cfg;
+  cfg.latency = 0;
+  cfg.bandwidth_bytes_per_sec = 1000;
+  cfg.shared_medium = true;
+  IntNet net(&sim, 3, cfg, {nullptr, nullptr, nullptr}, Rng(1));
+  net.SetSizer([](const int&) { return static_cast<size_t>(5); });
+  std::vector<SimTime> arrivals;
+  auto handler = [&](IntNet::Envelope) { arrivals.push_back(sim.Now()); };
+  net.SetHandler(1, handler);
+  net.SetHandler(2, handler);
+  net.Post(0, 1, 1);  // Bus [0, 5ms).
+  net.Post(0, 2, 2);  // Bus [5, 10ms) — different channel, same bus.
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], Millis(5));
+  EXPECT_EQ(arrivals[1], Millis(10));
+}
+
+TEST(NetworkTest, PointToPointLinksAreIndependent) {
+  Simulator sim;
+  IntNet::Config cfg;
+  cfg.latency = 0;
+  cfg.bandwidth_bytes_per_sec = 1000;
+  cfg.shared_medium = false;
+  IntNet net(&sim, 3, cfg, {nullptr, nullptr, nullptr}, Rng(1));
+  net.SetSizer([](const int&) { return static_cast<size_t>(5); });
+  std::vector<SimTime> arrivals;
+  auto handler = [&](IntNet::Envelope) { arrivals.push_back(sim.Now()); };
+  net.SetHandler(1, handler);
+  net.SetHandler(2, handler);
+  net.Post(0, 1, 1);
+  net.Post(0, 2, 2);
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], Millis(5));
+  EXPECT_EQ(arrivals[1], Millis(5));  // Parallel links.
+}
+
+TEST(NetworkTest, LoopbackSkipsBusAndUsesLoopbackLatency) {
+  Simulator sim;
+  IntNet::Config cfg;
+  cfg.latency = Millis(5);
+  cfg.loopback_latency = Millis(1);
+  cfg.bandwidth_bytes_per_sec = 10;  // Brutally slow wire.
+  IntNet net(&sim, 3, cfg, {nullptr, nullptr, nullptr}, Rng(1));
+  net.SetSizer([](const int&) { return static_cast<size_t>(100); });
+  net.SetMachineMap({0, 0, 1});  // Endpoints 0 and 1 share a machine.
+  std::map<SiteId, SimTime> arrivals;
+  auto handler = [&](IntNet::Envelope env) {
+    arrivals[env.dst] = sim.Now();
+  };
+  net.SetHandler(1, handler);
+  net.SetHandler(2, handler);
+  net.Post(0, 1, 1);  // Loopback: 1 ms, no bus.
+  net.Post(0, 2, 2);  // Wire: 10 s transmission + 5 ms.
+  sim.Run();
+  EXPECT_EQ(arrivals[1], Millis(1));
+  EXPECT_EQ(arrivals[2], Seconds(10) + Millis(5));
+}
+
+TEST(NetworkTest, FifoPreservedUnderBandwidthAndJitter) {
+  Simulator sim;
+  IntNet::Config cfg;
+  cfg.latency = Millis(1);
+  cfg.jitter = Millis(5);
+  cfg.bandwidth_bytes_per_sec = 100000;
+  IntNet net(&sim, 2, cfg, {nullptr, nullptr}, Rng(17));
+  net.SetSizer([](const int& v) {
+    return static_cast<size_t>(v % 37 + 1);  // Variable sizes.
+  });
+  std::vector<int> got;
+  net.SetHandler(1,
+                 [&](IntNet::Envelope env) { got.push_back(env.payload); });
+  for (int i = 0; i < 40; ++i) net.Post(0, 1, i);
+  sim.Run();
+  ASSERT_EQ(got.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(NetworkTest, StringPayloads) {
+  Simulator sim;
+  using StrNet = Network<std::string>;
+  StrNet::Config cfg;
+  StrNet net(&sim, 2, cfg, {nullptr, nullptr}, Rng(1));
+  std::string got;
+  net.SetHandler(1,
+                 [&](StrNet::Envelope env) { got = env.payload; });
+  net.Post(0, 1, "update(a=5)");
+  sim.Run();
+  EXPECT_EQ(got, "update(a=5)");
+}
+
+}  // namespace
+}  // namespace lazyrep::net

@@ -1,0 +1,172 @@
+// Tests for src/core/routing.*: protocol-specific routing state built
+// from placements.
+
+#include <gtest/gtest.h>
+
+#include "core/routing.h"
+
+namespace lazyrep::core {
+namespace {
+
+// Example 1.1: item 0 primary at site 0, replicas {1,2}; item 1 primary
+// at site 1, replica {2}.
+graph::Placement Example11() {
+  graph::Placement p;
+  p.num_sites = 3;
+  p.num_items = 2;
+  p.primary = {0, 1};
+  p.replicas = {{1, 2}, {2}};
+  return p;
+}
+
+// Example 4.1: two sites, item 0 primary at 0 replicated at 1; item 1
+// primary at 1 replicated at 0 — a two-cycle.
+graph::Placement Example41() {
+  graph::Placement p;
+  p.num_sites = 2;
+  p.num_items = 2;
+  p.primary = {0, 1};
+  p.replicas = {{1}, {0}};
+  return p;
+}
+
+std::vector<WriteRecord> Writes(std::initializer_list<ItemId> items) {
+  std::vector<WriteRecord> out;
+  for (ItemId i : items) out.push_back({i, 0});
+  return out;
+}
+
+TEST(RoutingTest, DagProtocolRejectsCyclicGraph) {
+  EngineOptions options;
+  EXPECT_FALSE(Routing::Build(Example41(), Protocol::kDagWt, options).ok());
+  EXPECT_FALSE(Routing::Build(Example41(), Protocol::kDagT, options).ok());
+}
+
+TEST(RoutingTest, BackEdgeAcceptsCyclicGraph) {
+  EngineOptions options;
+  auto routing = Routing::Build(Example41(), Protocol::kBackEdge, options);
+  ASSERT_TRUE(routing.ok());
+  EXPECT_EQ((*routing)->backedges().size(), 1u);
+  EXPECT_EQ((*routing)->backedges()[0], (graph::Edge{1, 0}));
+  EXPECT_TRUE((*routing)->gdag().IsDag());
+}
+
+TEST(RoutingTest, TreeBuiltForTreeProtocols) {
+  EngineOptions options;
+  auto wt = Routing::Build(Example11(), Protocol::kDagWt, options);
+  ASSERT_TRUE(wt.ok());
+  ASSERT_TRUE((*wt)->tree().has_value());
+  // Chain 0 - 1 - 2 (§2's discussion of Example 1.1).
+  EXPECT_EQ((*wt)->tree()->Parent(1), 0);
+  EXPECT_EQ((*wt)->tree()->Parent(2), 1);
+  auto dagt = Routing::Build(Example11(), Protocol::kDagT, options);
+  ASSERT_TRUE(dagt.ok());
+  EXPECT_FALSE((*dagt)->tree().has_value());
+}
+
+TEST(RoutingTest, ReplicaSitesAndCounts) {
+  EngineOptions options;
+  auto r = Routing::Build(Example11(), Protocol::kDagWt, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->ReplicaSites(0), (std::set<SiteId>{1, 2}));
+  EXPECT_EQ((*r)->ReplicaSites(1), (std::set<SiteId>{2}));
+  EXPECT_EQ((*r)->CountReplicaTargets(Writes({0})), 2);
+  EXPECT_EQ((*r)->CountReplicaTargets(Writes({0, 1})), 2);  // Union.
+  EXPECT_EQ((*r)->CountReplicaTargets(Writes({1})), 1);
+  EXPECT_TRUE((*r)->HasReplica(2, 0));
+  EXPECT_FALSE((*r)->HasReplica(0, 0));  // Primary, not replica.
+}
+
+TEST(RoutingTest, RelevantTreeChildrenFollowSubtreeReplicas) {
+  EngineOptions options;
+  auto r = Routing::Build(Example11(), Protocol::kDagWt, options);
+  ASSERT_TRUE(r.ok());
+  // Chain 0-1-2. A write of item 0 at site 0 is relevant to child 1
+  // (replicas at 1 and 2, both in child 1's subtree).
+  EXPECT_EQ((*r)->RelevantTreeChildren(0, Writes({0})),
+            (std::vector<SiteId>{1}));
+  // Site 1 forwards item-0 updates on to 2.
+  EXPECT_EQ((*r)->RelevantTreeChildren(1, Writes({0})),
+            (std::vector<SiteId>{2}));
+  // Site 2 is a leaf.
+  EXPECT_TRUE((*r)->RelevantTreeChildren(2, Writes({0})).empty());
+  // Item 1 updates at site 0 are irrelevant everywhere below 0 except
+  // through its own primary site — no, item 1's primary is site 1; a
+  // site-0 transaction cannot write it, but routing still answers.
+  EXPECT_EQ((*r)->RelevantTreeChildren(1, Writes({1})),
+            (std::vector<SiteId>{2}));
+}
+
+TEST(RoutingTest, RelevantCopyChildrenAreDirectReplicaHolders) {
+  EngineOptions options;
+  auto r = Routing::Build(Example11(), Protocol::kDagT, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->RelevantCopyChildren(0, Writes({0})),
+            (std::vector<SiteId>{1, 2}));
+  EXPECT_EQ((*r)->RelevantCopyChildren(1, Writes({1})),
+            (std::vector<SiteId>{2}));
+}
+
+TEST(RoutingTest, BackedgeTargetsAreTreeAncestors) {
+  EngineOptions options;
+  auto r = Routing::Build(Example41(), Protocol::kBackEdge, options);
+  ASSERT_TRUE(r.ok());
+  // Site 1 updates item 1, replicated at site 0 = its tree ancestor.
+  EXPECT_EQ((*r)->BackedgeTargets(1, Writes({1})),
+            (std::vector<SiteId>{0}));
+  // Site 0 updates item 0, replicated at 1 = descendant: no backedge.
+  EXPECT_TRUE((*r)->BackedgeTargets(0, Writes({0})).empty());
+}
+
+TEST(RoutingTest, BackedgeTargetsSortedFarthestFirst) {
+  // Chain 0-1-2-3; site 3 writes items replicated at 0 and 2.
+  graph::Placement p;
+  p.num_sites = 4;
+  p.num_items = 3;
+  p.primary = {3, 3, 0};
+  p.replicas = {{0, 2}, {1, 2}, {1}};
+  EngineOptions options;
+  auto r = Routing::Build(p, Protocol::kBackEdge, options);
+  ASSERT_TRUE(r.ok());
+  auto targets = (*r)->BackedgeTargets(3, Writes({0, 1}));
+  ASSERT_EQ(targets.size(), 3u);
+  EXPECT_EQ(targets[0], 0);  // Farthest (nearest the root).
+  EXPECT_EQ(targets[1], 1);
+  EXPECT_EQ(targets[2], 2);
+}
+
+TEST(RoutingTest, TopoRankConsistentWithDag) {
+  EngineOptions options;
+  auto r = Routing::Build(Example11(), Protocol::kDagT, options);
+  ASSERT_TRUE(r.ok());
+  for (const graph::Edge& e : (*r)->copy_graph().Edges()) {
+    EXPECT_LT((*r)->TopoRank(e.from), (*r)->TopoRank(e.to));
+  }
+}
+
+TEST(RoutingTest, BackedgeMethodsAllYieldValidSets) {
+  graph::Placement p;
+  p.num_sites = 4;
+  p.num_items = 4;
+  p.primary = {0, 1, 2, 3};
+  p.replicas = {{1, 3}, {2}, {0, 3}, {1}};  // Cycles present.
+  for (BackedgeMethod method : {BackedgeMethod::kSiteOrder,
+                                BackedgeMethod::kDfs,
+                                BackedgeMethod::kGreedy}) {
+    EngineOptions options;
+    options.backedge_method = method;
+    auto r = Routing::Build(p, Protocol::kBackEdge, options);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE((*r)->gdag().IsDag());
+    ASSERT_TRUE((*r)->tree().has_value());
+    // Every copy edge tree-comparable: replicas reachable eagerly or
+    // lazily.
+    for (const graph::Edge& e : (*r)->copy_graph().Edges()) {
+      EXPECT_TRUE((*r)->tree()->IsAncestor(e.from, e.to) ||
+                  (*r)->tree()->IsAncestor(e.to, e.from));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lazyrep::core

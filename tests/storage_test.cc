@@ -1,0 +1,685 @@
+// Tests for the storage substrate (src/storage): item store, strict-2PL
+// lock manager with timeout/detection deadlock handling, transactional
+// database with undo rollback, and the redo WAL.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "storage/database.h"
+#include "storage/item_store.h"
+#include "storage/lock_manager.h"
+#include "storage/wal.h"
+
+namespace lazyrep::storage {
+namespace {
+
+using sim::Co;
+using sim::Simulator;
+
+GlobalTxnId Id(SiteId site, int64_t seq) { return GlobalTxnId{site, seq}; }
+
+// ---------------------------------------------------------------- ItemStore
+
+TEST(ItemStoreTest, AddGetPut) {
+  ItemStore store;
+  store.AddItem(1, 10);
+  store.AddItem(2);
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_FALSE(store.Contains(3));
+  EXPECT_EQ(store.Get(1).value(), 10);
+  EXPECT_EQ(store.Get(2).value(), 0);
+  EXPECT_EQ(store.Put(1, 77).value(), 10);  // Returns old value.
+  EXPECT_EQ(store.Get(1).value(), 77);
+}
+
+TEST(ItemStoreTest, MissingItemIsNotFound) {
+  ItemStore store;
+  EXPECT_EQ(store.Get(9).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Put(9, 1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ItemStoreTest, VersionCountsUpdates) {
+  ItemStore store;
+  store.AddItem(4);
+  EXPECT_EQ(store.Version(4), 0);
+  (void)store.Put(4, 1);
+  (void)store.Put(4, 2);
+  EXPECT_EQ(store.Version(4), 2);
+  EXPECT_EQ(store.Version(5), 0);  // Absent.
+}
+
+TEST(ItemStoreTest, SnapshotIsSortedByItem) {
+  ItemStore store;
+  store.AddItem(3, 30);
+  store.AddItem(1, 10);
+  store.AddItem(2, 20);
+  auto snap = store.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0], (std::pair<ItemId, Value>{1, 10}));
+  EXPECT_EQ(snap[2], (std::pair<ItemId, Value>{3, 30}));
+}
+
+// -------------------------------------------------------------- LockManager
+
+class LockFixture : public ::testing::Test {
+ protected:
+  LockFixture() : locks_(&sim_, {}) {}
+
+  TxnPtr MakeTxn(int64_t seq, TxnKind kind = TxnKind::kPrimary) {
+    return std::make_shared<Transaction>(Id(0, seq), kind, sim_.Now(),
+                                         seq);
+  }
+
+  // Spawns an acquire; writes the outcome (and completion time) out.
+  void SpawnAcquire(TxnPtr txn, ItemId item, LockMode mode,
+                    std::optional<LockOutcome>* out,
+                    SimTime* when = nullptr) {
+    sim_.Spawn([](LockManager* lm, Simulator* s, TxnPtr t, ItemId i,
+                  LockMode m, std::optional<LockOutcome>* o,
+                  SimTime* w) -> Co<void> {
+      LockOutcome lo = co_await lm->Acquire(t.get(), i, m);
+      *o = lo;
+      if (w != nullptr) *w = s->Now();
+    }(&locks_, &sim_, std::move(txn), item, mode, out, when));
+  }
+
+  Simulator sim_;
+  LockManager locks_;
+};
+
+TEST_F(LockFixture, SharedLocksAreCompatible) {
+  TxnPtr t1 = MakeTxn(1), t2 = MakeTxn(2);
+  std::optional<LockOutcome> o1, o2;
+  SpawnAcquire(t1, 5, LockMode::kShared, &o1);
+  SpawnAcquire(t2, 5, LockMode::kShared, &o2);
+  sim_.Run();
+  EXPECT_EQ(o1, LockOutcome::kGranted);
+  EXPECT_EQ(o2, LockOutcome::kGranted);
+  EXPECT_TRUE(locks_.Holds(t1.get(), 5, LockMode::kShared));
+  EXPECT_TRUE(locks_.Holds(t2.get(), 5, LockMode::kShared));
+}
+
+TEST_F(LockFixture, ExclusiveConflictsWithShared) {
+  TxnPtr t1 = MakeTxn(1), t2 = MakeTxn(2);
+  std::optional<LockOutcome> o1, o2;
+  SpawnAcquire(t1, 5, LockMode::kShared, &o1);
+  SpawnAcquire(t2, 5, LockMode::kExclusive, &o2);
+  sim_.Run();
+  EXPECT_EQ(o1, LockOutcome::kGranted);
+  EXPECT_EQ(o2, LockOutcome::kTimeout);  // t1 never releases.
+}
+
+TEST_F(LockFixture, WaiterGrantedOnRelease) {
+  TxnPtr t1 = MakeTxn(1), t2 = MakeTxn(2);
+  std::optional<LockOutcome> o1, o2;
+  SimTime granted_at = -1;
+  SpawnAcquire(t1, 5, LockMode::kExclusive, &o1);
+  SpawnAcquire(t2, 5, LockMode::kExclusive, &o2, &granted_at);
+  sim_.Spawn([](Simulator* s, LockManager* lm, TxnPtr t) -> Co<void> {
+    co_await s->Delay(Millis(10));
+    lm->ReleaseAll(t.get());
+  }(&sim_, &locks_, t1));
+  sim_.Run();
+  EXPECT_EQ(o2, LockOutcome::kGranted);
+  EXPECT_EQ(granted_at, Millis(10));
+  EXPECT_TRUE(locks_.Holds(t2.get(), 5, LockMode::kExclusive));
+  EXPECT_FALSE(locks_.Holds(t1.get(), 5, LockMode::kShared));
+}
+
+TEST_F(LockFixture, ReentrantAcquireSucceeds) {
+  TxnPtr t = MakeTxn(1);
+  std::optional<LockOutcome> o1, o2, o3;
+  SpawnAcquire(t, 5, LockMode::kExclusive, &o1);
+  SpawnAcquire(t, 5, LockMode::kShared, &o2);  // X covers S.
+  SpawnAcquire(t, 5, LockMode::kExclusive, &o3);
+  sim_.Run();
+  EXPECT_EQ(o1, LockOutcome::kGranted);
+  EXPECT_EQ(o2, LockOutcome::kGranted);
+  EXPECT_EQ(o3, LockOutcome::kGranted);
+  EXPECT_EQ(locks_.HeldCount(t.get()), 1u);
+}
+
+TEST_F(LockFixture, UpgradeWhenSoleHolder) {
+  TxnPtr t = MakeTxn(1);
+  std::optional<LockOutcome> o1, o2;
+  SpawnAcquire(t, 5, LockMode::kShared, &o1);
+  SpawnAcquire(t, 5, LockMode::kExclusive, &o2);
+  sim_.Run();
+  EXPECT_EQ(o2, LockOutcome::kGranted);
+  EXPECT_TRUE(locks_.Holds(t.get(), 5, LockMode::kExclusive));
+}
+
+TEST_F(LockFixture, UpgradeWaitsForOtherSharers) {
+  TxnPtr t1 = MakeTxn(1), t2 = MakeTxn(2);
+  std::optional<LockOutcome> o1, o2, oup;
+  SpawnAcquire(t1, 5, LockMode::kShared, &o1);
+  SpawnAcquire(t2, 5, LockMode::kShared, &o2);
+  SpawnAcquire(t1, 5, LockMode::kExclusive, &oup);
+  sim_.Spawn([](Simulator* s, LockManager* lm, TxnPtr t) -> Co<void> {
+    co_await s->Delay(Millis(5));
+    lm->ReleaseAll(t.get());
+  }(&sim_, &locks_, t2));
+  sim_.Run();
+  EXPECT_EQ(oup, LockOutcome::kGranted);
+  EXPECT_TRUE(locks_.Holds(t1.get(), 5, LockMode::kExclusive));
+}
+
+TEST_F(LockFixture, FifoGrantOrder) {
+  TxnPtr holder = MakeTxn(1);
+  std::optional<LockOutcome> oh;
+  SpawnAcquire(holder, 5, LockMode::kExclusive, &oh);
+  std::vector<int> grant_order;
+  auto contender = [&](TxnPtr t, int tag) {
+    sim_.Spawn([](LockManager* lm, Simulator* s, TxnPtr txn, int tg,
+                  std::vector<int>* ord) -> Co<void> {
+      LockOutcome lo =
+          co_await lm->Acquire(txn.get(), 5, LockMode::kExclusive);
+      if (lo == LockOutcome::kGranted) {
+        ord->push_back(tg);
+        co_await s->Delay(Millis(1));
+        lm->ReleaseAll(txn.get());
+      }
+    }(&locks_, &sim_, std::move(t), tag, &grant_order));
+  };
+  TxnPtr t2 = MakeTxn(2), t3 = MakeTxn(3), t4 = MakeTxn(4);
+  contender(t2, 2);
+  contender(t3, 3);
+  contender(t4, 4);
+  sim_.Spawn([](Simulator* s, LockManager* lm, TxnPtr t) -> Co<void> {
+    co_await s->Delay(Millis(2));
+    lm->ReleaseAll(t.get());
+  }(&sim_, &locks_, holder));
+  sim_.Run();
+  EXPECT_EQ(grant_order, (std::vector<int>{2, 3, 4}));
+}
+
+TEST_F(LockFixture, ImmediatePolicyGrantsSharedPastQueuedExclusive) {
+  // Default (immediate) policy: an S arriving behind a queued X is
+  // granted right away because it is compatible with the S holder.
+  TxnPtr s_holder = MakeTxn(1), x_waiter = MakeTxn(2), s_late = MakeTxn(3);
+  std::optional<LockOutcome> o1, o2, o3;
+  SimTime s_late_at = -1;
+  SpawnAcquire(s_holder, 5, LockMode::kShared, &o1);
+  SpawnAcquire(x_waiter, 5, LockMode::kExclusive, &o2);
+  SpawnAcquire(s_late, 5, LockMode::kShared, &o3, &s_late_at);
+  sim_.RunUntil(Millis(1));
+  EXPECT_EQ(o3, LockOutcome::kGranted);
+  EXPECT_EQ(s_late_at, 0);
+  EXPECT_EQ(o2, std::nullopt);  // X still waiting.
+}
+
+TEST(LockFifoPolicyTest, FreshSharedRequestQueuesBehindExclusiveWaiter) {
+  // FIFO policy (ablation): S request arriving after a queued X waits
+  // even though it is compatible with the current S holder.
+  Simulator sim;
+  LockManager::Config cfg;
+  cfg.grant = GrantPolicy::kFifo;
+  LockManager locks(&sim, cfg);
+  auto mk = [&](int64_t seq) {
+    return std::make_shared<Transaction>(Id(0, seq), TxnKind::kPrimary,
+                                         sim.Now(), seq);
+  };
+  TxnPtr s_holder = mk(1), x_waiter = mk(2), s_late = mk(3);
+  std::optional<LockOutcome> o1, o2, o3;
+  SimTime s_late_at = -1;
+  auto acquire = [&](TxnPtr t, LockMode mode,
+                     std::optional<LockOutcome>* out, SimTime* when) {
+    sim.Spawn([](LockManager* lm, Simulator* s, TxnPtr txn, LockMode m,
+                 std::optional<LockOutcome>* o, SimTime* w) -> Co<void> {
+      *o = co_await lm->Acquire(txn.get(), 5, m);
+      if (w != nullptr) *w = s->Now();
+    }(&locks, &sim, std::move(t), mode, out, when));
+  };
+  acquire(s_holder, LockMode::kShared, &o1, nullptr);
+  acquire(x_waiter, LockMode::kExclusive, &o2, nullptr);
+  acquire(s_late, LockMode::kShared, &o3, &s_late_at);
+  sim.Spawn([](Simulator* s, LockManager* lm, TxnPtr a,
+               TxnPtr b) -> Co<void> {
+    co_await s->Delay(Millis(3));
+    lm->ReleaseAll(a.get());  // X granted now.
+    co_await s->Delay(Millis(3));
+    lm->ReleaseAll(b.get());  // S granted after X released.
+  }(&sim, &locks, s_holder, x_waiter));
+  sim.Run();
+  EXPECT_EQ(o2, LockOutcome::kGranted);
+  EXPECT_EQ(o3, LockOutcome::kGranted);
+  EXPECT_EQ(s_late_at, Millis(6));
+}
+
+TEST_F(LockFixture, TimeoutFiresAtConfiguredInterval) {
+  TxnPtr t1 = MakeTxn(1), t2 = MakeTxn(2);
+  std::optional<LockOutcome> o1, o2;
+  SimTime timeout_at = -1;
+  SpawnAcquire(t1, 5, LockMode::kExclusive, &o1);
+  SpawnAcquire(t2, 5, LockMode::kExclusive, &o2, &timeout_at);
+  sim_.Run();
+  EXPECT_EQ(o2, LockOutcome::kTimeout);
+  EXPECT_EQ(timeout_at, Millis(50));  // Default wait_timeout.
+  EXPECT_EQ(locks_.stats().timeouts, 1u);
+  EXPECT_EQ(locks_.waiting_count(), 0u);  // Dequeued.
+}
+
+TEST_F(LockFixture, ExternalAbortUnlinksWaiter) {
+  TxnPtr t1 = MakeTxn(1), t2 = MakeTxn(2);
+  std::optional<LockOutcome> o1, o2;
+  SimTime aborted_at = -1;
+  SpawnAcquire(t1, 5, LockMode::kExclusive, &o1);
+  SpawnAcquire(t2, 5, LockMode::kExclusive, &o2, &aborted_at);
+  sim_.Spawn([](Simulator* s, TxnPtr victim) -> Co<void> {
+    co_await s->Delay(Millis(4));
+    victim->RequestAbort(Status::DeadlockAbort("victim"));
+  }(&sim_, t2));
+  sim_.Run();
+  EXPECT_EQ(o2, LockOutcome::kAborted);
+  EXPECT_EQ(aborted_at, Millis(4));
+  EXPECT_EQ(locks_.stats().wait_aborts, 1u);
+}
+
+TEST_F(LockFixture, AcquireOnAbortedTxnFailsImmediately) {
+  TxnPtr t = MakeTxn(1);
+  t->RequestAbort(Status::DeadlockAbort("pre"));
+  std::optional<LockOutcome> o;
+  SpawnAcquire(t, 5, LockMode::kShared, &o);
+  sim_.Run();
+  EXPECT_EQ(o, LockOutcome::kAborted);
+}
+
+TEST(LockFifoPolicyTest, UnlinkingBlockedHeadUnblocksCompatibleFollowers) {
+  // FIFO policy: queue [X-waiter, S-waiter] behind an S holder. When the
+  // X waiter is aborted, the S waiter becomes grantable immediately.
+  Simulator sim;
+  LockManager::Config cfg;
+  cfg.grant = GrantPolicy::kFifo;
+  LockManager locks(&sim, cfg);
+  auto mk = [&](int64_t seq) {
+    return std::make_shared<Transaction>(Id(0, seq), TxnKind::kPrimary,
+                                         sim.Now(), seq);
+  };
+  TxnPtr s_holder = mk(1), x_waiter = mk(2), s_waiter = mk(3);
+  std::optional<LockOutcome> o1, o2, o3;
+  SimTime s_granted_at = -1;
+  auto acquire = [&](TxnPtr t, LockMode mode,
+                     std::optional<LockOutcome>* out, SimTime* when) {
+    sim.Spawn([](LockManager* lm, Simulator* s, TxnPtr txn, LockMode m,
+                 std::optional<LockOutcome>* o, SimTime* w) -> Co<void> {
+      *o = co_await lm->Acquire(txn.get(), 5, m);
+      if (w != nullptr) *w = s->Now();
+    }(&locks, &sim, std::move(t), mode, out, when));
+  };
+  acquire(s_holder, LockMode::kShared, &o1, nullptr);
+  acquire(x_waiter, LockMode::kExclusive, &o2, nullptr);
+  acquire(s_waiter, LockMode::kShared, &o3, &s_granted_at);
+  sim.Spawn([](Simulator* s, TxnPtr victim) -> Co<void> {
+    co_await s->Delay(Millis(2));
+    victim->RequestAbort(Status::DeadlockAbort("victim"));
+  }(&sim, x_waiter));
+  sim.Run();
+  EXPECT_EQ(o3, LockOutcome::kGranted);
+  EXPECT_EQ(s_granted_at, Millis(2));
+}
+
+TEST_F(LockFixture, BlockingHoldersReportsConflictingTransactions) {
+  TxnPtr t1 = MakeTxn(1), t2 = MakeTxn(2), t3 = MakeTxn(3);
+  std::optional<LockOutcome> o1, o2;
+  SpawnAcquire(t1, 5, LockMode::kShared, &o1);
+  SpawnAcquire(t2, 5, LockMode::kShared, &o2);
+  sim_.Run();
+  auto blockers = locks_.BlockingHolders(t3.get(), 5, LockMode::kExclusive);
+  EXPECT_EQ(blockers.size(), 2u);
+  // S request conflicts with nobody here.
+  EXPECT_TRUE(
+      locks_.BlockingHolders(t3.get(), 5, LockMode::kShared).empty());
+}
+
+TEST(LockDetectionTest, LocalCycleIsDetectedAndVictimAborted) {
+  Simulator sim;
+  LockManager::Config cfg;
+  cfg.policy = DeadlockPolicy::kLocalDetection;
+  LockManager locks(&sim, cfg);
+  auto t1 = std::make_shared<Transaction>(Id(0, 1), TxnKind::kPrimary, 0, 1);
+  auto t2 = std::make_shared<Transaction>(Id(0, 2), TxnKind::kPrimary, 0, 2);
+  // t1 holds A, t2 holds B, then each requests the other: deadlock.
+  std::optional<LockOutcome> a1, b2, b1, a2;
+  SimTime resolved_at = -1;
+  sim.Spawn([](LockManager* lm, Simulator* s, TxnPtr t,
+               std::optional<LockOutcome>* first,
+               std::optional<LockOutcome>* second, ItemId i1, ItemId i2,
+               SimTime* when) -> Co<void> {
+    *first = co_await lm->Acquire(t.get(), i1, LockMode::kExclusive);
+    co_await s->Delay(Millis(1));
+    *second = co_await lm->Acquire(t.get(), i2, LockMode::kExclusive);
+    if (when != nullptr) *when = s->Now();
+  }(&locks, &sim, t1, &a1, &b1, 10, 20, nullptr));
+  sim.Spawn([](LockManager* lm, Simulator* s, TxnPtr t,
+               std::optional<LockOutcome>* first,
+               std::optional<LockOutcome>* second, ItemId i1, ItemId i2,
+               SimTime* when) -> Co<void> {
+    *first = co_await lm->Acquire(t.get(), i1, LockMode::kExclusive);
+    co_await s->Delay(Millis(1));
+    *second = co_await lm->Acquire(t.get(), i2, LockMode::kExclusive);
+    if (when != nullptr) *when = s->Now();
+  }(&locks, &sim, t2, &b2, &a2, 20, 10, &resolved_at));
+  sim.RunUntil(Millis(10));
+  EXPECT_EQ(locks.stats().detected_deadlocks, 1u);
+  // Victim = latest arrival = t2; it is resumed with kAborted well before
+  // the 50ms timeout.
+  EXPECT_EQ(a2, LockOutcome::kAborted);
+  EXPECT_TRUE(t2->abort_requested());
+  EXPECT_LT(resolved_at, Millis(10));
+}
+
+TEST(LockDetectionTest, VictimPrefersBackedgePendingPrimary) {
+  Simulator sim;
+  LockManager::Config cfg;
+  cfg.policy = DeadlockPolicy::kLocalDetection;
+  LockManager locks(&sim, cfg);
+  auto tb = std::make_shared<Transaction>(Id(0, 1), TxnKind::kPrimary, 0, 1);
+  tb->set_backedge_pending(true);
+  auto ts = std::make_shared<Transaction>(Id(1, 7), TxnKind::kSecondary, 0, 2);
+  auto drive = [&](TxnPtr t, ItemId first, ItemId second) {
+    sim.Spawn([](LockManager* lm, Simulator* s, TxnPtr txn, ItemId a,
+                 ItemId b) -> Co<void> {
+      co_await lm->Acquire(txn.get(), a, LockMode::kExclusive);
+      co_await s->Delay(Millis(1));
+      co_await lm->Acquire(txn.get(), b, LockMode::kExclusive);
+    }(&locks, &sim, std::move(t), first, second));
+  };
+  drive(ts, 10, 20);
+  drive(tb, 20, 10);
+  sim.RunUntil(Millis(10));
+  EXPECT_TRUE(tb->abort_requested());   // Backedge-pending primary dies.
+  EXPECT_FALSE(ts->abort_requested());  // Secondary survives.
+}
+
+// ----------------------------------------------------------------- Database
+
+class RecordingObserver : public HistoryObserver {
+ public:
+  struct Entry {
+    SiteId site;
+    GlobalTxnId txn;
+    int64_t commit_seq;
+    bool committed;
+  };
+  void OnCommit(SiteId site, const Transaction& txn,
+                int64_t commit_seq) override {
+    entries.push_back({site, txn.id(), commit_seq, true});
+  }
+  void OnAbort(SiteId site, const Transaction& txn) override {
+    entries.push_back({site, txn.id(), -1, false});
+  }
+  std::vector<Entry> entries;
+};
+
+class DatabaseFixture : public ::testing::Test {
+ protected:
+  DatabaseFixture() {
+    Database::Options opts;
+    opts.site = 0;
+    opts.enable_wal = true;
+    db_ = std::make_unique<Database>(&sim_, opts, nullptr, &observer_);
+    for (ItemId i = 0; i < 10; ++i) db_->store().AddItem(i, 100 + i);
+  }
+
+  Simulator sim_;
+  RecordingObserver observer_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DatabaseFixture, ReadWriteCommitRoundTrip) {
+  Status final_status = Status::Internal("unset");
+  sim_.Spawn([](Database* db, Status* out) -> Co<void> {
+    TxnPtr t = db->Begin(Id(0, 1), TxnKind::kPrimary);
+    Value v = 0;
+    Status s = co_await db->Read(t, 3, &v);
+    LAZYREP_CHECK(s.ok());
+    LAZYREP_CHECK_EQ(v, 103);
+    s = co_await db->Write(t, 3, 999);
+    LAZYREP_CHECK(s.ok());
+    // Reads own write.
+    s = co_await db->Read(t, 3, &v);
+    LAZYREP_CHECK(s.ok());
+    LAZYREP_CHECK_EQ(v, 999);
+    *out = co_await db->Commit(t);
+  }(db_.get(), &final_status));
+  sim_.Run();
+  EXPECT_TRUE(final_status.ok());
+  EXPECT_EQ(db_->store().Get(3).value(), 999);
+  EXPECT_EQ(db_->commits(), 1);
+  ASSERT_EQ(observer_.entries.size(), 1u);
+  EXPECT_TRUE(observer_.entries[0].committed);
+  EXPECT_EQ(observer_.entries[0].commit_seq, 0);
+}
+
+TEST_F(DatabaseFixture, AbortRestoresBeforeImages) {
+  sim_.Spawn([](Database* db) -> Co<void> {
+    TxnPtr t = db->Begin(Id(0, 1), TxnKind::kPrimary);
+    (void)co_await db->Write(t, 2, 1);
+    (void)co_await db->Write(t, 4, 2);
+    (void)co_await db->Write(t, 2, 3);  // Second write, one undo entry.
+    co_await db->Abort(t);
+  }(db_.get()));
+  sim_.Run();
+  EXPECT_EQ(db_->store().Get(2).value(), 102);
+  EXPECT_EQ(db_->store().Get(4).value(), 104);
+  EXPECT_EQ(db_->aborts(), 1);
+  ASSERT_EQ(observer_.entries.size(), 1u);
+  EXPECT_FALSE(observer_.entries[0].committed);
+}
+
+TEST_F(DatabaseFixture, LocksReleasedAfterCommitAndAbort) {
+  sim_.Spawn([](Database* db) -> Co<void> {
+    TxnPtr t1 = db->Begin(Id(0, 1), TxnKind::kPrimary);
+    (void)co_await db->Write(t1, 1, 5);
+    (void)co_await db->Commit(t1);
+    TxnPtr t2 = db->Begin(Id(0, 2), TxnKind::kPrimary);
+    (void)co_await db->Write(t2, 1, 6);
+    co_await db->Abort(t2);
+    TxnPtr t3 = db->Begin(Id(0, 3), TxnKind::kPrimary);
+    Status s = co_await db->Write(t3, 1, 7);
+    LAZYREP_CHECK(s.ok());  // No residual locks: grabbed immediately.
+    (void)co_await db->Commit(t3);
+  }(db_.get()));
+  sim_.Run();
+  EXPECT_EQ(db_->store().Get(1).value(), 7);
+}
+
+TEST_F(DatabaseFixture, ConflictTimeoutReturnsAbortStatus) {
+  Status blocked_status = Status::OK();
+  sim_.Spawn([](Database* db, Status* out) -> Co<void> {
+    TxnPtr t1 = db->Begin(Id(0, 1), TxnKind::kPrimary);
+    (void)co_await db->Write(t1, 1, 5);  // Holds X forever.
+    TxnPtr t2 = db->Begin(Id(0, 2), TxnKind::kPrimary);
+    Value v;
+    *out = co_await db->Read(t2, 1, &v);
+    co_await db->Abort(t2);
+  }(db_.get(), &blocked_status));
+  sim_.Run();
+  EXPECT_EQ(blocked_status.code(), StatusCode::kDeadlockAbort);
+}
+
+TEST_F(DatabaseFixture, CommitSeqIncreasesInCommitOrder) {
+  sim_.Spawn([](Database* db) -> Co<void> {
+    for (int64_t i = 0; i < 3; ++i) {
+      TxnPtr t = db->Begin(Id(0, i), TxnKind::kPrimary);
+      (void)co_await db->Write(t, static_cast<ItemId>(i), i);
+      (void)co_await db->Commit(t);
+    }
+  }(db_.get()));
+  sim_.Run();
+  ASSERT_EQ(observer_.entries.size(), 3u);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(observer_.entries[i].commit_seq, i);
+  }
+}
+
+TEST_F(DatabaseFixture, AtomicHookSeesCommitSeq) {
+  int64_t hook_seq = -1;
+  sim_.Spawn([](Database* db, int64_t* out) -> Co<void> {
+    TxnPtr t = db->Begin(Id(0, 1), TxnKind::kPrimary);
+    (void)co_await db->Write(t, 1, 1);
+    (void)co_await db->Commit(t, [out](int64_t seq) { *out = seq; });
+  }(db_.get(), &hook_seq));
+  sim_.Run();
+  EXPECT_EQ(hook_seq, 0);
+}
+
+TEST_F(DatabaseFixture, WalReplayReconstructsCommittedState) {
+  sim_.Spawn([](Database* db) -> Co<void> {
+    TxnPtr t1 = db->Begin(Id(0, 1), TxnKind::kPrimary);
+    (void)co_await db->Write(t1, 1, 11);
+    (void)co_await db->Write(t1, 2, 22);
+    (void)co_await db->Commit(t1);
+    TxnPtr t2 = db->Begin(Id(0, 2), TxnKind::kPrimary);
+    (void)co_await db->Write(t2, 1, 999);  // Aborted: must not survive.
+    co_await db->Abort(t2);
+    TxnPtr t3 = db->Begin(Id(0, 3), TxnKind::kPrimary);
+    (void)co_await db->Write(t3, 2, 33);
+    (void)co_await db->Commit(t3);
+  }(db_.get()));
+  sim_.Run();
+  // Recover into a fresh store with the same item universe.
+  ItemStore recovered;
+  for (ItemId i = 0; i < 10; ++i) recovered.AddItem(i, 100 + i);
+  ASSERT_NE(db_->wal(), nullptr);
+  db_->wal()->Replay(&recovered);
+  EXPECT_EQ(recovered.Snapshot(), db_->store().Snapshot());
+  EXPECT_EQ(recovered.Get(1).value(), 11);
+  EXPECT_EQ(recovered.Get(2).value(), 33);
+}
+
+TEST_F(DatabaseFixture, ExternalAbortObservedMidTransaction) {
+  Status st = Status::OK();
+  TxnPtr txn;
+  sim_.Spawn([](Database* db, Simulator* s, TxnPtr* slot,
+                Status* out) -> Co<void> {
+    TxnPtr t = db->Begin(Id(0, 1), TxnKind::kPrimary);
+    *slot = t;
+    (void)co_await db->Write(t, 1, 5);
+    co_await s->Delay(Millis(10));  // Aborted during this window.
+    Value v;
+    *out = co_await db->Read(t, 2, &v);
+    co_await db->Abort(t);
+  }(db_.get(), &sim_, &txn, &st));
+  sim_.Spawn([](Simulator* s, TxnPtr* slot) -> Co<void> {
+    co_await s->Delay(Millis(5));
+    (*slot)->RequestAbort(Status::ExternalAbort("victim"));
+  }(&sim_, &txn));
+  sim_.Run();
+  EXPECT_EQ(st.code(), StatusCode::kExternalAbort);
+  EXPECT_EQ(db_->store().Get(1).value(), 101);  // Rolled back.
+}
+
+TEST_F(DatabaseFixture, AcquireOnlyTracksSetsWithoutTouchingData) {
+  sim_.Spawn([](Database* db) -> Co<void> {
+    TxnPtr proxy = db->Begin(Id(1, 7), TxnKind::kRemoteProxy);
+    Status s = co_await db->AcquireOnly(proxy, 3, LockMode::kShared);
+    LAZYREP_CHECK(s.ok());
+    s = co_await db->AcquireOnly(proxy, 4, LockMode::kExclusive);
+    LAZYREP_CHECK(s.ok());
+    LAZYREP_CHECK(proxy->read_set().count(3) == 1);
+    LAZYREP_CHECK(proxy->write_set().count(4) == 1);
+    // Lock-only: no observed values, no data change.
+    LAZYREP_CHECK(proxy->reads_observed().empty());
+    (void)co_await db->Commit(proxy);
+  }(db_.get()));
+  sim_.Run();
+  EXPECT_EQ(db_->store().Get(3).value(), 103);  // Untouched.
+  EXPECT_EQ(db_->store().Version(4), 0);
+}
+
+TEST(DatabaseCpuTest, OperationsChargeTheMachineCpu) {
+  sim::Simulator sim;
+  sim::Resource cpu(&sim, 1);
+  Database::Options options;
+  options.costs.read_cpu = Millis(1);
+  options.costs.write_cpu = Millis(2);
+  options.costs.commit_cpu = Millis(3);
+  Database db(&sim, options, &cpu, nullptr);
+  db.store().AddItem(1, 0);
+  SimTime finished = -1;
+  sim.Spawn([](Database* d, sim::Simulator* s, SimTime* out) -> Co<void> {
+    TxnPtr t = d->Begin(Id(0, 1), TxnKind::kPrimary);
+    Value v;
+    (void)co_await d->Read(t, 1, &v);
+    (void)co_await d->Write(t, 1, 9);
+    (void)co_await d->Commit(t);
+    *out = s->Now();
+  }(&db, &sim, &finished));
+  sim.Run();
+  EXPECT_EQ(finished, Millis(6));  // 1 + 2 + 3, serialized on the CPU.
+  EXPECT_EQ(cpu.busy_time(), Millis(6));
+}
+
+TEST(DatabaseCpuTest, AbortDuringCommitCpuRollsBack) {
+  // RequestAbort landing while the commit charge is in flight turns the
+  // commit into a rollback (the engine-facing race Database::Commit
+  // resolves internally).
+  sim::Simulator sim;
+  sim::Resource cpu(&sim, 1);
+  Database::Options options;
+  options.costs.commit_cpu = Millis(10);
+  Database db(&sim, options, &cpu, nullptr);
+  db.store().AddItem(1, 100);
+  Status commit_status = Status::OK();
+  TxnPtr txn;
+  sim.Spawn([](Database* d, TxnPtr* slot, Status* out) -> Co<void> {
+    TxnPtr t = d->Begin(Id(0, 1), TxnKind::kPrimary);
+    *slot = t;
+    (void)co_await d->Write(t, 1, 999);
+    *out = co_await d->Commit(t);
+  }(&db, &txn, &commit_status));
+  sim.ScheduleCallback(Millis(5), [&] {
+    txn->RequestAbort(Status::ExternalAbort("mid-commit victim"));
+  });
+  sim.Run();
+  EXPECT_TRUE(commit_status.IsAbort());
+  EXPECT_EQ(db.store().Get(1).value(), 100);  // Rolled back.
+  EXPECT_EQ(db.aborts(), 1);
+  EXPECT_EQ(db.commits(), 0);
+}
+
+// ---------------------------------------------------------------------- WAL
+
+TEST(WalTest, ReplayAppliesCommitOrder) {
+  Wal wal;
+  // t1 and t2 interleave; t2 commits last and wins on item 1.
+  wal.LogUpdate(Id(0, 1), 1, 10);
+  wal.LogUpdate(Id(0, 2), 2, 20);
+  wal.LogCommit(Id(0, 1));
+  wal.LogUpdate(Id(0, 2), 1, 99);
+  wal.LogCommit(Id(0, 2));
+  ItemStore store;
+  store.AddItem(1);
+  store.AddItem(2);
+  wal.Replay(&store);
+  EXPECT_EQ(store.Get(1).value(), 99);
+  EXPECT_EQ(store.Get(2).value(), 20);
+}
+
+TEST(WalTest, UncommittedAndAbortedAreIgnored) {
+  Wal wal;
+  wal.LogUpdate(Id(0, 1), 1, 10);  // Never commits.
+  wal.LogUpdate(Id(0, 2), 2, 20);
+  wal.LogAbort(Id(0, 2));
+  ItemStore store;
+  store.AddItem(1, -1);
+  store.AddItem(2, -2);
+  wal.Replay(&store);
+  EXPECT_EQ(store.Get(1).value(), -1);
+  EXPECT_EQ(store.Get(2).value(), -2);
+}
+
+TEST(WalTest, ReplaySkipsItemsWithoutLocalCopy) {
+  Wal wal;
+  wal.LogUpdate(Id(0, 1), 7, 70);
+  wal.LogCommit(Id(0, 1));
+  ItemStore store;  // Item 7 absent.
+  wal.Replay(&store);
+  EXPECT_FALSE(store.Contains(7));
+}
+
+}  // namespace
+}  // namespace lazyrep::storage

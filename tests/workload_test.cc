@@ -1,0 +1,281 @@
+// Tests for the §5.2 workload machinery (src/workload): data
+// distribution and transaction generation, including the statistical
+// properties the paper's experiment design relies on.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/feedback_arc_set.h"
+#include "workload/generator.h"
+
+namespace lazyrep::workload {
+namespace {
+
+Params SmallParams() {
+  Params p;
+  p.num_sites = 6;
+  p.num_items = 120;
+  return p;
+}
+
+TEST(PlacementGenTest, PrimariesAssignedUniformly) {
+  Params params = SmallParams();
+  Rng rng(1);
+  graph::Placement p = GeneratePlacement(params, &rng);
+  for (SiteId s = 0; s < params.num_sites; ++s) {
+    EXPECT_EQ(p.PrimaryItemsAt(s).size(), 20u);  // n/m exactly.
+  }
+}
+
+TEST(PlacementGenTest, ZeroReplicationProbMeansNoReplicas) {
+  Params params = SmallParams();
+  params.replication_prob = 0.0;
+  Rng rng(2);
+  graph::Placement p = GeneratePlacement(params, &rng);
+  EXPECT_EQ(p.TotalReplicas(), 0u);
+}
+
+TEST(PlacementGenTest, ReplicatedFractionTracksR) {
+  Params params = SmallParams();
+  params.num_items = 2000;
+  params.replication_prob = 0.4;
+  Rng rng(3);
+  graph::Placement p = GeneratePlacement(params, &rng);
+  int replicated = 0;
+  for (ItemId i = 0; i < params.num_items; ++i) {
+    replicated += p.replicas[i].empty() ? 0 : 1;
+  }
+  // An item drawn replicated may still get no replica site: each of the
+  // candidates (all 5 others w.p. b, only later sites w.p. 1-b) is chosen
+  // w.p. s=0.5. P(>=1 site | replicated) ≈ 0.73 for m=6, b=0.2, so the
+  // observed fraction is ≈ r * 0.73 ≈ 0.29.
+  EXPECT_NEAR(replicated / 2000.0, 0.29, 0.05);
+}
+
+TEST(PlacementGenTest, ZeroBackedgeProbYieldsForwardOnlyReplicas) {
+  // §5.2: with probability (1-b) replicas go only to sites AFTER the
+  // primary in the total order; at b=0 the copy graph must be a DAG with
+  // no order-backedges.
+  Params params = SmallParams();
+  params.backedge_prob = 0.0;
+  params.replication_prob = 0.8;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    graph::Placement p = GeneratePlacement(params, &rng);
+    for (ItemId i = 0; i < params.num_items; ++i) {
+      for (SiteId s : p.replicas[i]) {
+        EXPECT_GT(s, p.primary[i]) << "item " << i << " seed " << seed;
+      }
+    }
+    graph::CopyGraph g = graph::CopyGraph::FromPlacement(p);
+    EXPECT_TRUE(g.IsDag());
+    std::vector<SiteId> natural(params.num_sites);
+    for (SiteId s = 0; s < params.num_sites; ++s) natural[s] = s;
+    EXPECT_TRUE(graph::OrderBackedges(g, natural).empty());
+  }
+}
+
+TEST(PlacementGenTest, BackedgeProbOneProducesBackedges) {
+  Params params = SmallParams();
+  params.backedge_prob = 1.0;
+  params.replication_prob = 0.8;
+  Rng rng(7);
+  graph::Placement p = GeneratePlacement(params, &rng);
+  graph::CopyGraph g = graph::CopyGraph::FromPlacement(p);
+  std::vector<SiteId> natural(params.num_sites);
+  for (SiteId s = 0; s < params.num_sites; ++s) natural[s] = s;
+  EXPECT_GT(graph::OrderBackedges(g, natural).size(), 0u);
+}
+
+TEST(PlacementGenTest, BackedgeCountGrowsWithB) {
+  // §5.3.1: "as b is increased, the number of backedges in the copy
+  // graph increases".
+  Params params = SmallParams();
+  params.replication_prob = 0.6;
+  std::vector<SiteId> natural(params.num_sites);
+  for (SiteId s = 0; s < params.num_sites; ++s) natural[s] = s;
+  size_t last = 0;
+  for (double b : {0.0, 0.5, 1.0}) {
+    params.backedge_prob = b;
+    size_t total = 0;
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+      Rng rng(seed);
+      graph::CopyGraph g = graph::CopyGraph::FromPlacement(
+          GeneratePlacement(params, &rng));
+      total += graph::OrderBackedges(g, natural).size();
+    }
+    EXPECT_GE(total, last);
+    last = total;
+  }
+  EXPECT_GT(last, 0u);
+}
+
+TEST(PlacementGenTest, DeterministicUnderSeed) {
+  Params params = SmallParams();
+  Rng a(42), b(42);
+  graph::Placement pa = GeneratePlacement(params, &a);
+  graph::Placement pb = GeneratePlacement(params, &b);
+  EXPECT_EQ(pa.primary, pb.primary);
+  EXPECT_EQ(pa.replicas, pb.replicas);
+}
+
+class GeneratorFixture : public ::testing::Test {
+ protected:
+  GeneratorFixture() {
+    params_ = SmallParams();
+    params_.replication_prob = 0.5;
+    Rng rng(5);
+    placement_ = GeneratePlacement(params_, &rng);
+  }
+  Params params_;
+  graph::Placement placement_;
+};
+
+TEST_F(GeneratorFixture, OpsCountMatchesParams) {
+  TxnGenerator gen(params_, placement_);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    TxnSpec spec = gen.Next(2, &rng);
+    EXPECT_EQ(spec.ops.size(), 10u);
+  }
+}
+
+TEST_F(GeneratorFixture, ReadOnlyTransactionsHaveNoWrites) {
+  TxnGenerator gen(params_, placement_);
+  Rng rng(2);
+  int read_only_seen = 0;
+  for (int i = 0; i < 300; ++i) {
+    TxnSpec spec = gen.Next(1, &rng);
+    if (!spec.read_only) continue;
+    ++read_only_seen;
+    for (const TxnOp& op : spec.ops) EXPECT_FALSE(op.is_write);
+  }
+  // read_txn_prob defaults to 0.5.
+  EXPECT_NEAR(read_only_seen / 300.0, 0.5, 0.12);
+}
+
+TEST_F(GeneratorFixture, WritesTargetLocalPrimariesOnly) {
+  TxnGenerator gen(params_, placement_);
+  Rng rng(3);
+  for (SiteId site = 0; site < params_.num_sites; ++site) {
+    for (int i = 0; i < 50; ++i) {
+      TxnSpec spec = gen.Next(site, &rng);
+      for (const TxnOp& op : spec.ops) {
+        if (op.is_write) {
+          EXPECT_EQ(placement_.primary[op.item], site);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorFixture, ReadsTargetLocalCopiesOnly) {
+  TxnGenerator gen(params_, placement_);
+  Rng rng(4);
+  for (SiteId site = 0; site < params_.num_sites; ++site) {
+    for (int i = 0; i < 50; ++i) {
+      TxnSpec spec = gen.Next(site, &rng);
+      for (const TxnOp& op : spec.ops) {
+        if (!op.is_write) {
+          EXPECT_TRUE(placement_.HasCopy(op.item, site))
+              << "site " << site << " item " << op.item;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorFixture, ReadOpFractionInUpdateTransactions) {
+  TxnGenerator gen(params_, placement_);
+  Rng rng(6);
+  int reads = 0, total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    TxnSpec spec = gen.Next(0, &rng);
+    if (spec.read_only) continue;
+    for (const TxnOp& op : spec.ops) {
+      reads += op.is_write ? 0 : 1;
+      ++total;
+    }
+  }
+  // read_op_prob defaults to 0.7.
+  EXPECT_NEAR(static_cast<double>(reads) / total, 0.7, 0.03);
+}
+
+TEST_F(GeneratorFixture, ReadableAndWritableSetsExposed) {
+  TxnGenerator gen(params_, placement_);
+  for (SiteId s = 0; s < params_.num_sites; ++s) {
+    EXPECT_EQ(gen.WritableAt(s).size(), 20u);
+    EXPECT_GE(gen.ReadableAt(s).size(), 20u);  // Primaries + replicas.
+    std::set<ItemId> readable(gen.ReadableAt(s).begin(),
+                              gen.ReadableAt(s).end());
+    for (ItemId i : gen.WritableAt(s)) EXPECT_TRUE(readable.count(i));
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfSampler sampler(10, 0.0);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(sampler.Probability(i), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOneAndDecay) {
+  ZipfSampler sampler(50, 1.0);
+  double total = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    total += sampler.Probability(i);
+    if (i > 0) {
+      EXPECT_LT(sampler.Probability(i), sampler.Probability(i - 1));
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Harmonic head: P(0) = 1/H_50 ≈ 0.222.
+  EXPECT_NEAR(sampler.Probability(0), 0.222, 0.01);
+}
+
+TEST(ZipfTest, SamplingMatchesDistribution) {
+  ZipfSampler sampler(20, 1.2);
+  Rng rng(42);
+  std::vector<int> counts(20, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(&rng)];
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n,
+                sampler.Probability(i), 0.01)
+        << "index " << i;
+  }
+}
+
+TEST_F(GeneratorFixture, ZipfSkewConcentratesAccesses) {
+  Params skewed = params_;
+  skewed.zipf_theta = 1.2;
+  skewed.read_txn_prob = 1.0;  // All reads, to count read targets only.
+  TxnGenerator gen(skewed, placement_);
+  Rng rng(9);
+  std::map<ItemId, int> counts;
+  for (int i = 0; i < 2000; ++i) {
+    for (const TxnOp& op : gen.Next(0, &rng).ops) ++counts[op.item];
+  }
+  // The hottest item must dominate: under uniform each of the ~30
+  // readable items would get ~3% of accesses; under θ=1.2 the head gets
+  // >20%.
+  int max_count = 0;
+  int total = 0;
+  for (const auto& [item, c] : counts) {
+    max_count = std::max(max_count, c);
+    total += c;
+  }
+  EXPECT_GT(static_cast<double>(max_count) / total, 0.2);
+}
+
+TEST(ParamsTest, ToStringContainsKeyFields) {
+  Params p;
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("m=9"), std::string::npos);
+  EXPECT_NE(s.find("n=200"), std::string::npos);
+  EXPECT_NE(s.find("timeout=50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lazyrep::workload

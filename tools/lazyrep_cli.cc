@@ -1,0 +1,247 @@
+// lazyrep_cli — run one simulated experiment from command-line flags and
+// print the paper's metrics. The flag names mirror Table 1.
+//
+//   $ lazyrep_cli --protocol=backedge --sites=9 --items=200 --r=0.2
+//                 --b=0.2 --threads=3 --txns=1000 --seed=1   (one line)
+//
+// Run with --help for the full list.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/system.h"
+#include "harness/experiment.h"
+
+using namespace lazyrep;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "lazyrep_cli — Breitbart et al. (SIGMOD 1999) replication simulator\n"
+      "\n"
+      "  --protocol=NAME   dagwt | dagt | backedge | psl | naive | eager\n"
+      "                    (default backedge)\n"
+      "  --sites=M         number of sites (default 9)\n"
+      "  --per-machine=K   sites per machine sharing a CPU (default 3)\n"
+      "  --items=N         number of items (default 200)\n"
+      "  --r=P             replication probability (default 0.2)\n"
+      "  --s=P             site probability (default 0.5)\n"
+      "  --b=P             backedge probability (default 0.2)\n"
+      "  --ops=K           operations per transaction (default 10)\n"
+      "  --threads=K       threads per site (default 3)\n"
+      "  --txns=K          transactions per thread (default 1000)\n"
+      "  --read-op=P       read-operation probability (default 0.7)\n"
+      "  --read-txn=P      read-only-transaction probability (default 0.5)\n"
+      "  --latency-ms=X    one-way network latency (default 0.15)\n"
+      "  --timeout-ms=X    deadlock lock-wait timeout (default 50)\n"
+      "  --seed=K          experiment seed (default 1)\n"
+      "  --seeds=K         average over K seeds (default 1)\n"
+      "  --retry           retry aborted transactions until they commit\n"
+      "  --tree=KIND       chain | greedy (default chain)\n"
+      "  --backedges=M     site-order | dfs | greedy | weighted\n"
+      "  --detection       waits-for deadlock detection (default timeout)\n"
+      "  --lww             last-writer-wins reconciliation (naive only)\n"
+      "  --wal             maintain per-site redo WALs\n"
+      "  --no-check        skip history recording / serializability check\n"
+      "  --trace=FILE      write a JSONL protocol event trace (single run)\n"
+      "  --warmup-ms=X     exclude transactions starting before X ms\n"
+      "  --per-site        print the per-site breakdown (single run)\n"
+      "  --hist            print the response-time histogram (single run)\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Result<core::Protocol> ParseProtocol(const std::string& name) {
+  if (name == "dagwt") return core::Protocol::kDagWt;
+  if (name == "dagt") return core::Protocol::kDagT;
+  if (name == "backedge") return core::Protocol::kBackEdge;
+  if (name == "psl") return core::Protocol::kPsl;
+  if (name == "naive") return core::Protocol::kNaiveLazy;
+  if (name == "eager") return core::Protocol::kEager;
+  return Status::InvalidArgument("unknown protocol: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::SystemConfig config = harness::PaperConfig(core::Protocol::kBackEdge);
+  int seeds = 1;
+  bool per_site = false;
+  bool histogram = false;
+  std::string trace_path;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintHelp();
+      return 0;
+    } else if (ParseFlag(arg, "--protocol", &v)) {
+      Result<core::Protocol> protocol = ParseProtocol(v);
+      if (!protocol.ok()) {
+        std::fprintf(stderr, "%s\n", protocol.status().ToString().c_str());
+        return 2;
+      }
+      config.protocol = *protocol;
+    } else if (ParseFlag(arg, "--sites", &v)) {
+      config.workload.num_sites = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "--per-machine", &v)) {
+      config.workload.sites_per_machine = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "--items", &v)) {
+      config.workload.num_items = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "--r", &v)) {
+      config.workload.replication_prob = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "--s", &v)) {
+      config.workload.site_prob = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "--b", &v)) {
+      config.workload.backedge_prob = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "--ops", &v)) {
+      config.workload.ops_per_txn = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "--threads", &v)) {
+      config.workload.threads_per_site = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "--txns", &v)) {
+      config.workload.txns_per_thread = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "--read-op", &v)) {
+      config.workload.read_op_prob = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "--read-txn", &v)) {
+      config.workload.read_txn_prob = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "--latency-ms", &v)) {
+      config.workload.network_latency = Millis(std::atof(v.c_str()));
+    } else if (ParseFlag(arg, "--timeout-ms", &v)) {
+      config.workload.deadlock_timeout = Millis(std::atof(v.c_str()));
+    } else if (ParseFlag(arg, "--seed", &v)) {
+      config.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "--seeds", &v)) {
+      seeds = std::atoi(v.c_str());
+    } else if (std::strcmp(arg, "--retry") == 0) {
+      config.retry = core::RetryPolicy::kRetryUntilCommit;
+    } else if (ParseFlag(arg, "--tree", &v)) {
+      config.engine.tree =
+          v == "greedy" ? core::TreeKind::kGreedy : core::TreeKind::kChain;
+    } else if (ParseFlag(arg, "--backedges", &v)) {
+      if (v == "dfs") {
+        config.engine.backedge_method = core::BackedgeMethod::kDfs;
+      } else if (v == "greedy") {
+        config.engine.backedge_method = core::BackedgeMethod::kGreedy;
+      } else if (v == "weighted") {
+        config.engine.backedge_method =
+            core::BackedgeMethod::kWeightedGreedy;
+      } else {
+        config.engine.backedge_method = core::BackedgeMethod::kSiteOrder;
+      }
+    } else if (std::strcmp(arg, "--detection") == 0) {
+      config.engine.deadlock_policy =
+          storage::DeadlockPolicy::kLocalDetection;
+    } else if (std::strcmp(arg, "--lww") == 0) {
+      config.engine.naive_lww = true;
+    } else if (std::strcmp(arg, "--wal") == 0) {
+      config.enable_wal = true;
+    } else if (std::strcmp(arg, "--no-check") == 0) {
+      config.check_serializability = false;
+    } else if (ParseFlag(arg, "--trace", &v)) {
+      trace_path = v;
+      config.enable_trace = true;
+    } else if (ParseFlag(arg, "--warmup-ms", &v)) {
+      config.warmup = Millis(std::atof(v.c_str()));
+    } else if (std::strcmp(arg, "--per-site") == 0) {
+      per_site = true;
+    } else if (std::strcmp(arg, "--hist") == 0) {
+      histogram = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (see --help)\n", arg);
+      return 2;
+    }
+  }
+
+  std::printf("# %s | %s | seed=%llu seeds=%d\n",
+              core::ProtocolName(config.protocol).c_str(),
+              config.workload.ToString().c_str(),
+              static_cast<unsigned long long>(config.seed), seeds);
+
+  // Validate the configuration once up front for a friendly error.
+  {
+    Result<std::unique_ptr<core::System>> probe =
+        core::System::Create(config);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   probe.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (histogram) {
+    auto system = core::System::Create(config);
+    LAZYREP_CHECK(system.ok());
+    core::RunMetrics metrics = (*system)->Run();
+    std::printf("response time distribution (ms):\n%s",
+                metrics.response_histogram.ToString().c_str());
+    std::printf("p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+                metrics.response_p50_ms, metrics.response_p95_ms,
+                metrics.response_p99_ms, metrics.response_ms.max());
+    return metrics.serializable ? 0 : 1;
+  }
+
+  if (per_site) {
+    auto system = core::System::Create(config);
+    LAZYREP_CHECK(system.ok());
+    core::RunMetrics metrics = (*system)->Run();
+    std::printf("%-6s %-12s %-10s %-12s\n", "site", "committed",
+                "aborted", "txn/s");
+    for (const core::SiteMetrics& s : metrics.per_site) {
+      std::printf("%-6d %-12lld %-10lld %-12.2f\n", s.site,
+                  static_cast<long long>(s.committed),
+                  static_cast<long long>(s.aborted), s.throughput);
+    }
+    std::printf("avg throughput %.2f txn/s/site; serializable %s\n",
+                metrics.avg_site_throughput,
+                metrics.serializable ? "yes" : "NO");
+    return metrics.serializable ? 0 : 1;
+  }
+
+  if (!trace_path.empty()) {
+    // Traced single run (trace + seed averaging don't mix).
+    auto system = core::System::Create(config);
+    LAZYREP_CHECK(system.ok());
+    core::RunMetrics metrics = (*system)->Run();
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+    (*system)->trace()->WriteJsonl(out);
+    std::printf("trace: %zu events -> %s%s\n",
+                (*system)->trace()->size(), trace_path.c_str(),
+                (*system)->trace()->truncated() ? " (truncated)" : "");
+    std::printf("throughput      %.2f txn/s per site\n",
+                metrics.avg_site_throughput);
+    std::printf("serializable    %s\n",
+                metrics.serializable ? "yes" : "NO");
+    return metrics.serializable ? 0 : 1;
+  }
+
+  harness::AggregateResult result = harness::RunSeeds(config, seeds);
+  std::printf("throughput      %.2f txn/s per site (sd %.2f over seeds)\n",
+              result.throughput, result.throughput_sd);
+  std::printf("abort rate      %.2f %%\n", result.abort_rate_pct);
+  std::printf("response        %.2f ms mean, %.2f ms p95\n",
+              result.response_ms, result.response_p95_ms);
+  std::printf("propagation     %.2f ms to all replicas\n",
+              result.propagation_ms);
+  std::printf("messages        %.2f per transaction\n",
+              result.messages_per_txn);
+  std::printf("committed       %lld over %d run(s)\n",
+              static_cast<long long>(result.committed), result.runs);
+  std::printf("serializable    %s\n",
+              result.all_serializable ? "yes" : "NO");
+  std::printf("converged       %s\n", result.all_converged ? "yes" : "NO");
+  return result.all_serializable ? 0 : 1;
+}
