@@ -13,10 +13,15 @@ inline void PrintBanner(const char* title, const core::SystemConfig& config,
                         const harness::BenchOptions& options) {
   std::printf("# %s\n", title);
   std::printf("# params: %s\n", config.workload.ToString().c_str());
-  std::printf("# txns/thread=%d seeds=%d%s\n", options.txns_per_thread,
-              options.seeds,
+  std::printf("# txns/thread=%d seeds=%d runtime=%s%s\n",
+              options.txns_per_thread, options.seeds,
+              runtime::RuntimeKindName(config.runtime),
               options.quick ? " (quick mode; use --full for paper scale)"
                             : "");
+  if (config.runtime == runtime::RuntimeKind::kThreads) {
+    std::printf("# threads runtime: metrics are wall-clock measurements "
+                "and vary run to run\n");
+  }
 }
 
 }  // namespace lazyrep::bench

@@ -38,6 +38,11 @@ int main(int argc, char** argv) {
     harness::AggregateResult psl_result =
         harness::RunSeeds(psl, options.seeds);
 
+    harness::AppendBenchJson(options.json, "fig2a", "BackEdge",
+                             options.runtime, {{"backedge_prob", b}},
+                             be_result);
+    harness::AppendBenchJson(options.json, "fig2a", "PSL", options.runtime,
+                             {{"backedge_prob", b}}, psl_result);
     table.PrintRow({harness::Table::Num(b, 1),
                     harness::Table::Num(be_result.throughput),
                     harness::Table::Num(psl_result.throughput),

@@ -10,6 +10,7 @@
 #include "graph/copy_graph.h"
 #include "graph/feedback_arc_set.h"
 #include "graph/tree.h"
+#include "runtime/sim_runtime.h"
 #include "sim/primitives.h"
 #include "sim/simulator.h"
 #include "storage/lock_manager.h"
@@ -58,21 +59,21 @@ BENCHMARK(BM_SimulatorEventLoop)->Arg(10000);
 void BM_LockAcquireRelease(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
-    sim::Simulator sim;
-    storage::LockManager locks(&sim, {});
+    runtime::SimRuntime rt;
+    storage::LockManager locks(&rt, {});
     auto txn = std::make_shared<storage::Transaction>(
         GlobalTxnId{0, 1}, storage::TxnKind::kPrimary, 0, 0);
     int64_t n = state.range(0);
     state.ResumeTiming();
-    sim.Spawn([](storage::LockManager* lm, storage::TxnPtr t,
-                 int64_t count) -> sim::Co<void> {
+    rt.Spawn([](storage::LockManager* lm, storage::TxnPtr t,
+                int64_t count) -> runtime::Co<void> {
       for (int64_t i = 0; i < count; ++i) {
         (void)co_await lm->Acquire(t.get(), static_cast<ItemId>(i % 64),
                                    storage::LockMode::kExclusive);
         lm->ReleaseAll(t.get());
       }
     }(&locks, txn, n));
-    sim.Run();
+    rt.simulator()->Run();
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }

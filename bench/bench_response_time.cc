@@ -29,6 +29,9 @@ int main(int argc, char** argv) {
     config.protocol = protocol;
     harness::AggregateResult result =
         harness::RunSeeds(config, options.seeds);
+    harness::AppendBenchJson(options.json, "response_time",
+                             core::ProtocolName(protocol), options.runtime,
+                             {}, result);
     table.PrintRow({core::ProtocolName(protocol),
                     harness::Table::Num(result.throughput),
                     harness::Table::Num(result.abort_rate_pct),

@@ -6,6 +6,7 @@
 
 #include "common/sim_time.h"
 #include "graph/copy_graph.h"
+#include "runtime/runtime.h"
 #include "storage/database.h"
 #include "storage/lock_manager.h"
 #include "workload/params.h"
@@ -129,6 +130,11 @@ struct SystemConfig {
   CostModel costs;
   EngineOptions engine;
   RetryPolicy retry = RetryPolicy::kNone;
+  /// Executor backend. `kSim` (default) is the deterministic
+  /// discrete-event simulation; `kThreads` maps machines to OS threads
+  /// over real time (measured metrics, no determinism, and the scripted
+  /// single-transaction APIs are unavailable).
+  runtime::RuntimeKind runtime = runtime::RuntimeKind::kSim;
   uint64_t seed = 1;
   /// Record per-site histories and run the serializability checker.
   bool check_serializability = true;

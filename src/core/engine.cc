@@ -22,7 +22,7 @@ std::string ProtocolName(Protocol protocol) {
   return "?";
 }
 
-sim::Co<Status> ReplicationEngine::RunLocalTxn(
+runtime::Co<Status> ReplicationEngine::RunLocalTxn(
     storage::TxnPtr txn, const workload::TxnSpec& spec,
     std::vector<WriteRecord>* writes) {
   int op_index = 0;
@@ -60,7 +60,7 @@ sim::Co<Status> ReplicationEngine::RunLocalTxn(
   co_return Status::OK();
 }
 
-sim::Co<bool> ReplicationEngine::AcquireXAsSecondary(
+runtime::Co<bool> ReplicationEngine::AcquireXAsSecondary(
     storage::Transaction* txn, ItemId item) {
   for (;;) {
     storage::LockOutcome lo = co_await ctx_.db->locks().Acquire(
@@ -104,7 +104,7 @@ void ReplicationEngine::AbortOneBlocker(storage::Transaction* waiter,
   }
 }
 
-sim::Co<bool> ReplicationEngine::ApplySecondaryWrites(
+runtime::Co<bool> ReplicationEngine::ApplySecondaryWrites(
     storage::TxnPtr txn, const std::vector<WriteRecord>& writes,
     bool* applied_any) {
   *applied_any = false;

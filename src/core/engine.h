@@ -9,8 +9,8 @@
 #include "core/metrics.h"
 #include "core/routing.h"
 #include "net/network.h"
-#include "sim/primitives.h"
-#include "sim/simulator.h"
+#include "runtime/primitives.h"
+#include "runtime/runtime.h"
 #include "storage/database.h"
 #include "workload/generator.h"
 
@@ -26,7 +26,14 @@ class ReplicationEngine {
  public:
   struct Context {
     SiteId site = kInvalidSite;
-    sim::Simulator* sim = nullptr;
+    /// Executor waist. Engines must stay backend-agnostic: no direct
+    /// simulator access, no wall-clock reads, no threads of their own.
+    runtime::Runtime* rt = nullptr;
+    /// Machine hosting this site. Background processes spawned from
+    /// `Start()` (which runs on the driver thread) must target it via
+    /// `rt->SpawnOn(machine, ...)`; code already running on it — message
+    /// handlers, transaction bodies — can use plain `rt->Spawn`.
+    int machine = 0;
     storage::Database* db = nullptr;
     ProtocolNetwork* net = nullptr;
     std::shared_ptr<const Routing> routing;
@@ -49,7 +56,7 @@ class ReplicationEngine {
   /// Runs one primary transaction to commit or abort. An abort leaves no
   /// local or remote residue (rollback is complete when this returns or
   /// shortly after via already-posted abort notifications).
-  virtual sim::Co<Status> ExecutePrimary(GlobalTxnId id,
+  virtual runtime::Co<Status> ExecutePrimary(GlobalTxnId id,
                                          const workload::TxnSpec& spec) = 0;
 
   /// Network delivery for this site.
@@ -75,7 +82,7 @@ class ReplicationEngine {
   /// primary-subtransaction body of all lazy protocols: every read and
   /// write is local, §1.1). On abort the transaction is already rolled
   /// back. `writes` receives the (item, value) list in first-write order.
-  sim::Co<Status> RunLocalTxn(storage::TxnPtr txn,
+  runtime::Co<Status> RunLocalTxn(storage::TxnPtr txn,
                               const workload::TxnSpec& spec,
                               std::vector<WriteRecord>* writes);
 
@@ -86,13 +93,13 @@ class ReplicationEngine {
   /// Returns false only when `txn` itself was marked for abort (possible
   /// for backedge proxies chosen as part of a victimized global
   /// transaction).
-  sim::Co<bool> AcquireXAsSecondary(storage::Transaction* txn, ItemId item);
+  runtime::Co<bool> AcquireXAsSecondary(storage::Transaction* txn, ItemId item);
 
   /// Applies `writes` (filtered to items replicated at this site) under
   /// locks acquired via AcquireXAsSecondary and charges apply CPU.
   /// Returns false when `txn` was marked for abort mid-way; out-param
   /// reports whether any item was applied.
-  sim::Co<bool> ApplySecondaryWrites(storage::TxnPtr txn,
+  runtime::Co<bool> ApplySecondaryWrites(storage::TxnPtr txn,
                                      const std::vector<WriteRecord>& writes,
                                      bool* applied_any);
 

@@ -3,12 +3,12 @@
 namespace lazyrep::core {
 
 BackEdgeEngine::BackEdgeEngine(Context ctx)
-    : ReplicationEngine(std::move(ctx)), inbox_(ctx_.sim) {}
+    : ReplicationEngine(std::move(ctx)), inbox_(ctx_.rt) {}
 
 void BackEdgeEngine::Start() {
   LAZYREP_CHECK(ctx_.routing->tree().has_value());
   if (ctx_.routing->tree()->Parent(ctx_.site) != kInvalidSite) {
-    ctx_.sim->Spawn(Applier());
+    ctx_.rt->SpawnOn(ctx_.machine, Applier());
   }
 }
 
@@ -20,7 +20,7 @@ void BackEdgeEngine::ForwardToRelevantChildren(
   }
 }
 
-sim::Co<Status> BackEdgeEngine::ExecutePrimary(
+runtime::Co<Status> BackEdgeEngine::ExecutePrimary(
     GlobalTxnId id, const workload::TxnSpec& spec) {
   storage::TxnPtr txn = ctx_.db->Begin(id, storage::TxnKind::kPrimary);
   std::vector<WriteRecord> writes;
@@ -39,9 +39,9 @@ sim::Co<Status> BackEdgeEngine::ExecutePrimary(
       update.origin = id;
       update.writes = writes;
       update.origin_site = ctx_.site;
-      update.origin_commit_time = ctx_.sim->Now();
+      update.origin_commit_time = ctx_.rt->Now();
       ctx_.metrics->RegisterPropagation(
-          id, ctx_.routing->CountReplicaTargets(writes), ctx_.sim->Now());
+          id, ctx_.routing->CountReplicaTargets(writes), ctx_.rt->Now());
       ForwardToRelevantChildren(update);
     });
     co_return st;
@@ -61,8 +61,8 @@ sim::Co<Status> BackEdgeEngine::ExecutePrimary(
   pending.txn = txn;
   pending.writes = writes;
   pending.path_sites = path;
-  pending.outcome = std::make_shared<sim::OneShot<bool>>(ctx_.sim);
-  std::shared_ptr<sim::OneShot<bool>> outcome = pending.outcome;
+  pending.outcome = std::make_shared<runtime::OneShot<bool>>(ctx_.rt);
+  std::shared_ptr<runtime::OneShot<bool>> outcome = pending.outcome;
   pending_.emplace(id, std::move(pending));
 
   uint64_t hook =
@@ -72,7 +72,7 @@ sim::Co<Status> BackEdgeEngine::ExecutePrimary(
   start.origin = id;
   start.origin_site = ctx_.site;
   start.writes = writes;
-  start.primary_done_time = ctx_.sim->Now();
+  start.primary_done_time = ctx_.rt->Now();
   ctx_.net->Post(ctx_.site, farthest, ProtocolMessage(std::move(start)));
 
   bool committed = co_await outcome->Wait();
@@ -87,7 +87,7 @@ sim::Co<Status> BackEdgeEngine::ExecutePrimary(
   co_return co_await AbortPendingPrimary(id, std::move(pp));
 }
 
-sim::Co<Status> BackEdgeEngine::AbortPendingPrimary(GlobalTxnId id,
+runtime::Co<Status> BackEdgeEngine::AbortPendingPrimary(GlobalTxnId id,
                                                     PendingPrimary pp) {
   tombstones_.insert(id);
   for (SiteId s : pp.path_sites) {
@@ -105,7 +105,7 @@ void BackEdgeEngine::OnMessage(ProtocolNetwork::Envelope env) {
     inbox_.Send(std::move(*update));
   } else if (auto* start = std::get_if<BackedgeStart>(&env.payload)) {
     ++active_handlers_;
-    ctx_.sim->Spawn(HandleBackedgeStart(std::move(*start)));
+    ctx_.rt->Spawn(HandleBackedgeStart(std::move(*start)));
   } else if (auto* abort = std::get_if<BackedgeAbort>(&env.payload)) {
     if (abort->origin.origin_site == ctx_.site) {
       HandleBackedgeAbortAtOrigin(abort->origin);
@@ -129,7 +129,7 @@ void BackEdgeEngine::OnMessage(ProtocolNetwork::Envelope env) {
     HandleVote(*vote);
   } else if (auto* decision = std::get_if<TpcDecision>(&env.payload)) {
     ++active_handlers_;
-    ctx_.sim->Spawn(HandleDecision(std::move(*decision)));
+    ctx_.rt->Spawn(HandleDecision(std::move(*decision)));
   } else if (std::get_if<TpcAck>(&env.payload) != nullptr) {
     --outstanding_acks_;
   } else {
@@ -137,7 +137,7 @@ void BackEdgeEngine::OnMessage(ProtocolNetwork::Envelope env) {
   }
 }
 
-sim::Co<void> BackEdgeEngine::HandleBackedgeStart(BackedgeStart start) {
+runtime::Co<void> BackEdgeEngine::HandleBackedgeStart(BackedgeStart start) {
   if (tombstones_.count(start.origin) > 0) {
     --active_handlers_;
     co_return;
@@ -187,7 +187,7 @@ sim::Co<void> BackEdgeEngine::HandleBackedgeStart(BackedgeStart start) {
   --active_handlers_;
 }
 
-sim::Co<void> BackEdgeEngine::Applier() {
+runtime::Co<void> BackEdgeEngine::Applier() {
   for (;;) {
     SecondaryUpdate update = co_await inbox_.Receive();
     applying_ = true;
@@ -211,14 +211,14 @@ sim::Co<void> BackEdgeEngine::Applier() {
       LAZYREP_CHECK(st.ok()) << st.ToString();
       ++secondaries_committed_;
       if (applied_any) {
-        ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.sim->Now());
+        ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.rt->Now());
       }
     }
     applying_ = false;
   }
 }
 
-sim::Co<void> BackEdgeEngine::ExecuteSpecialLocally(SecondaryUpdate update) {
+runtime::Co<void> BackEdgeEngine::ExecuteSpecialLocally(SecondaryUpdate update) {
   if (tombstones_.count(update.origin) > 0) {
     // The origin aborted; downstream sites were told directly. Drop.
     co_return;
@@ -256,7 +256,7 @@ sim::Co<void> BackEdgeEngine::ExecuteSpecialLocally(SecondaryUpdate update) {
   ctx_.net->Post(ctx_.site, next, ProtocolMessage(std::move(update)));
 }
 
-sim::Co<void> BackEdgeEngine::CommitPendingPrimary(SecondaryUpdate update) {
+runtime::Co<void> BackEdgeEngine::CommitPendingPrimary(SecondaryUpdate update) {
   auto it = pending_.find(update.origin);
   if (it == pending_.end() || it->second.txn->abort_requested()) {
     // Victimized before its special arrived; the primary coroutine does
@@ -273,8 +273,8 @@ sim::Co<void> BackEdgeEngine::CommitPendingPrimary(SecondaryUpdate update) {
   VoteState& vs = votes_[update.origin];
   vs.outstanding = static_cast<int>(pp.path_sites.size());
   vs.all_yes = true;
-  vs.done = std::make_shared<sim::Event>(ctx_.sim);
-  std::shared_ptr<sim::Event> done = vs.done;
+  vs.done = std::make_shared<runtime::Event>(ctx_.rt);
+  std::shared_ptr<runtime::Event> done = vs.done;
   TpcPrepare prepare;
   prepare.origin = update.origin;
   prepare.coordinator = ctx_.site;
@@ -297,16 +297,16 @@ sim::Co<void> BackEdgeEngine::CommitPendingPrimary(SecondaryUpdate update) {
 
   std::vector<WriteRecord> writes = pp.writes;
   std::vector<SiteId> path = pp.path_sites;
-  std::shared_ptr<sim::OneShot<bool>> outcome = pp.outcome;
+  std::shared_ptr<runtime::OneShot<bool>> outcome = pp.outcome;
   GlobalTxnId id = update.origin;
   Status st = co_await ctx_.db->Commit(txn, [&](int64_t) {
     SecondaryUpdate normal;
     normal.origin = id;
     normal.writes = writes;
     normal.origin_site = ctx_.site;
-    normal.origin_commit_time = ctx_.sim->Now();
+    normal.origin_commit_time = ctx_.rt->Now();
     ctx_.metrics->RegisterPropagation(
-        id, ctx_.routing->CountReplicaTargets(writes), ctx_.sim->Now());
+        id, ctx_.routing->CountReplicaTargets(writes), ctx_.rt->Now());
     // §4.1 step 4: descendants are updated lazily per DAG(WT).
     ForwardToRelevantChildren(normal);
   });
@@ -314,7 +314,7 @@ sim::Co<void> BackEdgeEngine::CommitPendingPrimary(SecondaryUpdate update) {
   TpcDecision decision;
   decision.origin = id;
   decision.commit = true;
-  decision.origin_commit_time = ctx_.sim->Now();
+  decision.origin_commit_time = ctx_.rt->Now();
   for (SiteId s : path) {
     ctx_.net->Post(ctx_.site, s, ProtocolMessage(decision));
     ++outstanding_acks_;
@@ -343,10 +343,10 @@ void BackEdgeEngine::HandleBackedgeAbortAtPathSite(
         Status::ExternalAbort("origin transaction aborted"));
     return;
   }
-  ctx_.sim->Spawn(RollbackProxy(origin, /*tombstone=*/true));
+  ctx_.rt->Spawn(RollbackProxy(origin, /*tombstone=*/true));
 }
 
-sim::Co<void> BackEdgeEngine::RollbackProxy(GlobalTxnId origin,
+runtime::Co<void> BackEdgeEngine::RollbackProxy(GlobalTxnId origin,
                                             bool tombstone) {
   auto it = proxies_.find(origin);
   if (it == proxies_.end()) co_return;
@@ -365,7 +365,7 @@ void BackEdgeEngine::HandleVote(const TpcVote& vote) {
   if (--it->second.outstanding == 0) it->second.done->Set();
 }
 
-sim::Co<void> BackEdgeEngine::HandleDecision(TpcDecision decision) {
+runtime::Co<void> BackEdgeEngine::HandleDecision(TpcDecision decision) {
   auto it = proxies_.find(decision.origin);
   LAZYREP_CHECK(decision.commit) << "aborts travel as BackedgeAbort";
   LAZYREP_CHECK(it != proxies_.end())
@@ -378,7 +378,7 @@ sim::Co<void> BackEdgeEngine::HandleDecision(TpcDecision decision) {
   Status st = co_await ctx_.db->Commit(txn);
   LAZYREP_CHECK(st.ok()) << st.ToString();
   if (applied_any) {
-    ctx_.metrics->OnSecondaryApplied(decision.origin, ctx_.sim->Now());
+    ctx_.metrics->OnSecondaryApplied(decision.origin, ctx_.rt->Now());
   }
   ctx_.net->Post(ctx_.site, decision.origin.origin_site,
                  ProtocolMessage(TpcAck{decision.origin}));

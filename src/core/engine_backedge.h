@@ -39,7 +39,7 @@ class BackEdgeEngine : public ReplicationEngine {
   explicit BackEdgeEngine(Context ctx);
 
   void Start() override;
-  sim::Co<Status> ExecutePrimary(GlobalTxnId id,
+  runtime::Co<Status> ExecutePrimary(GlobalTxnId id,
                                  const workload::TxnSpec& spec) override;
   void OnMessage(ProtocolNetwork::Envelope env) override;
   bool Quiescent() const override;
@@ -54,7 +54,7 @@ class BackEdgeEngine : public ReplicationEngine {
     storage::TxnPtr txn;
     std::vector<WriteRecord> writes;
     std::vector<SiteId> path_sites;  // Everyone the special visits.
-    std::shared_ptr<sim::OneShot<bool>> outcome;  // true = committed.
+    std::shared_ptr<runtime::OneShot<bool>> outcome;  // true = committed.
   };
 
   /// Backedge-subtransaction proxy state at a path site.
@@ -68,30 +68,30 @@ class BackEdgeEngine : public ReplicationEngine {
   struct VoteState {
     int outstanding = 0;
     bool all_yes = true;
-    std::shared_ptr<sim::Event> done;
+    std::shared_ptr<runtime::Event> done;
   };
 
   void ForwardToRelevantChildren(const SecondaryUpdate& update);
-  sim::Co<void> Applier();
-  sim::Co<void> HandleBackedgeStart(BackedgeStart start);
+  runtime::Co<void> Applier();
+  runtime::Co<void> HandleBackedgeStart(BackedgeStart start);
   /// Executes the special at an intermediate/target path site, then
   /// forwards it toward the origin.
-  sim::Co<void> ExecuteSpecialLocally(SecondaryUpdate update);
+  runtime::Co<void> ExecuteSpecialLocally(SecondaryUpdate update);
   /// Runs the atomic commit (2PC) of a pending primary whose special has
   /// arrived. Called from the applier; blocks it to preserve the local
   /// FIFO commit order.
-  sim::Co<void> CommitPendingPrimary(SecondaryUpdate update);
+  runtime::Co<void> CommitPendingPrimary(SecondaryUpdate update);
   void HandleBackedgeAbortAtOrigin(const GlobalTxnId& origin);
   void HandleBackedgeAbortAtPathSite(const GlobalTxnId& origin);
-  sim::Co<void> RollbackProxy(GlobalTxnId origin, bool tombstone);
+  runtime::Co<void> RollbackProxy(GlobalTxnId origin, bool tombstone);
   void HandleVote(const TpcVote& vote);
-  sim::Co<void> HandleDecision(TpcDecision decision);
+  runtime::Co<void> HandleDecision(TpcDecision decision);
   /// Victim cleanup at the origin: broadcast aborts along the path and
   /// roll back the local transaction.
-  sim::Co<Status> AbortPendingPrimary(GlobalTxnId id,
+  runtime::Co<Status> AbortPendingPrimary(GlobalTxnId id,
                                       PendingPrimary pending);
 
-  sim::Mailbox<SecondaryUpdate> inbox_;  // From the tree parent.
+  runtime::Mailbox<SecondaryUpdate> inbox_;  // From the tree parent.
   bool applying_ = false;
   std::map<GlobalTxnId, PendingPrimary> pending_;
   std::map<GlobalTxnId, Proxy> proxies_;

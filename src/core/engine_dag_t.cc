@@ -6,30 +6,30 @@ DagTEngine::DagTEngine(Context ctx) : ReplicationEngine(std::move(ctx)) {
   site_ts_ = Timestamp::Initial(Rank());
   for (SiteId parent : ctx_.routing->copy_graph().Parents(ctx_.site)) {
     queues_.emplace(parent,
-                    std::make_unique<sim::Mailbox<SecondaryUpdate>>(
-                        ctx_.sim));
+                    std::make_unique<runtime::Mailbox<SecondaryUpdate>>(
+                        ctx_.rt));
   }
 }
 
 void DagTEngine::Start() {
   if (!queues_.empty()) {
-    ctx_.sim->Spawn(Applier());
+    ctx_.rt->SpawnOn(ctx_.machine, Applier());
   } else {
     // Sources drive progress by advancing their epoch periodically
     // (§3.3).
-    ctx_.sim->Spawn(EpochTicker());
+    ctx_.rt->SpawnOn(ctx_.machine, EpochTicker());
   }
   if (!ctx_.routing->copy_graph().Children(ctx_.site).empty()) {
-    ctx_.sim->Spawn(DummySender());
+    ctx_.rt->SpawnOn(ctx_.machine, DummySender());
   }
 }
 
 void DagTEngine::PostToChild(SiteId child, SecondaryUpdate update) {
-  last_sent_[child] = ctx_.sim->Now();
+  last_sent_[child] = ctx_.rt->Now();
   ctx_.net->Post(ctx_.site, child, ProtocolMessage(std::move(update)));
 }
 
-sim::Co<Status> DagTEngine::ExecutePrimary(GlobalTxnId id,
+runtime::Co<Status> DagTEngine::ExecutePrimary(GlobalTxnId id,
                                            const workload::TxnSpec& spec) {
   storage::TxnPtr txn = ctx_.db->Begin(id, storage::TxnKind::kPrimary);
   std::vector<WriteRecord> writes;
@@ -46,9 +46,9 @@ sim::Co<Status> DagTEngine::ExecutePrimary(GlobalTxnId id,
     update.writes = writes;
     update.ts = site_ts_;
     update.origin_site = ctx_.site;
-    update.origin_commit_time = ctx_.sim->Now();
+    update.origin_commit_time = ctx_.rt->Now();
     ctx_.metrics->RegisterPropagation(
-        id, ctx_.routing->CountReplicaTargets(writes), ctx_.sim->Now());
+        id, ctx_.routing->CountReplicaTargets(writes), ctx_.rt->Now());
     for (SiteId child :
          ctx_.routing->RelevantCopyChildren(ctx_.site, writes)) {
       PostToChild(child, update);
@@ -66,7 +66,7 @@ void DagTEngine::OnMessage(ProtocolNetwork::Envelope env) {
   it->second->Send(std::move(*update));
 }
 
-sim::Co<void> DagTEngine::Applier() {
+runtime::Co<void> DagTEngine::Applier() {
   Timestamp last_committed;
   bool have_last = false;
   for (;;) {
@@ -76,7 +76,7 @@ sim::Co<void> DagTEngine::Applier() {
     for (auto& [parent, queue] : queues_) {
       co_await queue->WaitNonEmpty();
     }
-    sim::Mailbox<SecondaryUpdate>* min_queue = nullptr;
+    runtime::Mailbox<SecondaryUpdate>* min_queue = nullptr;
     for (auto& [parent, queue] : queues_) {
       if (min_queue == nullptr ||
           Timestamp::Compare(queue->Front().ts, min_queue->Front().ts) <
@@ -115,27 +115,27 @@ sim::Co<void> DagTEngine::Applier() {
     LAZYREP_CHECK(st.ok()) << st.ToString();
     ++secondaries_committed_;
     if (applied_any) {
-      ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.sim->Now());
+      ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.rt->Now());
     }
     applying_real_ = false;
   }
 }
 
-sim::Co<void> DagTEngine::EpochTicker() {
+runtime::Co<void> DagTEngine::EpochTicker() {
   while (!shutdown_) {
-    co_await ctx_.sim->Delay(ctx_.config->engine.epoch_period);
+    co_await ctx_.rt->Delay(ctx_.config->engine.epoch_period);
     site_ts_.set_epoch(site_ts_.epoch() + 1);
   }
 }
 
-sim::Co<void> DagTEngine::DummySender() {
+runtime::Co<void> DagTEngine::DummySender() {
   const Duration period = ctx_.config->engine.dummy_period;
   while (!shutdown_) {
-    co_await ctx_.sim->Delay(period);
+    co_await ctx_.rt->Delay(period);
     if (shutdown_) break;
     for (SiteId child : ctx_.routing->copy_graph().Children(ctx_.site)) {
       auto it = last_sent_.find(child);
-      if (it != last_sent_.end() && it->second + period > ctx_.sim->Now()) {
+      if (it != last_sent_.end() && it->second + period > ctx_.rt->Now()) {
         continue;  // Recent real traffic on this edge.
       }
       SecondaryUpdate dummy;

@@ -33,7 +33,7 @@ class DagTEngine : public ReplicationEngine {
   explicit DagTEngine(Context ctx);
 
   void Start() override;
-  sim::Co<Status> ExecutePrimary(GlobalTxnId id,
+  runtime::Co<Status> ExecutePrimary(GlobalTxnId id,
                                  const workload::TxnSpec& spec) override;
   void OnMessage(ProtocolNetwork::Envelope env) override;
   bool Quiescent() const override;
@@ -47,16 +47,16 @@ class DagTEngine : public ReplicationEngine {
   int Rank() const { return ctx_.routing->TopoRank(ctx_.site); }
 
   void PostToChild(SiteId child, SecondaryUpdate update);
-  sim::Co<void> Applier();
-  sim::Co<void> EpochTicker();
-  sim::Co<void> DummySender();
+  runtime::Co<void> Applier();
+  runtime::Co<void> EpochTicker();
+  runtime::Co<void> DummySender();
 
   /// Site timestamp; always ends with this site's own tuple (rank, lts).
   Timestamp site_ts_;
   int64_t lts_ = 0;
 
   /// One queue per copy-graph parent.
-  std::map<SiteId, std::unique_ptr<sim::Mailbox<SecondaryUpdate>>>
+  std::map<SiteId, std::unique_ptr<runtime::Mailbox<SecondaryUpdate>>>
       queues_;
   bool applying_real_ = false;
   std::map<SiteId, SimTime> last_sent_;

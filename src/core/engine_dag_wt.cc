@@ -3,17 +3,17 @@
 namespace lazyrep::core {
 
 DagWtEngine::DagWtEngine(Context ctx)
-    : ReplicationEngine(std::move(ctx)), inbox_(ctx_.sim) {}
+    : ReplicationEngine(std::move(ctx)), inbox_(ctx_.rt) {}
 
 void DagWtEngine::Start() {
   // A site with a tree parent receives forwarded subtransactions.
   LAZYREP_CHECK(ctx_.routing->tree().has_value());
   if (ctx_.routing->tree()->Parent(ctx_.site) != kInvalidSite) {
-    ctx_.sim->Spawn(Applier());
+    ctx_.rt->SpawnOn(ctx_.machine, Applier());
   }
   if (ctx_.config->engine.batch_window > 0 &&
       !ctx_.routing->tree()->Children(ctx_.site).empty()) {
-    ctx_.sim->Spawn(BatchFlusher());
+    ctx_.rt->SpawnOn(ctx_.machine, BatchFlusher());
   }
 }
 
@@ -45,10 +45,10 @@ void DagWtEngine::FlushBatches() {
   }
 }
 
-sim::Co<void> DagWtEngine::BatchFlusher() {
+runtime::Co<void> DagWtEngine::BatchFlusher() {
   const Duration window = ctx_.config->engine.batch_window;
   while (!shutdown_) {
-    co_await ctx_.sim->Delay(window);
+    co_await ctx_.rt->Delay(window);
     FlushBatches();
   }
 }
@@ -58,7 +58,7 @@ void DagWtEngine::BeginShutdown() {
   FlushBatches();  // Nothing may linger in the buffers.
 }
 
-sim::Co<Status> DagWtEngine::ExecutePrimary(GlobalTxnId id,
+runtime::Co<Status> DagWtEngine::ExecutePrimary(GlobalTxnId id,
                                             const workload::TxnSpec& spec) {
   storage::TxnPtr txn = ctx_.db->Begin(id, storage::TxnKind::kPrimary);
   std::vector<WriteRecord> writes;
@@ -70,9 +70,9 @@ sim::Co<Status> DagWtEngine::ExecutePrimary(GlobalTxnId id,
     update.origin = id;
     update.writes = writes;
     update.origin_site = ctx_.site;
-    update.origin_commit_time = ctx_.sim->Now();
+    update.origin_commit_time = ctx_.rt->Now();
     ctx_.metrics->RegisterPropagation(
-        id, ctx_.routing->CountReplicaTargets(writes), ctx_.sim->Now());
+        id, ctx_.routing->CountReplicaTargets(writes), ctx_.rt->Now());
     ForwardToRelevantChildren(update);
   });
   co_return st;
@@ -90,7 +90,7 @@ void DagWtEngine::OnMessage(ProtocolNetwork::Envelope env) {
   }
 }
 
-sim::Co<void> DagWtEngine::Applier() {
+runtime::Co<void> DagWtEngine::Applier() {
   for (;;) {
     SecondaryUpdate update = co_await inbox_.Receive();
     applying_ = true;
@@ -105,7 +105,7 @@ sim::Co<void> DagWtEngine::Applier() {
     LAZYREP_CHECK(st.ok()) << st.ToString();
     ++secondaries_committed_;
     if (applied_any) {
-      ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.sim->Now());
+      ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.rt->Now());
     }
     applying_ = false;
   }

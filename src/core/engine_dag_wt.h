@@ -28,7 +28,7 @@ class DagWtEngine : public ReplicationEngine {
   explicit DagWtEngine(Context ctx);
 
   void Start() override;
-  sim::Co<Status> ExecutePrimary(GlobalTxnId id,
+  runtime::Co<Status> ExecutePrimary(GlobalTxnId id,
                                  const workload::TxnSpec& spec) override;
   void OnMessage(ProtocolNetwork::Envelope env) override;
   bool Quiescent() const override;
@@ -46,10 +46,10 @@ class DagWtEngine : public ReplicationEngine {
   /// Ships each non-empty per-child buffer as one message.
   void FlushBatches();
 
-  sim::Co<void> Applier();
-  sim::Co<void> BatchFlusher();
+  runtime::Co<void> Applier();
+  runtime::Co<void> BatchFlusher();
 
-  sim::Mailbox<SecondaryUpdate> inbox_;
+  runtime::Mailbox<SecondaryUpdate> inbox_;
   bool applying_ = false;
   uint64_t secondaries_committed_ = 0;
   /// Batching state: per-child outgoing buffer, in forwarding order.

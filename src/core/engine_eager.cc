@@ -5,7 +5,7 @@ namespace lazyrep::core {
 EagerEngine::EagerEngine(Context ctx)
     : ReplicationEngine(std::move(ctx)) {}
 
-sim::Co<Status> EagerEngine::ExecutePrimary(GlobalTxnId id,
+runtime::Co<Status> EagerEngine::ExecutePrimary(GlobalTxnId id,
                                             const workload::TxnSpec& spec) {
   storage::TxnPtr txn = ctx_.db->Begin(id, storage::TxnKind::kPrimary);
   std::vector<WriteRecord> writes;
@@ -25,8 +25,8 @@ sim::Co<Status> EagerEngine::ExecutePrimary(GlobalTxnId id,
   VoteState& vs = votes_[id];
   vs.outstanding = static_cast<int>(participants.size());
   vs.all_yes = true;
-  vs.done = std::make_shared<sim::Event>(ctx_.sim);
-  std::shared_ptr<sim::Event> done = vs.done;
+  vs.done = std::make_shared<runtime::Event>(ctx_.rt);
+  std::shared_ptr<runtime::Event> done = vs.done;
   TpcPrepare prepare;
   prepare.origin = id;
   prepare.coordinator = ctx_.site;
@@ -45,12 +45,12 @@ sim::Co<Status> EagerEngine::ExecutePrimary(GlobalTxnId id,
   if (decision.commit) {
     st = co_await ctx_.db->Commit(txn, [&](int64_t) {
       ctx_.metrics->RegisterPropagation(
-          id, static_cast<int>(participants.size()), ctx_.sim->Now());
+          id, static_cast<int>(participants.size()), ctx_.rt->Now());
     });
     // A victim-selection race during the commit CPU charge turns the
     // commit into a rollback; flip the decision accordingly.
     decision.commit = st.ok();
-    decision.origin_commit_time = ctx_.sim->Now();
+    decision.origin_commit_time = ctx_.rt->Now();
   } else {
     co_await ctx_.db->Abort(txn);
     st = txn->abort_reason().ok()
@@ -67,7 +67,7 @@ sim::Co<Status> EagerEngine::ExecutePrimary(GlobalTxnId id,
 void EagerEngine::OnMessage(ProtocolNetwork::Envelope env) {
   if (auto* prepare = std::get_if<TpcPrepare>(&env.payload)) {
     ++active_handlers_;
-    ctx_.sim->Spawn(HandlePrepare(env.src, std::move(*prepare)));
+    ctx_.rt->Spawn(HandlePrepare(env.src, std::move(*prepare)));
   } else if (auto* vote = std::get_if<TpcVote>(&env.payload)) {
     auto it = votes_.find(vote->origin);
     LAZYREP_CHECK(it != votes_.end());
@@ -75,7 +75,7 @@ void EagerEngine::OnMessage(ProtocolNetwork::Envelope env) {
     if (--it->second.outstanding == 0) it->second.done->Set();
   } else if (auto* decision = std::get_if<TpcDecision>(&env.payload)) {
     ++active_handlers_;
-    ctx_.sim->Spawn(HandleDecision(std::move(*decision)));
+    ctx_.rt->Spawn(HandleDecision(std::move(*decision)));
   } else if (std::get_if<TpcAck>(&env.payload) != nullptr) {
     --outstanding_acks_;
   } else {
@@ -83,7 +83,7 @@ void EagerEngine::OnMessage(ProtocolNetwork::Envelope env) {
   }
 }
 
-sim::Co<void> EagerEngine::HandlePrepare(SiteId coordinator,
+runtime::Co<void> EagerEngine::HandlePrepare(SiteId coordinator,
                                          TpcPrepare prepare) {
   storage::TxnPtr txn =
       ctx_.db->Begin(prepare.origin, storage::TxnKind::kRemoteProxy);
@@ -117,7 +117,7 @@ sim::Co<void> EagerEngine::HandlePrepare(SiteId coordinator,
   --active_handlers_;
 }
 
-sim::Co<void> EagerEngine::HandleDecision(TpcDecision decision) {
+runtime::Co<void> EagerEngine::HandleDecision(TpcDecision decision) {
   auto it = prepared_.find(decision.origin);
   if (it == prepared_.end()) {
     // We voted no; nothing to do but acknowledge.
@@ -132,7 +132,7 @@ sim::Co<void> EagerEngine::HandleDecision(TpcDecision decision) {
     Status st = co_await ctx_.db->Commit(prepared.txn);
     LAZYREP_CHECK(st.ok());
     if (prepared.applied_any) {
-      ctx_.metrics->OnSecondaryApplied(decision.origin, ctx_.sim->Now());
+      ctx_.metrics->OnSecondaryApplied(decision.origin, ctx_.rt->Now());
     }
   } else {
     co_await ctx_.db->Abort(prepared.txn);

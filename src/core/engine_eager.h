@@ -23,7 +23,7 @@ class EagerEngine : public ReplicationEngine {
  public:
   explicit EagerEngine(Context ctx);
 
-  sim::Co<Status> ExecutePrimary(GlobalTxnId id,
+  runtime::Co<Status> ExecutePrimary(GlobalTxnId id,
                                  const workload::TxnSpec& spec) override;
   void OnMessage(ProtocolNetwork::Envelope env) override;
   bool Quiescent() const override;
@@ -32,11 +32,11 @@ class EagerEngine : public ReplicationEngine {
   struct VoteState {
     int outstanding = 0;
     bool all_yes = true;
-    std::shared_ptr<sim::Event> done;
+    std::shared_ptr<runtime::Event> done;
   };
 
-  sim::Co<void> HandlePrepare(SiteId coordinator, TpcPrepare prepare);
-  sim::Co<void> HandleDecision(TpcDecision decision);
+  runtime::Co<void> HandlePrepare(SiteId coordinator, TpcPrepare prepare);
+  runtime::Co<void> HandleDecision(TpcDecision decision);
 
   std::map<GlobalTxnId, VoteState> votes_;
   /// Participant-side prepared transactions holding replica X locks.

@@ -3,15 +3,15 @@
 namespace lazyrep::core {
 
 NaiveLazyEngine::NaiveLazyEngine(Context ctx)
-    : ReplicationEngine(std::move(ctx)), inbox_(ctx_.sim) {}
+    : ReplicationEngine(std::move(ctx)), inbox_(ctx_.rt) {}
 
 void NaiveLazyEngine::Start() {
   if (!ctx_.routing->copy_graph().Parents(ctx_.site).empty()) {
-    ctx_.sim->Spawn(Applier());
+    ctx_.rt->SpawnOn(ctx_.machine, Applier());
   }
 }
 
-sim::Co<Status> NaiveLazyEngine::ExecutePrimary(
+runtime::Co<Status> NaiveLazyEngine::ExecutePrimary(
     GlobalTxnId id, const workload::TxnSpec& spec) {
   storage::TxnPtr txn = ctx_.db->Begin(id, storage::TxnKind::kPrimary);
   std::vector<WriteRecord> writes;
@@ -23,9 +23,9 @@ sim::Co<Status> NaiveLazyEngine::ExecutePrimary(
     update.origin = id;
     update.writes = writes;
     update.origin_site = ctx_.site;
-    update.origin_commit_time = ctx_.sim->Now();
+    update.origin_commit_time = ctx_.rt->Now();
     ctx_.metrics->RegisterPropagation(
-        id, ctx_.routing->CountReplicaTargets(writes), ctx_.sim->Now());
+        id, ctx_.routing->CountReplicaTargets(writes), ctx_.rt->Now());
     // Indiscriminate: straight to every replica holder.
     for (SiteId child :
          ctx_.routing->RelevantCopyChildren(ctx_.site, writes)) {
@@ -41,7 +41,7 @@ void NaiveLazyEngine::OnMessage(ProtocolNetwork::Envelope env) {
   inbox_.Send(std::move(*update));
 }
 
-sim::Co<void> NaiveLazyEngine::Applier() {
+runtime::Co<void> NaiveLazyEngine::Applier() {
   const bool lww = ctx_.config->engine.naive_lww;
   for (;;) {
     SecondaryUpdate update = co_await inbox_.Receive();
@@ -71,7 +71,7 @@ sim::Co<void> NaiveLazyEngine::Applier() {
     Status st = co_await ctx_.db->Commit(txn);
     LAZYREP_CHECK(st.ok()) << st.ToString();
     if (applied_any || lww) {
-      ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.sim->Now());
+      ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.rt->Now());
     }
     applying_ = false;
   }

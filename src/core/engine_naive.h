@@ -24,7 +24,7 @@ class NaiveLazyEngine : public ReplicationEngine {
   explicit NaiveLazyEngine(Context ctx);
 
   void Start() override;
-  sim::Co<Status> ExecutePrimary(GlobalTxnId id,
+  runtime::Co<Status> ExecutePrimary(GlobalTxnId id,
                                  const workload::TxnSpec& spec) override;
   void OnMessage(ProtocolNetwork::Envelope env) override;
   bool Quiescent() const override;
@@ -32,9 +32,9 @@ class NaiveLazyEngine : public ReplicationEngine {
   uint64_t lww_skipped() const { return lww_skipped_; }
 
  private:
-  sim::Co<void> Applier();
+  runtime::Co<void> Applier();
 
-  sim::Mailbox<SecondaryUpdate> inbox_;
+  runtime::Mailbox<SecondaryUpdate> inbox_;
   bool applying_ = false;
   /// LWW reconciliation state: per item, the origin commit time of the
   /// installed version.

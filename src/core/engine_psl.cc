@@ -4,7 +4,7 @@ namespace lazyrep::core {
 
 PslEngine::PslEngine(Context ctx) : ReplicationEngine(std::move(ctx)) {}
 
-sim::Co<Status> PslEngine::ExecutePrimary(GlobalTxnId id,
+runtime::Co<Status> PslEngine::ExecutePrimary(GlobalTxnId id,
                                           const workload::TxnSpec& spec) {
   storage::TxnPtr txn = ctx_.db->Begin(id, storage::TxnKind::kPrimary);
   std::set<SiteId> contacted;
@@ -42,7 +42,7 @@ sim::Co<Status> PslEngine::ExecutePrimary(GlobalTxnId id,
   co_return st;
 }
 
-sim::Co<Status> PslEngine::RemoteRead(storage::TxnPtr txn, ItemId item,
+runtime::Co<Status> PslEngine::RemoteRead(storage::TxnPtr txn, ItemId item,
                                       std::set<SiteId>* contacted) {
   if (txn->abort_requested()) co_return txn->abort_reason();
   SiteId primary = ctx_.routing->placement().primary[item];
@@ -51,7 +51,7 @@ sim::Co<Status> PslEngine::RemoteRead(storage::TxnPtr txn, ItemId item,
   request.origin = txn->id();
   request.item = item;
   request.request_id = next_request_id_++;
-  auto cell = std::make_shared<sim::OneShot<PslLockResponse>>(ctx_.sim);
+  auto cell = std::make_shared<runtime::OneShot<PslLockResponse>>(ctx_.rt);
   pending_reads_.emplace(request.request_id, cell);
   contacted->insert(primary);
   ctx_.net->Post(ctx_.site, primary, ProtocolMessage(request));
@@ -71,19 +71,19 @@ sim::Co<Status> PslEngine::RemoteRead(storage::TxnPtr txn, ItemId item,
 void PslEngine::OnMessage(ProtocolNetwork::Envelope env) {
   if (auto* request = std::get_if<PslLockRequest>(&env.payload)) {
     ++active_serves_;
-    ctx_.sim->Spawn(ServeLockRequest(env.src, std::move(*request)));
+    ctx_.rt->Spawn(ServeLockRequest(env.src, std::move(*request)));
   } else if (auto* response = std::get_if<PslLockResponse>(&env.payload)) {
     auto it = pending_reads_.find(response->request_id);
     LAZYREP_CHECK(it != pending_reads_.end());
     it->second->TryFire(std::move(*response));
   } else if (auto* release = std::get_if<PslRelease>(&env.payload)) {
-    ctx_.sim->Spawn(ReleaseProxy(release->origin, release->committed));
+    ctx_.rt->Spawn(ReleaseProxy(release->origin, release->committed));
   } else {
     LAZYREP_CHECK(false) << "unexpected message kind for PSL";
   }
 }
 
-sim::Co<void> PslEngine::ServeLockRequest(SiteId requester,
+runtime::Co<void> PslEngine::ServeLockRequest(SiteId requester,
                                           PslLockRequest request) {
   LAZYREP_CHECK_EQ(ctx_.routing->placement().primary[request.item],
                    ctx_.site);
@@ -109,7 +109,7 @@ sim::Co<void> PslEngine::ServeLockRequest(SiteId requester,
   --active_serves_;
 }
 
-sim::Co<void> PslEngine::ReleaseProxy(GlobalTxnId origin, bool committed) {
+runtime::Co<void> PslEngine::ReleaseProxy(GlobalTxnId origin, bool committed) {
   auto it = proxies_.find(origin);
   if (it == proxies_.end()) co_return;
   storage::TxnPtr proxy = it->second;

@@ -27,7 +27,7 @@ class PslEngine : public ReplicationEngine {
  public:
   explicit PslEngine(Context ctx);
 
-  sim::Co<Status> ExecutePrimary(GlobalTxnId id,
+  runtime::Co<Status> ExecutePrimary(GlobalTxnId id,
                                  const workload::TxnSpec& spec) override;
   void OnMessage(ProtocolNetwork::Envelope env) override;
   bool Quiescent() const override;
@@ -35,13 +35,13 @@ class PslEngine : public ReplicationEngine {
   uint64_t remote_reads() const { return remote_reads_; }
 
  private:
-  sim::Co<Status> RemoteRead(storage::TxnPtr txn, ItemId item,
+  runtime::Co<Status> RemoteRead(storage::TxnPtr txn, ItemId item,
                              std::set<SiteId>* contacted);
-  sim::Co<void> ServeLockRequest(SiteId requester, PslLockRequest request);
-  sim::Co<void> ReleaseProxy(GlobalTxnId origin, bool committed);
+  runtime::Co<void> ServeLockRequest(SiteId requester, PslLockRequest request);
+  runtime::Co<void> ReleaseProxy(GlobalTxnId origin, bool committed);
 
   uint64_t next_request_id_ = 1;
-  std::map<uint64_t, std::shared_ptr<sim::OneShot<PslLockResponse>>>
+  std::map<uint64_t, std::shared_ptr<runtime::OneShot<PslLockResponse>>>
       pending_reads_;
   /// Proxies holding S locks at this (primary) site per remote origin.
   std::map<GlobalTxnId, storage::TxnPtr> proxies_;

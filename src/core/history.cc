@@ -10,12 +10,12 @@ namespace lazyrep::core {
 
 void HistoryRecorder::OnCommit(SiteId site, const storage::Transaction& txn,
                                int64_t commit_seq) {
-  records_.push_back({site, txn.id(), commit_seq, txn.read_set(),
-                      txn.write_set(), txn.reads_observed(),
-                      txn.writes_final()});
+  AddRecord({site, txn.id(), commit_seq, txn.read_set(), txn.write_set(),
+             txn.reads_observed(), txn.writes_final()});
 }
 
 void HistoryRecorder::OnAbort(SiteId, const storage::Transaction&) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++aborts_;
 }
 

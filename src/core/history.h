@@ -2,6 +2,7 @@
 #define LAZYREP_CORE_HISTORY_H_
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -35,12 +36,21 @@ class HistoryRecorder : public storage::HistoryObserver {
   void OnAbort(SiteId site, const storage::Transaction& txn) override;
 
   /// Appends a record directly (scripted histories in tests/examples).
-  void AddRecord(Record record) { records_.push_back(std::move(record)); }
+  /// Internally synchronized: sites on every machine record here. The
+  /// checkers read `records()` only after the run has fully drained.
+  void AddRecord(Record record) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(std::move(record));
+  }
 
   const std::vector<Record>& records() const { return records_; }
-  int64_t aborts_seen() const { return aborts_; }
+  int64_t aborts_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return aborts_;
+  }
 
  private:
+  mutable std::mutex mu_;
   std::vector<Record> records_;
   int64_t aborts_ = 0;
 };

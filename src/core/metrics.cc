@@ -5,12 +5,14 @@
 namespace lazyrep::core {
 
 int64_t MetricsCollector::total_committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t n = 0;
   for (int64_t c : committed_) n += c;
   return n;
 }
 
 int64_t MetricsCollector::total_aborted() const {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t n = 0;
   for (int64_t a : aborted_) n += a;
   return n;

@@ -2,6 +2,7 @@
 #define LAZYREP_CORE_METRICS_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -70,29 +71,40 @@ struct RunMetrics {
 };
 
 /// Collects per-site counters and propagation bookkeeping during a run.
+///
+/// Sites on every machine report here, so the collector is internally
+/// synchronized (one mutex; uncontended under the sim backend). The
+/// read accessors also lock: under `ThreadRuntime` the census thread
+/// polls `pending_propagations()` while appliers are still reporting.
 class MetricsCollector {
  public:
   explicit MetricsCollector(int num_sites)
       : committed_(num_sites, 0), aborted_(num_sites, 0) {}
 
   void OnPrimaryCommit(SiteId site, Duration response) {
+    std::lock_guard<std::mutex> lock(mu_);
     ++committed_[site];
     response_ms_.Add(ToMillis(response));
     response_percentiles_.Add(ToMillis(response));
     response_histogram_.Add(ToMillis(response));
   }
-  void OnPrimaryAbort(SiteId site) { ++aborted_[site]; }
+  void OnPrimaryAbort(SiteId site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++aborted_[site];
+  }
 
   /// Registers a committed primary whose updates must reach
   /// `expected_sites` secondary sites.
   void RegisterPropagation(const GlobalTxnId& origin, int expected_sites,
                            SimTime commit_time) {
     if (expected_sites <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
     pending_[origin] = {expected_sites, commit_time};
   }
 
   /// One secondary application of `origin`'s updates finished at `now`.
   void OnSecondaryApplied(const GlobalTxnId& origin, SimTime now) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = pending_.find(origin);
     if (it == pending_.end()) return;
     per_site_apply_ms_.Add(ToMillis(now - it->second.commit_time));
@@ -104,12 +116,22 @@ class MetricsCollector {
 
   /// Propagation registered but aborted later (BackEdge victim): drop it.
   void CancelPropagation(const GlobalTxnId& origin) {
+    std::lock_guard<std::mutex> lock(mu_);
     pending_.erase(origin);
   }
 
-  size_t pending_propagations() const { return pending_.size(); }
-  int64_t committed_at(SiteId s) const { return committed_[s]; }
-  int64_t aborted_at(SiteId s) const { return aborted_[s]; }
+  size_t pending_propagations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
+  int64_t committed_at(SiteId s) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return committed_[s];
+  }
+  int64_t aborted_at(SiteId s) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return aborted_[s];
+  }
   int64_t total_committed() const;
   int64_t total_aborted() const;
   const Summary& response_ms() const { return response_ms_; }
@@ -128,6 +150,7 @@ class MetricsCollector {
     int remaining = 0;
     SimTime commit_time = 0;
   };
+  mutable std::mutex mu_;
   std::vector<int64_t> committed_;
   std::vector<int64_t> aborted_;
   Summary response_ms_;

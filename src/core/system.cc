@@ -3,25 +3,44 @@
 #include "core/wire.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <latch>
+#include <thread>
 
 #include "common/logging.h"
+#include "runtime/sim_runtime.h"
+#include "runtime/thread_runtime.h"
 
 namespace lazyrep::core {
+
+namespace {
+
+/// Machines are fixed by the workload shape: `sites_per_machine`
+/// co-located sites share one machine (one CPU, one executor thread).
+/// Defensive against not-yet-validated configs — `Build` rejects them.
+int ComputeNumMachines(const workload::Params& params) {
+  if (params.num_sites <= 0 || params.sites_per_machine <= 0) return 1;
+  return (params.num_sites + params.sites_per_machine - 1) /
+         params.sites_per_machine;
+}
+
+}  // namespace
 
 /// Forwards commit/abort notifications to the history recorder (when
 /// checking) and the trace log (when tracing).
 class System::ObserverMux : public storage::HistoryObserver {
  public:
   ObserverMux(HistoryRecorder* recorder, TraceLog* trace,
-              sim::Simulator* sim)
-      : recorder_(recorder), trace_(trace), sim_(sim) {}
+              runtime::Runtime* rt)
+      : recorder_(recorder), trace_(trace), rt_(rt) {}
 
   void OnCommit(SiteId site, const storage::Transaction& txn,
                 int64_t commit_seq) override {
     if (recorder_ != nullptr) recorder_->OnCommit(site, txn, commit_seq);
     if (trace_ != nullptr) {
       TraceEvent event;
-      event.time = sim_->Now();
+      event.time = rt_->Now();
       event.kind = TraceEvent::Kind::kTxnCommit;
       event.site = site;
       event.txn = txn.id();
@@ -33,7 +52,7 @@ class System::ObserverMux : public storage::HistoryObserver {
     if (recorder_ != nullptr) recorder_->OnAbort(site, txn);
     if (trace_ != nullptr) {
       TraceEvent event;
-      event.time = sim_->Now();
+      event.time = rt_->Now();
       event.kind = TraceEvent::Kind::kTxnAbort;
       event.site = site;
       event.txn = txn.id();
@@ -45,19 +64,39 @@ class System::ObserverMux : public storage::HistoryObserver {
  private:
   HistoryRecorder* recorder_;
   TraceLog* trace_;
-  sim::Simulator* sim_;
+  runtime::Runtime* rt_;
 };
 
 System::System(SystemConfig config)
     : config_(std::move(config)),
+      num_machines_(ComputeNumMachines(config_.workload)),
+      runtime_(MakeRuntime(config_)),
       rng_(config_.seed),
       metrics_(config_.workload.num_sites),
-      workers_done_(&sim_) {}
+      workers_done_(runtime_.get()) {}
 
 System::~System() {
   // Destroy all parked/in-flight coroutine frames before the members they
   // reference (mailboxes, databases, engines) are torn down.
-  sim_.Shutdown();
+  runtime_->Shutdown();
+}
+
+std::unique_ptr<runtime::Runtime> System::MakeRuntime(
+    const SystemConfig& config) {
+  switch (config.runtime) {
+    case runtime::RuntimeKind::kThreads:
+      return std::make_unique<runtime::ThreadRuntime>(
+          ComputeNumMachines(config.workload));
+    case runtime::RuntimeKind::kSim:
+      break;
+  }
+  return std::make_unique<runtime::SimRuntime>();
+}
+
+sim::Simulator& System::simulator() {
+  LAZYREP_CHECK(runtime_->kind() == runtime::RuntimeKind::kSim)
+      << "simulator() is only available under the sim backend";
+  return *static_cast<runtime::SimRuntime*>(runtime_.get())->simulator();
 }
 
 Result<std::unique_ptr<System>> System::Create(SystemConfig config) {
@@ -96,13 +135,12 @@ Status System::Build() {
   // Machines: `sites_per_machine` co-located sites share one CPU.
   site_cpu_.assign(params.num_sites, nullptr);
   if (config_.costs.model_cpu) {
-    int num_machines = (params.num_sites + params.sites_per_machine - 1) /
-                       params.sites_per_machine;
-    for (int m = 0; m < num_machines; ++m) {
-      machine_cpus_.push_back(std::make_unique<sim::Resource>(&sim_, 1));
+    for (int m = 0; m < num_machines_; ++m) {
+      machine_cpus_.push_back(
+          std::make_unique<runtime::Resource>(runtime_.get(), 1));
     }
     for (SiteId s = 0; s < params.num_sites; ++s) {
-      site_cpu_[s] = machine_cpus_[s / params.sites_per_machine].get();
+      site_cpu_[s] = machine_cpus_[machine_of(s)].get();
     }
   }
 
@@ -118,15 +156,15 @@ Status System::Build() {
   net_config.shared_medium = config_.costs.net_shared_medium;
   net_config.loopback_latency = config_.costs.loopback_latency;
   network_ = std::make_unique<ProtocolNetwork>(
-      &sim_, params.num_sites, net_config, site_cpu_, rng_.Split());
+      runtime_.get(), params.num_sites, net_config, site_cpu_, rng_.Split());
   network_->SetSizer(
       [](const ProtocolMessage& message) { return Wire::EncodedSize(message); });
   {
-    std::vector<int> machine_of(params.num_sites);
+    std::vector<int> machine_of_site(params.num_sites);
     for (SiteId s = 0; s < params.num_sites; ++s) {
-      machine_of[s] = s / params.sites_per_machine;
+      machine_of_site[s] = machine_of(s);
     }
-    network_->SetMachineMap(std::move(machine_of));
+    network_->SetMachineMap(std::move(machine_of_site));
   }
 
   // Tracing.
@@ -135,7 +173,7 @@ Status System::Build() {
     network_->SetObserver(
         [this](const ProtocolNetwork::Envelope& env, bool delivered) {
           TraceEvent event;
-          event.time = sim_.Now();
+          event.time = runtime_->Now();
           event.kind = delivered ? TraceEvent::Kind::kMsgDeliver
                                  : TraceEvent::Kind::kMsgPost;
           event.site = delivered ? env.dst : env.src;
@@ -149,7 +187,7 @@ Status System::Build() {
   // Sites: database + engine; initial value of every copy is 0.
   observer_mux_ = std::make_unique<ObserverMux>(
       config_.check_serializability ? &history_ : nullptr, trace_.get(),
-      &sim_);
+      runtime_.get());
   storage::HistoryObserver* observer =
       (config_.check_serializability || config_.enable_trace)
           ? observer_mux_.get()
@@ -163,7 +201,7 @@ Status System::Build() {
     options.lock_config.grant = config_.engine.grant_policy;
     options.enable_wal = config_.enable_wal;
     databases_.push_back(std::make_unique<storage::Database>(
-        &sim_, options, site_cpu_[s], observer));
+        runtime_.get(), options, site_cpu_[s], observer));
     for (ItemId item : placement.ItemsAt(s)) {
       databases_.back()->store().AddItem(item, 0);
     }
@@ -171,7 +209,7 @@ Status System::Build() {
       databases_.back()->locks().SetEventHooks(
           [this, s](const storage::Transaction& txn, ItemId item) {
             TraceEvent event;
-            event.time = sim_.Now();
+            event.time = runtime_->Now();
             event.kind = TraceEvent::Kind::kLockWait;
             event.site = s;
             event.txn = txn.id();
@@ -180,7 +218,7 @@ Status System::Build() {
           },
           [this, s](const storage::Transaction& txn, ItemId item) {
             TraceEvent event;
-            event.time = sim_.Now();
+            event.time = runtime_->Now();
             event.kind = TraceEvent::Kind::kLockTimeout;
             event.site = s;
             event.txn = txn.id();
@@ -192,7 +230,8 @@ Status System::Build() {
   for (SiteId s = 0; s < params.num_sites; ++s) {
     ReplicationEngine::Context ctx;
     ctx.site = s;
-    ctx.sim = &sim_;
+    ctx.rt = runtime_.get();
+    ctx.machine = machine_of(s);
     ctx.db = databases_[s].get();
     ctx.net = network_.get();
     ctx.routing = routing_;
@@ -208,16 +247,18 @@ Status System::Build() {
                      << " | " << params.ToString() << " | "
                      << routing_->copy_graph().num_edges()
                      << " copy edges, " << routing_->backedges().size()
-                     << " backedges";
+                     << " backedges | runtime="
+                     << runtime::RuntimeKindName(runtime_->kind()) << " ("
+                     << num_machines_ << " machines)";
   return Status::OK();
 }
 
-sim::Co<void> System::Worker(SiteId site, int thread_index, Rng rng) {
+runtime::Co<void> System::Worker(SiteId site, int thread_index, Rng rng) {
   (void)thread_index;
   const workload::Params& params = config_.workload;
   for (int i = 0; i < params.txns_per_thread; ++i) {
     workload::TxnSpec spec = generator_->Next(site, &rng);
-    SimTime start = sim_.Now();
+    SimTime start = runtime_->Now();
     // Warmup exclusion: run the transaction, skip its metrics.
     bool measured = start >= config_.warmup;
     double backoff_ms = 2.0;
@@ -225,7 +266,9 @@ sim::Co<void> System::Worker(SiteId site, int thread_index, Rng rng) {
       GlobalTxnId id{site, next_txn_seq_[site]++};
       Status st = co_await engines_[site]->ExecutePrimary(id, spec);
       if (st.ok()) {
-        if (measured) metrics_.OnPrimaryCommit(site, sim_.Now() - start);
+        if (measured) {
+          metrics_.OnPrimaryCommit(site, runtime_->Now() - start);
+        }
         break;
       }
       LAZYREP_CHECK(st.IsAbort()) << st.ToString();
@@ -234,7 +277,7 @@ sim::Co<void> System::Worker(SiteId site, int thread_index, Rng rng) {
       // Randomized exponential backoff: keeps repeated aborts of the same
       // conflicting transactions from livelocking in lock-step, and lets
       // a starving backedge transaction eventually find a quiet window.
-      co_await sim_.Delay(static_cast<Duration>(
+      co_await runtime_->Delay(static_cast<Duration>(
           rng.Exponential(backoff_ms) * static_cast<double>(kMillisecond)));
       backoff_ms = std::min(backoff_ms * 2.0, 250.0);
     }
@@ -250,13 +293,13 @@ bool System::AllQuiescent() const {
   return true;
 }
 
-sim::Co<void> System::QuiesceAndShutdown() {
+runtime::Co<void> System::QuiesceAndShutdown() {
   co_await workers_done_.Wait();
-  workload_elapsed_ = sim_.Now();
+  workload_elapsed_ = runtime_->Now();
   while (!AllQuiescent()) {
-    co_await sim_.Delay(config_.quiesce_poll);
+    co_await runtime_->Delay(config_.quiesce_poll);
   }
-  drain_elapsed_ = sim_.Now();
+  drain_elapsed_ = runtime_->Now();
   for (auto& engine : engines_) engine->BeginShutdown();
 }
 
@@ -264,22 +307,99 @@ RunMetrics System::Run() {
   LAZYREP_CHECK(!ran_) << "System::Run is one-shot";
   ran_ = true;
   const workload::Params& params = config_.workload;
+  runtime_->Start();  // No-op under kSim; launches executors under kThreads.
   EnsureStarted();
   Rng worker_seeds = rng_.Split();
   for (SiteId s = 0; s < params.num_sites; ++s) {
     for (int t = 0; t < params.threads_per_site; ++t) {
       workers_done_.Add();
-      sim_.Spawn(Worker(s, t, worker_seeds.Split()));
+      runtime_->SpawnOn(machine_of(s), Worker(s, t, worker_seeds.Split()));
     }
   }
-  sim_.Spawn(QuiesceAndShutdown());
+  if (runtime_->concurrent()) {
+    RunThreads();
+  } else {
+    RunSim();
+  }
+  return CollectMetrics();
+}
+
+void System::RunSim() {
+  sim::Simulator& sim = simulator();
+  runtime_->SpawnOn(0, QuiesceAndShutdown());
   if (config_.max_sim_time > 0) {
-    sim_.RunUntil(config_.max_sim_time);
+    sim.RunUntil(config_.max_sim_time);
     timed_out_ = (drain_elapsed_ == 0);
   } else {
-    sim_.Run();
+    sim.Run();
   }
+}
 
+void System::RunThreads() {
+  // Mirrors `QuiesceAndShutdown`, but driven from the caller's OS thread:
+  // the executors run the workload while this thread blocks on the
+  // fan-in, then polls quiescence on wall-clock time.
+  const Duration cap = config_.max_sim_time;
+  const auto poll = std::chrono::nanoseconds(
+      std::max<Duration>(config_.quiesce_poll, kMillisecond));
+  auto past_deadline = [&] { return cap > 0 && runtime_->Now() >= cap; };
+  if (!workers_done_.WaitBlocking(cap)) {
+    timed_out_ = true;
+  } else {
+    workload_elapsed_ = runtime_->Now();
+    while (!ThreadsQuiescent() && !timed_out_) {
+      if (past_deadline()) {
+        timed_out_ = true;
+        break;
+      }
+      std::this_thread::sleep_for(poll);
+    }
+    if (!timed_out_) {
+      drain_elapsed_ = runtime_->Now();
+      // Flush whatever the engines still buffer (DAG(WT) batches), then
+      // let the flushed messages drain as well.
+      OnEachSiteBlocking([this](SiteId s) { engines_[s]->BeginShutdown(); });
+      while (!ThreadsQuiescent() && !timed_out_) {
+        if (past_deadline()) {
+          timed_out_ = true;
+          break;
+        }
+        std::this_thread::sleep_for(poll);
+      }
+    }
+  }
+  // Join the executors before metrics/verdicts: everything below runs
+  // single-threaded over frozen state.
+  runtime_->Shutdown();
+}
+
+bool System::ThreadsQuiescent() {
+  if (metrics_.pending_propagations() > 0) return false;
+  std::atomic<bool> all{true};
+  OnEachSiteBlocking([this, &all](SiteId s) {
+    if (!engines_[s]->Quiescent()) all.store(false, std::memory_order_relaxed);
+  });
+  return all.load();
+}
+
+void System::OnEachSiteBlocking(const std::function<void(SiteId)>& fn) {
+  std::latch done{num_machines_};
+  for (int m = 0; m < num_machines_; ++m) {
+    runtime_->ScheduleCallbackOn(m, 0, [this, m, &fn, &done] {
+      const int num_sites = config_.workload.num_sites;
+      const int spm = config_.workload.sites_per_machine;
+      const SiteId begin = static_cast<SiteId>(m) * spm;
+      const SiteId end =
+          std::min<SiteId>(begin + spm, static_cast<SiteId>(num_sites));
+      for (SiteId s = begin; s < end; ++s) fn(s);
+      done.count_down();
+    });
+  }
+  done.wait();
+}
+
+RunMetrics System::CollectMetrics() const {
+  const workload::Params& params = config_.workload;
   RunMetrics out;
   out.committed = metrics_.total_committed();
   out.aborted = metrics_.total_aborted();
@@ -342,21 +462,22 @@ void System::EnsureStarted() {
 
 Status System::RunOneTransaction(SiteId site,
                                  const workload::TxnSpec& spec) {
+  sim::Simulator& sim = simulator();  // Scripted runs are sim-only.
   EnsureStarted();
   Status result = Status::Internal("transaction did not run");
   bool done = false;
   GlobalTxnId id{site, next_txn_seq_[site]++};
-  sim_.Spawn([](System* system, SiteId s, GlobalTxnId txn_id,
-                workload::TxnSpec txn_spec, Status* out,
-                bool* flag) -> sim::Co<void> {
+  sim.Spawn([](System* system, sim::Simulator* s_sim, SiteId s,
+               GlobalTxnId txn_id, workload::TxnSpec txn_spec, Status* out,
+               bool* flag) -> runtime::Co<void> {
     *out = co_await system->engines_[s]->ExecutePrimary(txn_id, txn_spec);
     *flag = true;
     // Halt the loop; periodic protocol processes would otherwise keep
     // the event queue busy forever.
-    system->sim_.Stop();
-  }(this, site, id, spec, &result, &done));
+    s_sim->Stop();
+  }(this, &sim, site, id, spec, &result, &done));
   while (!done) {
-    uint64_t processed = sim_.Run();
+    uint64_t processed = sim.Run();
     LAZYREP_CHECK(processed > 0 || done)
         << "transaction cannot make progress";
   }
@@ -367,18 +488,19 @@ void System::InjectCpuStall(int machine, SimTime at, Duration duration) {
   if (machine_cpus_.empty()) return;  // CPU modelling off.
   LAZYREP_CHECK(machine >= 0 &&
                 machine < static_cast<int>(machine_cpus_.size()));
-  LAZYREP_CHECK_GE(at, sim_.Now());
-  sim::Resource* cpu = machine_cpus_[static_cast<size_t>(machine)].get();
-  sim_.ScheduleCallback(at - sim_.Now(), [this, cpu, duration] {
-    sim_.Spawn(cpu->Consume(duration));
+  LAZYREP_CHECK_GE(at, runtime_->Now());
+  runtime::Resource* cpu = machine_cpus_[static_cast<size_t>(machine)].get();
+  runtime_->ScheduleCallbackAtOn(machine, at, [this, cpu, duration] {
+    runtime_->Spawn(cpu->Consume(duration));
   });
 }
 
 void System::DrainPropagation() {
+  sim::Simulator& sim = simulator();  // Scripted runs are sim-only.
   EnsureStarted();
   int guard = 0;
   while (!AllQuiescent()) {
-    sim_.RunUntil(sim_.Now() + config_.quiesce_poll);
+    sim.RunUntil(sim.Now() + config_.quiesce_poll);
     LAZYREP_CHECK(++guard < 1000000) << "propagation never quiesced";
   }
   // Engines stay running (periodic processes included) so further

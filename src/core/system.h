@@ -10,15 +10,23 @@
 #include "core/metrics.h"
 #include "core/trace.h"
 #include "net/network.h"
-#include "sim/primitives.h"
+#include "runtime/primitives.h"
+#include "runtime/runtime.h"
 #include "sim/simulator.h"
+
 #include "workload/generator.h"
 
 namespace lazyrep::core {
 
-/// A complete simulated replicated-database system: machines (shared CPU
+/// A complete replicated-database system: machines (shared CPU
 /// resources), sites (database + protocol engine), the network, and the
-/// workload threads of §5.2.
+/// workload threads of §5.2 — all running over a `runtime::Runtime`
+/// backend chosen by `SystemConfig::runtime`:
+///
+///  - `kSim` (default): single-threaded discrete-event simulation,
+///    bit-for-bit deterministic for a given seed.
+///  - `kThreads`: each machine is an OS thread; time is the wall clock,
+///    so metrics are measured rather than modelled (and vary run to run).
 ///
 /// Typical use:
 ///
@@ -53,23 +61,31 @@ class System {
   /// Submits a single transaction at `site` outside the generated
   /// workload and runs the simulator until it finishes. For examples and
   /// tests that script explicit scenarios; do not mix with `Run`.
+  /// Sim backend only.
   Status RunOneTransaction(SiteId site, const workload::TxnSpec& spec);
 
   /// Drains in-flight propagation (runs the simulator until quiescent),
-  /// for use after scripted `RunOneTransaction` calls.
+  /// for use after scripted `RunOneTransaction` calls. Sim backend only.
   void DrainPropagation();
 
   /// Fault injection: occupies `machine`'s CPU for `duration` starting at
-  /// virtual time `at` — a stall (swap storm, co-located job, GC pause).
+  /// runtime time `at` — a stall (swap storm, co-located job, GC pause).
   /// The protocols must ride it out: transactions and appliers on the
   /// machine freeze, timeouts fire, and correctness must hold. Call
   /// before `Run`. No-op when CPU modelling is disabled.
   void InjectCpuStall(int machine, SimTime at, Duration duration);
 
-  int num_machines() const { return static_cast<int>(machine_cpus_.size()); }
+  int num_machines() const { return num_machines_; }
+  int machine_of(SiteId site) const {
+    return static_cast<int>(site) / config_.workload.sites_per_machine;
+  }
 
   // --- Introspection (primarily for tests and examples) ----------------
-  sim::Simulator& simulator() { return sim_; }
+  runtime::Runtime& runtime() { return *runtime_; }
+  /// The underlying simulator — sim backend only (CHECK-fails under
+  /// `kThreads`; scripted scenarios that drive the event loop directly
+  /// are inherently simulator-bound).
+  sim::Simulator& simulator();
   storage::Database& database(SiteId site) { return *databases_[site]; }
   ReplicationEngine& engine(SiteId site) { return *engines_[site]; }
   const Routing& routing() const { return *routing_; }
@@ -92,14 +108,27 @@ class System {
  private:
   explicit System(SystemConfig config);
 
+  static std::unique_ptr<runtime::Runtime> MakeRuntime(
+      const SystemConfig& config);
+
   Status Build();
   void EnsureStarted();
   bool AllQuiescent() const;
-  sim::Co<void> Worker(SiteId site, int thread_index, Rng rng);
-  sim::Co<void> QuiesceAndShutdown();
+  runtime::Co<void> Worker(SiteId site, int thread_index, Rng rng);
+  runtime::Co<void> QuiesceAndShutdown();
+  void RunSim();
+  void RunThreads();
+  /// Thread backend: evaluates quiescence with each engine inspected on
+  /// its own machine (engine state is thread-confined).
+  bool ThreadsQuiescent();
+  /// Thread backend: runs `fn(site)` for every site on that site's
+  /// machine and blocks until all machines finished.
+  void OnEachSiteBlocking(const std::function<void(SiteId)>& fn);
+  RunMetrics CollectMetrics() const;
 
   SystemConfig config_;
-  sim::Simulator sim_;
+  int num_machines_ = 1;
+  std::unique_ptr<runtime::Runtime> runtime_;
   Rng rng_;
   std::shared_ptr<const Routing> routing_;
   std::unique_ptr<workload::TxnGenerator> generator_;
@@ -109,13 +138,13 @@ class System {
   /// Fans OnCommit/OnAbort out to the recorder and the trace.
   class ObserverMux;
   std::unique_ptr<ObserverMux> observer_mux_;
-  std::vector<std::unique_ptr<sim::Resource>> machine_cpus_;
-  std::vector<sim::Resource*> site_cpu_;  // site -> machine CPU (or null)
+  std::vector<std::unique_ptr<runtime::Resource>> machine_cpus_;
+  std::vector<runtime::Resource*> site_cpu_;  // site -> machine CPU (or null)
   std::unique_ptr<ProtocolNetwork> network_;
   std::vector<std::unique_ptr<storage::Database>> databases_;
   std::vector<std::unique_ptr<ReplicationEngine>> engines_;
   std::vector<int64_t> next_txn_seq_;
-  sim::WaitGroup workers_done_;
+  runtime::WaitGroup workers_done_;
   Duration workload_elapsed_ = 0;
   Duration drain_elapsed_ = 0;
   bool timed_out_ = false;

@@ -1,6 +1,7 @@
 #ifndef LAZYREP_CORE_TRACE_H_
 #define LAZYREP_CORE_TRACE_H_
 
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -33,16 +34,19 @@ struct TraceEvent {
   static std::string_view KindName(Kind kind);
 };
 
-/// In-memory, bounded event trace. Recording is cheap (one vector push);
-/// `WriteJsonl` renders one JSON object per line. When the cap is hit,
-/// recording stops and `truncated()` reports it — a trace is a debugging
-/// aid, not a metrics source.
+/// In-memory, bounded event trace. Recording is cheap (one vector push
+/// under a mutex — sites on every machine record here); `WriteJsonl`
+/// renders one JSON object per line. When the cap is hit, recording
+/// stops and `truncated()` reports it — a trace is a debugging aid, not
+/// a metrics source. Readers (`events()`, `OfKind`, `WriteJsonl`) are
+/// only safe after the run has drained.
 class TraceLog {
  public:
   explicit TraceLog(size_t max_events = 1 << 20)
       : max_events_(max_events) {}
 
   void Record(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mu_);
     if (events_.size() >= max_events_) {
       truncated_ = true;
       return;
@@ -51,8 +55,14 @@ class TraceLog {
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
-  size_t size() const { return events_.size(); }
-  bool truncated() const { return truncated_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+  bool truncated() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return truncated_;
+  }
 
   /// Events of one kind (convenience for tests/inspection).
   std::vector<const TraceEvent*> OfKind(TraceEvent::Kind kind) const;
@@ -62,6 +72,7 @@ class TraceLog {
   void WriteJsonl(std::ostream& out) const;
 
  private:
+  mutable std::mutex mu_;
   size_t max_events_;
   bool truncated_ = false;
   std::vector<TraceEvent> events_;

@@ -2,6 +2,7 @@
 #define LAZYREP_HARNESS_EXPERIMENT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/system.h"
@@ -44,13 +45,36 @@ struct BenchOptions {
   int seeds = 3;
   bool quick = false;  // --quick: 100 txns, 1 seed.
   bool csv = false;    // --csv: machine-readable output for plotting.
+  /// --txns/--quick/--full was passed explicitly (benches that pick their
+  /// own scale, e.g. under the threads runtime, respect an explicit ask).
+  bool txns_set = false;
+  /// --json=<path>: append one JSON line per result row (see
+  /// `AppendBenchJson`). Empty disables.
+  std::string json;
+  /// --runtime=sim|threads: execution backend for the runs.
+  runtime::RuntimeKind runtime = runtime::RuntimeKind::kSim;
 };
 
-/// Parses --quick / --full / --txns=N / --seeds=N / --csv.
+/// Parses --quick / --full / --txns=N / --seeds=N / --csv / --json=PATH /
+/// --runtime=sim|threads.
 BenchOptions ParseBenchArgs(int argc, char** argv);
 
 /// Applies the options to a config.
 void ApplyOptions(const BenchOptions& options, core::SystemConfig* config);
+
+/// Appends one JSON object line to `path` — the machine-readable
+/// counterpart of a printed table row:
+///
+///   {"bench":"fig2a","protocol":"BackEdge","runtime":"sim","b":0.3,
+///    "throughput":...,"abort_rate_pct":...,"response_ms":...,...}
+///
+/// `params` carries the swept parameters (emitted as numbers). No-op when
+/// `path` is empty; CHECK-fails if the file cannot be opened.
+void AppendBenchJson(const std::string& path, const std::string& bench,
+                     const std::string& protocol,
+                     runtime::RuntimeKind runtime_kind,
+                     const std::vector<std::pair<std::string, double>>& params,
+                     const AggregateResult& result);
 
 /// Fixed-width table writer for paper-style result rows; in CSV mode it
 /// emits comma-separated lines instead.

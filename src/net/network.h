@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -10,12 +11,12 @@
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "common/types.h"
-#include "sim/primitives.h"
-#include "sim/simulator.h"
+#include "runtime/primitives.h"
+#include "runtime/runtime.h"
 
 namespace lazyrep::net {
 
-/// Simulated message network between sites.
+/// Message network between sites, modelled over the `Runtime` waist.
 ///
 /// Semantics match the paper's system model (§1.1): delivery is reliable
 /// and FIFO between any two sites (the paper ran TCP). Each message pays:
@@ -26,6 +27,15 @@ namespace lazyrep::net {
 ///   * wire latency (+ optional uniform jitter), with per-channel FIFO
 ///     enforced by a channel clock,
 ///   * receive CPU on the destination machine before the handler runs.
+///
+/// Under `SimRuntime` this is the deterministic simulated network it
+/// always was. Under `ThreadRuntime` deliveries are scheduled onto the
+/// *destination's* machine at the absolute arrival time, so handlers run
+/// thread-confined to their site's machine and per-channel FIFO is
+/// preserved by the channel clock + the executor's (due, seq) ordering.
+/// The cross-machine bookkeeping (counters, channel clocks, bus
+/// occupancy, jitter RNG) is guarded by one internal mutex, uncontended
+/// in the sim.
 ///
 /// `T` is the payload type; the replication layer instantiates it with its
 /// protocol message variant. Delivery invokes the handler registered for
@@ -67,9 +77,9 @@ class Network {
 
   /// `cpus[i]` is the machine CPU serving endpoint `i` (entries may repeat
   /// when sites share a machine, and may be nullptr to skip CPU charging).
-  Network(sim::Simulator* sim, int num_endpoints, Config config,
-          std::vector<sim::Resource*> cpus, Rng rng)
-      : sim_(sim),
+  Network(runtime::Runtime* rt, int num_endpoints, Config config,
+          std::vector<runtime::Resource*> cpus, Rng rng)
+      : rt_(rt),
         config_(config),
         cpus_(std::move(cpus)),
         rng_(rng),
@@ -93,7 +103,7 @@ class Network {
 
   /// Optional tracing observer: invoked on every post (`delivered` =
   /// false) and every delivery (`delivered` = true, just before the
-  /// handler runs).
+  /// handler runs). Must be internally synchronized under `kThreads`.
   using Observer = std::function<void(const Envelope&, bool delivered)>;
   void SetObserver(Observer observer) { observer_ = std::move(observer); }
 
@@ -102,8 +112,9 @@ class Network {
   void SetSizer(Sizer sizer) { sizer_ = std::move(sizer); }
 
   /// Endpoint-to-machine mapping: messages between endpoints of the same
-  /// machine use loopback (no bus occupancy, loopback latency). Default:
-  /// every endpoint on its own machine.
+  /// machine use loopback (no bus occupancy, loopback latency), and
+  /// deliveries run on the destination's machine. Default: every
+  /// endpoint on machine 0.
   void SetMachineMap(std::vector<int> machine_of) {
     LAZYREP_CHECK_EQ(machine_of.size(),
                      static_cast<size_t>(num_endpoints_));
@@ -111,67 +122,93 @@ class Network {
   }
 
   /// Posts a message; never blocks the caller. Messages posted on the same
-  /// (src, dst) channel are delivered in post order.
+  /// (src, dst) channel are delivered in post order. Must be called from
+  /// the source endpoint's machine (true by construction: only site code
+  /// posts, and site code runs on its own machine).
   void Post(SiteId src, SiteId dst, T payload) {
     Check(src);
     Check(dst);
     LAZYREP_CHECK_NE(src, dst) << "no loopback channel";
-    ++sent_from_[src];
-    ++total_messages_;
 
-    // Send-side CPU: charge the source machine asynchronously.
+    // Send-side CPU: charge the source machine asynchronously. The
+    // source CPU is machine-confined, so this stays outside the lock.
     if (cpus_[src] != nullptr && config_.send_cpu > 0) {
-      sim_->Spawn(cpus_[src]->Consume(config_.send_cpu));
+      rt_->Spawn(cpus_[src]->Consume(config_.send_cpu));
     }
 
     bool loopback = !machine_of_.empty() &&
                     machine_of_[src] == machine_of_[dst];
     size_t size = sizer_ ? sizer_(payload) : 0;
-    total_bytes_ += size;
 
-    // Departure: transmission occupies the medium (shared bus or the
-    // point-to-point link) for size/bandwidth; loopback skips the wire.
-    SimTime depart = sim_->Now();
-    if (!loopback && config_.bandwidth_bytes_per_sec > 0 && size > 0) {
-      Duration tx = static_cast<Duration>(
-          static_cast<double>(size) * static_cast<double>(kSecond) /
-          static_cast<double>(config_.bandwidth_bytes_per_sec));
-      SimTime& busy = config_.shared_medium
-                          ? bus_busy_until_
-                          : link_busy_until_[ChannelIndex(src, dst)];
-      SimTime start = std::max(sim_->Now(), busy);
-      busy = start + tx;
-      depart = busy;
+    SimTime arrive;
+    SimTime send_time;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++sent_from_[src];
+      ++total_messages_;
+      total_bytes_ += size;
+
+      // Departure: transmission occupies the medium (shared bus or the
+      // point-to-point link) for size/bandwidth; loopback skips the wire.
+      SimTime depart = rt_->Now();
+      if (!loopback && config_.bandwidth_bytes_per_sec > 0 && size > 0) {
+        Duration tx = static_cast<Duration>(
+            static_cast<double>(size) * static_cast<double>(kSecond) /
+            static_cast<double>(config_.bandwidth_bytes_per_sec));
+        SimTime& busy = config_.shared_medium
+                            ? bus_busy_until_
+                            : link_busy_until_[ChannelIndex(src, dst)];
+        SimTime start = std::max(rt_->Now(), busy);
+        busy = start + tx;
+        depart = busy;
+      }
+
+      Duration lat = config_.latency;
+      if (loopback && config_.loopback_latency >= 0) {
+        lat = config_.loopback_latency;
+      }
+      Duration extra =
+          (!loopback && config_.jitter > 0)
+              ? static_cast<Duration>(rng_.Below(
+                    static_cast<uint64_t>(config_.jitter) + 1))
+              : 0;
+      arrive = depart + lat + extra;
+      // FIFO channel: never deliver before an earlier message on the same
+      // channel. The clamp makes per-channel arrival times strictly
+      // increasing, which is what lets the destination executor's
+      // (due, seq) timer order stand in for delivery order.
+      SimTime& clock = channel_clock_[ChannelIndex(src, dst)];
+      if (arrive <= clock) arrive = clock + 1;
+      clock = arrive;
+      send_time = rt_->Now();
     }
 
-    Duration lat = config_.latency;
-    if (loopback && config_.loopback_latency >= 0) {
-      lat = config_.loopback_latency;
-    }
-    Duration extra =
-        (!loopback && config_.jitter > 0)
-            ? static_cast<Duration>(rng_.Below(
-                  static_cast<uint64_t>(config_.jitter) + 1))
-            : 0;
-    SimTime arrive = depart + lat + extra;
-    // FIFO channel: never deliver before an earlier message on the same
-    // channel.
-    SimTime& clock = channel_clock_[ChannelIndex(src, dst)];
-    if (arrive <= clock) arrive = clock + 1;
-    clock = arrive;
-
-    Envelope env{src, dst, sim_->Now(), std::move(payload)};
+    Envelope env{src, dst, send_time, std::move(payload)};
     if (observer_) observer_(env, /*delivered=*/false);
-    sim_->ScheduleCallback(arrive - sim_->Now(),
-                           [this, env = std::move(env)]() mutable {
-                             Deliver(std::move(env));
-                           });
+    rt_->ScheduleCallbackAtOn(MachineOf(dst), arrive,
+                              [this, env = std::move(env)]() mutable {
+                                Deliver(std::move(env));
+                              });
   }
 
-  uint64_t total_messages() const { return total_messages_; }
-  uint64_t total_bytes() const { return total_bytes_; }
-  uint64_t sent_from(SiteId s) const { return sent_from_[Check(s)]; }
-  uint64_t received_at(SiteId s) const { return received_at_[Check(s)]; }
+  uint64_t total_messages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_messages_;
+  }
+  uint64_t total_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_bytes_;
+  }
+  uint64_t sent_from(SiteId s) const {
+    Check(s);
+    std::lock_guard<std::mutex> lock(mu_);
+    return sent_from_[s];
+  }
+  uint64_t received_at(SiteId s) const {
+    Check(s);
+    std::lock_guard<std::mutex> lock(mu_);
+    return received_at_[s];
+  }
   const Config& config() const { return config_; }
 
  private:
@@ -184,19 +221,27 @@ class Network {
     return s;
   }
 
+  int MachineOf(SiteId s) const {
+    return machine_of_.empty() ? 0 : machine_of_[static_cast<size_t>(s)];
+  }
+
+  /// Runs on the destination's machine.
   void Deliver(Envelope env) {
     SiteId dst = env.dst;
-    ++received_at_[dst];
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++received_at_[dst];
+    }
     if (cpus_[dst] != nullptr && config_.recv_cpu > 0) {
       // Charge receive CPU before the handler observes the message. The
       // destination CPU is FCFS, so per-channel order is preserved.
-      sim_->Spawn(ReceiveWithCpu(std::move(env)));
+      rt_->Spawn(ReceiveWithCpu(std::move(env)));
     } else {
       InvokeHandler(std::move(env));
     }
   }
 
-  sim::Co<void> ReceiveWithCpu(Envelope env) {
+  runtime::Co<void> ReceiveWithCpu(Envelope env) {
     co_await cpus_[env.dst]->Consume(config_.recv_cpu);
     InvokeHandler(std::move(env));
   }
@@ -209,11 +254,15 @@ class Network {
     h(std::move(env));
   }
 
-  sim::Simulator* sim_;
+  runtime::Runtime* rt_;
   Config config_;
-  std::vector<sim::Resource*> cpus_;
+  std::vector<runtime::Resource*> cpus_;
   Rng rng_;
   int num_endpoints_;
+  /// Guards the cross-machine bookkeeping below (clocks, bus, RNG,
+  /// counters). Handlers and sizers are set before traffic starts and
+  /// read-only after, so they stay outside the lock.
+  mutable std::mutex mu_;
   std::vector<SimTime> channel_clock_;
   std::vector<SimTime> link_busy_until_;
   SimTime bus_busy_until_ = 0;

@@ -1,0 +1,193 @@
+#include "runtime/thread_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lazyrep::runtime {
+
+namespace {
+
+/// Machine whose executor is running on this thread; `kNoMachine` on
+/// threads that are not executors (the driver, test main, ...).
+thread_local int tls_machine = Runtime::kNoMachine;
+
+}  // namespace
+
+ThreadRuntime::RootTask ThreadRuntime::RootPromise::get_return_object() {
+  return RootTask{
+      std::coroutine_handle<RootPromise>::from_promise(*this)};
+}
+
+ThreadRuntime::RootTask ThreadRuntime::MakeRoot(Co<void> co) {
+  co_await std::move(co);
+}
+
+ThreadRuntime::ThreadRuntime(int num_machines)
+    : epoch_(std::chrono::steady_clock::now()) {
+  LAZYREP_CHECK_GT(num_machines, 0);
+  execs_.reserve(static_cast<size_t>(num_machines));
+  for (int m = 0; m < num_machines; ++m) {
+    execs_.push_back(std::make_unique<Executor>());
+  }
+}
+
+ThreadRuntime::~ThreadRuntime() { Shutdown(); }
+
+SimTime ThreadRuntime::Now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int ThreadRuntime::CurrentMachine() const { return tls_machine; }
+
+ThreadRuntime::Executor& ThreadRuntime::ExecutorFor(int machine) {
+  LAZYREP_CHECK(machine >= 0 && machine < num_machines())
+      << "machine " << machine << " out of range";
+  return *execs_[static_cast<size_t>(machine)];
+}
+
+void ThreadRuntime::Enqueue(int machine, Work w, SimTime due) {
+  Executor& ex = ExecutorFor(machine);
+  {
+    std::lock_guard<std::mutex> lock(ex.mu);
+    if (due < 0) {
+      ex.ready.push_back(std::move(w));
+    } else {
+      ex.timers.push_back(Timer{due, ex.next_timer_seq++, std::move(w)});
+      std::push_heap(ex.timers.begin(), ex.timers.end());
+    }
+  }
+  ex.cv.notify_one();
+}
+
+void ThreadRuntime::SpawnOn(int machine, Co<void> co) {
+  LAZYREP_CHECK(co.valid()) << "spawning an empty Co";
+  RootTask task = MakeRoot(std::move(co));
+  task.handle.promise().rt = this;
+  {
+    std::lock_guard<std::mutex> lock(roots_mu_);
+    uint64_t id = next_root_id_++;
+    task.handle.promise().id = id;
+    roots_.emplace(id, task.handle);
+  }
+  if (tls_machine == machine) {
+    // Same executor: start the process now, matching the simulator's
+    // run-until-first-suspension Spawn semantics.
+    task.handle.resume();
+  } else {
+    Enqueue(machine, Work{task.handle, nullptr}, /*due=*/-1);
+  }
+}
+
+void ThreadRuntime::ScheduleHandleOn(int machine, Duration delay,
+                                     std::coroutine_handle<> h) {
+  LAZYREP_CHECK_GE(delay, 0);
+  Enqueue(machine, Work{h, nullptr}, delay == 0 ? -1 : Now() + delay);
+}
+
+void ThreadRuntime::ScheduleCallbackOn(int machine, Duration delay,
+                                       std::function<void()> fn) {
+  LAZYREP_CHECK_GE(delay, 0);
+  Enqueue(machine, Work{nullptr, std::move(fn)},
+          delay == 0 ? -1 : Now() + delay);
+}
+
+void ThreadRuntime::ScheduleCallbackAtOn(int machine, SimTime when,
+                                         std::function<void()> fn) {
+  // Always through the timer heap: callers rely on equal-machine work
+  // running in nondecreasing `when` order (per-channel network FIFO),
+  // which the (due, seq) heap provides even for past due times.
+  Enqueue(machine, Work{nullptr, std::move(fn)}, when < 0 ? 0 : when);
+}
+
+void ThreadRuntime::Start() {
+  LAZYREP_CHECK(!started_) << "ThreadRuntime started twice";
+  started_ = true;
+  epoch_ = std::chrono::steady_clock::now();
+  for (int m = 0; m < num_machines(); ++m) {
+    execs_[static_cast<size_t>(m)]->thread =
+        std::thread([this, m] { RunLoop(m); });
+  }
+}
+
+void ThreadRuntime::RunLoop(int machine) {
+  tls_machine = machine;
+  Executor& ex = *execs_[static_cast<size_t>(machine)];
+  std::unique_lock<std::mutex> lock(ex.mu);
+  while (!ex.stop) {
+    // Promote due timers to the ready queue in (due, seq) order.
+    SimTime now = Now();
+    while (!ex.timers.empty() && ex.timers.front().due <= now) {
+      std::pop_heap(ex.timers.begin(), ex.timers.end());
+      ex.ready.push_back(std::move(ex.timers.back().work));
+      ex.timers.pop_back();
+    }
+    if (!ex.ready.empty()) {
+      Work w = std::move(ex.ready.front());
+      ex.ready.pop_front();
+      lock.unlock();
+      // Work runs unlocked; a resumed coroutine runs until its next
+      // suspension point (non-preemptive, like the simulator).
+      if (w.handle) {
+        w.handle.resume();
+      } else {
+        w.fn();
+      }
+      lock.lock();
+      continue;
+    }
+    if (ex.timers.empty()) {
+      ex.cv.wait(lock);
+    } else {
+      ex.cv.wait_until(
+          lock, epoch_ + std::chrono::nanoseconds(ex.timers.front().due));
+    }
+  }
+  tls_machine = kNoMachine;
+}
+
+void ThreadRuntime::Shutdown() {
+  for (auto& ex : execs_) {
+    std::lock_guard<std::mutex> lock(ex->mu);
+    ex->stop = true;
+    ex->cv.notify_all();
+  }
+  for (auto& ex : execs_) {
+    if (ex->thread.joinable()) ex->thread.join();
+  }
+  started_ = false;
+  // With every executor joined this is single-threaded teardown. Discard
+  // pending work first so no handle into a destroyed frame can ever be
+  // resumed, then tear down unfinished process chains (each root frame
+  // owns the Co objects of its children, so destruction cascades).
+  for (auto& ex : execs_) {
+    ex->ready.clear();
+    ex->timers.clear();
+  }
+  std::unordered_map<uint64_t, std::coroutine_handle<RootPromise>> roots;
+  {
+    std::lock_guard<std::mutex> lock(roots_mu_);
+    roots = std::move(roots_);
+    roots_.clear();
+  }
+  for (auto& [id, handle] : roots) {
+    handle.destroy();
+  }
+}
+
+void ThreadRuntime::ReleaseRoot(uint64_t id) {
+  std::lock_guard<std::mutex> lock(roots_mu_);
+  roots_.erase(id);
+}
+
+void ThreadRuntime::Reset() {
+  LAZYREP_CHECK(!started_) << "Reset on a running ThreadRuntime";
+  {
+    std::lock_guard<std::mutex> lock(roots_mu_);
+    LAZYREP_CHECK(roots_.empty()) << "Reset with live processes";
+  }
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace lazyrep::runtime

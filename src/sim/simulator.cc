@@ -90,4 +90,13 @@ void Simulator::Shutdown() {
   }
 }
 
+void Simulator::Reset() {
+  Shutdown();
+  now_ = 0;
+  next_seq_ = 0;
+  next_root_id_ = 0;
+  events_processed_ = 0;
+  stopped_ = false;
+}
+
 }  // namespace lazyrep::sim

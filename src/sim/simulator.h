@@ -77,8 +77,22 @@ class Simulator {
   void Stop() { stopped_ = true; }
 
   /// Clears pending events and destroys every unfinished process frame.
-  /// After shutdown the simulator can be reused (time is NOT reset).
+  ///
+  /// Reuse semantics: after shutdown the simulator accepts new processes
+  /// and events, but virtual time is NOT reset — `Now()` stays at the
+  /// moment the previous run stopped, and the event sequence counter
+  /// keeps counting. That is deliberate (teardown must never move the
+  /// clock under a destructor that reads `Now()`), but it means a reused
+  /// simulator starts the next run with a stale clock. Call `Reset()`
+  /// before reuse when the next run expects time zero.
   void Shutdown();
+
+  /// Shuts down and then zeroes the clock, the event sequence counter,
+  /// and the lifetime event count, returning the simulator to its
+  /// freshly-constructed state. Back-to-back experiments that share a
+  /// simulator (the harness sweep helper) must call this between runs so
+  /// a run never inherits the previous run's clock.
+  void Reset();
 
   /// Number of processes spawned and not yet completed.
   size_t live_process_count() const { return roots_.size(); }

@@ -6,22 +6,22 @@
 
 namespace lazyrep::storage {
 
-Database::Database(sim::Simulator* sim, Options options,
-                   sim::Resource* cpu, HistoryObserver* observer)
-    : sim_(sim),
+Database::Database(runtime::Runtime* rt, Options options,
+                   runtime::Resource* cpu, HistoryObserver* observer)
+    : rt_(rt),
       options_(options),
       cpu_(cpu),
       observer_(observer),
-      locks_(sim, options.lock_config) {
+      locks_(rt, options.lock_config) {
   if (options_.enable_wal) wal_ = std::make_unique<Wal>();
 }
 
 TxnPtr Database::Begin(GlobalTxnId id, TxnKind kind) {
-  return std::make_shared<Transaction>(id, kind, sim_->Now(),
+  return std::make_shared<Transaction>(id, kind, rt_->Now(),
                                        next_arrival_seq_++);
 }
 
-sim::Co<void> Database::ChargeCpu(Duration d) {
+runtime::Co<void> Database::ChargeCpu(Duration d) {
   if (cpu_ != nullptr && d > 0) co_await cpu_->Consume(d);
 }
 
@@ -45,7 +45,7 @@ Status Database::OutcomeToStatus(LockOutcome outcome) {
   return Status::Internal("unreachable");
 }
 
-sim::Co<Status> Database::Read(TxnPtr txn, ItemId item, Value* out) {
+runtime::Co<Status> Database::Read(TxnPtr txn, ItemId item, Value* out) {
   LAZYREP_CO_RETURN_IF_ERROR(CheckActive(*txn));
   LockOutcome lo =
       co_await locks_.Acquire(txn.get(), item, LockMode::kShared);
@@ -63,7 +63,7 @@ sim::Co<Status> Database::Read(TxnPtr txn, ItemId item, Value* out) {
   co_return Status::OK();
 }
 
-sim::Co<Status> Database::Write(TxnPtr txn, ItemId item, Value value) {
+runtime::Co<Status> Database::Write(TxnPtr txn, ItemId item, Value value) {
   LAZYREP_CO_RETURN_IF_ERROR(CheckActive(*txn));
   LockOutcome lo =
       co_await locks_.Acquire(txn.get(), item, LockMode::kExclusive);
@@ -73,7 +73,7 @@ sim::Co<Status> Database::Write(TxnPtr txn, ItemId item, Value value) {
   co_return WriteLocked(txn.get(), item, value);
 }
 
-sim::Co<Status> Database::AcquireOnly(TxnPtr txn, ItemId item,
+runtime::Co<Status> Database::AcquireOnly(TxnPtr txn, ItemId item,
                                       LockMode mode) {
   LAZYREP_CO_RETURN_IF_ERROR(CheckActive(*txn));
   LockOutcome lo = co_await locks_.Acquire(txn.get(), item, mode);
@@ -111,7 +111,7 @@ Status Database::WriteLocked(Transaction* txn, ItemId item, Value value) {
   return Status::OK();
 }
 
-sim::Co<Status> Database::Commit(
+runtime::Co<Status> Database::Commit(
     TxnPtr txn, std::function<void(int64_t commit_seq)> atomic_hook) {
   LAZYREP_CHECK(txn->state() == TxnState::kActive);
   LAZYREP_CHECK(!txn->abort_requested())
@@ -136,7 +136,7 @@ sim::Co<Status> Database::Commit(
   co_return Status::OK();
 }
 
-sim::Co<void> Database::Abort(TxnPtr txn) {
+runtime::Co<void> Database::Abort(TxnPtr txn) {
   LAZYREP_CHECK(txn->state() == TxnState::kActive);
   // Restore before-images in reverse write order.
   for (auto it = txn->undo_log_.rbegin(); it != txn->undo_log_.rend();

@@ -8,8 +8,8 @@
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "common/types.h"
-#include "sim/primitives.h"
-#include "sim/simulator.h"
+#include "runtime/primitives.h"
+#include "runtime/runtime.h"
 #include "storage/item_store.h"
 #include "storage/lock_manager.h"
 #include "storage/transaction.h"
@@ -59,7 +59,7 @@ class Database {
   };
 
   /// `cpu` may be nullptr (no CPU modelling); `observer` may be nullptr.
-  Database(sim::Simulator* sim, Options options, sim::Resource* cpu,
+  Database(runtime::Runtime* rt, Options options, runtime::Resource* cpu,
            HistoryObserver* observer);
 
   SiteId site() const { return options_.site; }
@@ -67,26 +67,26 @@ class Database {
   const ItemStore& store() const { return store_; }
   LockManager& locks() { return locks_; }
   const Wal* wal() const { return wal_.get(); }
-  sim::Simulator* simulator() const { return sim_; }
+  runtime::Runtime* runtime() const { return rt_; }
 
   /// Starts a transaction. The returned handle stays valid (shared
   /// ownership) after commit/abort; its state tells what happened.
   TxnPtr Begin(GlobalTxnId id, TxnKind kind);
 
   /// Charges `d` of CPU on the site's machine (no-op without a CPU).
-  sim::Co<void> ChargeCpu(Duration d);
+  runtime::Co<void> ChargeCpu(Duration d);
 
   /// Acquires an S lock and reads the item. Returns an abort status on
   /// lock timeout (the caller must then call `Abort`), or the abort
   /// reason if the transaction was marked for abort.
-  sim::Co<Status> Read(TxnPtr txn, ItemId item, Value* out);
+  runtime::Co<Status> Read(TxnPtr txn, ItemId item, Value* out);
 
   /// Acquires an X lock and writes the item (undo-logged).
-  sim::Co<Status> Write(TxnPtr txn, ItemId item, Value value);
+  runtime::Co<Status> Write(TxnPtr txn, ItemId item, Value value);
 
   /// Acquires a lock without touching data (PSL remote-read proxies).
   /// On success records the item in the proxy's read/write set.
-  sim::Co<Status> AcquireOnly(TxnPtr txn, ItemId item, LockMode mode);
+  runtime::Co<Status> AcquireOnly(TxnPtr txn, ItemId item, LockMode mode);
 
   /// Reads under an already-held lock (synchronous; no CPU charge).
   Result<Value> ReadLocked(Transaction* txn, ItemId item);
@@ -98,12 +98,12 @@ class Database {
   /// assigns the site commit sequence, runs `atomic_hook` (protocol
   /// engines post propagation messages here so forwarding order equals
   /// commit order, §2), notifies the observer, and releases all locks.
-  sim::Co<Status> Commit(TxnPtr txn,
+  runtime::Co<Status> Commit(TxnPtr txn,
                          std::function<void(int64_t commit_seq)>
                              atomic_hook = nullptr);
 
   /// Rolls back: restores undo images, charges abort CPU, releases locks.
-  sim::Co<void> Abort(TxnPtr txn);
+  runtime::Co<void> Abort(TxnPtr txn);
 
   int64_t commits() const { return commits_; }
   int64_t aborts() const { return aborts_; }
@@ -113,9 +113,9 @@ class Database {
   Status CheckActive(const Transaction& txn) const;
   static Status OutcomeToStatus(LockOutcome outcome);
 
-  sim::Simulator* sim_;
+  runtime::Runtime* rt_;
   Options options_;
-  sim::Resource* cpu_;
+  runtime::Resource* cpu_;
   HistoryObserver* observer_;
   ItemStore store_;
   LockManager locks_;

@@ -77,7 +77,7 @@ void LockManager::RunGrantLoop(ItemId item) {
     waiting_on_.erase(w->txn);
     GrantNow(&ls, w->txn, w->mode, w->is_upgrade);
     held_[w->txn].insert(item);
-    stats_.wait_time_ms.Add(ToMillis(sim_->Now() - w->enqueue_time));
+    stats_.wait_time_ms.Add(ToMillis(rt_->Now() - w->enqueue_time));
     w->cell.TryFire(LockOutcome::kGranted);
   }
 }
@@ -96,7 +96,7 @@ void LockManager::Unlink(const std::shared_ptr<Waiter>& w) {
   RunGrantLoop(w->item);
 }
 
-sim::Co<LockOutcome> LockManager::Acquire(Transaction* txn, ItemId item,
+runtime::Co<LockOutcome> LockManager::Acquire(Transaction* txn, ItemId item,
                                           LockMode mode) {
   ++stats_.requests;
   if (txn->abort_requested()) co_return LockOutcome::kAborted;
@@ -126,8 +126,8 @@ sim::Co<LockOutcome> LockManager::Acquire(Transaction* txn, ItemId item,
   if (on_wait_) on_wait_(*txn, item);
   LAZYREP_CHECK(waiting_on_.find(txn) == waiting_on_.end())
       << "transaction already has a pending lock request";
-  auto w = std::make_shared<Waiter>(sim_, txn, item, mode, upgrade);
-  w->enqueue_time = sim_->Now();
+  auto w = std::make_shared<Waiter>(rt_, txn, item, mode, upgrade);
+  w->enqueue_time = rt_->Now();
   // Upgrades go to the front: the holder blocks everything behind it
   // anyway, and draining it first shortens the queue.
   if (upgrade) {
@@ -143,7 +143,7 @@ sim::Co<LockOutcome> LockManager::Acquire(Transaction* txn, ItemId item,
     ++stats_.wait_aborts;
     w->cell.TryFire(LockOutcome::kAborted);
   });
-  sim_->ScheduleCallback(config_.wait_timeout, [this, w] {
+  rt_->ScheduleCallback(config_.wait_timeout, [this, w] {
     if (!w->linked) return;
     Unlink(w);
     ++stats_.timeouts;

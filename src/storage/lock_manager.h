@@ -10,8 +10,8 @@
 
 #include "common/stats.h"
 #include "common/types.h"
-#include "sim/primitives.h"
-#include "sim/simulator.h"
+#include "runtime/primitives.h"
+#include "runtime/runtime.h"
 #include "storage/transaction.h"
 
 namespace lazyrep::storage {
@@ -84,8 +84,8 @@ class LockManager {
     Summary wait_time_ms;
   };
 
-  LockManager(sim::Simulator* sim, Config config)
-      : sim_(sim), config_(config) {}
+  LockManager(runtime::Runtime* rt, Config config)
+      : rt_(rt), config_(config) {}
 
   /// Optional event hooks (tracing): invoked when a request blocks and
   /// when a wait times out.
@@ -102,7 +102,7 @@ class LockManager {
   /// Acquires `mode` on `item` for `txn`, waiting if necessary.
   /// Re-entrant: succeeds immediately when the transaction already holds
   /// a sufficient lock.
-  sim::Co<LockOutcome> Acquire(Transaction* txn, ItemId item,
+  runtime::Co<LockOutcome> Acquire(Transaction* txn, ItemId item,
                                LockMode mode);
 
   /// Releases every lock held by `txn` and re-runs grant scheduling on
@@ -130,16 +130,16 @@ class LockManager {
 
  private:
   struct Waiter {
-    Waiter(sim::Simulator* sim, Transaction* t, ItemId i, LockMode m,
+    Waiter(runtime::Runtime* rt, Transaction* t, ItemId i, LockMode m,
            bool up)
-        : txn(t), item(i), mode(m), is_upgrade(up), cell(sim) {}
+        : txn(t), item(i), mode(m), is_upgrade(up), cell(rt) {}
     Transaction* txn;
     ItemId item;
     LockMode mode;
     bool is_upgrade;
     bool linked = true;
     SimTime enqueue_time = 0;
-    sim::OneShot<LockOutcome> cell;
+    runtime::OneShot<LockOutcome> cell;
   };
 
   struct LockState {
@@ -161,7 +161,7 @@ class LockManager {
   void DetectAndResolve(Transaction* waiter_txn);
   Transaction* PickDeadlockVictim(const std::vector<Transaction*>& cycle);
 
-  sim::Simulator* sim_;
+  runtime::Runtime* rt_;
   Config config_;
   Stats stats_;
   LockEventHook on_wait_;

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/sim_runtime.h"
 #include "sim/simulator.h"
 #include "storage/database.h"
 
@@ -17,9 +18,10 @@ using storage::TxnKind;
 using storage::TxnPtr;
 
 TEST(ContractDeathTest, WriteLockedWithoutLockAborts) {
-  sim::Simulator sim;
+  runtime::SimRuntime rt;
+  sim::Simulator& sim = *rt.simulator();
   Database::Options options;
-  Database db(&sim, options, nullptr, nullptr);
+  Database db(&rt, options, nullptr, nullptr);
   db.store().AddItem(1, 0);
   TxnPtr t = db.Begin(GlobalTxnId{0, 1}, TxnKind::kPrimary);
   EXPECT_DEATH((void)db.WriteLocked(t.get(), 1, 5),
@@ -27,9 +29,10 @@ TEST(ContractDeathTest, WriteLockedWithoutLockAborts) {
 }
 
 TEST(ContractDeathTest, ReadLockedWithoutLockAborts) {
-  sim::Simulator sim;
+  runtime::SimRuntime rt;
+  sim::Simulator& sim = *rt.simulator();
   Database::Options options;
-  Database db(&sim, options, nullptr, nullptr);
+  Database db(&rt, options, nullptr, nullptr);
   db.store().AddItem(1, 0);
   TxnPtr t = db.Begin(GlobalTxnId{0, 1}, TxnKind::kPrimary);
   EXPECT_DEATH((void)db.ReadLocked(t.get(), 1),
@@ -37,9 +40,10 @@ TEST(ContractDeathTest, ReadLockedWithoutLockAborts) {
 }
 
 TEST(ContractDeathTest, DoubleCommitAborts) {
-  sim::Simulator sim;
+  runtime::SimRuntime rt;
+  sim::Simulator& sim = *rt.simulator();
   Database::Options options;
-  Database db(&sim, options, nullptr, nullptr);
+  Database db(&rt, options, nullptr, nullptr);
   db.store().AddItem(1, 0);
   EXPECT_DEATH(
       {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/history.h"
+#include "runtime/sim_runtime.h"
 
 namespace lazyrep::core {
 namespace {
@@ -261,8 +262,9 @@ TEST(RecorderTest, OnCommitCapturesTransactionState) {
   HistoryRecorder recorder;
   storage::Database::Options options;
   options.site = 4;
-  sim::Simulator sim;
-  storage::Database db(&sim, options, nullptr, &recorder);
+  runtime::SimRuntime rt;
+  sim::Simulator& sim = *rt.simulator();
+  storage::Database db(&rt, options, nullptr, &recorder);
   db.store().AddItem(7, 0);
   sim.Spawn([](storage::Database* d) -> sim::Co<void> {
     storage::TxnPtr t = d->Begin(GlobalTxnId{4, 9},
@@ -284,8 +286,9 @@ TEST(RecorderTest, OnCommitCapturesTransactionState) {
 TEST(RecorderTest, CountsAborts) {
   HistoryRecorder recorder;
   storage::Database::Options options;
-  sim::Simulator sim;
-  storage::Database db(&sim, options, nullptr, &recorder);
+  runtime::SimRuntime rt;
+  sim::Simulator& sim = *rt.simulator();
+  storage::Database db(&rt, options, nullptr, &recorder);
   db.store().AddItem(1, 0);
   sim.Spawn([](storage::Database* d) -> sim::Co<void> {
     storage::TxnPtr t =

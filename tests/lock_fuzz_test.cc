@@ -9,18 +9,20 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "runtime/sim_runtime.h"
 #include "sim/simulator.h"
 #include "storage/lock_manager.h"
 
 namespace lazyrep::storage {
 namespace {
 
-using sim::Co;
+using runtime::Co;
+using runtime::SimRuntime;
 using sim::Simulator;
 
 struct FuzzWorld {
-  explicit FuzzWorld(Simulator* s, LockManager::Config config)
-      : sim(s), locks(s, config) {}
+  explicit FuzzWorld(SimRuntime* rt, LockManager::Config config)
+      : sim(rt->simulator()), locks(rt, config) {}
 
   Simulator* sim;
   LockManager locks;
@@ -100,12 +102,13 @@ class LockFuzz : public ::testing::TestWithParam<
 
 TEST_P(LockFuzz, InvariantsHoldUnderRandomWorkloads) {
   auto [deadlock_policy, grant_policy, seed] = GetParam();
-  Simulator sim;
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
   LockManager::Config config;
   config.policy = deadlock_policy;
   config.grant = grant_policy;
   config.wait_timeout = Millis(5);  // Fast conflict resolution.
-  FuzzWorld world(&sim, config);
+  FuzzWorld world(&rt, config);
   Rng rng(seed);
   constexpr int kTxns = 150;
   constexpr int kItems = 12;  // Small pool = heavy contention.

@@ -7,12 +7,15 @@
 #include <gtest/gtest.h>
 
 #include "net/network.h"
+#include "runtime/primitives.h"
+#include "runtime/sim_runtime.h"
 
 namespace lazyrep::net {
 namespace {
 
-using sim::Co;
-using sim::Resource;
+using runtime::Co;
+using runtime::Resource;
+using runtime::SimRuntime;
 using sim::Simulator;
 
 using IntNet = Network<int>;
@@ -24,8 +27,9 @@ IntNet::Config NoCpuConfig(Duration latency) {
 }
 
 TEST(NetworkTest, DeliversWithConfiguredLatency) {
-  Simulator sim;
-  IntNet net(&sim, 2, NoCpuConfig(Millis(5)), {nullptr, nullptr}, Rng(1));
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  IntNet net(&rt, 2, NoCpuConfig(Millis(5)), {nullptr, nullptr}, Rng(1));
   std::vector<std::pair<int, SimTime>> got;
   net.SetHandler(1, [&](IntNet::Envelope env) {
     got.push_back({env.payload, sim.Now()});
@@ -38,12 +42,13 @@ TEST(NetworkTest, DeliversWithConfiguredLatency) {
 }
 
 TEST(NetworkTest, ChannelIsFifoEvenWithJitter) {
-  Simulator sim;
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
   IntNet::Config cfg;
   cfg.latency = Millis(1);
   cfg.jitter = Millis(10);  // Large jitter would reorder without the
                             // channel clock.
-  IntNet net(&sim, 2, cfg, {nullptr, nullptr}, Rng(7));
+  IntNet net(&rt, 2, cfg, {nullptr, nullptr}, Rng(7));
   std::vector<int> got;
   net.SetHandler(1,
                  [&](IntNet::Envelope env) { got.push_back(env.payload); });
@@ -54,8 +59,9 @@ TEST(NetworkTest, ChannelIsFifoEvenWithJitter) {
 }
 
 TEST(NetworkTest, IndependentChannelsDoNotBlockEachOther) {
-  Simulator sim;
-  IntNet net(&sim, 3, NoCpuConfig(Millis(1)), {nullptr, nullptr, nullptr},
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  IntNet net(&rt, 3, NoCpuConfig(Millis(1)), {nullptr, nullptr, nullptr},
              Rng(1));
   std::vector<std::pair<SiteId, int>> got;
   net.SetHandler(2, [&](IntNet::Envelope env) {
@@ -71,8 +77,9 @@ TEST(NetworkTest, IndependentChannelsDoNotBlockEachOther) {
 }
 
 TEST(NetworkTest, EnvelopeCarriesMetadata) {
-  Simulator sim;
-  IntNet net(&sim, 2, NoCpuConfig(Millis(2)), {nullptr, nullptr}, Rng(1));
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  IntNet net(&rt, 2, NoCpuConfig(Millis(2)), {nullptr, nullptr}, Rng(1));
   IntNet::Envelope seen;
   net.SetHandler(0, [&](IntNet::Envelope env) { seen = env; });
   sim.Spawn([](Simulator* s, IntNet* n) -> Co<void> {
@@ -87,8 +94,9 @@ TEST(NetworkTest, EnvelopeCarriesMetadata) {
 }
 
 TEST(NetworkTest, CountsMessages) {
-  Simulator sim;
-  IntNet net(&sim, 3, NoCpuConfig(Millis(1)), {nullptr, nullptr, nullptr},
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  IntNet net(&rt, 3, NoCpuConfig(Millis(1)), {nullptr, nullptr, nullptr},
              Rng(1));
   net.SetHandler(1, [](IntNet::Envelope) {});
   net.SetHandler(2, [](IntNet::Envelope) {});
@@ -105,12 +113,13 @@ TEST(NetworkTest, CountsMessages) {
 }
 
 TEST(NetworkTest, ReceiveCpuDelaysHandlerAndChargesMachine) {
-  Simulator sim;
-  Resource cpu(&sim, 1);
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  Resource cpu(&rt, 1);
   IntNet::Config cfg;
   cfg.latency = Millis(1);
   cfg.recv_cpu = Millis(2);
-  IntNet net(&sim, 2, cfg, {&cpu, &cpu}, Rng(1));
+  IntNet net(&rt, 2, cfg, {&cpu, &cpu}, Rng(1));
   SimTime handled_at = -1;
   net.SetHandler(1, [&](IntNet::Envelope) { handled_at = sim.Now(); });
   net.Post(0, 1, 1);
@@ -120,13 +129,14 @@ TEST(NetworkTest, ReceiveCpuDelaysHandlerAndChargesMachine) {
 }
 
 TEST(NetworkTest, SendCpuChargesSenderWithoutBlockingPost) {
-  Simulator sim;
-  Resource cpu0(&sim, 1);
-  Resource cpu1(&sim, 1);
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  Resource cpu0(&rt, 1);
+  Resource cpu1(&rt, 1);
   IntNet::Config cfg;
   cfg.latency = Millis(1);
   cfg.send_cpu = Millis(4);
-  IntNet net(&sim, 2, cfg, {&cpu0, &cpu1}, Rng(1));
+  IntNet net(&rt, 2, cfg, {&cpu0, &cpu1}, Rng(1));
   SimTime handled_at = -1;
   net.SetHandler(1, [&](IntNet::Envelope) { handled_at = sim.Now(); });
   net.Post(0, 1, 1);  // Returns immediately.
@@ -138,12 +148,13 @@ TEST(NetworkTest, SendCpuChargesSenderWithoutBlockingPost) {
 }
 
 TEST(NetworkTest, RecvCpuPreservesPerChannelOrder) {
-  Simulator sim;
-  Resource cpu(&sim, 1);
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  Resource cpu(&rt, 1);
   IntNet::Config cfg;
   cfg.latency = Millis(1);
   cfg.recv_cpu = Micros(100);
-  IntNet net(&sim, 2, cfg, {&cpu, &cpu}, Rng(3));
+  IntNet net(&rt, 2, cfg, {&cpu, &cpu}, Rng(3));
   std::vector<int> got;
   net.SetHandler(1,
                  [&](IntNet::Envelope env) { got.push_back(env.payload); });
@@ -155,11 +166,12 @@ TEST(NetworkTest, RecvCpuPreservesPerChannelOrder) {
 
 TEST(NetworkTest, JitterIsDeterministicUnderSeed) {
   auto run = [](uint64_t seed) {
-    Simulator sim;
+    SimRuntime rt;
+  Simulator& sim = *rt.simulator();
     IntNet::Config cfg;
     cfg.latency = Millis(1);
     cfg.jitter = Millis(3);
-    IntNet net(&sim, 2, cfg, {nullptr, nullptr}, Rng(seed));
+    IntNet net(&rt, 2, cfg, {nullptr, nullptr}, Rng(seed));
     std::vector<SimTime> times;
     net.SetHandler(1, [&](IntNet::Envelope) { times.push_back(sim.Now()); });
     for (int i = 0; i < 10; ++i) net.Post(0, 1, i);
@@ -171,11 +183,12 @@ TEST(NetworkTest, JitterIsDeterministicUnderSeed) {
 }
 
 TEST(NetworkTest, BandwidthAddsTransmissionTime) {
-  Simulator sim;
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
   IntNet::Config cfg;
   cfg.latency = Millis(1);
   cfg.bandwidth_bytes_per_sec = 1000;  // 1 byte per ms.
-  IntNet net(&sim, 2, cfg, {nullptr, nullptr}, Rng(1));
+  IntNet net(&rt, 2, cfg, {nullptr, nullptr}, Rng(1));
   net.SetSizer([](const int&) { return static_cast<size_t>(10); });
   SimTime arrived = -1;
   net.SetHandler(1, [&](IntNet::Envelope) { arrived = sim.Now(); });
@@ -187,12 +200,13 @@ TEST(NetworkTest, BandwidthAddsTransmissionTime) {
 }
 
 TEST(NetworkTest, SharedMediumSerializesAllChannels) {
-  Simulator sim;
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
   IntNet::Config cfg;
   cfg.latency = 0;
   cfg.bandwidth_bytes_per_sec = 1000;
   cfg.shared_medium = true;
-  IntNet net(&sim, 3, cfg, {nullptr, nullptr, nullptr}, Rng(1));
+  IntNet net(&rt, 3, cfg, {nullptr, nullptr, nullptr}, Rng(1));
   net.SetSizer([](const int&) { return static_cast<size_t>(5); });
   std::vector<SimTime> arrivals;
   auto handler = [&](IntNet::Envelope) { arrivals.push_back(sim.Now()); };
@@ -207,12 +221,13 @@ TEST(NetworkTest, SharedMediumSerializesAllChannels) {
 }
 
 TEST(NetworkTest, PointToPointLinksAreIndependent) {
-  Simulator sim;
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
   IntNet::Config cfg;
   cfg.latency = 0;
   cfg.bandwidth_bytes_per_sec = 1000;
   cfg.shared_medium = false;
-  IntNet net(&sim, 3, cfg, {nullptr, nullptr, nullptr}, Rng(1));
+  IntNet net(&rt, 3, cfg, {nullptr, nullptr, nullptr}, Rng(1));
   net.SetSizer([](const int&) { return static_cast<size_t>(5); });
   std::vector<SimTime> arrivals;
   auto handler = [&](IntNet::Envelope) { arrivals.push_back(sim.Now()); };
@@ -227,12 +242,13 @@ TEST(NetworkTest, PointToPointLinksAreIndependent) {
 }
 
 TEST(NetworkTest, LoopbackSkipsBusAndUsesLoopbackLatency) {
-  Simulator sim;
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
   IntNet::Config cfg;
   cfg.latency = Millis(5);
   cfg.loopback_latency = Millis(1);
   cfg.bandwidth_bytes_per_sec = 10;  // Brutally slow wire.
-  IntNet net(&sim, 3, cfg, {nullptr, nullptr, nullptr}, Rng(1));
+  IntNet net(&rt, 3, cfg, {nullptr, nullptr, nullptr}, Rng(1));
   net.SetSizer([](const int&) { return static_cast<size_t>(100); });
   net.SetMachineMap({0, 0, 1});  // Endpoints 0 and 1 share a machine.
   std::map<SiteId, SimTime> arrivals;
@@ -249,12 +265,13 @@ TEST(NetworkTest, LoopbackSkipsBusAndUsesLoopbackLatency) {
 }
 
 TEST(NetworkTest, FifoPreservedUnderBandwidthAndJitter) {
-  Simulator sim;
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
   IntNet::Config cfg;
   cfg.latency = Millis(1);
   cfg.jitter = Millis(5);
   cfg.bandwidth_bytes_per_sec = 100000;
-  IntNet net(&sim, 2, cfg, {nullptr, nullptr}, Rng(17));
+  IntNet net(&rt, 2, cfg, {nullptr, nullptr}, Rng(17));
   net.SetSizer([](const int& v) {
     return static_cast<size_t>(v % 37 + 1);  // Variable sizes.
   });
@@ -268,10 +285,11 @@ TEST(NetworkTest, FifoPreservedUnderBandwidthAndJitter) {
 }
 
 TEST(NetworkTest, StringPayloads) {
-  Simulator sim;
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
   using StrNet = Network<std::string>;
   StrNet::Config cfg;
-  StrNet net(&sim, 2, cfg, {nullptr, nullptr}, Rng(1));
+  StrNet net(&rt, 2, cfg, {nullptr, nullptr}, Rng(1));
   std::string got;
   net.SetHandler(1,
                  [&](StrNet::Envelope env) { got = env.payload; });

@@ -166,6 +166,53 @@ TEST(SimulatorTest, ShutdownDestroysParkedProcessesWithoutLeaks) {
   EXPECT_EQ(sim.live_process_count(), 0u);
 }
 
+TEST(SimulatorTest, ShutdownPreservesClockAndAcceptsNewWork) {
+  // The documented reuse semantics: Shutdown tears down processes but
+  // does NOT rewind time or the event sequence counter, so a reused
+  // simulator keeps a monotonic clock.
+  Simulator sim;
+  sim.Spawn([](Simulator* s) -> Co<void> {
+    co_await s->Delay(Millis(7));
+  }(&sim));
+  sim.Run();
+  EXPECT_EQ(sim.Now(), Millis(7));
+  sim.Shutdown();
+  EXPECT_EQ(sim.Now(), Millis(7));  // Time survives Shutdown.
+  // New work is accepted and runs relative to the surviving clock.
+  SimTime fired_at = -1;
+  sim.Spawn([](Simulator* s, SimTime* out) -> Co<void> {
+    co_await s->Delay(Millis(3));
+    *out = s->Now();
+  }(&sim, &fired_at));
+  sim.Run();
+  EXPECT_EQ(fired_at, Millis(10));
+}
+
+TEST(SimulatorTest, ResetRewindsClockForReuse) {
+  // Reset = Shutdown + zeroed clock/sequence/counters: what a sweep
+  // helper needs between independent runs on one simulator.
+  Simulator sim;
+  WaitQueue q(&sim);
+  sim.Spawn([](Simulator* s, WaitQueue* wq) -> Co<void> {
+    co_await s->Delay(Millis(2));
+    co_await wq->Wait();  // Parked forever; Reset must reap it.
+  }(&sim, &q));
+  sim.Run();
+  EXPECT_EQ(sim.Now(), Millis(2));
+  EXPECT_EQ(sim.live_process_count(), 1u);
+  sim.Reset();
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.live_process_count(), 0u);
+  EXPECT_EQ(sim.events_processed(), 0u);
+  SimTime fired_at = -1;
+  sim.Spawn([](Simulator* s, SimTime* out) -> Co<void> {
+    co_await s->Delay(Millis(5));
+    *out = s->Now();
+  }(&sim, &fired_at));
+  sim.Run();
+  EXPECT_EQ(fired_at, Millis(5));  // Fresh timeline.
+}
+
 TEST(SimulatorTest, CompletedProcessesAreReaped) {
   Simulator sim;
   for (int i = 0; i < 10; ++i) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/sim_runtime.h"
 #include "sim/simulator.h"
 #include "storage/database.h"
 #include "storage/item_store.h"
@@ -15,7 +16,8 @@
 namespace lazyrep::storage {
 namespace {
 
-using sim::Co;
+using runtime::Co;
+using runtime::SimRuntime;
 using sim::Simulator;
 
 GlobalTxnId Id(SiteId site, int64_t seq) { return GlobalTxnId{site, seq}; }
@@ -65,7 +67,7 @@ TEST(ItemStoreTest, SnapshotIsSortedByItem) {
 
 class LockFixture : public ::testing::Test {
  protected:
-  LockFixture() : locks_(&sim_, {}) {}
+  LockFixture() : locks_(&rt_, {}) {}
 
   TxnPtr MakeTxn(int64_t seq, TxnKind kind = TxnKind::kPrimary) {
     return std::make_shared<Transaction>(Id(0, seq), kind, sim_.Now(),
@@ -85,7 +87,8 @@ class LockFixture : public ::testing::Test {
     }(&locks_, &sim_, std::move(txn), item, mode, out, when));
   }
 
-  Simulator sim_;
+  SimRuntime rt_;
+  Simulator& sim_ = *rt_.simulator();
   LockManager locks_;
 };
 
@@ -213,10 +216,11 @@ TEST_F(LockFixture, ImmediatePolicyGrantsSharedPastQueuedExclusive) {
 TEST(LockFifoPolicyTest, FreshSharedRequestQueuesBehindExclusiveWaiter) {
   // FIFO policy (ablation): S request arriving after a queued X waits
   // even though it is compatible with the current S holder.
-  Simulator sim;
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
   LockManager::Config cfg;
   cfg.grant = GrantPolicy::kFifo;
-  LockManager locks(&sim, cfg);
+  LockManager locks(&rt, cfg);
   auto mk = [&](int64_t seq) {
     return std::make_shared<Transaction>(Id(0, seq), TxnKind::kPrimary,
                                          sim.Now(), seq);
@@ -289,10 +293,11 @@ TEST_F(LockFixture, AcquireOnAbortedTxnFailsImmediately) {
 TEST(LockFifoPolicyTest, UnlinkingBlockedHeadUnblocksCompatibleFollowers) {
   // FIFO policy: queue [X-waiter, S-waiter] behind an S holder. When the
   // X waiter is aborted, the S waiter becomes grantable immediately.
-  Simulator sim;
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
   LockManager::Config cfg;
   cfg.grant = GrantPolicy::kFifo;
-  LockManager locks(&sim, cfg);
+  LockManager locks(&rt, cfg);
   auto mk = [&](int64_t seq) {
     return std::make_shared<Transaction>(Id(0, seq), TxnKind::kPrimary,
                                          sim.Now(), seq);
@@ -334,10 +339,11 @@ TEST_F(LockFixture, BlockingHoldersReportsConflictingTransactions) {
 }
 
 TEST(LockDetectionTest, LocalCycleIsDetectedAndVictimAborted) {
-  Simulator sim;
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
   LockManager::Config cfg;
   cfg.policy = DeadlockPolicy::kLocalDetection;
-  LockManager locks(&sim, cfg);
+  LockManager locks(&rt, cfg);
   auto t1 = std::make_shared<Transaction>(Id(0, 1), TxnKind::kPrimary, 0, 1);
   auto t2 = std::make_shared<Transaction>(Id(0, 2), TxnKind::kPrimary, 0, 2);
   // t1 holds A, t2 holds B, then each requests the other: deadlock.
@@ -371,10 +377,11 @@ TEST(LockDetectionTest, LocalCycleIsDetectedAndVictimAborted) {
 }
 
 TEST(LockDetectionTest, VictimPrefersBackedgePendingPrimary) {
-  Simulator sim;
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
   LockManager::Config cfg;
   cfg.policy = DeadlockPolicy::kLocalDetection;
-  LockManager locks(&sim, cfg);
+  LockManager locks(&rt, cfg);
   auto tb = std::make_shared<Transaction>(Id(0, 1), TxnKind::kPrimary, 0, 1);
   tb->set_backedge_pending(true);
   auto ts = std::make_shared<Transaction>(Id(1, 7), TxnKind::kSecondary, 0, 2);
@@ -419,11 +426,12 @@ class DatabaseFixture : public ::testing::Test {
     Database::Options opts;
     opts.site = 0;
     opts.enable_wal = true;
-    db_ = std::make_unique<Database>(&sim_, opts, nullptr, &observer_);
+    db_ = std::make_unique<Database>(&rt_, opts, nullptr, &observer_);
     for (ItemId i = 0; i < 10; ++i) db_->store().AddItem(i, 100 + i);
   }
 
-  Simulator sim_;
+  SimRuntime rt_;
+  Simulator& sim_ = *rt_.simulator();
   RecordingObserver observer_;
   std::unique_ptr<Database> db_;
 };
@@ -591,13 +599,14 @@ TEST_F(DatabaseFixture, AcquireOnlyTracksSetsWithoutTouchingData) {
 }
 
 TEST(DatabaseCpuTest, OperationsChargeTheMachineCpu) {
-  sim::Simulator sim;
-  sim::Resource cpu(&sim, 1);
+  SimRuntime rt;
+  sim::Simulator& sim = *rt.simulator();
+  runtime::Resource cpu(&rt, 1);
   Database::Options options;
   options.costs.read_cpu = Millis(1);
   options.costs.write_cpu = Millis(2);
   options.costs.commit_cpu = Millis(3);
-  Database db(&sim, options, &cpu, nullptr);
+  Database db(&rt, options, &cpu, nullptr);
   db.store().AddItem(1, 0);
   SimTime finished = -1;
   sim.Spawn([](Database* d, sim::Simulator* s, SimTime* out) -> Co<void> {
@@ -617,11 +626,12 @@ TEST(DatabaseCpuTest, AbortDuringCommitCpuRollsBack) {
   // RequestAbort landing while the commit charge is in flight turns the
   // commit into a rollback (the engine-facing race Database::Commit
   // resolves internally).
-  sim::Simulator sim;
-  sim::Resource cpu(&sim, 1);
+  SimRuntime rt;
+  sim::Simulator& sim = *rt.simulator();
+  runtime::Resource cpu(&rt, 1);
   Database::Options options;
   options.costs.commit_cpu = Millis(10);
-  Database db(&sim, options, &cpu, nullptr);
+  Database db(&rt, options, &cpu, nullptr);
   db.store().AddItem(1, 100);
   Status commit_status = Status::OK();
   TxnPtr txn;

@@ -3,6 +3,8 @@
 // verified on the recorded histories and replica convergence on the
 // final stores. NaiveLazy is the negative control.
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "core/engine_backedge.h"
@@ -13,10 +15,24 @@
 namespace lazyrep::core {
 namespace {
 
+// Backend for the SmallConfig-based tests, set by --runtime=threads in
+// main(). Tests that build their own SystemConfig (scripted examples,
+// the chaos grid, the Example 1.1 witnesses) always run under the sim.
+runtime::RuntimeKind g_runtime = runtime::RuntimeKind::kSim;
+
+// Skips tests whose assertions only make sense under the deterministic
+// simulator (bit-identical reruns, virtual-time equalities, seed
+// comparisons).
+#define LAZYREP_SKIP_UNDER_THREADS()                                  \
+  if (g_runtime == runtime::RuntimeKind::kThreads) {                  \
+    GTEST_SKIP() << "requires the deterministic sim backend";         \
+  }
+
 // Small-but-contended configuration so tests stay fast.
 SystemConfig SmallConfig(Protocol protocol, uint64_t seed) {
   SystemConfig config;
   config.protocol = protocol;
+  config.runtime = g_runtime;
   config.seed = seed;
   config.workload.num_sites = 6;
   config.workload.sites_per_machine = 3;
@@ -162,6 +178,7 @@ TEST(SystemTest, DagTOnDeepCustomDagConverges) {
 }
 
 TEST(SystemTest, DeterministicUnderSeed) {
+  LAZYREP_SKIP_UNDER_THREADS();
   auto run = [] {
     auto system = System::Create(SmallConfig(Protocol::kBackEdge, 42));
     return (*system)->Run();
@@ -177,6 +194,7 @@ TEST(SystemTest, DeterministicUnderSeed) {
 }
 
 TEST(SystemTest, SeedsChangeTheSchedule) {
+  LAZYREP_SKIP_UNDER_THREADS();
   auto run = [](uint64_t seed) {
     auto system = System::Create(SmallConfig(Protocol::kBackEdge, seed));
     return (*system)->Run();
@@ -593,6 +611,7 @@ TEST(SystemTest, PerSiteBreakdownSumsToTotals) {
 }
 
 TEST(SystemTest, WarmupExcludesEarlyTransactionsFromMetricsOnly) {
+  LAZYREP_SKIP_UNDER_THREADS();  // Relies on identical schedules.
   SystemConfig with_warmup = SmallConfig(Protocol::kDagWt, 47);
   with_warmup.workload.backedge_prob = 0.0;
   with_warmup.warmup = Millis(200);
@@ -693,6 +712,7 @@ TEST(SystemTest, EagerAbortsMoreThanLazyOnTheSamePlacement) {
   // (locks at every replica site, held through 2PC), so it deadlocks and
   // aborts more than a lazy protocol on the same placement/workload.
   // Same seed => identical placement and transaction streams.
+  LAZYREP_SKIP_UNDER_THREADS();  // Cross-run comparison needs one schedule.
   int64_t eager_aborts = 0, lazy_aborts = 0;
   for (uint64_t seed : {31u, 32u, 33u}) {
     auto run = [seed](Protocol protocol) {
@@ -710,5 +730,55 @@ TEST(SystemTest, EagerAbortsMoreThanLazyOnTheSamePlacement) {
   EXPECT_GT(eager_aborts, lazy_aborts);
 }
 
+// ------------------------------------------------- real-threads sweep
+// Always runs under ThreadRuntime regardless of --runtime: the three
+// serializability-guaranteeing lazy protocols must stay serializable,
+// value-consistent and convergent when machines are real OS threads and
+// the interleaving is whatever the host scheduler produces.
+
+class ThreadSweep : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ThreadSweep, SerializableAndConvergedUnderRealThreads) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    SystemConfig config = SmallConfig(GetParam(), seed);
+    config.runtime = runtime::RuntimeKind::kThreads;
+    config.workload.txns_per_thread = 10;  // Wall-clock, keep it brisk.
+    config.max_sim_time = 0;               // No wall cap; ctest times out.
+    auto system = System::Create(std::move(config));
+    ASSERT_TRUE(system.ok()) << system.status().ToString();
+    RunMetrics metrics = (*system)->Run();
+    EXPECT_EQ(metrics.committed + metrics.aborted, 6 * 2 * 10);
+    EXPECT_TRUE(metrics.serializable) << metrics.verdict;
+    EXPECT_TRUE(metrics.reads_consistent) << metrics.verdict;
+    EXPECT_TRUE(metrics.converged);
+    EXPECT_FALSE(metrics.timed_out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LazySerializable, ThreadSweep,
+    ::testing::Values(Protocol::kBackEdge, Protocol::kDagWt,
+                      Protocol::kDagT),
+    [](const auto& info) {
+      std::string name = ProtocolName(info.param);
+      std::erase_if(name, [](char c) { return !std::isalnum(c); });
+      return name;
+    });
+
 }  // namespace
 }  // namespace lazyrep::core
+
+// Custom main so CI can run the whole suite against the threads backend:
+//   system_test --runtime=threads
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runtime=threads") == 0) {
+      lazyrep::core::g_runtime = lazyrep::runtime::RuntimeKind::kThreads;
+    } else if (std::strcmp(argv[i], "--runtime=sim") == 0) {
+      lazyrep::core::g_runtime = lazyrep::runtime::RuntimeKind::kSim;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -39,6 +39,10 @@ void PrintHelp() {
       "  --timeout-ms=X    deadlock lock-wait timeout (default 50)\n"
       "  --seed=K          experiment seed (default 1)\n"
       "  --seeds=K         average over K seeds (default 1)\n"
+      "  --runtime=KIND    sim | threads (default sim). sim is the\n"
+      "                    deterministic discrete-event backend; threads\n"
+      "                    runs each machine on an OS thread and reports\n"
+      "                    measured wall-clock metrics\n"
       "  --retry           retry aborted transactions until they commit\n"
       "  --tree=KIND       chain | greedy (default chain)\n"
       "  --backedges=M     site-order | dfs | greedy | weighted\n"
@@ -122,6 +126,16 @@ int main(int argc, char** argv) {
       config.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "--seeds", &v)) {
       seeds = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "--runtime", &v)) {
+      if (v == "sim") {
+        config.runtime = runtime::RuntimeKind::kSim;
+      } else if (v == "threads") {
+        config.runtime = runtime::RuntimeKind::kThreads;
+      } else {
+        std::fprintf(stderr, "unknown runtime '%s' (sim|threads)\n",
+                     v.c_str());
+        return 2;
+      }
     } else if (std::strcmp(arg, "--retry") == 0) {
       config.retry = core::RetryPolicy::kRetryUntilCommit;
     } else if (ParseFlag(arg, "--tree", &v)) {
@@ -162,10 +176,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("# %s | %s | seed=%llu seeds=%d\n",
+  std::printf("# %s | %s | seed=%llu seeds=%d runtime=%s\n",
               core::ProtocolName(config.protocol).c_str(),
               config.workload.ToString().c_str(),
-              static_cast<unsigned long long>(config.seed), seeds);
+              static_cast<unsigned long long>(config.seed), seeds,
+              runtime::RuntimeKindName(config.runtime));
 
   // Validate the configuration once up front for a friendly error.
   {
