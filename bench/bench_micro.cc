@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
 #include "core/history.h"
 #include "core/timestamp.h"
@@ -149,4 +153,29 @@ BENCHMARK(BM_TreeBuild)->Arg(15);
 }  // namespace
 }  // namespace lazyrep
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translate the repo-wide
+// `--json=PATH` convention (shared with the protocol benches) into
+// google-benchmark's native JSON reporter flags before initialization.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, format_flag;
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    constexpr const char* kJson = "--json=";
+    if (std::strncmp(*it, kJson, std::strlen(kJson)) == 0) {
+      out_flag = std::string("--benchmark_out=") + (*it + std::strlen(kJson));
+      format_flag = "--benchmark_out_format=json";
+      it = args.erase(it);
+      args.push_back(out_flag.data());
+      args.push_back(format_flag.data());
+      break;
+    }
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -92,6 +92,13 @@ int main(int argc, char** argv) {
     harness::AggregateResult psl_result =
         harness::RunSeeds(psl, options.seeds);
 
+    harness::AppendBenchJson(
+        options.json, "sweep_threads", "BackEdge", options.runtime,
+        {{"threads", static_cast<double>(threads)}}, be_result);
+    harness::AppendBenchJson(
+        options.json, "sweep_threads", "PSL", options.runtime,
+        {{"threads", static_cast<double>(threads)}}, psl_result);
+
     table.PrintRow({std::to_string(threads),
                     harness::Table::Num(be_result.throughput),
                     harness::Table::Num(psl_result.throughput),

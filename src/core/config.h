@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/sim_time.h"
+#include "fault/fault_plan.h"
 #include "graph/copy_graph.h"
 #include "runtime/runtime.h"
 #include "storage/database.h"
@@ -144,6 +145,11 @@ struct SystemConfig {
   size_t trace_max_events = 1 << 20;
   /// Maintain per-site redo WALs.
   bool enable_wal = false;
+  /// Fault injection (src/fault/): per-message network faults route all
+  /// traffic through the reliable-delivery layer; scheduled crashes
+  /// additionally require `enable_wal` and one of the lazy tree
+  /// protocols (DAG(WT)/DAG(T)/BackEdge) with batching off.
+  std::optional<fault::FaultPlan> faults;
   /// Explicit placement; when absent one is generated from `workload`.
   std::optional<graph::Placement> placement;
   /// Measurement warmup: transactions that start before this much

@@ -8,7 +8,9 @@
 #include "core/messages.h"
 #include "core/metrics.h"
 #include "core/routing.h"
+#include "fault/fault_injector.h"
 #include "net/network.h"
+#include "net/transport.h"
 #include "runtime/primitives.h"
 #include "runtime/runtime.h"
 #include "storage/database.h"
@@ -17,6 +19,7 @@
 namespace lazyrep::core {
 
 using ProtocolNetwork = net::Network<ProtocolMessage>;
+using ProtocolTransport = net::Transport<ProtocolMessage>;
 
 /// Per-site protocol engine. One instance runs at each site; the System
 /// wires them to the site's Database and the shared Network, then drives
@@ -35,10 +38,14 @@ class ReplicationEngine {
     /// handlers, transaction bodies — can use plain `rt->Spawn`.
     int machine = 0;
     storage::Database* db = nullptr;
-    ProtocolNetwork* net = nullptr;
+    /// Message egress — the raw Network, or the reliable-delivery layer
+    /// when a FaultPlan injects network faults.
+    ProtocolTransport* net = nullptr;
     std::shared_ptr<const Routing> routing;
     MetricsCollector* metrics = nullptr;
     const SystemConfig* config = nullptr;
+    /// Site up/down state under fault injection; nullptr without faults.
+    fault::FaultInjector* faults = nullptr;
   };
 
   explicit ReplicationEngine(Context ctx) : ctx_(std::move(ctx)) {}
@@ -65,6 +72,16 @@ class ReplicationEngine {
   /// No protocol work pending at this site (queues empty, no proxies, no
   /// pending coordinations). Dummy/epoch traffic does not count.
   virtual bool Quiescent() const = 0;
+
+  /// The site just lost its volatile state (fault injection). Engines
+  /// with transaction proxies must resolve any that no coroutine will
+  /// drive again; engine queues and in-flight applier state are declared
+  /// durable (docs/FAULTS.md) and survive untouched.
+  virtual void OnCrash() {}
+
+  /// The site's store has been recovered from the WAL and it is about to
+  /// be marked up again.
+  virtual void OnRestart() {}
 
   SiteId site() const { return ctx_.site; }
 
@@ -105,6 +122,16 @@ class ReplicationEngine {
 
   /// Victim selection used by AcquireXAsSecondary after a timeout.
   void AbortOneBlocker(storage::Transaction* waiter, ItemId item);
+
+  /// True unless fault injection currently has this site crashed.
+  bool SiteUp() const {
+    return ctx_.faults == nullptr || ctx_.faults->IsUp(ctx_.site);
+  }
+
+  /// Suspends while this site is crashed; immediate no-op otherwise.
+  runtime::Co<void> AwaitSiteUp() {
+    if (ctx_.faults != nullptr) co_await ctx_.faults->AwaitUp(ctx_.site);
+  }
 
   Context ctx_;
   bool shutdown_ = false;

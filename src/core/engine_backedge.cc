@@ -190,6 +190,9 @@ runtime::Co<void> BackEdgeEngine::HandleBackedgeStart(BackedgeStart start) {
 runtime::Co<void> BackEdgeEngine::Applier() {
   for (;;) {
     SecondaryUpdate update = co_await inbox_.Receive();
+    // Crashed sites stop consuming their (durable) forward queue until
+    // recovery completes (docs/FAULTS.md).
+    co_await AwaitSiteUp();
     applying_ = true;
     if (update.is_special) {
       if (update.origin_site == ctx_.site) {
@@ -383,6 +386,25 @@ runtime::Co<void> BackEdgeEngine::HandleDecision(TpcDecision decision) {
   ctx_.net->Post(ctx_.site, decision.origin.origin_site,
                  ProtocolMessage(TpcAck{decision.origin}));
   --active_handlers_;
+}
+
+void BackEdgeEngine::OnCrash() {
+  // A crash wipes the volatile lock/undo state behind every unpinned
+  // proxy, so the global transactions they belong to cannot commit: mark
+  // them aborted (the abort hook notifies the origin, which broadcasts
+  // BackedgeAbort along the path — presumed abort). Executing proxies are
+  // rolled back by their driving coroutine; idle ones need an explicit
+  // rollback. Pinned proxies voted yes and are in durably-prepared 2PC
+  // state: they survive untouched and commit/abort with the decision.
+  std::vector<GlobalTxnId> idle;
+  for (auto& [origin, proxy] : proxies_) {
+    if (proxy.txn->pinned()) continue;
+    proxy.txn->RequestAbort(Status::ExternalAbort("site crashed"));
+    if (!proxy.executing) idle.push_back(origin);
+  }
+  for (const GlobalTxnId& origin : idle) {
+    ctx_.rt->Spawn(RollbackProxy(origin, /*tombstone=*/true));
+  }
 }
 
 bool BackEdgeEngine::Quiescent() const {

@@ -43,6 +43,11 @@ class BackEdgeEngine : public ReplicationEngine {
                                  const workload::TxnSpec& spec) override;
   void OnMessage(ProtocolNetwork::Envelope env) override;
   bool Quiescent() const override;
+  /// Crash handling: unpinned backedge proxies die with the site
+  /// (presumed abort — the origin is notified and broadcasts path
+  /// aborts); pinned (yes-voted, prepared) proxies ride through and wait
+  /// for the 2PC decision.
+  void OnCrash() override;
 
   uint64_t backedge_txns() const { return backedge_txns_; }
   uint64_t secondaries_committed() const { return secondaries_committed_; }

@@ -70,6 +70,9 @@ runtime::Co<void> DagTEngine::Applier() {
   Timestamp last_committed;
   bool have_last = false;
   for (;;) {
+    // Crashed sites stop consuming their (durable) incoming queues until
+    // recovery completes (docs/FAULTS.md).
+    co_await AwaitSiteUp();
     // §3.2.3: every incoming queue must be non-empty before the minimum
     // is taken. Single consumer, so once a queue is seen non-empty it
     // stays non-empty until we pop.
@@ -133,6 +136,7 @@ runtime::Co<void> DagTEngine::DummySender() {
   while (!shutdown_) {
     co_await ctx_.rt->Delay(period);
     if (shutdown_) break;
+    if (!SiteUp()) continue;  // A crashed site sends no dummies.
     for (SiteId child : ctx_.routing->copy_graph().Children(ctx_.site)) {
       auto it = last_sent_.find(child);
       if (it != last_sent_.end() && it->second + period > ctx_.rt->Now()) {

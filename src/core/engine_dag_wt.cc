@@ -93,6 +93,11 @@ void DagWtEngine::OnMessage(ProtocolNetwork::Envelope env) {
 runtime::Co<void> DagWtEngine::Applier() {
   for (;;) {
     SecondaryUpdate update = co_await inbox_.Receive();
+    // Under fault injection a crashed site stops consuming its (durable)
+    // forward queue until recovery completes; an update already being
+    // applied rides through the crash as part of the restart redo
+    // (docs/FAULTS.md).
+    co_await AwaitSiteUp();
     applying_ = true;
     storage::TxnPtr txn =
         ctx_.db->Begin(update.origin, storage::TxnKind::kSecondary);

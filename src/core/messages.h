@@ -1,6 +1,7 @@
 #ifndef LAZYREP_CORE_MESSAGES_H_
 #define LAZYREP_CORE_MESSAGES_H_
 
+#include <cstdint>
 #include <string_view>
 #include <variant>
 #include <vector>
@@ -102,10 +103,27 @@ struct SecondaryBatch {
   std::vector<SecondaryUpdate> updates;
 };
 
+/// Reliable-delivery layer (fault::ReliableTransport): one sequenced
+/// protocol message on a (src, dst) channel. `inner` is the wrapped
+/// message's `Wire::Encode` bytes — carrying the encoding rather than
+/// the variant avoids a recursive variant, exercises the codec on every
+/// delivery, and makes the byte accounting exact.
+struct ReliableData {
+  uint64_t seq = 0;
+  std::vector<uint8_t> inner;
+};
+
+/// Reliable-delivery layer: cumulative ack for a (src, dst) channel —
+/// every data seq <= `cum_ack` has been delivered at the receiver.
+struct ChannelAck {
+  uint64_t cum_ack = 0;
+};
+
 using ProtocolMessage =
     std::variant<SecondaryUpdate, BackedgeStart, BackedgeAbort, TpcPrepare,
                  TpcVote, TpcDecision, TpcAck, PslLockRequest,
-                 PslLockResponse, PslRelease, SecondaryBatch>;
+                 PslLockResponse, PslRelease, SecondaryBatch, ReliableData,
+                 ChannelAck>;
 
 /// Short kind label for logging/tracing.
 inline std::string_view MessageKindName(const ProtocolMessage& message) {
@@ -139,6 +157,12 @@ inline std::string_view MessageKindName(const ProtocolMessage& message) {
     }
     std::string_view operator()(const SecondaryBatch&) const {
       return "secondary_batch";
+    }
+    std::string_view operator()(const ReliableData&) const {
+      return "reliable_data";
+    }
+    std::string_view operator()(const ChannelAck&) const {
+      return "channel_ack";
     }
   };
   return std::visit(Visitor{}, message);

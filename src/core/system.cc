@@ -116,6 +116,35 @@ Status System::Build() {
         "batch_window is only supported by DAG(WT) (batching would "
         "reorder BackEdge special subtransactions)");
   }
+  if (config_.faults.has_value() && !config_.faults->crashes.empty()) {
+    // Crash faults need a redo log to recover from and a protocol whose
+    // propagation state is modelled as durable (docs/FAULTS.md).
+    if (!config_.enable_wal) {
+      return Status::InvalidArgument(
+          "crash faults require enable_wal (recovery replays the WAL)");
+    }
+    if (config_.protocol != Protocol::kDagWt &&
+        config_.protocol != Protocol::kDagT &&
+        config_.protocol != Protocol::kBackEdge) {
+      return Status::InvalidArgument(
+          "crash faults are only supported for the lazy tree protocols "
+          "(DAG(WT)/DAG(T)/BackEdge)");
+    }
+    if (config_.engine.batch_window > 0) {
+      return Status::InvalidArgument(
+          "crash faults require batching off (buffered batches are "
+          "volatile)");
+    }
+    for (const fault::CrashEvent& crash : config_.faults->crashes) {
+      if (crash.site < 0 || crash.site >= params.num_sites) {
+        return Status::InvalidArgument("crash site out of range");
+      }
+      if (crash.at <= 0 || crash.down_for <= 0) {
+        return Status::InvalidArgument(
+            "crash time and down_for must be positive");
+      }
+    }
+  }
 
   // Placement: explicit override or generated per §5.2.
   graph::Placement placement =
@@ -165,6 +194,22 @@ Status System::Build() {
       machine_of_site[s] = machine_of(s);
     }
     network_->SetMachineMap(std::move(machine_of_site));
+  }
+
+  // Fault injection: an enabled plan interposes the reliable-delivery
+  // layer between the engines and the (now possibly lossy) network.
+  // Without one, none of this exists and engine traffic takes the exact
+  // same path it always did.
+  if (config_.faults.has_value() && config_.faults->enabled()) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        runtime_.get(), *config_.faults, params.num_sites, rng_.Split());
+    transport_ = std::make_unique<fault::ReliableTransport>(
+        runtime_.get(), network_.get(), injector_.get(), params.num_sites);
+    if (config_.faults->network_faults()) {
+      network_->SetFaultHook([this](SiteId src, SiteId dst) {
+        return injector_->Roll(src, dst);
+      });
+    }
   }
 
   // Tracing.
@@ -233,14 +278,31 @@ Status System::Build() {
     ctx.rt = runtime_.get();
     ctx.machine = machine_of(s);
     ctx.db = databases_[s].get();
-    ctx.net = network_.get();
+    ctx.net = transport_ != nullptr
+                  ? static_cast<ProtocolTransport*>(transport_.get())
+                  : network_.get();
     ctx.routing = routing_;
     ctx.metrics = &metrics_;
     ctx.config = &config_;
+    ctx.faults = injector_.get();
     engines_.push_back(MakeEngine(std::move(ctx)));
-    network_->SetHandler(s, [this, s](ProtocolNetwork::Envelope env) {
-      engines_[s]->OnMessage(std::move(env));
-    });
+    if (transport_ != nullptr) {
+      // The transport owns the raw network handlers; engines sit behind
+      // its exactly-once FIFO delivery.
+      transport_->SetHandler(s, [this, s](SiteId src,
+                                          ProtocolMessage message) {
+        ProtocolNetwork::Envelope env;
+        env.src = src;
+        env.dst = s;
+        env.send_time = runtime_->Now();
+        env.payload = std::move(message);
+        engines_[s]->OnMessage(std::move(env));
+      });
+    } else {
+      network_->SetHandler(s, [this, s](ProtocolNetwork::Envelope env) {
+        engines_[s]->OnMessage(std::move(env));
+      });
+    }
   }
   next_txn_seq_.assign(params.num_sites, 0);
   LAZYREP_LOG(kInfo) << "system built: " << ProtocolName(config_.protocol)
@@ -258,11 +320,14 @@ runtime::Co<void> System::Worker(SiteId site, int thread_index, Rng rng) {
   const workload::Params& params = config_.workload;
   for (int i = 0; i < params.txns_per_thread; ++i) {
     workload::TxnSpec spec = generator_->Next(site, &rng);
+    // A crashed site accepts no new transactions until it recovers.
+    if (injector_ != nullptr) co_await injector_->AwaitUp(site);
     SimTime start = runtime_->Now();
     // Warmup exclusion: run the transaction, skip its metrics.
     bool measured = start >= config_.warmup;
     double backoff_ms = 2.0;
     for (;;) {
+      if (injector_ != nullptr) co_await injector_->AwaitUp(site);
       GlobalTxnId id{site, next_txn_seq_[site]++};
       Status st = co_await engines_[site]->ExecutePrimary(id, spec);
       if (st.ok()) {
@@ -287,6 +352,11 @@ runtime::Co<void> System::Worker(SiteId site, int thread_index, Rng rng) {
 
 bool System::AllQuiescent() const {
   if (metrics_.pending_propagations() > 0) return false;
+  if (crashes_outstanding_.load(std::memory_order_acquire) != 0) {
+    return false;
+  }
+  if (injector_ != nullptr && !injector_->AllUp()) return false;
+  if (transport_ != nullptr && !transport_->Quiescent()) return false;
   for (const auto& engine : engines_) {
     if (!engine->Quiescent()) return false;
   }
@@ -301,6 +371,7 @@ runtime::Co<void> System::QuiesceAndShutdown() {
   }
   drain_elapsed_ = runtime_->Now();
   for (auto& engine : engines_) engine->BeginShutdown();
+  if (transport_ != nullptr) transport_->BeginShutdown();
 }
 
 RunMetrics System::Run() {
@@ -359,6 +430,7 @@ void System::RunThreads() {
       // Flush whatever the engines still buffer (DAG(WT) batches), then
       // let the flushed messages drain as well.
       OnEachSiteBlocking([this](SiteId s) { engines_[s]->BeginShutdown(); });
+      if (transport_ != nullptr) transport_->BeginShutdown();
       while (!ThreadsQuiescent() && !timed_out_) {
         if (past_deadline()) {
           timed_out_ = true;
@@ -375,6 +447,11 @@ void System::RunThreads() {
 
 bool System::ThreadsQuiescent() {
   if (metrics_.pending_propagations() > 0) return false;
+  if (crashes_outstanding_.load(std::memory_order_acquire) != 0) {
+    return false;
+  }
+  if (injector_ != nullptr && !injector_->AllUp()) return false;
+  if (transport_ != nullptr && !transport_->Quiescent()) return false;
   std::atomic<bool> all{true};
   OnEachSiteBlocking([this, &all](SiteId s) {
     if (!engines_[s]->Quiescent()) all.store(false, std::memory_order_relaxed);
@@ -458,6 +535,54 @@ void System::EnsureStarted() {
   if (started_) return;
   started_ = true;
   for (auto& engine : engines_) engine->Start();
+  if (injector_ != nullptr) {
+    for (const fault::CrashEvent& crash : config_.faults->crashes) {
+      crashes_outstanding_.fetch_add(1, std::memory_order_acq_rel);
+      runtime_->ScheduleCallbackAtOn(
+          machine_of(crash.site), crash.at,
+          [this, crash] { runtime_->Spawn(CrashRecover(crash)); });
+    }
+  }
+}
+
+runtime::Co<void> System::CrashRecover(fault::CrashEvent crash) {
+  const SiteId site = crash.site;
+  storage::Database& db = *databases_[site];
+  injector_->SetDown(site);
+  engines_[site]->OnCrash();
+  // The crash kills every active primary transaction at the site: its
+  // client connection and volatile execution state are gone. Pinned
+  // (prepared) transactions are the 2PC exception and ride through;
+  // secondary subtransactions are redone at recovery and are never
+  // aborted (the paper's victim rule extends to crashes).
+  for (const storage::TxnPtr& txn : db.ActiveTransactions()) {
+    if (txn->kind() != storage::TxnKind::kPrimary || txn->pinned()) {
+      continue;
+    }
+    txn->RequestAbort(Status::ExternalAbort("site crashed"));
+  }
+  // Let the marked transactions finish rolling back (their coroutines
+  // observe the mark at the next suspension point) before the store
+  // image is rebuilt — a half-undone rollback must not be re-applied.
+  while (db.HasUnpinnedActive()) {
+    co_await runtime_->Delay(Millis(1));
+  }
+  SimTime up_at = crash.at + crash.down_for;
+  if (runtime_->Now() < up_at) {
+    co_await runtime_->Delay(up_at - runtime_->Now());
+  }
+  // Restart: the volatile store image is lost; rebuild it from the redo
+  // WAL, then re-admit traffic. When no transaction survived the outage
+  // the freshly recovered image doubles as a checkpoint, truncating the
+  // log (satellite exercise of Wal::Checkpoint on the real path).
+  db.RecoverStoreFromWal();
+  if (db.ActiveTransactions().empty()) {
+    db.mutable_wal()->Checkpoint(db.store());
+  }
+  engines_[site]->OnRestart();
+  injector_->SetUp(site);
+  if (transport_ != nullptr) transport_->FlushPending(site);
+  crashes_outstanding_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 Status System::RunOneTransaction(SiteId site,

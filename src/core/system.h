@@ -1,6 +1,7 @@
 #ifndef LAZYREP_CORE_SYSTEM_H_
 #define LAZYREP_CORE_SYSTEM_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -9,6 +10,8 @@
 #include "core/history.h"
 #include "core/metrics.h"
 #include "core/trace.h"
+#include "fault/fault_injector.h"
+#include "fault/reliable_transport.h"
 #include "net/network.h"
 #include "runtime/primitives.h"
 #include "runtime/runtime.h"
@@ -94,6 +97,11 @@ class System {
   const TraceLog* trace() const { return trace_.get(); }
   MetricsCollector& metrics() { return metrics_; }
   ProtocolNetwork& network() { return *network_; }
+  /// Present when `SystemConfig::faults` is an enabled plan.
+  const fault::FaultInjector* injector() const { return injector_.get(); }
+  const fault::ReliableTransport* transport() const {
+    return transport_.get();
+  }
   const SystemConfig& config() const { return config_; }
 
   /// Runs the serializability checker over the recorded history.
@@ -114,6 +122,11 @@ class System {
   Status Build();
   void EnsureStarted();
   bool AllQuiescent() const;
+  /// Crash/recovery lifecycle of one `CrashEvent`, run on the crashed
+  /// site's machine: mark the site down, resolve its volatile
+  /// transactions, wait out the outage, rebuild the store from the WAL,
+  /// and bring the site back up (docs/FAULTS.md).
+  runtime::Co<void> CrashRecover(fault::CrashEvent crash);
   runtime::Co<void> Worker(SiteId site, int thread_index, Rng rng);
   runtime::Co<void> QuiesceAndShutdown();
   void RunSim();
@@ -141,6 +154,12 @@ class System {
   std::vector<std::unique_ptr<runtime::Resource>> machine_cpus_;
   std::vector<runtime::Resource*> site_cpu_;  // site -> machine CPU (or null)
   std::unique_ptr<ProtocolNetwork> network_;
+  /// Fault machinery — only built when `config_.faults` is an enabled
+  /// plan; otherwise engines talk to the network directly and no fault
+  /// code runs (schedules stay byte-identical to a fault-free build).
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::ReliableTransport> transport_;
+  std::atomic<int> crashes_outstanding_{0};
   std::vector<std::unique_ptr<storage::Database>> databases_;
   std::vector<std::unique_ptr<ReplicationEngine>> engines_;
   std::vector<int64_t> next_txn_seq_;

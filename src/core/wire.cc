@@ -108,6 +108,12 @@ struct EncodeVisitor {
     s->Varint(m.updates.size());
     for (const SecondaryUpdate& u : m.updates) (*this)(u);
   }
+  void operator()(const ReliableData& m) const {
+    s->Varint(m.seq);
+    s->Varint(m.inner.size());
+    for (uint8_t b : m.inner) s->Byte(b);
+  }
+  void operator()(const ChannelAck& m) const { s->Varint(m.cum_ack); }
 };
 
 // ---- decoding helpers -----------------------------------------------
@@ -348,6 +354,26 @@ Result<ProtocolMessage> Wire::Decode(const std::vector<uint8_t>& bytes) {
         batch.updates.push_back(std::move(u));
       }
       message = std::move(batch);
+      break;
+    }
+    case 11: {
+      ReliableData m;
+      m.seq = r.Varint();
+      uint64_t n = r.Varint();
+      if (r.status.ok() && n > bytes.size()) {
+        r.status = Status::InvalidArgument("bad inner length");
+      }
+      m.inner.reserve(r.status.ok() ? n : 0);
+      for (uint64_t i = 0; i < n && r.status.ok(); ++i) {
+        m.inner.push_back(r.Byte());
+      }
+      message = std::move(m);
+      break;
+    }
+    case 12: {
+      ChannelAck m;
+      m.cum_ack = r.Varint();
+      message = m;
       break;
     }
     default:

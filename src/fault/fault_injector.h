@@ -1,0 +1,89 @@
+#ifndef LAZYREP_FAULT_FAULT_INJECTOR_H_
+#define LAZYREP_FAULT_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "fault/fault_plan.h"
+#include "net/transport.h"
+#include "runtime/runtime.h"
+
+namespace lazyrep::fault {
+
+/// Run-scoped fault state: rolls the per-message network faults of a
+/// `FaultPlan` and tracks which sites are currently up.
+///
+/// `Roll` is installed as the network's fault hook, so it runs under the
+/// network's internal lock — the RNG needs no synchronization of its own
+/// and stays deterministic under `SimRuntime`. The up/down flags are
+/// atomics because workers and appliers on any machine consult them.
+class FaultInjector {
+ public:
+  FaultInjector(runtime::Runtime* rt, FaultPlan plan, int num_sites,
+                Rng rng)
+      : rt_(rt), plan_(std::move(plan)), rng_(rng), up_(num_sites) {
+    LAZYREP_CHECK_GT(num_sites, 0);
+    for (auto& flag : up_) flag.store(true, std::memory_order_release);
+  }
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Per-message fault decision (drop and duplicate are exclusive).
+  net::FaultDecision Roll(SiteId /*src*/, SiteId /*dst*/) {
+    net::FaultDecision d;
+    if (!plan_.network_faults()) return d;
+    if (plan_.drop_prob > 0 && rng_.Bernoulli(plan_.drop_prob)) {
+      d.drop = true;
+    } else if (plan_.dup_prob > 0 && rng_.Bernoulli(plan_.dup_prob)) {
+      d.duplicate = true;
+    }
+    if (plan_.extra_delay_max > 0) {
+      d.extra_delay = static_cast<Duration>(
+          rng_.Below(static_cast<uint64_t>(plan_.extra_delay_max) + 1));
+    }
+    return d;
+  }
+
+  bool IsUp(SiteId site) const {
+    return up_[Check(site)].load(std::memory_order_acquire);
+  }
+  void SetDown(SiteId site) {
+    up_[Check(site)].store(false, std::memory_order_release);
+  }
+  void SetUp(SiteId site) {
+    up_[Check(site)].store(true, std::memory_order_release);
+  }
+  bool AllUp() const {
+    for (const auto& flag : up_) {
+      if (!flag.load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  }
+
+  /// Suspends until `site` is up again (poll-based; the restart path has
+  /// no rendezvous point shared with every possible waiter's machine).
+  runtime::Co<void> AwaitUp(SiteId site) {
+    while (!IsUp(site)) co_await rt_->Delay(Millis(1));
+  }
+
+ private:
+  SiteId Check(SiteId s) const {
+    LAZYREP_CHECK(s >= 0 && s < static_cast<SiteId>(up_.size()))
+        << "bad site " << s;
+    return s;
+  }
+
+  runtime::Runtime* rt_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<std::atomic<bool>> up_;
+};
+
+}  // namespace lazyrep::fault
+
+#endif  // LAZYREP_FAULT_FAULT_INJECTOR_H_

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "common/types.h"
+#include "net/transport.h"
 #include "runtime/primitives.h"
 #include "runtime/runtime.h"
 
@@ -19,11 +20,15 @@ namespace lazyrep::net {
 /// Message network between sites, modelled over the `Runtime` waist.
 ///
 /// Semantics match the paper's system model (§1.1): delivery is reliable
-/// and FIFO between any two sites (the paper ran TCP). Each message pays:
+/// and FIFO between any two sites (the paper ran TCP) — unless a fault
+/// hook (SetFaultHook) injects drops/duplicates/extra delay, in which
+/// case a reliable-delivery layer above must restore the contract. Each
+/// message pays:
 ///
-///   * send CPU on the source machine (protocol/syscall overhead, charged
-///     asynchronously so posting never blocks the sender — this mirrors a
-///     buffered socket write),
+///   * send CPU on the source machine (protocol/syscall overhead) before
+///     the message departs. Posting still never blocks the sender — the
+///     charge runs as its own coroutine on the source machine, and the
+///     CPU's FCFS queue keeps per-channel post order intact,
 ///   * wire latency (+ optional uniform jitter), with per-channel FIFO
 ///     enforced by a channel clock,
 ///   * receive CPU on the destination machine before the handler runs.
@@ -41,7 +46,7 @@ namespace lazyrep::net {
 /// protocol message variant. Delivery invokes the handler registered for
 /// the destination endpoint.
 template <typename T>
-class Network {
+class Network : public Transport<T> {
  public:
   struct Config {
     /// One-way wire latency (default: the 0.15 ms the paper measured on
@@ -121,29 +126,100 @@ class Network {
     machine_of_ = std::move(machine_of);
   }
 
+  /// Optional fault hook (fault injection): consulted once per posted
+  /// message, under the network lock, after the send CPU charge. Must be
+  /// set before traffic starts.
+  using FaultHook = std::function<FaultDecision(SiteId src, SiteId dst)>;
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// Optional classifier for transport-level control traffic (e.g. the
+  /// reliable-delivery layer's cumulative acks — the stand-in for TCP
+  /// acks, which a real stack handles in the kernel/NIC below the
+  /// paper's per-message CPU cost model). Control messages skip the
+  /// send/receive CPU charges but still pay wire latency, occupy the
+  /// medium, count in the message totals, and pass the fault hook.
+  /// Must be set before traffic starts.
+  using ControlClassifier = std::function<bool(const T&)>;
+  void SetControlClassifier(ControlClassifier classifier) {
+    is_control_ = std::move(classifier);
+  }
+
   /// Posts a message; never blocks the caller. Messages posted on the same
   /// (src, dst) channel are delivered in post order. Must be called from
   /// the source endpoint's machine (true by construction: only site code
   /// posts, and site code runs on its own machine).
-  void Post(SiteId src, SiteId dst, T payload) {
+  void Post(SiteId src, SiteId dst, T payload) override {
     Check(src);
     Check(dst);
     LAZYREP_CHECK_NE(src, dst) << "no loopback channel";
-
-    // Send-side CPU: charge the source machine asynchronously. The
-    // source CPU is machine-confined, so this stays outside the lock.
-    if (cpus_[src] != nullptr && config_.send_cpu > 0) {
-      rt_->Spawn(cpus_[src]->Consume(config_.send_cpu));
-    }
 
     bool loopback = !machine_of_.empty() &&
                     machine_of_[src] == machine_of_[dst];
     size_t size = sizer_ ? sizer_(payload) : 0;
 
-    SimTime arrive;
+    // Send-side CPU precedes the wire: the message departs only after
+    // the sender's per-message CPU work completes. The source CPU is
+    // machine-confined and FCFS, so running charge+dispatch as its own
+    // coroutine preserves per-channel post order without blocking the
+    // caller (this mirrors a buffered socket write whose kernel send
+    // path still costs CPU before the frame hits the wire).
+    if (cpus_[src] != nullptr && config_.send_cpu > 0 &&
+        !(is_control_ && is_control_(payload))) {
+      rt_->Spawn(ChargeSendCpuThenDispatch(src, dst, loopback, size,
+                                           std::move(payload)));
+      return;
+    }
+    Dispatch(src, dst, loopback, size, std::move(payload));
+  }
+
+  uint64_t total_messages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_messages_;
+  }
+  uint64_t total_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_bytes_;
+  }
+  uint64_t sent_from(SiteId s) const {
+    Check(s);
+    std::lock_guard<std::mutex> lock(mu_);
+    return sent_from_[s];
+  }
+  uint64_t received_at(SiteId s) const {
+    Check(s);
+    std::lock_guard<std::mutex> lock(mu_);
+    return received_at_[s];
+  }
+  /// Messages lost / duplicated by the fault hook (0 without one).
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+  uint64_t duplicated() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return duplicated_;
+  }
+  const Config& config() const { return config_; }
+
+ private:
+  runtime::Co<void> ChargeSendCpuThenDispatch(SiteId src, SiteId dst,
+                                              bool loopback, size_t size,
+                                              T payload) {
+    co_await cpus_[src]->Consume(config_.send_cpu);
+    Dispatch(src, dst, loopback, size, std::move(payload));
+  }
+
+  /// Wire bookkeeping + delivery scheduling; runs on the source machine
+  /// after any send CPU charge.
+  void Dispatch(SiteId src, SiteId dst, bool loopback, size_t size,
+                T payload) {
+    FaultDecision fault;
+    SimTime arrive = 0;
+    SimTime dup_arrive = 0;
     SimTime send_time;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (fault_hook_) fault = fault_hook_(src, dst);
       ++sent_from_[src];
       ++total_messages_;
       total_bytes_ += size;
@@ -172,7 +248,14 @@ class Network {
               ? static_cast<Duration>(rng_.Below(
                     static_cast<uint64_t>(config_.jitter) + 1))
               : 0;
-      arrive = depart + lat + extra;
+      send_time = rt_->Now();
+      if (fault.drop) {
+        // Lost on the wire: it occupied the medium and counts as sent,
+        // but nothing arrives and the channel clock does not advance.
+        ++dropped_;
+        return;
+      }
+      arrive = depart + lat + extra + fault.extra_delay;
       // FIFO channel: never deliver before an earlier message on the same
       // channel. The clamp makes per-channel arrival times strictly
       // increasing, which is what lets the destination executor's
@@ -180,10 +263,23 @@ class Network {
       SimTime& clock = channel_clock_[ChannelIndex(src, dst)];
       if (arrive <= clock) arrive = clock + 1;
       clock = arrive;
-      send_time = rt_->Now();
+      if (fault.duplicate) {
+        ++duplicated_;
+        ++total_messages_;
+        total_bytes_ += size;
+        dup_arrive = clock + 1;
+        clock = dup_arrive;
+      }
     }
 
     Envelope env{src, dst, send_time, std::move(payload)};
+    if (fault.duplicate) {
+      Envelope copy = env;
+      rt_->ScheduleCallbackAtOn(MachineOf(dst), dup_arrive,
+                                [this, copy = std::move(copy)]() mutable {
+                                  Deliver(std::move(copy));
+                                });
+    }
     if (observer_) observer_(env, /*delivered=*/false);
     rt_->ScheduleCallbackAtOn(MachineOf(dst), arrive,
                               [this, env = std::move(env)]() mutable {
@@ -191,27 +287,6 @@ class Network {
                               });
   }
 
-  uint64_t total_messages() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return total_messages_;
-  }
-  uint64_t total_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return total_bytes_;
-  }
-  uint64_t sent_from(SiteId s) const {
-    Check(s);
-    std::lock_guard<std::mutex> lock(mu_);
-    return sent_from_[s];
-  }
-  uint64_t received_at(SiteId s) const {
-    Check(s);
-    std::lock_guard<std::mutex> lock(mu_);
-    return received_at_[s];
-  }
-  const Config& config() const { return config_; }
-
- private:
   size_t ChannelIndex(SiteId src, SiteId dst) const {
     return static_cast<size_t>(src) * num_endpoints_ + dst;
   }
@@ -232,7 +307,8 @@ class Network {
       std::lock_guard<std::mutex> lock(mu_);
       ++received_at_[dst];
     }
-    if (cpus_[dst] != nullptr && config_.recv_cpu > 0) {
+    if (cpus_[dst] != nullptr && config_.recv_cpu > 0 &&
+        !(is_control_ && is_control_(env.payload))) {
       // Charge receive CPU before the handler observes the message. The
       // destination CPU is FCFS, so per-channel order is preserved.
       rt_->Spawn(ReceiveWithCpu(std::move(env)));
@@ -269,11 +345,15 @@ class Network {
   std::vector<Handler> handlers_;
   Observer observer_;
   Sizer sizer_;
+  FaultHook fault_hook_;
+  ControlClassifier is_control_;
   std::vector<int> machine_of_;
   std::vector<uint64_t> sent_from_;
   std::vector<uint64_t> received_at_;
   uint64_t total_messages_ = 0;
   uint64_t total_bytes_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t duplicated_ = 0;
 };
 
 }  // namespace lazyrep::net

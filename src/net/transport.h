@@ -1,0 +1,39 @@
+#ifndef LAZYREP_NET_TRANSPORT_H_
+#define LAZYREP_NET_TRANSPORT_H_
+
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace lazyrep::net {
+
+/// Abstract message-posting interface between the engines and the wire.
+/// `Network<T>` implements it directly (the paper's §1.1 reliable-FIFO
+/// channel model); `fault::ReliableTransport` interposes sequence
+/// numbers, cumulative acks and retransmission to restore that contract
+/// over a lossy `Network`.
+template <typename T>
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Posts a message; never blocks the caller. Messages posted on the
+  /// same (src, dst) channel reach dst's handler in post order exactly
+  /// once — implementations over lossy links must restore this.
+  virtual void Post(SiteId src, SiteId dst, T payload) = 0;
+};
+
+/// Per-message fault decision produced by an injected fault hook (see
+/// `FaultInjector::Roll`), applied inside `Network<T>::Post`. A dropped
+/// message still occupies the transmission medium; a duplicate is a
+/// second delivery of the same payload scheduled through the channel's
+/// FIFO clamp; extra delay is added to the wire latency before the
+/// clamp, so it can reorder nominal arrivals but never channel delivery.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  Duration extra_delay = 0;
+};
+
+}  // namespace lazyrep::net
+
+#endif  // LAZYREP_NET_TRANSPORT_H_

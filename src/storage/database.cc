@@ -17,8 +17,47 @@ Database::Database(runtime::Runtime* rt, Options options,
 }
 
 TxnPtr Database::Begin(GlobalTxnId id, TxnKind kind) {
-  return std::make_shared<Transaction>(id, kind, rt_->Now(),
-                                       next_arrival_seq_++);
+  TxnPtr txn = std::make_shared<Transaction>(id, kind, rt_->Now(),
+                                             next_arrival_seq_++);
+  active_.emplace(txn.get(), txn);
+  return txn;
+}
+
+std::vector<TxnPtr> Database::ActiveTransactions() const {
+  std::vector<TxnPtr> out;
+  out.reserve(active_.size());
+  for (const auto& [ptr, txn] : active_) out.push_back(txn);
+  std::sort(out.begin(), out.end(), [](const TxnPtr& a, const TxnPtr& b) {
+    return a->arrival_seq() < b->arrival_seq();
+  });
+  return out;
+}
+
+bool Database::HasUnpinnedActive() const {
+  for (const auto& [ptr, txn] : active_) {
+    // Pinned (prepared) transactions and secondary subtransactions ride
+    // through a crash; everything else must finish rolling back before
+    // the store image can be rebuilt.
+    if (txn->pinned() || txn->kind() == TxnKind::kSecondary) continue;
+    return true;
+  }
+  return false;
+}
+
+void Database::RecoverStoreFromWal() {
+  LAZYREP_CHECK(wal_ != nullptr) << "recovery without a WAL";
+  ItemStore fresh;
+  for (const auto& [item, value] : store_.Snapshot()) {
+    fresh.AddItem(item, 0);
+  }
+  wal_->Replay(&fresh);
+  store_ = std::move(fresh);
+  for (const auto& [ptr, txn] : active_) {
+    for (const auto& [item, value] : txn->writes_final_) {
+      Result<Value> r = store_.Put(item, value);
+      LAZYREP_CHECK(r.ok());
+    }
+  }
 }
 
 runtime::Co<void> Database::ChargeCpu(Duration d) {
@@ -100,14 +139,18 @@ Result<Value> Database::ReadLocked(Transaction* txn, ItemId item) {
 Status Database::WriteLocked(Transaction* txn, ItemId item, Value value) {
   LAZYREP_CHECK(locks_.Holds(txn, item, LockMode::kExclusive))
       << "WriteLocked without an X lock on item " << item;
-  Result<Value> old = store_.Put(item, value);
+  Result<Value> old = store_.Get(item);
   if (!old.ok()) return old.status();
+  // Write-ahead: the redo record hits the log before the in-place store
+  // update, so no store state can exist that the log cannot reproduce.
+  if (wal_) wal_->LogUpdate(txn->id(), item, value);
+  Result<Value> put = store_.Put(item, value);
+  LAZYREP_CHECK(put.ok());
   if (txn->write_set_.insert(item).second) {
     // First write of this item: remember the before-image for rollback.
     txn->undo_log_.push_back({item, *old});
   }
   txn->writes_final_[item] = value;
-  if (wal_) wal_->LogUpdate(txn->id(), item, value);
   return Status::OK();
 }
 
@@ -126,10 +169,15 @@ runtime::Co<Status> Database::Commit(
     co_await Abort(txn);
     co_return txn->abort_reason();
   }
+  // Log-before-publish: the commit record seals the transaction in the
+  // WAL before any effect of the commit becomes observable (state flip,
+  // propagation hook, lock release) — recovery must never resurrect a
+  // value readers could not yet see, nor lose one they could.
+  if (wal_) wal_->LogCommit(txn->id());
   int64_t seq = next_commit_seq_++;
   txn->state_ = TxnState::kCommitted;
   ++commits_;
-  if (wal_) wal_->LogCommit(txn->id());
+  active_.erase(txn.get());
   if (atomic_hook) atomic_hook(seq);
   if (observer_ != nullptr) observer_->OnCommit(options_.site, *txn, seq);
   locks_.ReleaseAll(txn.get());
@@ -148,6 +196,7 @@ runtime::Co<void> Database::Abort(TxnPtr txn) {
   co_await ChargeCpu(options_.costs.abort_cpu);
   txn->state_ = TxnState::kAborted;
   ++aborts_;
+  active_.erase(txn.get());
   if (wal_) wal_->LogAbort(txn->id());
   if (observer_ != nullptr) observer_->OnAbort(options_.site, *txn);
   locks_.ReleaseAll(txn.get());

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "common/sim_time.h"
@@ -67,6 +68,7 @@ class Database {
   const ItemStore& store() const { return store_; }
   LockManager& locks() { return locks_; }
   const Wal* wal() const { return wal_.get(); }
+  Wal* mutable_wal() { return wal_.get(); }
   runtime::Runtime* runtime() const { return rt_; }
 
   /// Starts a transaction. The returned handle stays valid (shared
@@ -109,6 +111,25 @@ class Database {
   int64_t aborts() const { return aborts_; }
   int64_t next_commit_seq() const { return next_commit_seq_; }
 
+  /// Transactions begun here that have neither committed nor aborted.
+  /// Crash sweeps iterate this; the order is arrival order.
+  std::vector<TxnPtr> ActiveTransactions() const;
+
+  /// True while some active transaction still has to be resolved by a
+  /// crash sweep. Pinned transactions (durably-prepared 2PC state) and
+  /// secondary subtransactions (never aborted; redone at recovery) ride
+  /// through crashes and do not count.
+  bool HasUnpinnedActive() const;
+
+  /// Crash recovery (requires a WAL): rebuilds the store image by
+  /// replaying the WAL into a zero-initialized copy of the same item
+  /// placement, then re-applies the in-place writes of still-active
+  /// (pinned/prepared) transactions. Their undo before-images stay
+  /// valid: strict 2PL means no later commit touched those items, so
+  /// replay reproduces exactly the committed values the images were
+  /// captured against.
+  void RecoverStoreFromWal();
+
  private:
   Status CheckActive(const Transaction& txn) const;
   static Status OutcomeToStatus(LockOutcome outcome);
@@ -120,6 +141,8 @@ class Database {
   ItemStore store_;
   LockManager locks_;
   std::unique_ptr<Wal> wal_;
+  /// Keyed by identity; values keep the handles alive for crash sweeps.
+  std::unordered_map<const Transaction*, TxnPtr> active_;
   int64_t next_arrival_seq_ = 0;
   int64_t next_commit_seq_ = 0;
   int64_t commits_ = 0;

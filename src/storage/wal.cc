@@ -6,6 +6,11 @@
 namespace lazyrep::storage {
 
 void Wal::Replay(ItemStore* store) const {
+  for (const auto& [item, value] : checkpoint_) {
+    if (store->Contains(item)) {
+      (void)store->Put(item, value);
+    }
+  }
   std::map<GlobalTxnId, std::vector<std::pair<ItemId, Value>>> pending;
   for (const Record& r : records_) {
     switch (r.type) {
@@ -28,6 +33,13 @@ void Wal::Replay(ItemStore* store) const {
         break;
     }
   }
+}
+
+void Wal::Checkpoint(const ItemStore& store) {
+  checkpoint_ = store.Snapshot();
+  has_checkpoint_ = true;
+  truncated_ += records_.size();
+  records_.clear();
 }
 
 }  // namespace lazyrep::storage

@@ -2,6 +2,7 @@
 #define LAZYREP_STORAGE_WAL_H_
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -36,16 +37,38 @@ class Wal {
     records_.push_back({RecordType::kAbort, txn, kInvalidItem, 0});
   }
 
-  /// Redo recovery: applies the updates of every committed transaction to
-  /// `store`, in commit order. Items unknown to `store` are skipped (the
-  /// store defines which items have a copy at the site).
+  /// Redo recovery: applies the checkpoint snapshot (if any), then the
+  /// updates of every committed transaction, in commit order. Items
+  /// unknown to `store` are skipped (the store defines which items have
+  /// a copy at the site). Idempotent: replaying twice leaves the same
+  /// values, because redo writes are absolute, not deltas.
   void Replay(ItemStore* store) const;
+
+  /// Seals the log: snapshots `store` (which must already reflect every
+  /// committed record — it is the live store) and truncates the sealed
+  /// records. Must not run while transactions are active: their
+  /// uncommitted in-place values would leak into the snapshot.
+  void Checkpoint(const ItemStore& store);
 
   size_t size() const { return records_.size(); }
   const std::vector<Record>& records() const { return records_; }
+  bool has_checkpoint() const { return has_checkpoint_; }
+  /// Records truncated by checkpoints since the log was created.
+  size_t truncated() const { return truncated_; }
+
+  /// Approximate on-disk footprint: live records plus the checkpoint
+  /// snapshot (truncated records no longer count — that is the point of
+  /// checkpointing).
+  size_t size_bytes() const {
+    return records_.size() * sizeof(Record) +
+           checkpoint_.size() * sizeof(std::pair<ItemId, Value>);
+  }
 
  private:
   std::vector<Record> records_;
+  std::vector<std::pair<ItemId, Value>> checkpoint_;
+  bool has_checkpoint_ = false;
+  size_t truncated_ = 0;
 };
 
 }  // namespace lazyrep::storage

@@ -141,10 +141,43 @@ TEST(NetworkTest, SendCpuChargesSenderWithoutBlockingPost) {
   net.SetHandler(1, [&](IntNet::Envelope) { handled_at = sim.Now(); });
   net.Post(0, 1, 1);  // Returns immediately.
   sim.Run();
-  // Wire transit is not delayed by the asynchronous send-CPU charge.
-  EXPECT_EQ(handled_at, Millis(1));
+  // The message departs only after the sender's 4 ms per-message CPU
+  // work completes, then pays 1 ms of wire latency. (Posting itself
+  // still did not block: the charge ran as its own coroutine.)
+  EXPECT_EQ(handled_at, Millis(5));
   EXPECT_EQ(cpu0.busy_time(), Millis(4));
   EXPECT_EQ(cpu1.busy_time(), 0);
+}
+
+TEST(NetworkTest, SendCpuDelaysDepartureAndPreservesPostOrder) {
+  // Regression for the schedule bug where send CPU was charged in
+  // parallel with the wire: departure must *follow* the charge, and a
+  // busy sender CPU must back-pressure later messages on every channel
+  // without reordering any of them.
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  Resource cpu0(&rt, 1);
+  IntNet::Config cfg;
+  cfg.latency = Millis(1);
+  cfg.send_cpu = Millis(2);
+  IntNet net(&rt, 3, cfg, {&cpu0, nullptr, nullptr}, Rng(1));
+  std::vector<std::pair<int, SimTime>> got;  // (payload, delivery time)
+  auto record = [&](IntNet::Envelope env) {
+    got.push_back({env.payload, sim.Now()});
+  };
+  net.SetHandler(1, record);
+  net.SetHandler(2, record);
+  net.Post(0, 1, 10);
+  net.Post(0, 2, 20);
+  net.Post(0, 1, 11);
+  sim.Run();
+  ASSERT_EQ(got.size(), 3u);
+  // FCFS CPU: charges finish at 2, 4, 6 ms; each message then takes 1 ms
+  // of wire. Global delivery order equals post order.
+  EXPECT_EQ(got[0], (std::pair<int, SimTime>{10, Millis(3)}));
+  EXPECT_EQ(got[1], (std::pair<int, SimTime>{20, Millis(5)}));
+  EXPECT_EQ(got[2], (std::pair<int, SimTime>{11, Millis(7)}));
+  EXPECT_EQ(cpu0.busy_time(), Millis(6));
 }
 
 TEST(NetworkTest, RecvCpuPreservesPerChannelOrder) {
@@ -162,6 +195,41 @@ TEST(NetworkTest, RecvCpuPreservesPerChannelOrder) {
   sim.Run();
   ASSERT_EQ(got.size(), 20u);
   for (int i = 0; i < 20; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(NetworkTest, FaultHookDropsDuplicatesAndDelays) {
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  IntNet net(&rt, 2, NoCpuConfig(Millis(1)), {nullptr, nullptr}, Rng(1));
+  std::vector<std::pair<int, SimTime>> got;
+  net.SetHandler(1, [&](IntNet::Envelope env) {
+    got.push_back({env.payload, sim.Now()});
+  });
+  // Scripted decisions: message 1 dropped, message 2 duplicated,
+  // message 3 delayed by 5 ms.
+  int calls = 0;
+  net.SetFaultHook([&](SiteId, SiteId) {
+    FaultDecision d;
+    ++calls;
+    if (calls == 1) d.drop = true;
+    if (calls == 2) d.duplicate = true;
+    if (calls == 3) d.extra_delay = Millis(5);
+    return d;
+  });
+  net.Post(0, 1, 1);
+  net.Post(0, 1, 2);
+  net.Post(0, 1, 3);
+  sim.Run();
+  ASSERT_EQ(got.size(), 3u);  // 1 lost; 2 arrives twice; 3 arrives late.
+  EXPECT_EQ(got[0].first, 2);
+  EXPECT_EQ(got[1].first, 2);
+  EXPECT_EQ(got[2].first, 3);
+  EXPECT_GE(got[2].second, Millis(6));  // 1 wire + 5 injected.
+  EXPECT_EQ(net.dropped(), 1u);
+  EXPECT_EQ(net.duplicated(), 1u);
+  // Dropped and duplicated messages still count as traffic (they used
+  // the wire); 3 posts + 1 duplicate.
+  EXPECT_EQ(net.total_messages(), 4u);
 }
 
 TEST(NetworkTest, JitterIsDeterministicUnderSeed) {

@@ -247,13 +247,15 @@ struct GoldenRun {
 };
 
 TEST(SimGoldenMetricsTest, RefactorPreservesScheduleBitForBit) {
+  // Recaptured after the send-CPU fix (messages now depart only after
+  // the sender's per-message CPU charge, shifting every schedule).
   const GoldenRun kGolden[] = {
-      {core::Protocol::kBackEdge, 834, 246, 1070, 29303, 1348240000,
-       1348240000, 911, 246},
-      {core::Protocol::kDagWt, 893, 187, 410, 19433, 1058900000, 1068900000,
-       921, 187},
-      {core::Protocol::kDagT, 908, 172, 1570, 36467, 1070880000, 1210880000,
-       919, 172},
+      {core::Protocol::kBackEdge, 810, 270, 906, 27352, 1291950400,
+       1291950400, 967, 270},
+      {core::Protocol::kDagWt, 884, 196, 416, 19797, 1058780000, 1068780000,
+       923, 196},
+      {core::Protocol::kDagT, 901, 179, 1576, 36070, 1099780000, 1209780000,
+       930, 179},
   };
   for (const GoldenRun& golden : kGolden) {
     SCOPED_TRACE(core::ProtocolName(golden.protocol));

@@ -691,5 +691,125 @@ TEST(WalTest, ReplaySkipsItemsWithoutLocalCopy) {
   EXPECT_FALSE(store.Contains(7));
 }
 
+TEST(WalTest, ReplayUnderInterleavedCommitAndAbort) {
+  Wal wal;
+  // Three transactions interleave on overlapping items: t1 commits,
+  // t2 aborts after overwriting t1's item, t3 never resolves (crash).
+  wal.LogUpdate(Id(0, 1), 1, 10);
+  wal.LogUpdate(Id(0, 2), 1, 66);
+  wal.LogUpdate(Id(0, 2), 2, 67);
+  wal.LogUpdate(Id(0, 3), 3, 30);
+  wal.LogCommit(Id(0, 1));
+  wal.LogAbort(Id(0, 2));
+  ItemStore store;
+  store.AddItem(1);
+  store.AddItem(2);
+  store.AddItem(3);
+  wal.Replay(&store);
+  EXPECT_EQ(store.Get(1).value(), 10);  // t1's write, not t2's.
+  EXPECT_EQ(store.Get(2).value(), 0);   // t2 aborted.
+  EXPECT_EQ(store.Get(3).value(), 0);   // t3 never committed.
+}
+
+TEST(WalTest, ReplayAfterCheckpointIsIdempotent) {
+  Wal wal;
+  wal.LogUpdate(Id(0, 1), 1, 10);
+  wal.LogCommit(Id(0, 1));
+  ItemStore live;
+  live.AddItem(1);
+  live.AddItem(2);
+  wal.Replay(&live);  // live now reflects every committed record.
+  wal.Checkpoint(live);
+  EXPECT_TRUE(wal.has_checkpoint());
+  EXPECT_EQ(wal.size(), 0u);  // Sealed records truncated.
+  EXPECT_EQ(wal.truncated(), 2u);
+
+  // Post-checkpoint traffic appends as usual.
+  wal.LogUpdate(Id(0, 2), 2, 20);
+  wal.LogCommit(Id(0, 2));
+
+  ItemStore recovered;
+  recovered.AddItem(1);
+  recovered.AddItem(2);
+  wal.Replay(&recovered);
+  EXPECT_EQ(recovered.Get(1).value(), 10);  // From the checkpoint image.
+  EXPECT_EQ(recovered.Get(2).value(), 20);  // From the tail of the log.
+  // Double replay is a no-op: redo writes are absolute and the
+  // checkpoint image does not stack.
+  wal.Replay(&recovered);
+  EXPECT_EQ(recovered.Get(1).value(), 10);
+  EXPECT_EQ(recovered.Get(2).value(), 20);
+}
+
+TEST(WalTest, CheckpointBoundsSizeBytes) {
+  Wal wal;
+  ItemStore live;
+  live.AddItem(1);
+  // Many committed updates of the same item: the log grows without
+  // bound, the live state does not.
+  for (int64_t i = 0; i < 1000; ++i) {
+    wal.LogUpdate(Id(0, i), 1, i);
+    wal.LogCommit(Id(0, i));
+  }
+  const size_t before = wal.size_bytes();
+  wal.Replay(&live);
+  wal.Checkpoint(live);
+  EXPECT_LT(wal.size_bytes(), before / 100);  // One snapshot entry left.
+  EXPECT_EQ(wal.truncated(), 2000u);
+  // The sealed history still recovers exactly.
+  ItemStore recovered;
+  recovered.AddItem(1);
+  wal.Replay(&recovered);
+  EXPECT_EQ(recovered.Get(1).value(), 999);
+}
+
+// Observes commit durability ordering from inside the commit path: when
+// the commit becomes visible (observer fires), the kCommit record must
+// already be in the WAL and the transaction's locks must still be held
+// (write-ahead: log seals the transaction before any release/publish).
+class CommitOrderObserver : public HistoryObserver {
+ public:
+  CommitOrderObserver(Database** db, bool* saw) : db_(db), saw_(saw) {}
+  void OnCommit(SiteId, const Transaction& txn, int64_t) override {
+    Database& db = **db_;
+    ASSERT_NE(db.wal(), nullptr);
+    const std::vector<Wal::Record>& records = db.wal()->records();
+    ASSERT_FALSE(records.empty());
+    EXPECT_EQ(records.back().type, Wal::RecordType::kCommit);
+    EXPECT_EQ(records.back().txn, txn.id());
+    EXPECT_GT(db.locks().HeldCount(&txn), 0u)
+        << "locks must not be released before the commit record is "
+           "durable and observers have run";
+    *saw_ = true;
+  }
+  void OnAbort(SiteId, const Transaction&) override {}
+
+ private:
+  Database** db_;
+  bool* saw_;
+};
+
+TEST(CommitOrderingTest, CommitRecordPrecedesLockReleaseAndPublish) {
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  Database* db_ptr = nullptr;
+  bool saw_commit = false;
+  CommitOrderObserver observer(&db_ptr, &saw_commit);
+  Database::Options options;
+  options.enable_wal = true;
+  Database db(&rt, options, nullptr, &observer);
+  db_ptr = &db;
+  db.store().AddItem(1, 0);
+  sim.Spawn([](Database* d) -> Co<void> {
+    TxnPtr t = d->Begin(Id(0, 1), TxnKind::kPrimary);
+    (void)co_await d->Write(t, 1, 42);
+    Status s = co_await d->Commit(t);
+    LAZYREP_CHECK(s.ok());
+  }(&db));
+  sim.Run();
+  EXPECT_TRUE(saw_commit);
+  EXPECT_EQ(db.store().Get(1).value(), 42);
+}
+
 }  // namespace
 }  // namespace lazyrep::storage

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/system.h"
+#include "fault/fault_plan.h"
 #include "harness/experiment.h"
 
 using namespace lazyrep;
@@ -49,6 +50,9 @@ void PrintHelp() {
       "  --detection       waits-for deadlock detection (default timeout)\n"
       "  --lww             last-writer-wins reconciliation (naive only)\n"
       "  --wal             maintain per-site redo WALs\n"
+      "  --faults=SPEC     fault plan, e.g. drop:0.01,dup:0.01,\n"
+      "                    delay:2ms,crash:1@500ms+100ms (docs/FAULTS.md;\n"
+      "                    crash faults imply --wal)\n"
       "  --no-check        skip history recording / serializability check\n"
       "  --trace=FILE      write a JSONL protocol event trace (single run)\n"
       "  --warmup-ms=X     exclude transactions starting before X ms\n"
@@ -159,6 +163,16 @@ int main(int argc, char** argv) {
       config.engine.naive_lww = true;
     } else if (std::strcmp(arg, "--wal") == 0) {
       config.enable_wal = true;
+    } else if (ParseFlag(arg, "--faults", &v)) {
+      Result<fault::FaultPlan> plan = fault::FaultPlan::Parse(v);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+        return 2;
+      }
+      config.faults = *plan;
+      // Crash recovery replays the WAL; switch it on rather than make
+      // the user pair the flags by hand.
+      if (!plan->crashes.empty()) config.enable_wal = true;
     } else if (std::strcmp(arg, "--no-check") == 0) {
       config.check_serializability = false;
     } else if (ParseFlag(arg, "--trace", &v)) {
