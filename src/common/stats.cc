@@ -75,6 +75,15 @@ double LogHistogram::BucketHigh(int i) const {
 
 double LogHistogram::ApproxQuantile(double q) const {
   if (count_ == 0) return 0;
+  if (q <= 0.0) {
+    // Mirror PercentileTracker::Percentile(0), which returns the smallest
+    // sample: report the *lower* edge of the first occupied bucket rather
+    // than its upper edge.
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] > 0) return BucketLow(static_cast<int>(i));
+    }
+  }
+  if (q > 1.0) q = 1.0;
   int64_t target = static_cast<int64_t>(
       q * static_cast<double>(count_ - 1));
   int64_t seen = 0;

@@ -83,6 +83,9 @@ class LogHistogram {
 
   /// Approximate quantile from the bucket boundaries (upper edge of the
   /// bucket containing the q-quantile); 0 for an empty histogram.
+  /// `q` is clamped to [0, 1]; q = 0 returns the lower edge of the first
+  /// occupied bucket, matching PercentileTracker::Percentile(0)'s
+  /// smallest-sample semantics.
   double ApproxQuantile(double q) const;
 
   /// Multi-line ASCII rendering (one line per non-empty bucket).

@@ -11,6 +11,7 @@
 #include "fault/fault_injector.h"
 #include "net/network.h"
 #include "net/transport.h"
+#include "obs/registry.h"
 #include "runtime/primitives.h"
 #include "runtime/runtime.h"
 #include "storage/database.h"
@@ -43,6 +44,8 @@ class ReplicationEngine {
     ProtocolTransport* net = nullptr;
     std::shared_ptr<const Routing> routing;
     MetricsCollector* metrics = nullptr;
+    /// Labelled metrics registry; nullptr when observability is off.
+    obs::MetricsRegistry* obs = nullptr;
     const SystemConfig* config = nullptr;
     /// Site up/down state under fault injection; nullptr without faults.
     fault::FaultInjector* faults = nullptr;
@@ -82,6 +85,12 @@ class ReplicationEngine {
   /// The site's store has been recovered from the WAL and it is about to
   /// be marked up again.
   virtual void OnRestart() {}
+
+  /// Exports protocol-specific counters (dummy subtransactions, epoch
+  /// bumps, FIFO-queue high watermarks, ...) into `ctx_.obs`. Called by
+  /// the System at quiescence, single-threaded — engines may read their
+  /// machine-confined state directly.
+  virtual void ExportObs() {}
 
   SiteId site() const { return ctx_.site; }
 

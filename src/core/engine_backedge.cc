@@ -1,5 +1,7 @@
 #include "core/engine_backedge.h"
 
+#include <algorithm>
+
 namespace lazyrep::core {
 
 BackEdgeEngine::BackEdgeEngine(Context ctx)
@@ -103,6 +105,7 @@ void BackEdgeEngine::OnMessage(ProtocolNetwork::Envelope env) {
   if (auto* update = std::get_if<SecondaryUpdate>(&env.payload)) {
     LAZYREP_CHECK_EQ(env.src, ctx_.routing->tree()->Parent(ctx_.site));
     inbox_.Send(std::move(*update));
+    inbox_peak_ = std::max(inbox_peak_, inbox_.size());
   } else if (auto* start = std::get_if<BackedgeStart>(&env.payload)) {
     ++active_handlers_;
     ctx_.rt->Spawn(HandleBackedgeStart(std::move(*start)));
@@ -411,6 +414,24 @@ bool BackEdgeEngine::Quiescent() const {
   return inbox_.empty() && !applying_ && pending_.empty() &&
          proxies_.empty() && votes_.empty() && outstanding_acks_ == 0 &&
          active_handlers_ == 0;
+}
+
+void BackEdgeEngine::ExportObs() {
+  if (ctx_.obs == nullptr) return;
+  obs::Labels labels{{"site", std::to_string(ctx_.site)},
+                     {"protocol", "backedge"}};
+  ctx_.obs
+      ->GetCounter("lazyrep_engine_secondaries_committed_total", labels,
+                   "Secondary subtransactions committed")
+      ->Increment(secondaries_committed_);
+  ctx_.obs
+      ->GetCounter("lazyrep_engine_backedge_txns_total", labels,
+                   "Primaries that took the eager backedge path")
+      ->Increment(backedge_txns_);
+  ctx_.obs
+      ->GetGauge("lazyrep_engine_queue_peak", labels,
+                 "High watermark of the engine's FIFO apply queue(s)")
+      ->Set(static_cast<double>(inbox_peak_));
 }
 
 }  // namespace lazyrep::core

@@ -52,6 +52,8 @@ class BackEdgeEngine : public ReplicationEngine {
   uint64_t backedge_txns() const { return backedge_txns_; }
   uint64_t secondaries_committed() const { return secondaries_committed_; }
 
+  void ExportObs() override;
+
  private:
   /// Origin-site state for a primary waiting on its special
   /// subtransaction (backedge-pending).
@@ -107,6 +109,9 @@ class BackEdgeEngine : public ReplicationEngine {
   int active_handlers_ = 0;
   uint64_t backedge_txns_ = 0;
   uint64_t secondaries_committed_ = 0;
+  /// High watermark of the forward-queue length (machine-confined;
+  /// exported at quiescence).
+  size_t inbox_peak_ = 0;
 };
 
 }  // namespace lazyrep::core

@@ -1,5 +1,7 @@
 #include "core/engine_dag_t.h"
 
+#include <algorithm>
+
 namespace lazyrep::core {
 
 DagTEngine::DagTEngine(Context ctx) : ReplicationEngine(std::move(ctx)) {
@@ -64,6 +66,7 @@ void DagTEngine::OnMessage(ProtocolNetwork::Envelope env) {
   LAZYREP_CHECK(it != queues_.end())
       << "message from non-parent site " << env.src;
   it->second->Send(std::move(*update));
+  queue_peak_ = std::max(queue_peak_, it->second->size());
 }
 
 runtime::Co<void> DagTEngine::Applier() {
@@ -128,7 +131,30 @@ runtime::Co<void> DagTEngine::EpochTicker() {
   while (!shutdown_) {
     co_await ctx_.rt->Delay(ctx_.config->engine.epoch_period);
     site_ts_.set_epoch(site_ts_.epoch() + 1);
+    ++epoch_bumps_;
   }
+}
+
+void DagTEngine::ExportObs() {
+  if (ctx_.obs == nullptr) return;
+  obs::Labels labels{{"site", std::to_string(ctx_.site)},
+                     {"protocol", "dag_t"}};
+  ctx_.obs
+      ->GetCounter("lazyrep_engine_secondaries_committed_total", labels,
+                   "Secondary subtransactions committed")
+      ->Increment(secondaries_committed_);
+  ctx_.obs
+      ->GetCounter("lazyrep_engine_dummies_sent_total", labels,
+                   "DAG(T) liveness dummy subtransactions sent")
+      ->Increment(dummies_sent_);
+  ctx_.obs
+      ->GetCounter("lazyrep_engine_epoch_bumps_total", labels,
+                   "DAG(T) epoch advances at this source")
+      ->Increment(epoch_bumps_);
+  ctx_.obs
+      ->GetGauge("lazyrep_engine_queue_peak", labels,
+                 "High watermark of the engine's FIFO apply queue(s)")
+      ->Set(static_cast<double>(queue_peak_));
 }
 
 runtime::Co<void> DagTEngine::DummySender() {

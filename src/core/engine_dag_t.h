@@ -41,6 +41,9 @@ class DagTEngine : public ReplicationEngine {
   const Timestamp& site_timestamp() const { return site_ts_; }
   uint64_t dummies_sent() const { return dummies_sent_; }
   uint64_t secondaries_committed() const { return secondaries_committed_; }
+  uint64_t epoch_bumps() const { return epoch_bumps_; }
+
+  void ExportObs() override;
 
  private:
   /// This site's rank in the total site order used inside timestamps.
@@ -62,6 +65,10 @@ class DagTEngine : public ReplicationEngine {
   std::map<SiteId, SimTime> last_sent_;
   uint64_t dummies_sent_ = 0;
   uint64_t secondaries_committed_ = 0;
+  uint64_t epoch_bumps_ = 0;
+  /// High watermark over the per-parent queue lengths (machine-confined;
+  /// exported at quiescence).
+  size_t queue_peak_ = 0;
 };
 
 }  // namespace lazyrep::core

@@ -1,5 +1,7 @@
 #include "core/engine_dag_wt.h"
 
+#include <algorithm>
+
 namespace lazyrep::core {
 
 DagWtEngine::DagWtEngine(Context ctx)
@@ -88,6 +90,21 @@ void DagWtEngine::OnMessage(ProtocolNetwork::Envelope env) {
   } else {
     LAZYREP_CHECK(false) << "DAG(WT) only uses secondary updates";
   }
+  inbox_peak_ = std::max(inbox_peak_, inbox_.size());
+}
+
+void DagWtEngine::ExportObs() {
+  if (ctx_.obs == nullptr) return;
+  obs::Labels labels{{"site", std::to_string(ctx_.site)},
+                     {"protocol", "dag_wt"}};
+  ctx_.obs
+      ->GetCounter("lazyrep_engine_secondaries_committed_total", labels,
+                   "Secondary subtransactions committed")
+      ->Increment(secondaries_committed_);
+  ctx_.obs
+      ->GetGauge("lazyrep_engine_queue_peak", labels,
+                 "High watermark of the engine's FIFO apply queue(s)")
+      ->Set(static_cast<double>(inbox_peak_));
 }
 
 runtime::Co<void> DagWtEngine::Applier() {

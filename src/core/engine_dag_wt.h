@@ -36,6 +36,7 @@ class DagWtEngine : public ReplicationEngine {
   uint64_t secondaries_committed() const { return secondaries_committed_; }
 
   void BeginShutdown() override;
+  void ExportObs() override;
 
  private:
   /// Posts `update` to every relevant tree child of this site (or
@@ -52,6 +53,9 @@ class DagWtEngine : public ReplicationEngine {
   runtime::Mailbox<SecondaryUpdate> inbox_;
   bool applying_ = false;
   uint64_t secondaries_committed_ = 0;
+  /// High watermark of the forward-queue length (machine-confined;
+  /// exported at quiescence).
+  size_t inbox_peak_ = 0;
   /// Batching state: per-child outgoing buffer, in forwarding order.
   std::map<SiteId, std::vector<SecondaryUpdate>> outgoing_;
 };

@@ -134,15 +134,29 @@ class MetricsCollector {
   }
   int64_t total_committed() const;
   int64_t total_aborted() const;
-  const Summary& response_ms() const { return response_ms_; }
-  const PercentileTracker& response_percentiles() const {
+  // Snapshot accessors: by value, copied under the mutex. Returning
+  // references here would race with writers under `ThreadRuntime` (the
+  // fields are mutated while appliers are still reporting).
+  Summary response_ms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return response_ms_;
+  }
+  PercentileTracker response_percentiles() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return response_percentiles_;
   }
-  const LogHistogram& response_histogram() const {
+  LogHistogram response_histogram() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return response_histogram_;
   }
-  const Summary& full_propagation_ms() const { return full_propagation_ms_; }
-  const Summary& per_site_apply_ms() const { return per_site_apply_ms_; }
+  Summary full_propagation_ms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return full_propagation_ms_;
+  }
+  Summary per_site_apply_ms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return per_site_apply_ms_;
+  }
   int num_sites() const { return static_cast<int>(committed_.size()); }
 
  private:

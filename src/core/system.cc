@@ -188,6 +188,9 @@ Status System::Build() {
       runtime_.get(), params.num_sites, net_config, site_cpu_, rng_.Split());
   network_->SetSizer(
       [](const ProtocolMessage& message) { return Wire::EncodedSize(message); });
+  network_->SetMetrics(&obs_, [](const ProtocolMessage& message) {
+    return std::string(MessageKindName(message));
+  });
   {
     std::vector<int> machine_of_site(params.num_sites);
     for (SiteId s = 0; s < params.num_sites; ++s) {
@@ -205,6 +208,7 @@ Status System::Build() {
         runtime_.get(), *config_.faults, params.num_sites, rng_.Split());
     transport_ = std::make_unique<fault::ReliableTransport>(
         runtime_.get(), network_.get(), injector_.get(), params.num_sites);
+    transport_->SetMetrics(&obs_);
     if (config_.faults->network_faults()) {
       network_->SetFaultHook([this](SiteId src, SiteId dst) {
         return injector_->Roll(src, dst);
@@ -250,6 +254,7 @@ Status System::Build() {
     for (ItemId item : placement.ItemsAt(s)) {
       databases_.back()->store().AddItem(item, 0);
     }
+    databases_.back()->locks().SetMetrics(&obs_, s);
     if (config_.enable_trace) {
       databases_.back()->locks().SetEventHooks(
           [this, s](const storage::Transaction& txn, ItemId item) {
@@ -283,6 +288,7 @@ Status System::Build() {
                   : network_.get();
     ctx.routing = routing_;
     ctx.metrics = &metrics_;
+    ctx.obs = &obs_;
     ctx.config = &config_;
     ctx.faults = injector_.get();
     engines_.push_back(MakeEngine(std::move(ctx)));
@@ -392,7 +398,25 @@ RunMetrics System::Run() {
   } else {
     RunSim();
   }
+  ExportQuiescentObs();
   return CollectMetrics();
+}
+
+void System::ExportQuiescentObs() {
+  // Runs single-threaded over frozen state: the sim loop has drained, or
+  // `RunThreads` has already joined the executors, so the machine-confined
+  // engine members are visible here via the join happens-before edge.
+  const workload::Params& params = config_.workload;
+  for (SiteId s = 0; s < params.num_sites; ++s) {
+    obs::Labels labels{{"site", std::to_string(s)}};
+    obs_.GetCounter("lazyrep_txn_committed_total", labels,
+                    "Primary transactions committed at this site")
+        ->Increment(static_cast<uint64_t>(metrics_.committed_at(s)));
+    obs_.GetCounter("lazyrep_txn_aborted_total", labels,
+                    "Primary transactions aborted at this site")
+        ->Increment(static_cast<uint64_t>(metrics_.aborted_at(s)));
+    engines_[s]->ExportObs();
+  }
 }
 
 void System::RunSim() {
@@ -548,6 +572,10 @@ void System::EnsureStarted() {
 runtime::Co<void> System::CrashRecover(fault::CrashEvent crash) {
   const SiteId site = crash.site;
   storage::Database& db = *databases_[site];
+  obs_.GetCounter("lazyrep_system_crashes_total",
+                  {{"site", std::to_string(site)}},
+                  "Injected site crashes")
+      ->Increment();
   injector_->SetDown(site);
   engines_[site]->OnCrash();
   // The crash kills every active primary transaction at the site: its
@@ -580,6 +608,10 @@ runtime::Co<void> System::CrashRecover(fault::CrashEvent crash) {
     db.mutable_wal()->Checkpoint(db.store());
   }
   engines_[site]->OnRestart();
+  obs_.GetCounter("lazyrep_system_recoveries_total",
+                  {{"site", std::to_string(site)}},
+                  "Completed site recoveries (WAL replay done)")
+      ->Increment();
   injector_->SetUp(site);
   if (transport_ != nullptr) transport_->FlushPending(site);
   crashes_outstanding_.fetch_sub(1, std::memory_order_acq_rel);

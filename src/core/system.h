@@ -13,6 +13,7 @@
 #include "fault/fault_injector.h"
 #include "fault/reliable_transport.h"
 #include "net/network.h"
+#include "obs/registry.h"
 #include "runtime/primitives.h"
 #include "runtime/runtime.h"
 #include "sim/simulator.h"
@@ -96,6 +97,11 @@ class System {
   /// Present when `SystemConfig::enable_trace` was set.
   const TraceLog* trace() const { return trace_.get(); }
   MetricsCollector& metrics() { return metrics_; }
+  /// The labelled metrics registry (docs/OBSERVABILITY.md). Live counters
+  /// update lock-free during the run; quiescent values (engine peaks,
+  /// per-site txn totals) are exported by `Run` after the executors have
+  /// been joined. Snapshot/render with `obs::PrometheusText`.
+  const obs::MetricsRegistry& obs_registry() const { return obs_; }
   ProtocolNetwork& network() { return *network_; }
   /// Present when `SystemConfig::faults` is an enabled plan.
   const fault::FaultInjector* injector() const { return injector_.get(); }
@@ -138,6 +144,10 @@ class System {
   /// machine and blocks until all machines finished.
   void OnEachSiteBlocking(const std::function<void(SiteId)>& fn);
   RunMetrics CollectMetrics() const;
+  /// Exports machine-confined state (engine peaks, per-site txn counters)
+  /// into `obs_`. Called once at the end of `Run`, after the thread
+  /// backend has joined its executors — single-threaded by construction.
+  void ExportQuiescentObs();
 
   SystemConfig config_;
   int num_machines_ = 1;
@@ -146,6 +156,10 @@ class System {
   std::shared_ptr<const Routing> routing_;
   std::unique_ptr<workload::TxnGenerator> generator_;
   MetricsCollector metrics_;
+  /// Labelled counters/gauges/histograms, written lock-free from every
+  /// machine during the run (src/obs/). Owned here so its lifetime covers
+  /// everything that holds metric handles into it.
+  obs::MetricsRegistry obs_;
   HistoryRecorder history_;
   std::unique_ptr<TraceLog> trace_;
   /// Fans OnCommit/OnAbort out to the recorder and the trace.

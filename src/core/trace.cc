@@ -4,29 +4,20 @@
 
 namespace lazyrep::core {
 
-std::string_view TraceEvent::KindName(Kind kind) {
-  switch (kind) {
-    case Kind::kTxnCommit: return "txn_commit";
-    case Kind::kTxnAbort: return "txn_abort";
-    case Kind::kMsgPost: return "msg_post";
-    case Kind::kMsgDeliver: return "msg_deliver";
-    case Kind::kLockWait: return "lock_wait";
-    case Kind::kLockTimeout: return "lock_timeout";
-  }
-  return "?";
-}
-
-std::vector<const TraceEvent*> TraceLog::OfKind(
-    TraceEvent::Kind kind) const {
-  std::vector<const TraceEvent*> out;
+std::vector<TraceEvent> TraceLog::OfKind(TraceEvent::Kind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
   for (const TraceEvent& e : events_) {
-    if (e.kind == kind) out.push_back(&e);
+    if (e.kind == kind) out.push_back(e);
   }
   return out;
 }
 
 void TraceLog::WriteJsonl(std::ostream& out) const {
-  for (const TraceEvent& e : events_) {
+  // Snapshot first: rendering does stream I/O, which should not happen
+  // under the recording mutex.
+  std::vector<TraceEvent> snapshot = events();
+  for (const TraceEvent& e : snapshot) {
     out << StrPrintf("{\"t_us\":%lld,\"kind\":\"%s\",\"site\":%d",
                      static_cast<long long>(e.time / kMicrosecond),
                      std::string(TraceEvent::KindName(e.kind)).c_str(),

@@ -31,15 +31,29 @@ struct TraceEvent {
   ItemId item = kInvalidItem;   // Lock events.
   std::string detail;           // Message kind, abort reason, ...
 
-  static std::string_view KindName(Kind kind);
+  // Inline so header-only consumers (the obs/ exporters) can name kinds
+  // without linking lazyrep_core.
+  static std::string_view KindName(Kind kind) {
+    switch (kind) {
+      case Kind::kTxnCommit: return "txn_commit";
+      case Kind::kTxnAbort: return "txn_abort";
+      case Kind::kMsgPost: return "msg_post";
+      case Kind::kMsgDeliver: return "msg_deliver";
+      case Kind::kLockWait: return "lock_wait";
+      case Kind::kLockTimeout: return "lock_timeout";
+    }
+    return "?";
+  }
 };
 
 /// In-memory, bounded event trace. Recording is cheap (one vector push
 /// under a mutex — sites on every machine record here); `WriteJsonl`
 /// renders one JSON object per line. When the cap is hit, recording
 /// stops and `truncated()` reports it — a trace is a debugging aid, not
-/// a metrics source. Readers (`events()`, `OfKind`, `WriteJsonl`) are
-/// only safe after the run has drained.
+/// a metrics source. Every reader (`events()`, `size()`, `truncated()`,
+/// `OfKind`, `WriteJsonl`) snapshots under the same mutex as `Record`,
+/// so reading while sites are still recording is safe — the snapshot is
+/// simply a consistent prefix of the trace.
 class TraceLog {
  public:
   explicit TraceLog(size_t max_events = 1 << 20)
@@ -54,7 +68,11 @@ class TraceLog {
     events_.push_back(std::move(event));
   }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  /// Snapshot of all events recorded so far (copied under the mutex).
+  std::vector<TraceEvent> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return events_.size();
@@ -64,8 +82,9 @@ class TraceLog {
     return truncated_;
   }
 
-  /// Events of one kind (convenience for tests/inspection).
-  std::vector<const TraceEvent*> OfKind(TraceEvent::Kind kind) const;
+  /// Events of one kind (convenience for tests/inspection), copied under
+  /// the mutex.
+  std::vector<TraceEvent> OfKind(TraceEvent::Kind kind) const;
 
   /// One JSON object per line:
   ///   {"t_us":123,"kind":"msg_post","site":0,"txn":"s0#4",...}

@@ -15,6 +15,7 @@
 #include "fault/fault_injector.h"
 #include "net/network.h"
 #include "net/transport.h"
+#include "obs/registry.h"
 #include "runtime/runtime.h"
 
 namespace lazyrep::fault {
@@ -99,6 +100,29 @@ class ReliableTransport : public net::Transport<core::ProtocolMessage> {
     handlers_[Check(site)] = std::move(handler);
   }
 
+  /// Optional metrics sink: retransmission/duplicate/delivery counters,
+  /// an ack-RTT histogram (first-transmission frames only, Karn's rule:
+  /// a retransmitted frame's ack is ambiguous), and a send-window
+  /// occupancy peak gauge. Set before traffic starts.
+  void SetMetrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    retransmissions_counter_ = registry->GetCounter(
+        "lazyrep_transport_retransmissions_total", {},
+        "Head-of-window frames resent after an RTO expiry");
+    duplicates_counter_ = registry->GetCounter(
+        "lazyrep_transport_duplicates_discarded_total", {},
+        "Received frames discarded as already-seen sequence numbers");
+    delivered_counter_ = registry->GetCounter(
+        "lazyrep_transport_delivered_total", {},
+        "Frames handed to an engine handler exactly once, in order");
+    ack_rtt_ms_ = registry->GetHistogram(
+        "lazyrep_transport_ack_rtt_ms", {},
+        "Data-to-cumulative-ack round trip (ms), first transmissions only");
+    window_peak_ = registry->GetGauge(
+        "lazyrep_transport_window_peak", {},
+        "High watermark of unacked frames on any one channel");
+  }
+
   /// Wraps, sequences and sends. Called from the source machine.
   void Post(SiteId src, SiteId dst, Message payload) override {
     Check(src);
@@ -108,8 +132,11 @@ class ReliableTransport : public net::Transport<core::ProtocolMessage> {
     data.seq = ch.next_seq++;
     const bool counted = !IsLivenessOnly(payload);
     data.inner = core::Wire::Encode(payload);
-    ch.unacked.push_back(Outstanding{data, counted});
+    ch.unacked.push_back(Outstanding{data, counted, rt_->Now(), false});
     if (counted) unacked_total_.fetch_add(1, std::memory_order_acq_rel);
+    if (window_peak_ != nullptr) {
+      window_peak_->MaxWith(static_cast<double>(ch.unacked.size()));
+    }
     net_->Post(src, dst, Message(std::move(data)));
     if (!ch.retransmitter_running && !shutdown_.load()) {
       ch.retransmitter_running = true;
@@ -161,6 +188,10 @@ class ReliableTransport : public net::Transport<core::ProtocolMessage> {
     core::ReliableData frame;
     /// Counts toward `Quiescent` (false for liveness dummies).
     bool counted = true;
+    /// When the frame first hit the wire (ack RTT measurement).
+    SimTime first_sent = 0;
+    /// At least one retransmission happened; its ack RTT is ambiguous.
+    bool retransmitted = false;
   };
   struct SendState {
     uint64_t next_seq = 1;
@@ -214,6 +245,7 @@ class ReliableTransport : public net::Transport<core::ProtocolMessage> {
     if (data.seq < ch.next_expected ||
         ch.stash.find(data.seq) != ch.stash.end()) {
       duplicates_discarded_.fetch_add(1, std::memory_order_acq_rel);
+      if (duplicates_counter_ != nullptr) duplicates_counter_->Increment();
     } else {
       Result<Message> inner = core::Wire::Decode(data.inner);
       LAZYREP_CHECK(inner.ok()) << inner.status().ToString();
@@ -249,8 +281,12 @@ class ReliableTransport : public net::Transport<core::ProtocolMessage> {
     SendState& ch = send_[ChannelIndex(src, dst)];
     while (!ch.unacked.empty() &&
            ch.unacked.front().frame.seq <= ack.cum_ack) {
-      if (ch.unacked.front().counted) {
+      const Outstanding& out = ch.unacked.front();
+      if (out.counted) {
         unacked_total_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      if (ack_rtt_ms_ != nullptr && !out.retransmitted) {
+        ack_rtt_ms_->Observe(ToMillis(rt_->Now() - out.first_sent));
       }
       ch.unacked.pop_front();
     }
@@ -260,6 +296,7 @@ class ReliableTransport : public net::Transport<core::ProtocolMessage> {
     Handler& h = handlers_[dst];
     LAZYREP_CHECK(h != nullptr) << "no handler for site " << dst;
     delivered_.fetch_add(1, std::memory_order_acq_rel);
+    if (delivered_counter_ != nullptr) delivered_counter_->Increment();
     h(src, std::move(message));
   }
 
@@ -281,6 +318,10 @@ class ReliableTransport : public net::Transport<core::ProtocolMessage> {
         // message CPU charges that feedback loop can collapse a loaded
         // machine.
         retransmissions_.fetch_add(1, std::memory_order_acq_rel);
+        if (retransmissions_counter_ != nullptr) {
+          retransmissions_counter_->Increment();
+        }
+        ch.unacked.front().retransmitted = true;
         net_->Post(src, dst, Message(ch.unacked.front().frame));
         rto = std::min(rto * 2, config_.rto_max);
       } else {
@@ -306,6 +347,12 @@ class ReliableTransport : public net::Transport<core::ProtocolMessage> {
   std::atomic<uint64_t> retransmissions_{0};
   std::atomic<uint64_t> duplicates_discarded_{0};
   std::atomic<uint64_t> delivered_{0};
+  // Optional metrics handles (SetMetrics); increments are atomic.
+  obs::Counter* retransmissions_counter_ = nullptr;
+  obs::Counter* duplicates_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Histogram* ack_rtt_ms_ = nullptr;
+  obs::Gauge* window_peak_ = nullptr;
 };
 
 }  // namespace lazyrep::fault

@@ -3,13 +3,40 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "common/check.h"
 #include "common/stats.h"
 #include "common/strings.h"
+#include "obs/chrome_trace.h"
+#include "obs/prometheus.h"
 
 namespace lazyrep::harness {
+
+namespace {
+
+/// Bench observability outputs (--metrics-out / --trace-out). Set once by
+/// `ParseBenchArgs`, consumed by `RunSeeds` — threading them through every
+/// bench's call sites would churn all the sweep loops for a debug-only
+/// feature. Each run rewrites the files, so they hold the last run.
+std::string g_metrics_out;
+std::string g_trace_out;
+
+void WriteObsOutputs(core::System& system) {
+  if (!g_metrics_out.empty()) {
+    std::ofstream out(g_metrics_out);
+    LAZYREP_CHECK(out.good()) << "cannot open " << g_metrics_out;
+    obs::WritePrometheus(system.obs_registry(), out);
+  }
+  if (!g_trace_out.empty() && system.trace() != nullptr) {
+    std::ofstream out(g_trace_out);
+    LAZYREP_CHECK(out.good()) << "cannot open " << g_trace_out;
+    obs::WriteChromeTrace(*system.trace(), out);
+  }
+}
+
+}  // namespace
 
 core::SystemConfig PaperConfig(core::Protocol protocol) {
   core::SystemConfig config;
@@ -37,6 +64,7 @@ AggregateResult RunSeeds(core::SystemConfig config, int num_seeds,
   for (int i = 0; i < num_seeds; ++i) {
     core::SystemConfig run_config = config;
     run_config.seed = config.seed + 7919u * static_cast<uint64_t>(i);
+    if (!g_trace_out.empty()) run_config.enable_trace = true;
     Result<std::unique_ptr<core::System>> system =
         core::System::Create(std::move(run_config));
     LAZYREP_CHECK(system.ok()) << system.status().ToString();
@@ -46,6 +74,7 @@ AggregateResult RunSeeds(core::SystemConfig config, int num_seeds,
     // ticking through system assembly.
     (*system)->runtime().Reset();
     core::RunMetrics metrics = (*system)->Run();
+    WriteObsOutputs(**system);
     if (metrics.timed_out) {
       LAZYREP_CHECK(allow_timeout) << "run hit the simulation time cap";
       out.saturated = true;
@@ -97,6 +126,12 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
       options.csv = true;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       options.json = arg + 7;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      options.metrics_out = arg + 14;
+      g_metrics_out = options.metrics_out;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      options.trace_out = arg + 12;
+      g_trace_out = options.trace_out;
     } else if (std::strncmp(arg, "--runtime=", 10) == 0) {
       const char* value = arg + 10;
       if (std::strcmp(value, "sim") == 0) {
@@ -110,7 +145,8 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument '%s' "
                    "(supported: --quick --full --txns=N --seeds=N --csv "
-                   "--json=PATH --runtime=sim|threads)\n",
+                   "--json=PATH --runtime=sim|threads --metrics-out=PATH "
+                   "--trace-out=PATH)\n",
                    arg);
     }
   }

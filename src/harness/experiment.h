@@ -53,10 +53,17 @@ struct BenchOptions {
   std::string json;
   /// --runtime=sim|threads: execution backend for the runs.
   runtime::RuntimeKind runtime = runtime::RuntimeKind::kSim;
+  /// --metrics-out=PATH: write a Prometheus text snapshot of the metrics
+  /// registry after each run (the file holds the last completed run).
+  /// Empty disables.
+  std::string metrics_out;
+  /// --trace-out=PATH: enable tracing and write a Chrome trace_event JSON
+  /// timeline after each run (last run wins). Empty disables.
+  std::string trace_out;
 };
 
 /// Parses --quick / --full / --txns=N / --seeds=N / --csv / --json=PATH /
-/// --runtime=sim|threads.
+/// --runtime=sim|threads / --metrics-out=PATH / --trace-out=PATH.
 BenchOptions ParseBenchArgs(int argc, char** argv);
 
 /// Applies the options to a config.

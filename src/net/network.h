@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "common/sim_time.h"
 #include "common/types.h"
 #include "net/transport.h"
+#include "obs/registry.h"
 #include "runtime/primitives.h"
 #include "runtime/runtime.h"
 
@@ -132,6 +135,25 @@ class Network : public Transport<T> {
   using FaultHook = std::function<FaultDecision(SiteId src, SiteId dst)>;
   void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
+  /// Optional metrics sink: per-kind posted/delivered/dropped/duplicated
+  /// message and byte counters plus an in-flight gauge (with peak).
+  /// `kind_namer` names a payload's message kind for the `kind` label;
+  /// handles are cached per kind under the network lock, so the registry
+  /// mutex is only taken the first time a kind is seen. Must be set
+  /// before traffic starts.
+  using KindNamer = std::function<std::string(const T&)>;
+  void SetMetrics(obs::MetricsRegistry* registry, KindNamer kind_namer) {
+    obs_ = registry;
+    kind_namer_ = std::move(kind_namer);
+    if (obs_ == nullptr) return;
+    inflight_ = obs_->GetGauge(
+        "lazyrep_net_inflight_messages", {},
+        "Messages posted (or duplicated) but not yet delivered");
+    inflight_peak_ = obs_->GetGauge(
+        "lazyrep_net_inflight_messages_peak", {},
+        "High watermark of in-flight messages");
+  }
+
   /// Optional classifier for transport-level control traffic (e.g. the
   /// reliable-delivery layer's cumulative acks — the stand-in for TCP
   /// acks, which a real stack handles in the kernel/NIC below the
@@ -223,6 +245,20 @@ class Network : public Transport<T> {
       ++sent_from_[src];
       ++total_messages_;
       total_bytes_ += size;
+      KindCounters* kc = nullptr;
+      if (obs_ != nullptr) {
+        kc = &CountersFor(kind_namer_ ? kind_namer_(payload) : "msg");
+        kc->posted->Increment();
+        kc->bytes->Increment(size);
+        if (fault.drop) {
+          kc->dropped->Increment();
+        } else {
+          double n = fault.duplicate ? 2 : 1;
+          if (fault.duplicate) kc->duplicated->Increment();
+          inflight_->Add(n);
+          inflight_peak_->MaxWith(inflight_->value());
+        }
+      }
 
       // Departure: transmission occupies the medium (shared bus or the
       // point-to-point link) for size/bandwidth; loopback skips the wire.
@@ -300,12 +336,44 @@ class Network : public Transport<T> {
     return machine_of_.empty() ? 0 : machine_of_[static_cast<size_t>(s)];
   }
 
+  /// Names the per-kind counter family cells; call under `mu_`.
+  struct KindCounters {
+    obs::Counter* posted;
+    obs::Counter* delivered;
+    obs::Counter* bytes;
+    obs::Counter* dropped;
+    obs::Counter* duplicated;
+  };
+  KindCounters& CountersFor(const std::string& kind) {
+    auto it = kind_counters_.find(kind);
+    if (it != kind_counters_.end()) return it->second;
+    obs::Labels labels{{"kind", kind}};
+    KindCounters kc{
+        obs_->GetCounter("lazyrep_net_messages_posted_total", labels,
+                         "Messages posted, by message kind"),
+        obs_->GetCounter("lazyrep_net_messages_delivered_total", labels,
+                         "Messages delivered to a handler, by kind"),
+        obs_->GetCounter("lazyrep_net_bytes_total", labels,
+                         "Wire bytes posted, by message kind"),
+        obs_->GetCounter("lazyrep_net_messages_dropped_total", labels,
+                         "Messages dropped by fault injection, by kind"),
+        obs_->GetCounter("lazyrep_net_messages_duplicated_total", labels,
+                         "Messages duplicated by fault injection, by kind"),
+    };
+    return kind_counters_.emplace(kind, kc).first->second;
+  }
+
   /// Runs on the destination's machine.
   void Deliver(Envelope env) {
     SiteId dst = env.dst;
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++received_at_[dst];
+      if (obs_ != nullptr) {
+        CountersFor(kind_namer_ ? kind_namer_(env.payload) : "msg")
+            .delivered->Increment();
+        inflight_->Add(-1);
+      }
     }
     if (cpus_[dst] != nullptr && config_.recv_cpu > 0 &&
         !(is_control_ && is_control_(env.payload))) {
@@ -345,6 +413,11 @@ class Network : public Transport<T> {
   std::vector<Handler> handlers_;
   Observer observer_;
   Sizer sizer_;
+  obs::MetricsRegistry* obs_ = nullptr;
+  KindNamer kind_namer_;
+  obs::Gauge* inflight_ = nullptr;
+  obs::Gauge* inflight_peak_ = nullptr;
+  std::map<std::string, KindCounters> kind_counters_;  // Guarded by mu_.
   FaultHook fault_hook_;
   ControlClassifier is_control_;
   std::vector<int> machine_of_;

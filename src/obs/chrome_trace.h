@@ -1,0 +1,33 @@
+#ifndef LAZYREP_OBS_CHROME_TRACE_H_
+#define LAZYREP_OBS_CHROME_TRACE_H_
+
+#include <ostream>
+#include <string>
+
+#include "core/trace.h"
+
+namespace lazyrep::obs {
+
+/// Renders a TraceLog as Chrome `trace_event` JSON (the format Perfetto
+/// and chrome://tracing load):
+///
+///  * matched msg_post/msg_deliver pairs become complete slices (ph "X")
+///    on the source site's process, one track per destination, whose
+///    duration is the message's flight time;
+///  * unmatched posts (dropped messages) and surplus delivers
+///    (duplicates) become instant events (ph "i");
+///  * txn_commit/txn_abort/lock_wait/lock_timeout become instant events
+///    on the site where they happened;
+///  * each site gets a process_name metadata record (ph "M").
+///
+/// Pairing walks the trace in record order and matches each deliver to
+/// the oldest unmatched post with the same (src, dst, txn, kind) — exact
+/// because channels are FIFO. Timestamps are virtual-time microseconds.
+void WriteChromeTrace(const core::TraceLog& trace, std::ostream& out);
+
+/// Same, as a string (tests).
+std::string ChromeTraceJson(const core::TraceLog& trace);
+
+}  // namespace lazyrep::obs
+
+#endif  // LAZYREP_OBS_CHROME_TRACE_H_

@@ -1,0 +1,75 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace lazyrep::obs {
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+// Integral values render as integers (the common case for counters);
+// everything else as shortest-ish %g. Formatting is a pure function of
+// the double's bits, so equal registries render byte-identically.
+std::string Num(double v) {
+  if (std::floor(v) == v && std::fabs(v) < 9.0e15) {
+    return StrPrintf("%lld", static_cast<long long>(v));
+  }
+  return StrPrintf("%g", v);
+}
+
+// Splices extra labels (e.g. le="...") into a rendered label string.
+std::string WithLabel(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
+}  // namespace
+
+void WritePrometheus(const MetricsRegistry& registry, std::ostream& out) {
+  for (const MetricSnapshot& family : registry.Snapshot()) {
+    if (!family.help.empty()) {
+      out << "# HELP " << family.name << " " << family.help << "\n";
+    }
+    out << "# TYPE " << family.name << " " << TypeName(family.type) << "\n";
+    for (const MetricSnapshot::Cell& cell : family.cells) {
+      if (!cell.hist.has_value()) {
+        out << family.name << cell.labels << " " << Num(cell.value) << "\n";
+        continue;
+      }
+      const HistogramSnapshot& hist = *cell.hist;
+      uint64_t cumulative = 0;
+      double edge = hist.base;
+      for (size_t i = 0; i < hist.buckets.size(); ++i) {
+        cumulative += hist.buckets[i];
+        bool last = i + 1 == hist.buckets.size();
+        std::string le = last ? "+Inf" : Num(edge);
+        out << family.name << "_bucket"
+            << WithLabel(cell.labels, "le=\"" + le + "\"") << " "
+            << cumulative << "\n";
+        edge *= 2;
+      }
+      out << family.name << "_sum" << cell.labels << " " << Num(hist.sum)
+          << "\n";
+      out << family.name << "_count" << cell.labels << " " << hist.count
+          << "\n";
+    }
+  }
+}
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  WritePrometheus(registry, out);
+  return out.str();
+}
+
+}  // namespace lazyrep::obs

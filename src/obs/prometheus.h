@@ -1,0 +1,24 @@
+#ifndef LAZYREP_OBS_PROMETHEUS_H_
+#define LAZYREP_OBS_PROMETHEUS_H_
+
+#include <ostream>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace lazyrep::obs {
+
+/// Renders the registry in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP` / `# TYPE` headers followed by one
+/// `name{labels} value` line per cell; histograms expand to cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`. Output is sorted
+/// (families by name, cells by label string) so identical registry
+/// contents render byte-identically.
+void WritePrometheus(const MetricsRegistry& registry, std::ostream& out);
+
+/// Same, as a string (golden tests, CLI).
+std::string PrometheusText(const MetricsRegistry& registry);
+
+}  // namespace lazyrep::obs
+
+#endif  // LAZYREP_OBS_PROMETHEUS_H_

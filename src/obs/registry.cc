@@ -1,0 +1,102 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lazyrep::obs {
+
+std::string MetricsRegistry::RenderLabels(Labels labels) {
+  if (labels.empty()) return "";
+  std::sort(labels.begin(), labels.end());
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+MetricsRegistry::Family* MetricsRegistry::FamilyOf(const std::string& name,
+                                                   MetricType type,
+                                                   const std::string& help) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = type;
+    it->second.help = help;
+  } else {
+    LAZYREP_CHECK(it->second.type == type)
+        << "metric '" << name << "' re-registered with a different type";
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, Labels labels,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyOf(name, MetricType::kCounter, help);
+  auto [it, inserted] =
+      family->counters.try_emplace(RenderLabels(std::move(labels)));
+  if (inserted) it->second = std::make_unique<Counter>();
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, Labels labels,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyOf(name, MetricType::kGauge, help);
+  auto [it, inserted] =
+      family->gauges.try_emplace(RenderLabels(std::move(labels)));
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         Labels labels,
+                                         const std::string& help,
+                                         double base, int num_buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyOf(name, MetricType::kHistogram, help);
+  auto [it, inserted] =
+      family->histograms.try_emplace(RenderLabels(std::move(labels)));
+  if (inserted) it->second = std::make_unique<Histogram>(base, num_buckets);
+  return it->second.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.help = family.help;
+    snap.type = family.type;
+    for (const auto& [labels, cell] : family.counters) {
+      snap.cells.push_back(
+          {labels, static_cast<double>(cell->value()), std::nullopt});
+    }
+    for (const auto& [labels, cell] : family.gauges) {
+      snap.cells.push_back({labels, cell->value(), std::nullopt});
+    }
+    for (const auto& [labels, cell] : family.histograms) {
+      HistogramSnapshot hist;
+      hist.base = cell->base();
+      hist.buckets.resize(static_cast<size_t>(cell->num_buckets()));
+      for (int i = 0; i < cell->num_buckets(); ++i) {
+        hist.buckets[static_cast<size_t>(i)] = cell->bucket_count(i);
+      }
+      hist.count = cell->count();
+      hist.sum = cell->sum();
+      snap.cells.push_back({labels, 0.0, std::move(hist)});
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace lazyrep::obs

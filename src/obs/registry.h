@@ -1,0 +1,195 @@
+#ifndef LAZYREP_OBS_REGISTRY_H_
+#define LAZYREP_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lazyrep::obs {
+
+/// Label set for one metric cell, e.g. {{"site","0"},{"kind","WriteSet"}}.
+/// Order-insensitive: the registry sorts by key at registration.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing integer metric. The handle is a stable
+/// pointer into the registry; `Increment` is a relaxed atomic add, so the
+/// fast path is lock-free and safe from any thread.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time double metric. `Set`/`Add`/`MaxWith` are atomic on the
+/// double's bit pattern (CAS loop for read-modify-write), so gauges are
+/// safe to update from any thread without a registry lock.
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(ToBits(v), std::memory_order_relaxed);
+  }
+  void Add(double delta) {
+    uint64_t observed = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(
+        observed, ToBits(FromBits(observed) + delta),
+        std::memory_order_relaxed)) {
+    }
+  }
+  /// High-watermark update: gauge = max(gauge, v).
+  void MaxWith(double v) {
+    uint64_t observed = bits_.load(std::memory_order_relaxed);
+    while (FromBits(observed) < v &&
+           !bits_.compare_exchange_weak(observed, ToBits(v),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double value() const {
+    return FromBits(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static uint64_t ToBits(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double FromBits(uint64_t bits) {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  // Bit pattern of 0.0 is all-zero, so zero-init is a 0.0 gauge.
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Log-2-bucketed histogram (the atomic sibling of common's
+/// LogHistogram): bucket i covers [base * 2^(i-1), base * 2^i), bucket 0
+/// covers [0, base). Buckets and count are relaxed atomics; the sum is a
+/// CAS loop on the double's bits. `Observe` is lock-free.
+class Histogram {
+ public:
+  Histogram(double base, int num_buckets)
+      : base_(base), buckets_(static_cast<size_t>(num_buckets)) {}
+
+  void Observe(double x) {
+    size_t i = 0;
+    double edge = base_;
+    while (x >= edge && i + 1 < buckets_.size()) {
+      edge *= 2;
+      ++i;
+    }
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.Add(x);
+  }
+
+  double base() const { return base_; }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  double BucketHigh(int i) const {
+    double edge = base_;
+    for (int k = 0; k < i; ++k) edge *= 2;
+    return edge;
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.value(); }
+
+ private:
+  double base_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  Gauge sum_;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Read-side copy of one histogram's state.
+struct HistogramSnapshot {
+  double base = 0;
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  double sum = 0;
+};
+
+/// Read-side copy of one metric family, cells sorted by label string.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  struct Cell {
+    std::string labels;  // Rendered "{k=\"v\",...}" or "" when unlabelled.
+    double value = 0;    // Counter/gauge value (histograms use `hist`).
+    std::optional<HistogramSnapshot> hist;
+  };
+  std::vector<Cell> cells;
+};
+
+/// Labelled metric registry.
+///
+/// Registration (`GetCounter`/`GetGauge`/`GetHistogram`) takes one mutex
+/// and returns a stable handle pointer; callers cache the handle and hit
+/// only atomics afterwards, so the threads runtime never serializes on
+/// the registry during a run. Families and cells live in ordered maps,
+/// which makes `Snapshot()` — and therefore the Prometheus text dump —
+/// byte-deterministic regardless of registration order.
+///
+/// Metric names follow `lazyrep_<layer>_<what>[_total]`; see
+/// docs/OBSERVABILITY.md for the scheme.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter cell for (name, labels), creating it (and its
+  /// family) on first use. `help` is recorded on first registration of
+  /// the family. Repeated calls return the same handle.
+  Counter* GetCounter(const std::string& name, Labels labels,
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, Labels labels,
+                  const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name, Labels labels,
+                          const std::string& help = "", double base = 0.1,
+                          int num_buckets = 24);
+
+  /// Deterministic read-side copy: families sorted by name, cells by
+  /// rendered label string.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Renders one label set as `{k="v",k2="v2"}` (sorted by key; "" when
+  /// empty). Exposed for tests.
+  static std::string RenderLabels(Labels labels);
+
+ private:
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Family* FamilyOf(const std::string& name, MetricType type,
+                   const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace lazyrep::obs
+
+#endif  // LAZYREP_OBS_REGISTRY_H_

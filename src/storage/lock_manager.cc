@@ -60,24 +60,39 @@ void LockManager::GrantNow(LockState* ls, Transaction* txn, LockMode mode,
 }
 
 void LockManager::RunGrantLoop(ItemId item) {
-  auto it = table_.find(item);
-  if (it == table_.end()) return;
-  LockState& ls = it->second;
-  size_t i = 0;
-  while (i < ls.queue.size()) {
-    std::shared_ptr<Waiter> w = ls.queue[i];
-    if (!CanGrant(ls, w->txn, w->mode, w->is_upgrade)) {
-      if (config_.grant == GrantPolicy::kFifo) break;
-      // Immediate policy: later compatible waiters may still proceed.
-      ++i;
-      continue;
+  // Phase 1: decide and record every grant while holding the LockState
+  // reference. Phase 2: fire the waiter cells only after the loop, with
+  // no reference into `table_` live. A fired waiter may re-enter the
+  // manager (Acquire on fresh items rehashes `table_`, ReleaseAll on
+  // this item edits the queue we were indexing), so firing mid-loop is
+  // only safe as long as wake-ups stay deferred — this shape removes
+  // that coupling.
+  std::vector<std::shared_ptr<Waiter>> granted;
+  {
+    auto it = table_.find(item);
+    if (it == table_.end()) return;
+    LockState& ls = it->second;
+    size_t i = 0;
+    while (i < ls.queue.size()) {
+      std::shared_ptr<Waiter> w = ls.queue[i];
+      if (!CanGrant(ls, w->txn, w->mode, w->is_upgrade)) {
+        if (config_.grant == GrantPolicy::kFifo) break;
+        // Immediate policy: later compatible waiters may still proceed.
+        ++i;
+        continue;
+      }
+      ls.queue.erase(ls.queue.begin() + static_cast<ptrdiff_t>(i));
+      w->linked = false;
+      waiting_on_.erase(w->txn);
+      GrantNow(&ls, w->txn, w->mode, w->is_upgrade);
+      held_[w->txn].insert(item);
+      double wait_ms = ToMillis(rt_->Now() - w->enqueue_time);
+      stats_.wait_time_ms.Add(wait_ms);
+      if (wait_hist_ != nullptr) wait_hist_->Observe(wait_ms);
+      granted.push_back(std::move(w));
     }
-    ls.queue.erase(ls.queue.begin() + static_cast<ptrdiff_t>(i));
-    w->linked = false;
-    waiting_on_.erase(w->txn);
-    GrantNow(&ls, w->txn, w->mode, w->is_upgrade);
-    held_[w->txn].insert(item);
-    stats_.wait_time_ms.Add(ToMillis(rt_->Now() - w->enqueue_time));
+  }
+  for (const std::shared_ptr<Waiter>& w : granted) {
     w->cell.TryFire(LockOutcome::kGranted);
   }
 }
@@ -123,6 +138,7 @@ runtime::Co<LockOutcome> LockManager::Acquire(Transaction* txn, ItemId item,
 
   // Block.
   ++stats_.waits;
+  if (waits_counter_ != nullptr) waits_counter_->Increment();
   if (on_wait_) on_wait_(*txn, item);
   LAZYREP_CHECK(waiting_on_.find(txn) == waiting_on_.end())
       << "transaction already has a pending lock request";
@@ -141,12 +157,14 @@ runtime::Co<LockOutcome> LockManager::Acquire(Transaction* txn, ItemId item,
     if (!w->linked) return;
     Unlink(w);
     ++stats_.wait_aborts;
+    if (wait_aborts_counter_ != nullptr) wait_aborts_counter_->Increment();
     w->cell.TryFire(LockOutcome::kAborted);
   });
   rt_->ScheduleCallback(config_.wait_timeout, [this, w] {
     if (!w->linked) return;
     Unlink(w);
     ++stats_.timeouts;
+    if (timeouts_counter_ != nullptr) timeouts_counter_->Increment();
     if (on_timeout_) on_timeout_(*w->txn, w->item);
     w->cell.TryFire(LockOutcome::kTimeout);
   });
@@ -223,6 +241,7 @@ void LockManager::DetectAndResolve(Transaction* waiter_txn) {
         if (in_cycle) cycle.push_back(t);
       }
       ++stats_.detected_deadlocks;
+      if (deadlocks_counter_ != nullptr) deadlocks_counter_->Increment();
       Transaction* victim = PickDeadlockVictim(cycle);
       if (victim != nullptr) {
         victim->RequestAbort(Status::DeadlockAbort("local WFG cycle"));

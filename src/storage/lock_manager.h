@@ -10,6 +10,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "obs/registry.h"
 #include "runtime/primitives.h"
 #include "runtime/runtime.h"
 #include "storage/transaction.h"
@@ -96,6 +97,29 @@ class LockManager {
     on_timeout_ = std::move(on_timeout);
   }
 
+  /// Optional metrics sink: live counters mirroring `Stats` plus a
+  /// wait-time histogram (observed at grant, like `Stats::wait_time_ms`),
+  /// labelled with this manager's site. Set before traffic starts.
+  void SetMetrics(obs::MetricsRegistry* registry, SiteId site) {
+    if (registry == nullptr) return;
+    obs::Labels labels{{"site", std::to_string(site)}};
+    waits_counter_ = registry->GetCounter(
+        "lazyrep_lock_waits_total", labels,
+        "Lock requests that blocked behind a conflicting holder");
+    timeouts_counter_ = registry->GetCounter(
+        "lazyrep_lock_timeouts_total", labels,
+        "Lock waits that expired (deadlock timeout)");
+    wait_aborts_counter_ = registry->GetCounter(
+        "lazyrep_lock_wait_aborts_total", labels,
+        "Queued requests cancelled by an external abort");
+    deadlocks_counter_ = registry->GetCounter(
+        "lazyrep_lock_deadlocks_detected_total", labels,
+        "Local waits-for cycles found by detection");
+    wait_hist_ = registry->GetHistogram(
+        "lazyrep_lock_wait_ms", labels,
+        "Time a granted request spent queued (ms)");
+  }
+
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
@@ -166,6 +190,12 @@ class LockManager {
   Stats stats_;
   LockEventHook on_wait_;
   LockEventHook on_timeout_;
+  // Optional metrics handles (SetMetrics); null when metrics are off.
+  obs::Counter* waits_counter_ = nullptr;
+  obs::Counter* timeouts_counter_ = nullptr;
+  obs::Counter* wait_aborts_counter_ = nullptr;
+  obs::Counter* deadlocks_counter_ = nullptr;
+  obs::Histogram* wait_hist_ = nullptr;
   std::unordered_map<ItemId, LockState> table_;
   std::unordered_map<const Transaction*, std::set<ItemId>> held_;
   // At most one pending request per transaction.

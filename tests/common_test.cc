@@ -288,6 +288,35 @@ TEST(LogHistogramTest, ToStringShowsNonEmptyBuckets) {
 TEST(LogHistogramTest, EmptyQuantileIsZero) {
   LogHistogram h;
   EXPECT_EQ(h.ApproxQuantile(0.5), 0.0);
+  EXPECT_EQ(h.ApproxQuantile(0.0), 0.0);
+  EXPECT_EQ(h.ApproxQuantile(1.0), 0.0);
+}
+
+// Satellite regression: q=0 mirrors PercentileTracker::Percentile(0) (the
+// minimum sample's bucket) instead of falling through to the cumulative
+// scan, which reported the first occupied bucket's *upper* edge.
+TEST(LogHistogramTest, QuantileBoundarySemantics) {
+  LogHistogram h(1.0, 8);  // Bucket 0 = [0,1), 1 = [1,2), 2 = [2,4)...
+  h.Add(2.5);
+  h.Add(3.0);
+  h.Add(3.5);
+  // q=0 -> lower edge of the first occupied bucket (here [2,4)): the
+  // minimum is >= 2, matching Percentile(0)'s "smallest sample" reading.
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.0), 2.0);
+  // q in (0,1] -> upper edge of the covering bucket.
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(1.0), 4.0);
+  // Out-of-range q clamps rather than misindexing.
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(-0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(2.0), 4.0);
+}
+
+TEST(LogHistogramTest, SingleSampleQuantiles) {
+  LogHistogram h(1.0, 8);
+  h.Add(0.5);  // Bucket 0 = [0,1).
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(1.0), 1.0);
 }
 
 TEST(StringsTest, StrPrintf) {

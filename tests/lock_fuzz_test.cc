@@ -5,6 +5,7 @@
 
 #include <map>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -140,6 +141,67 @@ TEST_P(LockFuzz, InvariantsHoldUnderRandomWorkloads) {
   }(&world, probe, &all_free));
   sim.Run();
   EXPECT_TRUE(all_free) << "locks leaked after fuzz";
+}
+
+Co<void> HoldHotThenRelease(LockManager* locks,
+                            std::shared_ptr<Transaction> txn,
+                            Simulator* sim) {
+  LockOutcome lo =
+      co_await locks->Acquire(txn.get(), 0, LockMode::kExclusive);
+  EXPECT_EQ(lo, LockOutcome::kGranted);
+  co_await sim->Delay(Millis(1));
+  locks->ReleaseAll(txn.get());  // Wakes every queued waiter at once.
+}
+
+Co<void> WaitThenChurnTable(LockManager* locks,
+                            std::shared_ptr<Transaction> txn,
+                            ItemId first_fresh, int* done) {
+  LockOutcome lo = co_await locks->Acquire(txn.get(), 0, LockMode::kShared);
+  EXPECT_EQ(lo, LockOutcome::kGranted);
+  // Resumed by the grant loop: immediately acquire a burst of fresh items
+  // (lock-table insertions) and release everything (which re-enters the
+  // grant loop for the hot item while other grants are still pending).
+  for (ItemId item = first_fresh; item < first_fresh + 32; ++item) {
+    LockOutcome inner =
+        co_await locks->Acquire(txn.get(), item, LockMode::kExclusive);
+    EXPECT_EQ(inner, LockOutcome::kGranted);
+  }
+  locks->ReleaseAll(txn.get());
+  ++*done;
+}
+
+// Satellite regression for RunGrantLoop's collect-then-fire contract: a
+// release grants a batch of shared waiters whose continuations mutate the
+// lock table (insertions, re-entrant releases of the same item) as soon as
+// they run. Pre-fix the loop fired each waiter mid-iteration while holding
+// a live reference into the table.
+TEST(LockGrantReentrancyTest, GrantedWaitersMutateTableImmediately) {
+  for (GrantPolicy grant : {GrantPolicy::kImmediate, GrantPolicy::kFifo}) {
+    SimRuntime rt;
+    Simulator& sim = *rt.simulator();
+    LockManager::Config config;
+    config.grant = grant;
+    config.wait_timeout = Seconds(1);
+    LockManager locks(&rt, config);
+    auto holder = std::make_shared<Transaction>(
+        GlobalTxnId{0, 0}, TxnKind::kPrimary, sim.Now(), 0);
+    sim.Spawn(HoldHotThenRelease(&locks, holder, &sim));
+    int done = 0;
+    std::vector<std::shared_ptr<Transaction>> waiters;
+    for (int i = 0; i < 8; ++i) {
+      auto txn = std::make_shared<Transaction>(
+          GlobalTxnId{0, i + 1}, TxnKind::kPrimary, sim.Now(), i + 1);
+      waiters.push_back(txn);
+      sim.ScheduleCallback(
+          Micros(10.0 * (i + 1)), [&locks, &sim, txn, i, &done] {
+            sim.Spawn(WaitThenChurnTable(
+                &locks, txn, static_cast<ItemId>(100 + 64 * i), &done));
+          });
+    }
+    sim.Run();
+    EXPECT_EQ(done, 8);
+    EXPECT_EQ(locks.waiting_count(), 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,6 +1,8 @@
 // Tests for the metrics collector (src/core/metrics.*): propagation
 // bookkeeping, per-site counters, percentile plumbing.
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "core/metrics.h"
@@ -68,6 +70,48 @@ TEST(MetricsTest, ResponsePercentilesTrackCommits) {
   for (int i = 1; i <= 100; ++i) m.OnPrimaryCommit(0, Millis(i));
   EXPECT_NEAR(m.response_percentiles().Percentile(50), 50.5, 0.1);
   EXPECT_NEAR(m.response_percentiles().Percentile(99), 99.01, 0.1);
+}
+
+// Satellite regression: the snapshot accessors return copies taken under
+// the collector's mutex. Pre-fix they returned const references to the
+// live aggregates, so a "snapshot" bound before further commits silently
+// tracked them (and raced under the threads runtime).
+TEST(MetricsTest, SnapshotAccessorsAreStableCopies) {
+  MetricsCollector m(1);
+  m.OnPrimaryCommit(0, Millis(10));
+  const Summary& snapshot = m.response_ms();  // Lifetime-extended copy.
+  EXPECT_EQ(snapshot.count(), 1);
+  m.OnPrimaryCommit(0, Millis(30));
+  EXPECT_EQ(snapshot.count(), 1);  // Pre-fix: 2 (aliased live state).
+  EXPECT_DOUBLE_EQ(snapshot.mean(), 10.0);
+  EXPECT_EQ(m.response_ms().count(), 2);
+}
+
+// TSan coverage: concurrent committer vs. reader. Pre-fix the reader
+// iterated live Summary/LogHistogram state while the writer mutated it.
+TEST(MetricsTest, ConcurrentReadersAndWritersAreRaceFree) {
+  MetricsCollector m(2);
+  std::thread writer([&m] {
+    for (int i = 1; i <= 2000; ++i) {
+      m.OnPrimaryCommit(i % 2, Millis(i % 50 + 1));
+      if (i % 3 == 0) m.OnPrimaryAbort(i % 2);
+    }
+  });
+  std::thread reader([&m] {
+    for (int i = 0; i < 500; ++i) {
+      Summary response = m.response_ms();
+      EXPECT_GE(response.count(), 0);
+      LogHistogram hist = m.response_histogram();
+      EXPECT_GE(hist.ApproxQuantile(0.5), 0.0);
+      PercentileTracker pct = m.response_percentiles();
+      EXPECT_GE(pct.Percentile(50), 0.0);
+      (void)m.full_propagation_ms();
+      (void)m.per_site_apply_ms();
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(m.response_ms().count(), 2000);
 }
 
 TEST(MetricsTest, RunMetricsToStringMentionsKeyNumbers) {

@@ -1,0 +1,337 @@
+// Tests for the observability layer (src/obs/): the labelled metrics
+// registry, the Prometheus text exporter, the Chrome trace_event
+// exporter, and the System wiring (quiescent snapshots: deterministic
+// under the sim runtime, race-free under threads).
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "core/trace.h"
+#include "obs/chrome_trace.h"
+#include "obs/prometheus.h"
+#include "obs/registry.h"
+
+namespace lazyrep::obs {
+namespace {
+
+TEST(RegistryTest, CounterIncrementsAndHandlesAreStable) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("lazyrep_test_total",
+                                   {{"site", "0"}}, "help text");
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(c->value(), 5u);
+  // Same (name, labels) -> same cell.
+  EXPECT_EQ(registry.GetCounter("lazyrep_test_total", {{"site", "0"}}), c);
+  // Different labels -> different cell.
+  EXPECT_NE(registry.GetCounter("lazyrep_test_total", {{"site", "1"}}), c);
+}
+
+TEST(RegistryTest, LabelOrderIsInsensitive) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("lazyrep_test_total",
+                                   {{"site", "0"}, {"kind", "x"}});
+  Counter* b = registry.GetCounter("lazyrep_test_total",
+                                   {{"kind", "x"}, {"site", "0"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegistryTest, RenderLabelsSortsByKey) {
+  EXPECT_EQ(MetricsRegistry::RenderLabels({{"site", "0"}, {"kind", "x"}}),
+            "{kind=\"x\",site=\"0\"}");
+  EXPECT_EQ(MetricsRegistry::RenderLabels({}), "");
+}
+
+TEST(RegistryTest, GaugeSetAddMax) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("lazyrep_test_gauge", {});
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  g->Set(2.5);
+  g->Add(1.0);
+  EXPECT_DOUBLE_EQ(g->value(), 3.5);
+  g->MaxWith(2.0);  // Below: no change.
+  EXPECT_DOUBLE_EQ(g->value(), 3.5);
+  g->MaxWith(7.0);
+  EXPECT_DOUBLE_EQ(g->value(), 7.0);
+  g->Add(-1.5);
+  EXPECT_DOUBLE_EQ(g->value(), 5.5);
+}
+
+TEST(RegistryTest, HistogramBucketsAndSum) {
+  MetricsRegistry registry;
+  // Buckets: [0,1), [1,2), [2,4), [4,+inf) with 4 buckets.
+  Histogram* h = registry.GetHistogram("lazyrep_test_ms", {}, "", 1.0, 4);
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(3.0);
+  h->Observe(100.0);  // Overflows into the last bucket.
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->sum(), 105.0);
+  EXPECT_EQ(h->bucket_count(0), 1u);
+  EXPECT_EQ(h->bucket_count(1), 1u);
+  EXPECT_EQ(h->bucket_count(2), 1u);
+  EXPECT_EQ(h->bucket_count(3), 1u);
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  // Register out of order; the snapshot must come back sorted.
+  registry.GetCounter("lazyrep_zz_total", {{"site", "1"}})->Increment(2);
+  registry.GetCounter("lazyrep_zz_total", {{"site", "0"}})->Increment();
+  registry.GetGauge("lazyrep_aa_gauge", {})->Set(1.5);
+  std::vector<MetricSnapshot> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "lazyrep_aa_gauge");
+  EXPECT_EQ(snap[1].name, "lazyrep_zz_total");
+  ASSERT_EQ(snap[1].cells.size(), 2u);
+  EXPECT_EQ(snap[1].cells[0].labels, "{site=\"0\"}");
+  EXPECT_DOUBLE_EQ(snap[1].cells[0].value, 1.0);
+  EXPECT_EQ(snap[1].cells[1].labels, "{site=\"1\"}");
+  EXPECT_DOUBLE_EQ(snap[1].cells[1].value, 2.0);
+}
+
+// The lock-free fast path: hammer one counter, one gauge high-watermark,
+// and one histogram from several threads; totals must be exact (counters,
+// histogram count) or bounded (gauge max). Run under TSan in CI.
+TEST(RegistryTest, ConcurrentUpdatesAreLockFreeAndExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("lazyrep_hammer_total", {});
+  Gauge* peak = registry.GetGauge("lazyrep_hammer_peak", {});
+  Histogram* hist = registry.GetHistogram("lazyrep_hammer_ms", {});
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        counter->Increment();
+        peak->MaxWith(static_cast<double>(t * kIters + i));
+        hist->Observe(0.1 * (i % 100));
+      }
+    });
+  }
+  // Concurrent snapshots must be safe against the writers.
+  for (int i = 0; i < 10; ++i) (void)registry.Snapshot();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(peak->value(), kThreads * kIters - 1.0);
+  EXPECT_EQ(hist->count(), static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(PrometheusTest, RendersCountersGaugesAndHistograms) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("lazyrep_msgs_total", {{"kind", "secondary"}},
+                  "Messages posted")
+      ->Increment(3);
+  registry.GetGauge("lazyrep_depth", {}, "Queue depth")->Set(2.5);
+  Histogram* h =
+      registry.GetHistogram("lazyrep_wait_ms", {{"site", "0"}},
+                            "Wait time", 1.0, 3);
+  h->Observe(0.5);
+  h->Observe(1.5);
+  std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# HELP lazyrep_msgs_total Messages posted\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE lazyrep_msgs_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lazyrep_msgs_total{kind=\"secondary\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE lazyrep_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("lazyrep_depth 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lazyrep_wait_ms histogram\n"),
+            std::string::npos);
+  // Cumulative buckets with the le label spliced in, then +Inf, sum,
+  // count.
+  EXPECT_NE(text.find("lazyrep_wait_ms_bucket{site=\"0\",le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lazyrep_wait_ms_bucket{site=\"0\",le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("lazyrep_wait_ms_bucket{site=\"0\",le=\"+Inf\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("lazyrep_wait_ms_sum{site=\"0\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lazyrep_wait_ms_count{site=\"0\"} 2\n"),
+            std::string::npos);
+}
+
+void FillSmallTrace(core::TraceLog& log) {
+  core::TraceEvent post;
+  post.time = Millis(1);
+  post.kind = core::TraceEvent::Kind::kMsgPost;
+  post.site = 0;
+  post.peer = 2;
+  post.txn = GlobalTxnId{0, 7};
+  post.detail = "secondary";
+  log.Record(post);
+  core::TraceEvent deliver = post;
+  deliver.time = Millis(3);
+  deliver.kind = core::TraceEvent::Kind::kMsgDeliver;
+  deliver.site = 2;   // Recorded at the destination...
+  deliver.peer = 0;   // ...naming the source as the peer.
+  log.Record(deliver);
+  core::TraceEvent commit;
+  commit.time = Millis(4);
+  commit.kind = core::TraceEvent::Kind::kTxnCommit;
+  commit.site = 2;
+  commit.txn = GlobalTxnId{0, 7};
+  log.Record(commit);
+}
+
+TEST(ChromeTraceTest, MatchedPostDeliverBecomesCompleteSlice) {
+  core::TraceLog log;
+  FillSmallTrace(log);
+  std::string json = ChromeTraceJson(log);
+  // A matched post/deliver pair renders as one complete slice whose
+  // duration is the flight time (2ms) starting at the post (1ms).
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"secondary\""), std::string::npos);
+  // The commit renders as an instant, and sites get process names.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"txn_commit\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Balanced JSON at the coarsest level.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(ChromeTraceTest, UnmatchedPostRendersAsInstantDrop) {
+  core::TraceLog log;
+  core::TraceEvent post;
+  post.time = Millis(1);
+  post.kind = core::TraceEvent::Kind::kMsgPost;
+  post.site = 0;
+  post.peer = 1;
+  post.detail = "secondary";
+  log.Record(post);  // Never delivered (dropped by fault injection).
+  std::string json = ChromeTraceJson(log);
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+core::SystemConfig ObsConfig(core::Protocol protocol, uint64_t seed) {
+  core::SystemConfig config;
+  config.protocol = protocol;
+  config.seed = seed;
+  config.workload.num_sites = 3;
+  config.workload.sites_per_machine = 3;
+  config.workload.num_items = 30;
+  config.workload.threads_per_site = 2;
+  config.workload.txns_per_thread = 10;
+  config.workload.backedge_prob =
+      protocol == core::Protocol::kBackEdge ? 0.5 : 0.0;
+  return config;
+}
+
+std::string RunAndSnapshot(const core::SystemConfig& config) {
+  auto system = core::System::Create(config);
+  EXPECT_TRUE(system.ok());
+  (*system)->Run();
+  return PrometheusText((*system)->obs_registry());
+}
+
+class ObsProtocolTest
+    : public ::testing::TestWithParam<core::Protocol> {};
+
+// Golden determinism: under the sim runtime the metrics snapshot at
+// quiescence is a pure function of the seed — two runs must be
+// byte-identical, and the expected instrument families must be present.
+TEST_P(ObsProtocolTest, SimSnapshotIsByteDeterministic) {
+  core::SystemConfig config = ObsConfig(GetParam(), 11);
+  std::string first = RunAndSnapshot(config);
+  std::string second = RunAndSnapshot(config);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("lazyrep_net_messages_posted_total"),
+            std::string::npos);
+  EXPECT_NE(first.find("lazyrep_net_messages_delivered_total"),
+            std::string::npos);
+  EXPECT_NE(first.find("lazyrep_net_bytes_total"), std::string::npos);
+  EXPECT_NE(first.find("lazyrep_txn_committed_total{site=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(first.find("lazyrep_engine_secondaries_committed_total"),
+            std::string::npos);
+  EXPECT_NE(first.find("lazyrep_engine_queue_peak"), std::string::npos);
+  // A different seed must actually change the numbers somewhere.
+  core::SystemConfig other = ObsConfig(GetParam(), 12);
+  EXPECT_NE(first, RunAndSnapshot(other));
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, ObsProtocolTest,
+                         ::testing::Values(core::Protocol::kDagWt,
+                                           core::Protocol::kDagT,
+                                           core::Protocol::kBackEdge),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case core::Protocol::kDagWt:
+                               return "DagWt";
+                             case core::Protocol::kDagT:
+                               return "DagT";
+                             default:
+                               return "BackEdge";
+                           }
+                         });
+
+// Threads runtime: instrumentation updates race against each other on
+// real threads; the quiescent snapshot happens after the join. Sanity of
+// the totals + TSan cleanliness are the assertions.
+TEST(ObsSystemTest, ThreadsRuntimeSnapshotIsCoherent) {
+  core::SystemConfig config = ObsConfig(core::Protocol::kDagWt, 11);
+  config.runtime = runtime::RuntimeKind::kThreads;
+  config.workload.sites_per_machine = 1;  // 3 machines -> real threads.
+  auto system = core::System::Create(config);
+  ASSERT_TRUE(system.ok());
+  core::RunMetrics metrics = (*system)->Run();
+  ASSERT_FALSE(metrics.timed_out);
+  std::string text = PrometheusText((*system)->obs_registry());
+  EXPECT_NE(text.find("lazyrep_net_messages_posted_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("lazyrep_txn_committed_total"), std::string::npos);
+  // Posted messages all delivered once quiescent (no faults configured).
+  uint64_t posted = 0;
+  uint64_t delivered = 0;
+  for (const MetricSnapshot& family : (*system)->obs_registry().Snapshot()) {
+    for (const MetricSnapshot::Cell& cell : family.cells) {
+      if (family.name == "lazyrep_net_messages_posted_total") {
+        posted += static_cast<uint64_t>(cell.value);
+      } else if (family.name == "lazyrep_net_messages_delivered_total") {
+        delivered += static_cast<uint64_t>(cell.value);
+      }
+    }
+  }
+  EXPECT_EQ(posted, delivered);
+  EXPECT_EQ(posted, (*system)->network().total_messages());
+}
+
+// The traced sim run exports a loadable Chrome trace with one complete
+// slice per delivered message.
+TEST(ObsSystemTest, SystemChromeTraceMatchesNetworkTally) {
+  core::SystemConfig config = ObsConfig(core::Protocol::kBackEdge, 11);
+  config.enable_trace = true;
+  auto system = core::System::Create(config);
+  ASSERT_TRUE(system.ok());
+  (*system)->Run();
+  ASSERT_NE((*system)->trace(), nullptr);
+  std::ostringstream out;
+  WriteChromeTrace(*(*system)->trace(), out);
+  std::string json = out.str();
+  size_t slices = 0;
+  for (size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
+    ++slices;
+  }
+  EXPECT_EQ(slices, (*system)->network().total_messages());
+}
+
+}  // namespace
+}  // namespace lazyrep::obs

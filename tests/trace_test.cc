@@ -27,6 +27,23 @@ TEST(TraceLogTest, RecordsAndFilters) {
   EXPECT_EQ(log.OfKind(TraceEvent::Kind::kLockWait).size(), 0u);
 }
 
+// Satellite regression: readers get an independent copy taken under the
+// recording mutex, so records landing after the read are not visible
+// through an already-taken snapshot (the old accessors returned live
+// references into the deque).
+TEST(TraceLogTest, ReadersSnapshotIndependently) {
+  TraceLog log;
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kMsgPost;
+  log.Record(e);
+  std::vector<TraceEvent> snapshot = log.events();
+  std::vector<TraceEvent> posts = log.OfKind(TraceEvent::Kind::kMsgPost);
+  log.Record(e);
+  EXPECT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(posts.size(), 1u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
 TEST(TraceLogTest, CapTruncates) {
   TraceLog log(3);
   for (int i = 0; i < 10; ++i) log.Record(TraceEvent{});
@@ -100,7 +117,7 @@ TEST(SystemTraceTest, CapturesCommitsAndMessages) {
   if (metrics.aborted > 0) {
     auto aborts = trace.OfKind(TraceEvent::Kind::kTxnAbort);
     ASSERT_FALSE(aborts.empty());
-    EXPECT_FALSE(aborts[0]->detail.empty());
+    EXPECT_FALSE(aborts[0].detail.empty());
   }
 }
 

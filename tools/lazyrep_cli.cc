@@ -14,6 +14,8 @@
 #include "core/system.h"
 #include "fault/fault_plan.h"
 #include "harness/experiment.h"
+#include "obs/chrome_trace.h"
+#include "obs/prometheus.h"
 
 using namespace lazyrep;
 
@@ -55,6 +57,11 @@ void PrintHelp() {
       "                    crash faults imply --wal)\n"
       "  --no-check        skip history recording / serializability check\n"
       "  --trace=FILE      write a JSONL protocol event trace (single run)\n"
+      "  --metrics-out=F   write a Prometheus text metrics snapshot taken\n"
+      "                    at quiescence (single run)\n"
+      "  --trace-out=F     write a Chrome trace_event JSON timeline (load\n"
+      "                    in Perfetto / chrome://tracing; implies\n"
+      "                    tracing; single run)\n"
       "  --warmup-ms=X     exclude transactions starting before X ms\n"
       "  --per-site        print the per-site breakdown (single run)\n"
       "  --hist            print the response-time histogram (single run)\n");
@@ -87,6 +94,8 @@ int main(int argc, char** argv) {
   bool per_site = false;
   bool histogram = false;
   std::string trace_path;
+  std::string metrics_out;
+  std::string trace_out;
   std::string v;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -178,6 +187,11 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(arg, "--trace", &v)) {
       trace_path = v;
       config.enable_trace = true;
+    } else if (ParseFlag(arg, "--metrics-out", &v)) {
+      metrics_out = v;
+    } else if (ParseFlag(arg, "--trace-out", &v)) {
+      trace_out = v;
+      config.enable_trace = true;
     } else if (ParseFlag(arg, "--warmup-ms", &v)) {
       config.warmup = Millis(std::atof(v.c_str()));
     } else if (std::strcmp(arg, "--per-site") == 0) {
@@ -207,49 +221,61 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (histogram) {
+  // Outputs that describe one concrete run (histograms, per-site tables,
+  // traces, metric snapshots) don't mix with seed averaging: run once.
+  const bool single_run = histogram || per_site || !trace_path.empty() ||
+                          !metrics_out.empty() || !trace_out.empty();
+  if (single_run) {
     auto system = core::System::Create(config);
     LAZYREP_CHECK(system.ok());
     core::RunMetrics metrics = (*system)->Run();
-    std::printf("response time distribution (ms):\n%s",
-                metrics.response_histogram.ToString().c_str());
-    std::printf("p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
-                metrics.response_p50_ms, metrics.response_p95_ms,
-                metrics.response_p99_ms, metrics.response_ms.max());
-    return metrics.serializable ? 0 : 1;
-  }
-
-  if (per_site) {
-    auto system = core::System::Create(config);
-    LAZYREP_CHECK(system.ok());
-    core::RunMetrics metrics = (*system)->Run();
-    std::printf("%-6s %-12s %-10s %-12s\n", "site", "committed",
-                "aborted", "txn/s");
-    for (const core::SiteMetrics& s : metrics.per_site) {
-      std::printf("%-6d %-12lld %-10lld %-12.2f\n", s.site,
-                  static_cast<long long>(s.committed),
-                  static_cast<long long>(s.aborted), s.throughput);
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+        return 1;
+      }
+      obs::WritePrometheus((*system)->obs_registry(), out);
+      std::printf("metrics: %s\n", metrics_out.c_str());
     }
-    std::printf("avg throughput %.2f txn/s/site; serializable %s\n",
-                metrics.avg_site_throughput,
-                metrics.serializable ? "yes" : "NO");
-    return metrics.serializable ? 0 : 1;
-  }
-
-  if (!trace_path.empty()) {
-    // Traced single run (trace + seed averaging don't mix).
-    auto system = core::System::Create(config);
-    LAZYREP_CHECK(system.ok());
-    core::RunMetrics metrics = (*system)->Run();
-    std::ofstream out(trace_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
-      return 1;
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", trace_out.c_str());
+        return 1;
+      }
+      obs::WriteChromeTrace(*(*system)->trace(), out);
+      std::printf("trace_event: %zu events -> %s%s\n",
+                  (*system)->trace()->size(), trace_out.c_str(),
+                  (*system)->trace()->truncated() ? " (truncated)" : "");
     }
-    (*system)->trace()->WriteJsonl(out);
-    std::printf("trace: %zu events -> %s%s\n",
-                (*system)->trace()->size(), trace_path.c_str(),
-                (*system)->trace()->truncated() ? " (truncated)" : "");
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+        return 1;
+      }
+      (*system)->trace()->WriteJsonl(out);
+      std::printf("trace: %zu events -> %s%s\n",
+                  (*system)->trace()->size(), trace_path.c_str(),
+                  (*system)->trace()->truncated() ? " (truncated)" : "");
+    }
+    if (histogram) {
+      std::printf("response time distribution (ms):\n%s",
+                  metrics.response_histogram.ToString().c_str());
+      std::printf("p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+                  metrics.response_p50_ms, metrics.response_p95_ms,
+                  metrics.response_p99_ms, metrics.response_ms.max());
+    }
+    if (per_site) {
+      std::printf("%-6s %-12s %-10s %-12s\n", "site", "committed",
+                  "aborted", "txn/s");
+      for (const core::SiteMetrics& s : metrics.per_site) {
+        std::printf("%-6d %-12lld %-10lld %-12.2f\n", s.site,
+                    static_cast<long long>(s.committed),
+                    static_cast<long long>(s.aborted), s.throughput);
+      }
+    }
     std::printf("throughput      %.2f txn/s per site\n",
                 metrics.avg_site_throughput);
     std::printf("serializable    %s\n",
