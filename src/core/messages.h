@@ -168,6 +168,35 @@ inline std::string_view MessageKindName(const ProtocolMessage& message) {
   return std::visit(Visitor{}, message);
 }
 
+/// Dense metric-kind index for `Network::SetMetrics`: the variant index
+/// for most kinds, with dummy and special secondaries — which carry
+/// distinct kind labels (see `MessageKindName`) but share variant slot
+/// 0 — appended as two extra ids after the variant kinds.
+inline constexpr int kNumMessageMetricKinds =
+    static_cast<int>(std::variant_size_v<ProtocolMessage>) + 2;
+
+inline int MessageMetricKind(const ProtocolMessage& message) {
+  if (const auto* u = std::get_if<SecondaryUpdate>(&message)) {
+    constexpr int n = static_cast<int>(std::variant_size_v<ProtocolMessage>);
+    if (u->is_dummy) return n;
+    if (u->is_special) return n + 1;
+  }
+  return static_cast<int>(message.index());
+}
+
+/// Kind label for a dense metric-kind id — `MessageKindName` by index.
+inline std::string_view MessageMetricKindName(int kind) {
+  static constexpr std::string_view kNames[] = {
+      "secondary",      "backedge_start",    "backedge_abort",
+      "2pc_prepare",    "2pc_vote",          "2pc_decision",
+      "2pc_ack",        "psl_lock_request",  "psl_lock_response",
+      "psl_release",    "secondary_batch",   "reliable_data",
+      "channel_ack",    "dummy",             "special_secondary"};
+  static_assert(sizeof(kNames) / sizeof(kNames[0]) ==
+                static_cast<size_t>(kNumMessageMetricKinds));
+  return kNames[kind];
+}
+
 /// Origin transaction a message belongs to (invalid id for kinds without
 /// one).
 inline GlobalTxnId MessageOrigin(const ProtocolMessage& message) {

@@ -188,9 +188,10 @@ Status System::Build() {
       runtime_.get(), params.num_sites, net_config, site_cpu_, rng_.Split());
   network_->SetSizer(
       [](const ProtocolMessage& message) { return Wire::EncodedSize(message); });
-  network_->SetMetrics(&obs_, [](const ProtocolMessage& message) {
-    return std::string(MessageKindName(message));
-  });
+  network_->SetMetrics(&obs_, kNumMessageMetricKinds, MessageMetricKind,
+                       [](int kind) {
+                         return std::string(MessageMetricKindName(kind));
+                       });
   {
     std::vector<int> machine_of_site(params.num_sites);
     for (SiteId s = 0; s < params.num_sites; ++s) {
@@ -534,8 +535,11 @@ RunMetrics System::CollectMetrics() const {
   out.response_histogram = metrics_.response_histogram();
   out.propagation_delay_ms = metrics_.full_propagation_ms();
   out.per_site_apply_delay_ms = metrics_.per_site_apply_ms();
-  out.messages = network_->total_messages();
-  out.bytes = network_->total_bytes();
+  {
+    ProtocolNetwork::Stats net = network_->Snapshot();
+    out.messages = net.total_messages;
+    out.bytes = net.total_bytes;
+  }
   for (const auto& db : databases_) {
     out.lock_timeouts += db->locks().stats().timeouts;
     out.lock_waits += db->locks().stats().waits;

@@ -1,7 +1,10 @@
 #ifndef LAZYREP_CORE_TIMESTAMP_H_
 #define LAZYREP_CORE_TIMESTAMP_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -16,6 +19,80 @@ struct TsTuple {
   int64_t lts = 0;
 
   friend bool operator==(const TsTuple&, const TsTuple&) = default;
+};
+
+/// Small vector of timestamp tuples: inline storage for up to 4 tuples
+/// (a DAG(T) timestamp holds one tuple per tree ancestor, so on the
+/// paper's 9-site topologies most never leave the inline buffer),
+/// spilling to the heap beyond that. Keeps `ExtendedWith` — executed on
+/// every secondary commit — allocation-free on the common path.
+class TsTupleVec {
+ public:
+  using value_type = TsTuple;
+  using const_iterator = const TsTuple*;
+
+  TsTupleVec() = default;
+  TsTupleVec(std::initializer_list<TsTuple> init) {
+    for (const TsTuple& t : init) push_back(t);
+  }
+  TsTupleVec(const TsTupleVec&) = default;
+  TsTupleVec& operator=(const TsTupleVec&) = default;
+  TsTupleVec(TsTupleVec&& other) noexcept
+      : size_(other.size_), heap_(std::move(other.heap_)) {
+    std::copy(other.inline_, other.inline_ + kInline, inline_);
+    other.size_ = 0;
+  }
+  TsTupleVec& operator=(TsTupleVec&& other) noexcept {
+    size_ = other.size_;
+    heap_ = std::move(other.heap_);
+    std::copy(other.inline_, other.inline_ + kInline, inline_);
+    other.size_ = 0;
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const TsTuple* data() const {
+    return size_ <= kInline ? inline_ : heap_.data();
+  }
+  TsTuple* data() { return size_ <= kInline ? inline_ : heap_.data(); }
+  const TsTuple& operator[](size_t i) const { return data()[i]; }
+  TsTuple& operator[](size_t i) { return data()[i]; }
+  const TsTuple& back() const { return data()[size_ - 1]; }
+  TsTuple& back() { return data()[size_ - 1]; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  void push_back(const TsTuple& t) {
+    if (size_ < kInline) {
+      inline_[size_++] = t;
+      return;
+    }
+    // Crossing (or already past) the inline->heap boundary: the heap
+    // vector takes over the full contents.
+    if (size_ == kInline) heap_.assign(inline_, inline_ + kInline);
+    heap_.push_back(t);
+    ++size_;
+  }
+
+  friend bool operator==(const TsTupleVec& a, const TsTupleVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const TsTupleVec& a,
+                         const std::vector<TsTuple>& b) {
+    return a.size_ == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const std::vector<TsTuple>& a,
+                         const TsTupleVec& b) {
+    return b == a;
+  }
+
+ private:
+  static constexpr size_t kInline = 4;
+
+  size_t size_ = 0;
+  TsTuple inline_[kInline];
+  std::vector<TsTuple> heap_;  // Holds everything once size_ > kInline.
 };
 
 /// A DAG(T) timestamp — Definition 3.2 extended with the epoch number of
@@ -44,7 +121,7 @@ class Timestamp {
   int64_t epoch() const { return epoch_; }
   void set_epoch(int64_t epoch) { epoch_ = epoch; }
 
-  const std::vector<TsTuple>& tuples() const { return tuples_; }
+  const TsTupleVec& tuples() const { return tuples_; }
   bool empty() const { return tuples_.empty(); }
 
   /// The owning site's tuple (the last one).
@@ -83,7 +160,7 @@ class Timestamp {
 
  private:
   int64_t epoch_ = 0;
-  std::vector<TsTuple> tuples_;
+  TsTupleVec tuples_;
 };
 
 }  // namespace lazyrep::core

@@ -15,6 +15,7 @@ constexpr int64_t UnZigZag(uint64_t v) {
 struct ByteSink {
   std::vector<uint8_t>* out;
   void Byte(uint8_t b) { out->push_back(b); }
+  void Bytes(const uint8_t* p, size_t n) { out->insert(out->end(), p, p + n); }
   void Varint(uint64_t v) { Wire::PutVarint(out, v); }
   void Signed(int64_t v) { Wire::PutSigned(out, v); }
 };
@@ -23,6 +24,7 @@ struct ByteSink {
 struct CountSink {
   size_t n = 0;
   void Byte(uint8_t) { ++n; }
+  void Bytes(const uint8_t*, size_t count) { n += count; }
   void Varint(uint64_t v) { n += Wire::VarintSize(v); }
   void Signed(int64_t v) { n += Wire::SignedSize(v); }
 };
@@ -111,7 +113,7 @@ struct EncodeVisitor {
   void operator()(const ReliableData& m) const {
     s->Varint(m.seq);
     s->Varint(m.inner.size());
-    for (uint8_t b : m.inner) s->Byte(b);
+    s->Bytes(m.inner.data(), m.inner.size());
   }
   void operator()(const ChannelAck& m) const { s->Varint(m.cum_ack); }
 };
@@ -148,9 +150,16 @@ struct Reader {
     id.seq = Signed();
     return id;
   }
+  /// Count bound for a hostile length prefix: `min_size`-byte-minimum
+  /// elements can't outnumber the bytes left after the cursor, so a bad
+  /// count is rejected before any `reserve`.
+  uint64_t MaxCount(size_t min_size) const {
+    return (in.size() - pos) / min_size;
+  }
   std::vector<WriteRecord> Writes() {
     uint64_t n = Varint();
-    if (!status.ok() || n > in.size()) {  // Sanity bound.
+    // Each write is >= 2 bytes (two varints).
+    if (!status.ok() || n > MaxCount(2)) {
       if (status.ok()) status = Status::InvalidArgument("bad write count");
       return {};
     }
@@ -167,7 +176,8 @@ struct Reader {
   Timestamp Ts() {
     int64_t epoch = Signed();
     uint64_t n = Varint();
-    if (!status.ok() || n > in.size()) {
+    // Each tuple is >= 2 bytes (two varints).
+    if (!status.ok() || n > MaxCount(2)) {
       if (status.ok()) status = Status::InvalidArgument("bad tuple count");
       return {};
     }
@@ -235,10 +245,16 @@ size_t Wire::SignedSize(int64_t value) { return VarintSize(ZigZag(value)); }
 
 std::vector<uint8_t> Wire::Encode(const ProtocolMessage& message) {
   std::vector<uint8_t> out;
-  out.push_back(static_cast<uint8_t>(message.index()));
-  ByteSink sink{&out};
-  std::visit(EncodeVisitor<ByteSink>{&sink}, message);
+  out.reserve(EncodedSize(message));
+  EncodeTo(message, &out);
   return out;
+}
+
+void Wire::EncodeTo(const ProtocolMessage& message,
+                    std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(message.index()));
+  ByteSink sink{out};
+  std::visit(EncodeVisitor<ByteSink>{&sink}, message);
 }
 
 size_t Wire::EncodedSize(const ProtocolMessage& message) {
@@ -338,7 +354,9 @@ Result<ProtocolMessage> Wire::Decode(const std::vector<uint8_t>& bytes) {
     case 10: {
       SecondaryBatch batch;
       uint64_t n = r.Varint();
-      if (r.status.ok() && n > bytes.size()) {
+      // A SecondaryUpdate encodes to >= 8 bytes (7 varints + the flag
+      // byte, each at least one byte).
+      if (r.status.ok() && n > r.MaxCount(8)) {
         r.status = Status::InvalidArgument("bad batch count");
       }
       for (uint64_t i = 0; i < n && r.status.ok(); ++i) {
@@ -360,12 +378,15 @@ Result<ProtocolMessage> Wire::Decode(const std::vector<uint8_t>& bytes) {
       ReliableData m;
       m.seq = r.Varint();
       uint64_t n = r.Varint();
-      if (r.status.ok() && n > bytes.size()) {
+      if (r.status.ok() && n > r.MaxCount(1)) {
         r.status = Status::InvalidArgument("bad inner length");
       }
-      m.inner.reserve(r.status.ok() ? n : 0);
-      for (uint64_t i = 0; i < n && r.status.ok(); ++i) {
-        m.inner.push_back(r.Byte());
+      if (r.status.ok()) {
+        // Bulk copy: `inner` is an opaque byte run (the wrapped
+        // message's encoding), decoded on every reliable delivery.
+        m.inner.assign(bytes.begin() + static_cast<ptrdiff_t>(r.pos),
+                       bytes.begin() + static_cast<ptrdiff_t>(r.pos + n));
+        r.pos += n;
       }
       message = std::move(m);
       break;

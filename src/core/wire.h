@@ -37,8 +37,16 @@ class Wire {
   static size_t VarintSize(uint64_t value);
   static size_t SignedSize(int64_t value);
 
-  /// Serializes a protocol message.
+  /// Serializes a protocol message. Reserves the exact size up front
+  /// (one allocation).
   static std::vector<uint8_t> Encode(const ProtocolMessage& message);
+
+  /// Appends the serialization of `message` to `*out` without clearing
+  /// it — the allocation-free path for senders that reuse a scratch
+  /// buffer across messages (e.g. the reliable transport's per-channel
+  /// framing buffer). `Encode(m)` == the bytes appended here.
+  static void EncodeTo(const ProtocolMessage& message,
+                       std::vector<uint8_t>* out);
 
   /// Exact `Encode(message).size()` without allocating.
   static size_t EncodedSize(const ProtocolMessage& message);

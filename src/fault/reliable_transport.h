@@ -131,7 +131,12 @@ class ReliableTransport : public net::Transport<core::ProtocolMessage> {
     core::ReliableData data;
     data.seq = ch.next_seq++;
     const bool counted = !IsLivenessOnly(payload);
-    data.inner = core::Wire::Encode(payload);
+    // Encode into the channel's scratch buffer (machine-confined, warm
+    // capacity after the first frame — one visitor pass, no counting
+    // pre-pass), then size the frame's own copy exactly.
+    ch.scratch.clear();
+    core::Wire::EncodeTo(payload, &ch.scratch);
+    data.inner = ch.scratch;
     ch.unacked.push_back(Outstanding{data, counted, rt_->Now(), false});
     if (counted) unacked_total_.fetch_add(1, std::memory_order_acq_rel);
     if (window_peak_ != nullptr) {
@@ -197,6 +202,9 @@ class ReliableTransport : public net::Transport<core::ProtocolMessage> {
     uint64_t next_seq = 1;
     std::deque<Outstanding> unacked;
     bool retransmitter_running = false;
+    /// Reused framing buffer (machine-confined like the rest of the
+    /// channel's send state).
+    std::vector<uint8_t> scratch;
   };
   struct Stashed {
     Message message;

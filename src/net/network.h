@@ -2,8 +2,9 @@
 #define LAZYREP_NET_NETWORK_H_
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -41,9 +42,16 @@ namespace lazyrep::net {
 /// *destination's* machine at the absolute arrival time, so handlers run
 /// thread-confined to their site's machine and per-channel FIFO is
 /// preserved by the channel clock + the executor's (due, seq) ordering.
-/// The cross-machine bookkeeping (counters, channel clocks, bus
-/// occupancy, jitter RNG) is guarded by one internal mutex, uncontended
-/// in the sim.
+///
+/// Bookkeeping is sharded so cross-machine posts do not serialize
+/// (docs/PERFORMANCE.md): per-channel wire state (channel clock, link
+/// occupancy) is machine-confined — a channel's `Dispatch` always runs
+/// on its source endpoint's machine — so it needs no synchronization at
+/// all; counters and per-kind metric handles are relaxed atomics; only
+/// the genuinely shared resources — the shared-medium bus clock, the
+/// jitter RNG, and the fault hook's RNG — sit behind a (now tiny)
+/// mutex, and an unfaulted post on a point-to-point or bandwidth-free
+/// configuration takes no lock at all.
 ///
 /// `T` is the payload type; the replication layer instantiates it with its
 /// protocol message variant. Delivery invokes the handler registered for
@@ -81,6 +89,20 @@ class Network : public Transport<T> {
     T payload;
   };
 
+  /// Consolidated counter snapshot — the one read-side accessor. Reads
+  /// are lock-free (relaxed atomic loads, no lock acquisitions); counts
+  /// are exact once the runtime has quiesced, approximate while traffic
+  /// is still flowing under `ThreadRuntime`.
+  struct Stats {
+    uint64_t total_messages = 0;
+    uint64_t total_bytes = 0;
+    /// Messages lost / duplicated by the fault hook (0 without one).
+    uint64_t dropped = 0;
+    uint64_t duplicated = 0;
+    std::vector<uint64_t> sent_from;
+    std::vector<uint64_t> received_at;
+  };
+
   using Handler = std::function<void(Envelope)>;
 
   /// `cpus[i]` is the machine CPU serving endpoint `i` (entries may repeat
@@ -92,13 +114,10 @@ class Network : public Transport<T> {
         cpus_(std::move(cpus)),
         rng_(rng),
         num_endpoints_(num_endpoints),
-        channel_clock_(
-            static_cast<size_t>(num_endpoints) * num_endpoints, 0),
-        link_busy_until_(
-            static_cast<size_t>(num_endpoints) * num_endpoints, 0),
+        channels_(static_cast<size_t>(num_endpoints) * num_endpoints),
         handlers_(num_endpoints),
-        sent_from_(num_endpoints, 0),
-        received_at_(num_endpoints, 0) {
+        sent_from_(num_endpoints),
+        received_at_(num_endpoints) {
     LAZYREP_CHECK_GT(num_endpoints, 0);
     LAZYREP_CHECK_EQ(cpus_.size(), static_cast<size_t>(num_endpoints));
   }
@@ -110,8 +129,11 @@ class Network : public Transport<T> {
   }
 
   /// Optional tracing observer: invoked on every post (`delivered` =
-  /// false) and every delivery (`delivered` = true, just before the
-  /// handler runs). Must be internally synchronized under `kThreads`.
+  /// false, before the delivery is scheduled — so a post event is always
+  /// observed before its deliver event, on every runtime; a fault-hook
+  /// duplicate gets its own post event) and every delivery (`delivered`
+  /// = true, just before the handler runs). Must be internally
+  /// synchronized under `kThreads`.
   using Observer = std::function<void(const Envelope&, bool delivered)>;
   void SetObserver(Observer observer) { observer_ = std::move(observer); }
 
@@ -137,15 +159,25 @@ class Network : public Transport<T> {
 
   /// Optional metrics sink: per-kind posted/delivered/dropped/duplicated
   /// message and byte counters plus an in-flight gauge (with peak).
-  /// `kind_namer` names a payload's message kind for the `kind` label;
-  /// handles are cached per kind under the network lock, so the registry
-  /// mutex is only taken the first time a kind is seen. Must be set
-  /// before traffic starts.
-  using KindNamer = std::function<std::string(const T&)>;
-  void SetMetrics(obs::MetricsRegistry* registry, KindNamer kind_namer) {
+  /// `kind_index` maps a payload to a dense id in [0, num_kinds) (e.g.
+  /// core::MessageMetricKind) and `kind_namer` names an id for the
+  /// `kind` label. Handles live in a fixed-size array indexed by kind
+  /// id, resolved lazily once per kind (a mutex guards registration
+  /// only), so the hot path is an atomic pointer load — no string
+  /// construction, no map lookup, no lock. Must be set before traffic
+  /// starts.
+  using KindIndexer = std::function<int(const T&)>;
+  using KindNamer = std::function<std::string(int)>;
+  void SetMetrics(obs::MetricsRegistry* registry, int num_kinds,
+                  KindIndexer kind_index, KindNamer kind_namer) {
     obs_ = registry;
+    kind_index_ = std::move(kind_index);
     kind_namer_ = std::move(kind_namer);
     if (obs_ == nullptr) return;
+    LAZYREP_CHECK_GT(num_kinds, 0);
+    kind_cells_ = std::vector<std::atomic<KindCounters*>>(
+        static_cast<size_t>(num_kinds));
+    kind_storage_.clear();
     inflight_ = obs_->GetGauge(
         "lazyrep_net_inflight_messages", {},
         "Messages posted (or duplicated) but not yet delivered");
@@ -169,7 +201,8 @@ class Network : public Transport<T> {
   /// Posts a message; never blocks the caller. Messages posted on the same
   /// (src, dst) channel are delivered in post order. Must be called from
   /// the source endpoint's machine (true by construction: only site code
-  /// posts, and site code runs on its own machine).
+  /// posts, and site code runs on its own machine) — that confinement is
+  /// what lets the per-channel wire state go unsynchronized.
   void Post(SiteId src, SiteId dst, T payload) override {
     Check(src);
     Check(dst);
@@ -194,36 +227,43 @@ class Network : public Transport<T> {
     Dispatch(src, dst, loopback, size, std::move(payload));
   }
 
-  uint64_t total_messages() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return total_messages_;
+  Stats Snapshot() const {
+    Stats out;
+    out.total_messages = total_messages_.load(std::memory_order_relaxed);
+    out.total_bytes = total_bytes_.load(std::memory_order_relaxed);
+    out.dropped = dropped_.load(std::memory_order_relaxed);
+    out.duplicated = duplicated_.load(std::memory_order_relaxed);
+    out.sent_from.reserve(sent_from_.size());
+    out.received_at.reserve(received_at_.size());
+    for (const auto& c : sent_from_) {
+      out.sent_from.push_back(c.value.load(std::memory_order_relaxed));
+    }
+    for (const auto& c : received_at_) {
+      out.received_at.push_back(c.value.load(std::memory_order_relaxed));
+    }
+    return out;
   }
-  uint64_t total_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return total_bytes_;
-  }
-  uint64_t sent_from(SiteId s) const {
-    Check(s);
-    std::lock_guard<std::mutex> lock(mu_);
-    return sent_from_[s];
-  }
-  uint64_t received_at(SiteId s) const {
-    Check(s);
-    std::lock_guard<std::mutex> lock(mu_);
-    return received_at_[s];
-  }
-  /// Messages lost / duplicated by the fault hook (0 without one).
-  uint64_t dropped() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return dropped_;
-  }
-  uint64_t duplicated() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return duplicated_;
-  }
+
   const Config& config() const { return config_; }
 
  private:
+  /// Per-(src, dst) wire state. Machine-confined, not synchronized:
+  /// every `Dispatch` for a channel runs on the source endpoint's
+  /// machine (see `Post`), so each cell has exactly one writer-reader
+  /// thread. Cache-line aligned so channels of different machines do
+  /// not false-share.
+  struct alignas(64) Channel {
+    /// FIFO clock: latest arrival time granted on this channel.
+    SimTime clock = 0;
+    /// Point-to-point link occupancy (bandwidth model).
+    SimTime link_busy_until = 0;
+  };
+
+  /// Relaxed per-endpoint counter, padded against false sharing.
+  struct alignas(64) PaddedCounter {
+    std::atomic<uint64_t> value{0};
+  };
+
   runtime::Co<void> ChargeSendCpuThenDispatch(SiteId src, SiteId dst,
                                               bool loopback, size_t size,
                                               T payload) {
@@ -235,80 +275,98 @@ class Network : public Transport<T> {
   /// after any send CPU charge.
   void Dispatch(SiteId src, SiteId dst, bool loopback, size_t size,
                 T payload) {
+    // The fault hook rolls the injector's RNG: shared, serialized.
     FaultDecision fault;
-    SimTime arrive = 0;
-    SimTime dup_arrive = 0;
-    SimTime send_time;
-    {
+    if (fault_hook_) {
       std::lock_guard<std::mutex> lock(mu_);
-      if (fault_hook_) fault = fault_hook_(src, dst);
-      ++sent_from_[src];
-      ++total_messages_;
-      total_bytes_ += size;
-      KindCounters* kc = nullptr;
-      if (obs_ != nullptr) {
-        kc = &CountersFor(kind_namer_ ? kind_namer_(payload) : "msg");
-        kc->posted->Increment();
-        kc->bytes->Increment(size);
-        if (fault.drop) {
-          kc->dropped->Increment();
-        } else {
-          double n = fault.duplicate ? 2 : 1;
-          if (fault.duplicate) kc->duplicated->Increment();
-          inflight_->Add(n);
-          inflight_peak_->MaxWith(inflight_->value());
-        }
-      }
+      fault = fault_hook_(src, dst);
+    }
 
-      // Departure: transmission occupies the medium (shared bus or the
-      // point-to-point link) for size/bandwidth; loopback skips the wire.
-      SimTime depart = rt_->Now();
-      if (!loopback && config_.bandwidth_bytes_per_sec > 0 && size > 0) {
-        Duration tx = static_cast<Duration>(
-            static_cast<double>(size) * static_cast<double>(kSecond) /
-            static_cast<double>(config_.bandwidth_bytes_per_sec));
-        SimTime& busy = config_.shared_medium
-                            ? bus_busy_until_
-                            : link_busy_until_[ChannelIndex(src, dst)];
-        SimTime start = std::max(rt_->Now(), busy);
-        busy = start + tx;
-        depart = busy;
-      }
-
-      Duration lat = config_.latency;
-      if (loopback && config_.loopback_latency >= 0) {
-        lat = config_.loopback_latency;
-      }
-      Duration extra =
-          (!loopback && config_.jitter > 0)
-              ? static_cast<Duration>(rng_.Below(
-                    static_cast<uint64_t>(config_.jitter) + 1))
-              : 0;
-      send_time = rt_->Now();
+    sent_from_[static_cast<size_t>(src)].value.fetch_add(
+        1, std::memory_order_relaxed);
+    total_messages_.fetch_add(1, std::memory_order_relaxed);
+    total_bytes_.fetch_add(size, std::memory_order_relaxed);
+    if (obs_ != nullptr) {
+      KindCounters* kc = CountersFor(payload);
+      kc->posted->Increment();
+      kc->bytes->Increment(size);
       if (fault.drop) {
-        // Lost on the wire: it occupied the medium and counts as sent,
-        // but nothing arrives and the channel clock does not advance.
-        ++dropped_;
-        return;
-      }
-      arrive = depart + lat + extra + fault.extra_delay;
-      // FIFO channel: never deliver before an earlier message on the same
-      // channel. The clamp makes per-channel arrival times strictly
-      // increasing, which is what lets the destination executor's
-      // (due, seq) timer order stand in for delivery order.
-      SimTime& clock = channel_clock_[ChannelIndex(src, dst)];
-      if (arrive <= clock) arrive = clock + 1;
-      clock = arrive;
-      if (fault.duplicate) {
-        ++duplicated_;
-        ++total_messages_;
-        total_bytes_ += size;
-        dup_arrive = clock + 1;
-        clock = dup_arrive;
+        kc->dropped->Increment();
+      } else {
+        double n = fault.duplicate ? 2 : 1;
+        if (fault.duplicate) kc->duplicated->Increment();
+        inflight_->Add(n);
+        inflight_peak_->MaxWith(inflight_->value());
       }
     }
 
+    // Departure: transmission occupies the medium (shared bus or the
+    // point-to-point link) for size/bandwidth; loopback skips the wire.
+    Channel& ch = channels_[ChannelIndex(src, dst)];
+    SimTime depart = rt_->Now();
+    if (!loopback && config_.bandwidth_bytes_per_sec > 0 && size > 0) {
+      Duration tx = static_cast<Duration>(
+          static_cast<double>(size) * static_cast<double>(kSecond) /
+          static_cast<double>(config_.bandwidth_bytes_per_sec));
+      if (config_.shared_medium) {
+        // One bus for every machine: the only wire state that is
+        // genuinely shared.
+        std::lock_guard<std::mutex> lock(mu_);
+        SimTime start = std::max(rt_->Now(), bus_busy_until_);
+        bus_busy_until_ = start + tx;
+        depart = bus_busy_until_;
+      } else {
+        SimTime start = std::max(rt_->Now(), ch.link_busy_until);
+        ch.link_busy_until = start + tx;
+        depart = ch.link_busy_until;
+      }
+    }
+
+    Duration lat = config_.latency;
+    if (loopback && config_.loopback_latency >= 0) {
+      lat = config_.loopback_latency;
+    }
+    Duration extra = 0;
+    if (!loopback && config_.jitter > 0) {
+      // The jitter RNG's draw sequence is part of the deterministic sim
+      // schedule: serialized.
+      std::lock_guard<std::mutex> lock(mu_);
+      extra = static_cast<Duration>(
+          rng_.Below(static_cast<uint64_t>(config_.jitter) + 1));
+    }
+    SimTime send_time = rt_->Now();
+    if (fault.drop) {
+      // Lost on the wire: it occupied the medium and counts as sent,
+      // but nothing arrives and the channel clock does not advance.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    SimTime arrive = depart + lat + extra + fault.extra_delay;
+    // FIFO channel: never deliver before an earlier message on the same
+    // channel. The clamp makes per-channel arrival times strictly
+    // increasing, which is what lets the destination executor's
+    // (due, seq) timer order stand in for delivery order.
+    if (arrive <= ch.clock) arrive = ch.clock + 1;
+    ch.clock = arrive;
+    SimTime dup_arrive = 0;
+    if (fault.duplicate) {
+      duplicated_.fetch_add(1, std::memory_order_relaxed);
+      total_messages_.fetch_add(1, std::memory_order_relaxed);
+      total_bytes_.fetch_add(size, std::memory_order_relaxed);
+      dup_arrive = ch.clock + 1;
+      ch.clock = dup_arrive;
+    }
+
     Envelope env{src, dst, send_time, std::move(payload)};
+    // Post events fire before any delivery is scheduled: once a
+    // delivery is on the destination executor it can run (and trace)
+    // immediately under ThreadRuntime, so observing it first would
+    // break post/deliver pair matching (WriteChromeTrace). A duplicate
+    // counts as its own posted message, so it gets its own post event.
+    if (observer_) {
+      observer_(env, /*delivered=*/false);
+      if (fault.duplicate) observer_(env, /*delivered=*/false);
+    }
     if (fault.duplicate) {
       Envelope copy = env;
       rt_->ScheduleCallbackAtOn(MachineOf(dst), dup_arrive,
@@ -316,7 +374,6 @@ class Network : public Transport<T> {
                                   Deliver(std::move(copy));
                                 });
     }
-    if (observer_) observer_(env, /*delivered=*/false);
     rt_->ScheduleCallbackAtOn(MachineOf(dst), arrive,
                               [this, env = std::move(env)]() mutable {
                                 Deliver(std::move(env));
@@ -336,7 +393,8 @@ class Network : public Transport<T> {
     return machine_of_.empty() ? 0 : machine_of_[static_cast<size_t>(s)];
   }
 
-  /// Names the per-kind counter family cells; call under `mu_`.
+  /// Per-kind counter family cells; resolved once per kind, then reached
+  /// by an atomic pointer load.
   struct KindCounters {
     obs::Counter* posted;
     obs::Counter* delivered;
@@ -344,11 +402,21 @@ class Network : public Transport<T> {
     obs::Counter* dropped;
     obs::Counter* duplicated;
   };
-  KindCounters& CountersFor(const std::string& kind) {
-    auto it = kind_counters_.find(kind);
-    if (it != kind_counters_.end()) return it->second;
-    obs::Labels labels{{"kind", kind}};
-    KindCounters kc{
+  KindCounters* CountersFor(const T& payload) {
+    size_t kind =
+        kind_index_ ? static_cast<size_t>(kind_index_(payload)) : 0;
+    LAZYREP_CHECK_LT(kind, kind_cells_.size());
+    KindCounters* kc = kind_cells_[kind].load(std::memory_order_acquire);
+    if (kc != nullptr) return kc;
+    return RegisterKind(kind);
+  }
+  KindCounters* RegisterKind(size_t kind) {
+    std::lock_guard<std::mutex> lock(kind_register_mu_);
+    KindCounters* kc = kind_cells_[kind].load(std::memory_order_acquire);
+    if (kc != nullptr) return kc;  // Raced with another registrar.
+    obs::Labels labels{
+        {"kind", kind_namer_ ? kind_namer_(static_cast<int>(kind)) : "msg"}};
+    auto fresh = std::make_unique<KindCounters>(KindCounters{
         obs_->GetCounter("lazyrep_net_messages_posted_total", labels,
                          "Messages posted, by message kind"),
         obs_->GetCounter("lazyrep_net_messages_delivered_total", labels,
@@ -359,21 +427,22 @@ class Network : public Transport<T> {
                          "Messages dropped by fault injection, by kind"),
         obs_->GetCounter("lazyrep_net_messages_duplicated_total", labels,
                          "Messages duplicated by fault injection, by kind"),
-    };
-    return kind_counters_.emplace(kind, kc).first->second;
+    });
+    kc = fresh.get();
+    kind_storage_.push_back(std::move(fresh));
+    kind_cells_[kind].store(kc, std::memory_order_release);
+    return kc;
   }
 
-  /// Runs on the destination's machine.
+  /// Runs on the destination's machine. Lock-free: counters are relaxed
+  /// atomics, metric handles are resolved through the kind cache.
   void Deliver(Envelope env) {
     SiteId dst = env.dst;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++received_at_[dst];
-      if (obs_ != nullptr) {
-        CountersFor(kind_namer_ ? kind_namer_(env.payload) : "msg")
-            .delivered->Increment();
-        inflight_->Add(-1);
-      }
+    received_at_[static_cast<size_t>(dst)].value.fetch_add(
+        1, std::memory_order_relaxed);
+    if (obs_ != nullptr) {
+      CountersFor(env.payload)->delivered->Increment();
+      inflight_->Add(-1);
     }
     if (cpus_[dst] != nullptr && config_.recv_cpu > 0 &&
         !(is_control_ && is_control_(env.payload))) {
@@ -401,32 +470,37 @@ class Network : public Transport<T> {
   runtime::Runtime* rt_;
   Config config_;
   std::vector<runtime::Resource*> cpus_;
-  Rng rng_;
+  Rng rng_;  // Guarded by mu_.
   int num_endpoints_;
-  /// Guards the cross-machine bookkeeping below (clocks, bus, RNG,
-  /// counters). Handlers and sizers are set before traffic starts and
-  /// read-only after, so they stay outside the lock.
+  /// Guards only the genuinely shared wire resources: the shared-medium
+  /// bus clock, the jitter RNG, and the fault hook's RNG. Handlers and
+  /// sizers are set before traffic starts and read-only after, so they
+  /// stay outside the lock.
   mutable std::mutex mu_;
-  std::vector<SimTime> channel_clock_;
-  std::vector<SimTime> link_busy_until_;
-  SimTime bus_busy_until_ = 0;
+  std::vector<Channel> channels_;
+  SimTime bus_busy_until_ = 0;  // Guarded by mu_.
   std::vector<Handler> handlers_;
   Observer observer_;
   Sizer sizer_;
   obs::MetricsRegistry* obs_ = nullptr;
+  KindIndexer kind_index_;
   KindNamer kind_namer_;
   obs::Gauge* inflight_ = nullptr;
   obs::Gauge* inflight_peak_ = nullptr;
-  std::map<std::string, KindCounters> kind_counters_;  // Guarded by mu_.
+  /// Fixed-size per-kind handle cache: cells flip nullptr -> pointer
+  /// exactly once, under kind_register_mu_.
+  std::vector<std::atomic<KindCounters*>> kind_cells_;
+  std::vector<std::unique_ptr<KindCounters>> kind_storage_;
+  std::mutex kind_register_mu_;
   FaultHook fault_hook_;
   ControlClassifier is_control_;
   std::vector<int> machine_of_;
-  std::vector<uint64_t> sent_from_;
-  std::vector<uint64_t> received_at_;
-  uint64_t total_messages_ = 0;
-  uint64_t total_bytes_ = 0;
-  uint64_t dropped_ = 0;
-  uint64_t duplicated_ = 0;
+  std::vector<PaddedCounter> sent_from_;
+  std::vector<PaddedCounter> received_at_;
+  std::atomic<uint64_t> total_messages_{0};
+  std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> duplicated_{0};
 };
 
 }  // namespace lazyrep::net

@@ -49,7 +49,11 @@ ThreadRuntime::Executor& ThreadRuntime::ExecutorFor(int machine) {
 
 void ThreadRuntime::Enqueue(int machine, Work w, SimTime due) {
   Executor& ex = ExecutorFor(machine);
-  {
+  if (tls_machine == machine) {
+    // Own executor: the run loop is between drains (it only releases
+    // `mu` while running this very work item), so push straight into
+    // the run queues — no wakeup needed, the loop re-checks them before
+    // it can sleep.
     std::lock_guard<std::mutex> lock(ex.mu);
     if (due < 0) {
       ex.ready.push_back(std::move(w));
@@ -57,8 +61,43 @@ void ThreadRuntime::Enqueue(int machine, Work w, SimTime due) {
       ex.timers.push_back(Timer{due, ex.next_timer_seq++, std::move(w)});
       std::push_heap(ex.timers.begin(), ex.timers.end());
     }
+    return;
   }
-  ex.cv.notify_one();
+  // Remote producer: append to the inject queue. `ex.mu` is skipped on
+  // this path — the run loop holds it almost continuously, while
+  // `inject_mu` is only ever taken for quick appends and batch drains.
+  {
+    std::lock_guard<std::mutex> lock(ex.inject_mu);
+    ex.inject.push_back(InjectedWork{std::move(w), due});
+    ex.inject_size.store(ex.inject.size(), std::memory_order_release);
+  }
+  // Wakeup elision: if the loop is awake it will drain the queue on its
+  // next iteration. If it published !awake, it re-checks the inject
+  // queue (under inject_mu) before sleeping — our push above is visible
+  // to that check, or else the check preceded the push, in which case
+  // the `awake` store is visible here and we take the slow path. The
+  // empty mu critical section cannot complete until the sleeper is
+  // inside cv.wait (it holds mu until then), so the notify cannot be
+  // lost.
+  if (!ex.awake.load(std::memory_order_seq_cst)) {
+    { std::lock_guard<std::mutex> lock(ex.mu); }
+    ex.cv.notify_one();
+  }
+}
+
+void ThreadRuntime::DrainInject(Executor& ex) {
+  std::lock_guard<std::mutex> lock(ex.inject_mu);
+  for (InjectedWork& iw : ex.inject) {
+    if (iw.due < 0) {
+      ex.ready.push_back(std::move(iw.work));
+    } else {
+      ex.timers.push_back(
+          Timer{iw.due, ex.next_timer_seq++, std::move(iw.work)});
+      std::push_heap(ex.timers.begin(), ex.timers.end());
+    }
+  }
+  ex.inject.clear();
+  ex.inject_size.store(0, std::memory_order_release);
 }
 
 void ThreadRuntime::SpawnOn(int machine, Co<void> co) {
@@ -116,6 +155,11 @@ void ThreadRuntime::RunLoop(int machine) {
   Executor& ex = *execs_[static_cast<size_t>(machine)];
   std::unique_lock<std::mutex> lock(ex.mu);
   while (!ex.stop) {
+    // Absorb cross-thread work in one batch (skipped lock-free when the
+    // inject queue is empty).
+    if (ex.inject_size.load(std::memory_order_acquire) != 0) {
+      DrainInject(ex);
+    }
     // Promote due timers to the ready queue in (due, seq) order.
     SimTime now = Now();
     while (!ex.timers.empty() && ex.timers.front().due <= now) {
@@ -137,12 +181,28 @@ void ThreadRuntime::RunLoop(int machine) {
       lock.lock();
       continue;
     }
+    // Sleep handshake with Enqueue's wakeup elision: publish !awake,
+    // then re-check the inject queue under its lock — a producer whose
+    // push preceded this check is seen here; one whose push followed it
+    // observes !awake and takes the notify path, where the empty `mu`
+    // critical section serializes it behind our entry into cv.wait.
+    ex.awake.store(false, std::memory_order_seq_cst);
+    bool injected;
+    {
+      std::lock_guard<std::mutex> inject_lock(ex.inject_mu);
+      injected = !ex.inject.empty();
+    }
+    if (injected) {
+      ex.awake.store(true, std::memory_order_seq_cst);
+      continue;  // Drained at the top of the loop.
+    }
     if (ex.timers.empty()) {
       ex.cv.wait(lock);
     } else {
       ex.cv.wait_until(
           lock, epoch_ + std::chrono::nanoseconds(ex.timers.front().due));
     }
+    ex.awake.store(true, std::memory_order_seq_cst);
   }
   tls_machine = kNoMachine;
 }
@@ -164,6 +224,8 @@ void ThreadRuntime::Shutdown() {
   for (auto& ex : execs_) {
     ex->ready.clear();
     ex->timers.clear();
+    ex->inject.clear();
+    ex->inject_size.store(0, std::memory_order_release);
   }
   std::unordered_map<uint64_t, std::coroutine_handle<RootPromise>> roots;
   {

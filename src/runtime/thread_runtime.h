@@ -1,6 +1,7 @@
 #ifndef LAZYREP_RUNTIME_THREAD_RUNTIME_H_
 #define LAZYREP_RUNTIME_THREAD_RUNTIME_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <coroutine>
@@ -108,13 +109,32 @@ class ThreadRuntime final : public Runtime {
     }
   };
 
+  /// Cross-thread work awaiting transfer into the run queues.
+  struct InjectedWork {
+    Work work;
+    SimTime due;
+  };
+
   struct Executor {
+    /// Run-loop state (ready/timers/stop): owned by the executor
+    /// thread, which holds `mu` except while running a work item.
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Work> ready;
     std::vector<Timer> timers;  // Heap on (due, seq).
     uint64_t next_timer_seq = 0;
     bool stop = false;
+    /// MPSC inject queue: remote producers append under `inject_mu`
+    /// (never held while the run loop executes work, so cross-machine
+    /// posts stop contending with the run-loop mutex) and the run loop
+    /// drains it in batches. `inject_size` lets the loop skip the lock
+    /// when the queue is empty; `awake` lets producers skip the
+    /// condition-variable notify while the loop is known to be running
+    /// (see Enqueue/RunLoop for the sleep handshake).
+    std::mutex inject_mu;
+    std::vector<InjectedWork> inject;
+    std::atomic<size_t> inject_size{0};
+    std::atomic<bool> awake{true};
     std::thread thread;
   };
 
@@ -122,6 +142,9 @@ class ThreadRuntime final : public Runtime {
   void ReleaseRoot(uint64_t id);
   void RunLoop(int machine);
   Executor& ExecutorFor(int machine);
+  /// Moves every injected item into the ready queue / timer heap.
+  /// Called by the run loop with `ex.mu` held.
+  void DrainInject(Executor& ex);
   /// `due < 0` means "run as soon as possible" (ready queue, FIFO);
   /// otherwise the work goes through the timer heap at absolute `due`.
   void Enqueue(int machine, Work w, SimTime due);

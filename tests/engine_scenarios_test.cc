@@ -73,9 +73,10 @@ TEST(DagWtScenario, UpdateIsRelayedThroughTheChain) {
   EXPECT_EQ(sys.database(1).store().Get(0).value(), v);
   EXPECT_EQ(sys.database(2).store().Get(0).value(), v);
   // Chain 0-1-2: the update travelled 0->1 and 1->2; never 0->2 directly.
-  EXPECT_EQ(sys.network().sent_from(0), 1u);
-  EXPECT_EQ(sys.network().sent_from(1), 1u);
-  EXPECT_EQ(sys.network().total_messages(), 2u);
+  ProtocolNetwork::Stats net = sys.network().Snapshot();
+  EXPECT_EQ(net.sent_from[0], 1u);
+  EXPECT_EQ(net.sent_from[1], 1u);
+  EXPECT_EQ(net.total_messages, 2u);
 }
 
 TEST(DagWtScenario, IrrelevantChildrenAreSkipped) {
@@ -87,7 +88,7 @@ TEST(DagWtScenario, IrrelevantChildrenAreSkipped) {
   System& sys = **system;
   ASSERT_TRUE(sys.RunOneTransaction(1, Write({1})).ok());
   sys.DrainPropagation();
-  EXPECT_EQ(sys.network().total_messages(), 1u);
+  EXPECT_EQ(sys.network().Snapshot().total_messages, 1u);
   EXPECT_EQ(sys.database(2).store().Get(1).value(),
             sys.database(1).store().Get(1).value());
 }
@@ -143,7 +144,7 @@ TEST(DagWtScenario, BatchingCutsMessagesAndPreservesEverything) {
       int versions;
       bool serializable;
     };
-    return Out{sys.network().total_messages(),
+    return Out{sys.network().Snapshot().total_messages,
                sys.database(1).store().Get(0).value(),
                sys.database(2).store().Get(0).value(),
                static_cast<int>(sys.database(2).store().Version(0)),
@@ -239,7 +240,7 @@ TEST(DagTScenario, UpdatesGoDirectlyToReplicaSites) {
   sys.DrainPropagation();
   // Messages depart only after the sender's per-message CPU is paid, so
   // the counter is checked after the drain. Direct to sites 1 and 2.
-  EXPECT_GE(sys.network().sent_from(0), 2u);
+  EXPECT_GE(sys.network().Snapshot().sent_from[0], 2u);
   EXPECT_EQ(sys.database(2).store().Get(0).value(),
             sys.database(0).store().Get(0).value());
 }
@@ -277,7 +278,7 @@ TEST(BackEdgeScenario, DownhillUpdateStaysLazy) {
   auto& engine0 = dynamic_cast<BackEdgeEngine&>(sys.engine(0));
   EXPECT_EQ(engine0.backedge_txns(), 0u);
   // One lazy secondary message only — no 2PC traffic.
-  EXPECT_EQ(sys.network().total_messages(), 1u);
+  EXPECT_EQ(sys.network().Snapshot().total_messages, 1u);
 }
 
 TEST(BackEdgeScenario, Example41GlobalDeadlockResolvedPerPaper) {
@@ -453,7 +454,7 @@ TEST(PslScenario, LocalReadsNeverContactTheNetwork) {
   System& sys = **system;
   TxnSpec spec = ReadThenWrite(0, 0);  // Item 0 is local at site 0.
   ASSERT_TRUE(sys.RunOneTransaction(0, spec).ok());
-  EXPECT_EQ(sys.network().total_messages(), 0u);
+  EXPECT_EQ(sys.network().Snapshot().total_messages, 0u);
 }
 
 TEST(PslScenario, ConflictSerializedAtThePrimary) {
@@ -542,7 +543,7 @@ TEST(NaiveScenario, DirectFanoutWithoutOrderingControl) {
   sys.DrainPropagation();
   // Direct to both replica holders (like DAG(T), unlike DAG(WT));
   // counted after the drain since departure follows the send CPU charge.
-  EXPECT_EQ(sys.network().sent_from(0), 2u);
+  EXPECT_EQ(sys.network().Snapshot().sent_from[0], 2u);
   EXPECT_EQ(sys.database(2).store().Get(0).value(),
             sys.database(0).store().Get(0).value());
 }

@@ -187,8 +187,9 @@ TEST(ReliableTransportTest, RestoresExactlyOnceFifoUnderDropDupDelay) {
   ASSERT_EQ(got.size(), static_cast<size_t>(kMessages));
   for (int64_t i = 0; i < kMessages; ++i) EXPECT_EQ(got[i], i);
   EXPECT_TRUE(transport.Quiescent());
-  EXPECT_GT(net.dropped(), 0u);
-  EXPECT_GT(net.duplicated(), 0u);
+  ProtocolNetwork::Stats stats = net.Snapshot();
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_GT(stats.duplicated, 0u);
   EXPECT_GT(transport.retransmissions(), 0u);
   EXPECT_GT(transport.duplicates_discarded(), 0u);
 }
@@ -295,7 +296,7 @@ void RunChaos(Protocol protocol, RuntimeKind kind, uint64_t seed,
   EXPECT_EQ(replayed.Snapshot(), db.store().Snapshot());
 
   if (counters != nullptr) {
-    counters->dropped += sys.network().dropped();
+    counters->dropped += sys.network().Snapshot().dropped;
     counters->retransmissions += sys.transport()->retransmissions();
     counters->duplicates_discarded +=
         sys.transport()->duplicates_discarded();

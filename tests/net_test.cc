@@ -1,21 +1,31 @@
 // Tests for the simulated network (src/net): reliable delivery, FIFO
 // channels, latency/jitter, CPU charging.
 
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "net/network.h"
 #include "runtime/primitives.h"
+#include "runtime/runtime.h"
 #include "runtime/sim_runtime.h"
+#include "runtime/thread_runtime.h"
 
 namespace lazyrep::net {
 namespace {
 
 using runtime::Co;
 using runtime::Resource;
+using runtime::Runtime;
+using runtime::RuntimeKind;
 using runtime::SimRuntime;
+using runtime::ThreadRuntime;
+using runtime::WaitGroup;
 using sim::Simulator;
 
 using IntNet = Network<int>;
@@ -104,12 +114,13 @@ TEST(NetworkTest, CountsMessages) {
   net.Post(0, 2, 2);
   net.Post(1, 2, 3);
   sim.Run();
-  EXPECT_EQ(net.total_messages(), 3u);
-  EXPECT_EQ(net.sent_from(0), 2u);
-  EXPECT_EQ(net.sent_from(1), 1u);
-  EXPECT_EQ(net.received_at(2), 2u);
-  EXPECT_EQ(net.received_at(1), 1u);
-  EXPECT_EQ(net.received_at(0), 0u);
+  IntNet::Stats stats = net.Snapshot();
+  EXPECT_EQ(stats.total_messages, 3u);
+  EXPECT_EQ(stats.sent_from[0], 2u);
+  EXPECT_EQ(stats.sent_from[1], 1u);
+  EXPECT_EQ(stats.received_at[2], 2u);
+  EXPECT_EQ(stats.received_at[1], 1u);
+  EXPECT_EQ(stats.received_at[0], 0u);
 }
 
 TEST(NetworkTest, ReceiveCpuDelaysHandlerAndChargesMachine) {
@@ -225,11 +236,12 @@ TEST(NetworkTest, FaultHookDropsDuplicatesAndDelays) {
   EXPECT_EQ(got[1].first, 2);
   EXPECT_EQ(got[2].first, 3);
   EXPECT_GE(got[2].second, Millis(6));  // 1 wire + 5 injected.
-  EXPECT_EQ(net.dropped(), 1u);
-  EXPECT_EQ(net.duplicated(), 1u);
+  IntNet::Stats stats = net.Snapshot();
+  EXPECT_EQ(stats.dropped, 1u);
+  EXPECT_EQ(stats.duplicated, 1u);
   // Dropped and duplicated messages still count as traffic (they used
   // the wire); 3 posts + 1 duplicate.
-  EXPECT_EQ(net.total_messages(), 4u);
+  EXPECT_EQ(stats.total_messages, 4u);
 }
 
 TEST(NetworkTest, JitterIsDeterministicUnderSeed) {
@@ -264,7 +276,7 @@ TEST(NetworkTest, BandwidthAddsTransmissionTime) {
   sim.Run();
   // 10 bytes at 1 B/ms = 10 ms transmission + 1 ms latency.
   EXPECT_EQ(arrived, Millis(11));
-  EXPECT_EQ(net.total_bytes(), 10u);
+  EXPECT_EQ(net.Snapshot().total_bytes, 10u);
 }
 
 TEST(NetworkTest, SharedMediumSerializesAllChannels) {
@@ -351,6 +363,198 @@ TEST(NetworkTest, FifoPreservedUnderBandwidthAndJitter) {
   ASSERT_EQ(got.size(), 40u);
   for (int i = 0; i < 40; ++i) EXPECT_EQ(got[i], i);
 }
+
+// Regression for the observer event-order race: post events must be
+// emitted before the delivery (and any duplicate's delivery) is handed
+// to the destination executor. Under ThreadRuntime a scheduled delivery
+// can run immediately, so emitting the post event after scheduling let
+// a deliver trace precede its own post. The observer below checks the
+// prefix invariant delivers <= posts at every event.
+TEST(NetworkTest, ObserverPostAlwaysPrecedesDeliverUnderThreads) {
+  constexpr int kMessages = 200;
+  ThreadRuntime rt(2);
+  IntNet net(&rt, 2, NoCpuConfig(0), {nullptr, nullptr}, Rng(11));
+  net.SetMachineMap({0, 1});
+  std::atomic<uint64_t> handled{0};
+  net.SetHandler(1, [&](IntNet::Envelope) {
+    handled.fetch_add(1, std::memory_order_relaxed);
+  });
+  // Duplicate everything: the duplicate's post event is the one the old
+  // code emitted last, after both deliveries were already runnable.
+  net.SetFaultHook([](SiteId, SiteId) {
+    FaultDecision d;
+    d.duplicate = true;
+    return d;
+  });
+  std::mutex obs_mu;
+  uint64_t posts = 0;
+  uint64_t delivers = 0;
+  uint64_t violations = 0;
+  net.SetObserver([&](const IntNet::Envelope&, bool delivered) {
+    std::lock_guard<std::mutex> lock(obs_mu);
+    if (delivered) {
+      ++delivers;
+      if (delivers > posts) ++violations;
+    } else {
+      ++posts;
+    }
+  });
+  rt.Start();
+  WaitGroup wg(&rt);
+  wg.Add(1);
+  rt.SpawnOn(0, [](Runtime* r, IntNet* n, WaitGroup* w) -> Co<void> {
+    for (int i = 0; i < kMessages; ++i) {
+      n->Post(0, 1, i);
+      co_await r->Delay(0);
+    }
+    w->Done();
+  }(&rt, &net, &wg));
+  ASSERT_TRUE(wg.WaitBlocking(Seconds(30))) << "posting hung";
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (handled.load(std::memory_order_relaxed) < 2 * kMessages &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  rt.Shutdown();
+  ASSERT_EQ(handled.load(), 2u * kMessages) << "deliveries missing";
+  std::lock_guard<std::mutex> lock(obs_mu);
+  EXPECT_EQ(violations, 0u) << "a deliver event preceded its post event";
+  // Every message and its duplicate got a post event and a deliver
+  // event of their own.
+  EXPECT_EQ(posts, 2u * kMessages);
+  EXPECT_EQ(delivers, 2u * kMessages);
+}
+
+// Contention hammer, run against BOTH runtime backends: every site
+// floods every other site concurrently (with jitter, bandwidth, and a
+// deterministic per-channel fault pattern), then the test checks
+// per-channel FIFO content and posted == delivered + dropped
+// conservation from the consolidated Snapshot().
+class NetworkBackendTest : public ::testing::TestWithParam<RuntimeKind> {
+ protected:
+  std::unique_ptr<Runtime> MakeRt(int machines) {
+    if (GetParam() == RuntimeKind::kThreads) {
+      return std::make_unique<ThreadRuntime>(machines);
+    }
+    return std::make_unique<SimRuntime>();
+  }
+};
+
+TEST_P(NetworkBackendTest, ContentionHammerKeepsFifoAndConservation) {
+  constexpr int kSites = 4;
+  constexpr int kPerChannel = 50;
+  constexpr int kDropEvery = 7;  // Per channel: drop posts 3, 10, 17, ...
+  std::unique_ptr<Runtime> rt = MakeRt(kSites);
+  IntNet::Config cfg;
+  cfg.latency = Micros(50);
+  cfg.jitter = Micros(200);  // Exercises the shared RNG critical section.
+  cfg.bandwidth_bytes_per_sec = 1250000;
+  cfg.shared_medium = false;  // Point-to-point: lock-free link clocks.
+  IntNet net(rt.get(), kSites, cfg,
+             std::vector<Resource*>(kSites, nullptr), Rng(23));
+  net.SetSizer([](const int&) { return static_cast<size_t>(64); });
+  std::vector<int> machine_of(kSites);
+  for (int s = 0; s < kSites; ++s) machine_of[s] = s;
+  net.SetMachineMap(machine_of);
+  // Deterministic per-channel drop pattern. The hook runs inside the
+  // network's fault critical section, so the counters need no extra
+  // synchronization.
+  std::vector<int> hook_calls(kSites * kSites, 0);
+  net.SetFaultHook([&](SiteId src, SiteId dst) {
+    FaultDecision d;
+    int n = hook_calls[static_cast<size_t>(src) * kSites + dst]++;
+    d.drop = (n % kDropEvery == 3);
+    return d;
+  });
+  // got[src][dst] is only touched from dst's machine (handlers are
+  // machine-confined), so the inner vectors need no locking.
+  std::vector<std::vector<std::vector<int>>> got(
+      kSites, std::vector<std::vector<int>>(kSites));
+  std::atomic<uint64_t> handled{0};
+  for (SiteId dst = 0; dst < kSites; ++dst) {
+    net.SetHandler(dst, [&, dst](IntNet::Envelope env) {
+      got[static_cast<size_t>(env.src)][static_cast<size_t>(dst)]
+          .push_back(env.payload);
+      handled.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  rt->Start();
+  WaitGroup wg(rt.get());
+  wg.Add(kSites);
+  for (SiteId src = 0; src < kSites; ++src) {
+    rt->SpawnOn(src, [](Runtime* r, IntNet* n, SiteId s,
+                        WaitGroup* w) -> Co<void> {
+      for (int i = 0; i < kPerChannel; ++i) {
+        for (SiteId dst = 0; dst < kSites; ++dst) {
+          if (dst != s) n->Post(s, dst, i);
+        }
+        co_await r->Delay(0);  // Yield so the floods interleave.
+      }
+      w->Done();
+    }(rt.get(), &net, src, &wg));
+  }
+  constexpr uint64_t kPosts =
+      static_cast<uint64_t>(kSites) * (kSites - 1) * kPerChannel;
+  // Per channel, payloads 3, 10, 17, ... are dropped.
+  uint64_t dropped_per_channel = 0;
+  for (int i = 0; i < kPerChannel; ++i) {
+    if (i % kDropEvery == 3) ++dropped_per_channel;
+  }
+  const uint64_t kDropped =
+      static_cast<uint64_t>(kSites) * (kSites - 1) * dropped_per_channel;
+  if (rt->concurrent()) {
+    ASSERT_TRUE(wg.WaitBlocking(Seconds(30))) << "posting hung";
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (handled.load(std::memory_order_relaxed) < kPosts - kDropped &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  } else {
+    static_cast<SimRuntime*>(rt.get())->simulator()->Run();
+  }
+  rt->Shutdown();
+
+  // Conservation, from the consolidated snapshot.
+  IntNet::Stats stats = net.Snapshot();
+  EXPECT_EQ(stats.total_messages, kPosts);
+  EXPECT_EQ(stats.dropped, kDropped);
+  EXPECT_EQ(stats.duplicated, 0u);
+  EXPECT_EQ(stats.total_bytes, kPosts * 64);
+  uint64_t delivered = 0;
+  for (SiteId s = 0; s < kSites; ++s) {
+    EXPECT_EQ(stats.sent_from[static_cast<size_t>(s)],
+              static_cast<uint64_t>(kSites - 1) * kPerChannel);
+    delivered += stats.received_at[static_cast<size_t>(s)];
+  }
+  EXPECT_EQ(delivered, kPosts - kDropped)
+      << "posted != delivered + dropped";
+
+  // Per-channel FIFO: each channel received exactly the non-dropped
+  // payloads, in post order.
+  std::vector<int> expected;
+  for (int i = 0; i < kPerChannel; ++i) {
+    if (i % kDropEvery != 3) expected.push_back(i);
+  }
+  for (SiteId src = 0; src < kSites; ++src) {
+    for (SiteId dst = 0; dst < kSites; ++dst) {
+      if (src == dst) continue;
+      EXPECT_EQ(got[static_cast<size_t>(src)][static_cast<size_t>(dst)],
+                expected)
+          << "channel " << src << " -> " << dst;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, NetworkBackendTest,
+                         ::testing::Values(RuntimeKind::kSim,
+                                           RuntimeKind::kThreads),
+                         [](const auto& info) {
+                           return info.param == RuntimeKind::kThreads
+                                      ? "Threads"
+                                      : "Sim";
+                         });
 
 TEST(NetworkTest, StringPayloads) {
   SimRuntime rt;

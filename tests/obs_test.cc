@@ -310,7 +310,7 @@ TEST(ObsSystemTest, ThreadsRuntimeSnapshotIsCoherent) {
     }
   }
   EXPECT_EQ(posted, delivered);
-  EXPECT_EQ(posted, (*system)->network().total_messages());
+  EXPECT_EQ(posted, (*system)->network().Snapshot().total_messages);
 }
 
 // The traced sim run exports a loadable Chrome trace with one complete
@@ -330,7 +330,7 @@ TEST(ObsSystemTest, SystemChromeTraceMatchesNetworkTally) {
        pos = json.find("\"ph\":\"X\"", pos + 1)) {
     ++slices;
   }
-  EXPECT_EQ(slices, (*system)->network().total_messages());
+  EXPECT_EQ(slices, (*system)->network().Snapshot().total_messages);
 }
 
 }  // namespace

@@ -93,6 +93,36 @@ TEST(TimestampTest, ExtendedWithAppendsOwnTuple) {
   EXPECT_EQ(parent.tuples().size(), 1u);
 }
 
+TEST(TimestampTest, InlineStorageSurvivesHeapSpill) {
+  // The tuple vector stores up to 4 tuples inline and spills wholly to
+  // the heap past that. Copy, extend, and compare must behave
+  // identically on both sides of the 4 -> 5 boundary.
+  Timestamp ts = Timestamp::Initial(0);  // 1 tuple, inline.
+  for (SiteId s = 1; s <= 6; ++s) {
+    Timestamp bigger = ts.ExtendedWith(s, s + 10, /*epoch=*/0);
+    ASSERT_EQ(bigger.tuples().size(), static_cast<size_t>(s) + 1);
+    // A strict prefix is strictly smaller — across the boundary too.
+    EXPECT_LT(Timestamp::Compare(ts, bigger), 0);
+    // Deep copy at every size: equal now, and still equal after the
+    // original grows (no shared storage).
+    Timestamp copy = bigger;
+    EXPECT_EQ(Timestamp::Compare(copy, bigger), 0);
+    EXPECT_TRUE(copy.tuples() == bigger.tuples());
+    ts = bigger;  // Move-assign walks the boundary as well.
+  }
+  ASSERT_EQ(ts.tuples().size(), 7u);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(ts.tuples()[i].site, static_cast<SiteId>(i));
+    EXPECT_EQ(ts.tuples()[i].lts, i == 0 ? 0 : static_cast<int64_t>(i) + 10);
+  }
+  // Equality against a plain tuple vector (the pre-small-vector
+  // representation) works on the heap side.
+  std::vector<TsTuple> plain(ts.tuples().begin(), ts.tuples().end());
+  EXPECT_TRUE(ts.tuples() == plain);
+  plain[5].lts = 999;
+  EXPECT_FALSE(ts.tuples() == plain);
+}
+
 TEST(TimestampTest, SecondaryCommitRuleFromPaper) {
   // §3.2's walkthrough: when T1 (ts (s1,1)) commits at s2 whose LTS is 0,
   // the site timestamp becomes (s1,1)(s2,0).

@@ -110,9 +110,9 @@ TEST(SystemTraceTest, CapturesCommitsAndMessages) {
             metrics.committed);
   // Post and deliver counts match and equal the network's tally.
   EXPECT_EQ(trace.OfKind(TraceEvent::Kind::kMsgPost).size(),
-            sys.network().total_messages());
+            sys.network().Snapshot().total_messages);
   EXPECT_EQ(trace.OfKind(TraceEvent::Kind::kMsgDeliver).size(),
-            sys.network().total_messages());
+            sys.network().Snapshot().total_messages);
   // Aborts traced with a reason.
   if (metrics.aborted > 0) {
     auto aborts = trace.OfKind(TraceEvent::Kind::kTxnAbort);

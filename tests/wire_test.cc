@@ -146,6 +146,25 @@ TEST(WireTest, SizesAreCompact) {
   EXPECT_LE(Wire::EncodedSize(ProtocolMessage(SampleUpdate())), 64u);
 }
 
+TEST(WireTest, EncodeToAppendsWithoutClearing) {
+  // The allocation-free path: EncodeTo appends to whatever is already
+  // in the buffer (ReliableTransport reuses a per-channel scratch this
+  // way) and produces exactly the bytes Encode would.
+  ProtocolMessage m(SampleUpdate());
+  std::vector<uint8_t> direct = Wire::Encode(m);
+  EXPECT_EQ(direct.size(), Wire::EncodedSize(m));
+  std::vector<uint8_t> buf = {0xAB, 0xCD};
+  Wire::EncodeTo(m, &buf);
+  ASSERT_EQ(buf.size(), direct.size() + 2);
+  EXPECT_EQ(buf[0], 0xAB);
+  EXPECT_EQ(buf[1], 0xCD);
+  EXPECT_EQ(std::vector<uint8_t>(buf.begin() + 2, buf.end()), direct);
+  // Reused scratch: clear + re-encode matches a fresh encoding.
+  buf.clear();
+  Wire::EncodeTo(m, &buf);
+  EXPECT_EQ(buf, direct);
+}
+
 TEST(WireDecodeTest, RejectsGarbage) {
   EXPECT_FALSE(Wire::Decode({}).ok());
   EXPECT_FALSE(Wire::Decode({0xFF}).ok());        // Unknown tag.
@@ -167,6 +186,69 @@ TEST(WireDecodeTest, TruncationFuzz) {
     std::vector<uint8_t> prefix(bytes.begin(),
                                 bytes.begin() + static_cast<long>(n));
     EXPECT_FALSE(Wire::Decode(prefix).ok()) << "prefix length " << n;
+  }
+}
+
+TEST(WireDecodeTest, RejectsOversizedCounts) {
+  // A hostile length prefix is rejected up front (no element can be
+  // smaller than its minimum wire size, so a count exceeding
+  // remaining/min_size is provably bad) — decode must fail without
+  // attempting a huge reserve. Each case hand-builds a valid prefix and
+  // then lies in the count field.
+  {
+    // SecondaryUpdate (tag 0) claiming 2^40 timestamp tuples.
+    std::vector<uint8_t> bytes = {0x00};
+    Wire::PutSigned(&bytes, 1);        // origin.origin_site
+    Wire::PutSigned(&bytes, 2);        // origin.seq
+    Wire::PutSigned(&bytes, 1);        // origin_site
+    Wire::PutSigned(&bytes, 0);        // origin_commit_time
+    bytes.push_back(0x00);             // flags
+    Wire::PutSigned(&bytes, 0);        // ts epoch
+    Wire::PutVarint(&bytes, 1ull << 40);  // ts tuple count: absurd
+    EXPECT_FALSE(Wire::Decode(bytes).ok());
+  }
+  {
+    // SecondaryUpdate with a valid (empty) timestamp but an absurd
+    // write count.
+    std::vector<uint8_t> bytes = {0x00};
+    Wire::PutSigned(&bytes, 1);
+    Wire::PutSigned(&bytes, 2);
+    Wire::PutSigned(&bytes, 1);
+    Wire::PutSigned(&bytes, 0);
+    bytes.push_back(0x00);
+    Wire::PutSigned(&bytes, 0);        // ts epoch
+    Wire::PutVarint(&bytes, 0);        // ts tuple count
+    Wire::PutVarint(&bytes, 1ull << 40);  // write count: absurd
+    EXPECT_FALSE(Wire::Decode(bytes).ok());
+  }
+  {
+    // SecondaryBatch (tag 10) claiming 2^40 inner updates.
+    std::vector<uint8_t> bytes = {0x0A};
+    Wire::PutVarint(&bytes, 1ull << 40);
+    EXPECT_FALSE(Wire::Decode(bytes).ok());
+  }
+  {
+    // ReliableData (tag 11) whose inner length exceeds the remaining
+    // bytes by one — the bulk copy must not read past the buffer.
+    std::vector<uint8_t> bytes = {0x0B};
+    Wire::PutVarint(&bytes, 42);       // seq
+    Wire::PutVarint(&bytes, 5);        // inner length...
+    bytes.insert(bytes.end(), {1, 2, 3, 4});  // ...but only 4 bytes.
+    EXPECT_FALSE(Wire::Decode(bytes).ok());
+    bytes.push_back(5);  // Now exactly 5: must decode.
+    Result<ProtocolMessage> ok = Wire::Decode(bytes);
+    ASSERT_TRUE(ok.ok());
+    const auto& rd = std::get<ReliableData>(*ok);
+    EXPECT_EQ(rd.seq, 42u);
+    EXPECT_EQ(rd.inner, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  }
+  {
+    // ReliableData with a 2^50 length prefix: rejected before any
+    // allocation.
+    std::vector<uint8_t> bytes = {0x0B};
+    Wire::PutVarint(&bytes, 0);
+    Wire::PutVarint(&bytes, 1ull << 50);
+    EXPECT_FALSE(Wire::Decode(bytes).ok());
   }
 }
 
