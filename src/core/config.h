@@ -8,6 +8,7 @@
 #include "fault/fault_plan.h"
 #include "graph/copy_graph.h"
 #include "runtime/runtime.h"
+#include "sim/schedule_policy.h"
 #include "storage/database.h"
 #include "storage/lock_manager.h"
 #include "workload/params.h"
@@ -150,6 +151,12 @@ struct SystemConfig {
   /// additionally require `enable_wal` and one of the lazy tree
   /// protocols (DAG(WT)/DAG(T)/BackEdge) with batching off.
   std::optional<fault::FaultPlan> faults;
+  /// Schedule-exploration perturbations (lazychk, docs/CHECKING.md):
+  /// seeded random tie-breaks, delivery jitter and lock-grant order.
+  /// Requires the sim runtime (rejected under `kThreads` — perturbation
+  /// presumes a replayable schedule). Absent or all-dimensions-off
+  /// leaves every schedule bit-for-bit identical to the default.
+  std::optional<sim::SchedulePolicyConfig> schedule;
   /// Explicit placement; when absent one is generated from `workload`.
   std::optional<graph::Placement> placement;
   /// Measurement warmup: transactions that start before this much

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <latch>
 #include <thread>
 
@@ -146,6 +148,23 @@ Status System::Build() {
     }
   }
 
+  // Schedule perturbation (lazychk): a seeded policy perturbs event
+  // tie-breaks, delivery delays and lock-grant order. Only meaningful —
+  // and only replayable — on the deterministic sim backend.
+  if (config_.schedule.has_value() && config_.schedule->enabled()) {
+    if (config_.runtime != runtime::RuntimeKind::kSim) {
+      return Status::InvalidArgument(
+          "schedule perturbation requires the sim runtime (a perturbed "
+          "schedule must be replayable from its seed)");
+    }
+    if (config_.schedule->delivery_jitter_max < 0) {
+      return Status::InvalidArgument("delivery_jitter_max must be >= 0");
+    }
+    schedule_policy_ =
+        std::make_unique<sim::SchedulePolicy>(*config_.schedule);
+    simulator().SetSchedulePolicy(schedule_policy_.get());
+  }
+
   // Placement: explicit override or generated per §5.2.
   graph::Placement placement =
       config_.placement.has_value()
@@ -199,6 +218,11 @@ Status System::Build() {
     }
     network_->SetMachineMap(std::move(machine_of_site));
   }
+  if (schedule_policy_ != nullptr &&
+      schedule_policy_->config().delivery_jitter_max > 0) {
+    network_->SetDelayHook(
+        [this] { return schedule_policy_->NextDeliveryJitter(); });
+  }
 
   // Fault injection: an enabled plan interposes the reliable-delivery
   // layer between the engines and the (now possibly lossy) network.
@@ -249,6 +273,12 @@ Status System::Build() {
     options.lock_config.wait_timeout = params.deadlock_timeout;
     options.lock_config.policy = config_.engine.deadlock_policy;
     options.lock_config.grant = config_.engine.grant_policy;
+    if (schedule_policy_ != nullptr &&
+        schedule_policy_->config().shuffle_grants) {
+      options.lock_config.schedule_pick = [this](size_t n) {
+        return schedule_policy_->GrantPick(n);
+      };
+    }
     options.enable_wal = config_.enable_wal;
     databases_.push_back(std::make_unique<storage::Database>(
         runtime_.get(), options, site_cpu_[s], observer));
@@ -439,11 +469,24 @@ void System::RunThreads() {
   const auto poll = std::chrono::nanoseconds(
       std::max<Duration>(config_.quiesce_poll, kMillisecond));
   auto past_deadline = [&] { return cap > 0 && runtime_->Now() >= cap; };
+  const bool dbg = std::getenv("LAZYREP_CHAOS_DEBUG") != nullptr;
+  if (dbg) std::fprintf(stderr, "[chaos] waiting for workers\n");
   if (!workers_done_.WaitBlocking(cap)) {
     timed_out_ = true;
   } else {
     workload_elapsed_ = runtime_->Now();
+    if (dbg) std::fprintf(stderr, "[chaos] workers done at %lldms\n",
+                          (long long)(workload_elapsed_ / 1000000));
+    int polls = 0;
     while (!ThreadsQuiescent() && !timed_out_) {
+      if (dbg && ++polls % 200 == 0) {
+        std::fprintf(
+            stderr,
+            "[chaos] drain poll %d: pending=%lld crashes=%d transport_q=%d\n",
+            polls, (long long)metrics_.pending_propagations(),
+            (int)crashes_outstanding_.load(),
+            transport_ != nullptr ? (int)!transport_->Quiescent() : -1);
+      }
       if (past_deadline()) {
         timed_out_ = true;
         break;

@@ -108,6 +108,10 @@ class System {
   const fault::ReliableTransport* transport() const {
     return transport_.get();
   }
+  /// Present when `SystemConfig::schedule` is an enabled perturbation.
+  const sim::SchedulePolicy* schedule_policy() const {
+    return schedule_policy_.get();
+  }
   const SystemConfig& config() const { return config_; }
 
   /// Runs the serializability checker over the recorded history.
@@ -173,6 +177,10 @@ class System {
   /// code runs (schedules stay byte-identical to a fault-free build).
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<fault::ReliableTransport> transport_;
+  /// Schedule perturbation — only built when `config_.schedule` is an
+  /// enabled config (sim runtime only); otherwise no policy exists and
+  /// schedules stay byte-identical to a policy-free build.
+  std::unique_ptr<sim::SchedulePolicy> schedule_policy_;
   std::atomic<int> crashes_outstanding_{0};
   std::vector<std::unique_ptr<storage::Database>> databases_;
   std::vector<std::unique_ptr<ReplicationEngine>> engines_;

@@ -1,0 +1,188 @@
+#include "harness/lazychk.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "fault/fault_plan.h"
+#include "harness/experiment.h"
+#include "storage/database.h"
+
+namespace lazyrep::harness {
+
+namespace {
+
+/// The CLI spelling of a protocol (matches lazyrep_cli / lazychk flags).
+std::string ProtocolToken(core::Protocol protocol) {
+  switch (protocol) {
+    case core::Protocol::kDagWt: return "dagwt";
+    case core::Protocol::kDagT: return "dagt";
+    case core::Protocol::kBackEdge: return "backedge";
+    case core::Protocol::kPsl: return "psl";
+    case core::Protocol::kNaiveLazy: return "naive";
+    case core::Protocol::kEager: return "eager";
+  }
+  return "?";
+}
+
+/// The exact CLI invocation that re-runs one (seed, policy) pair.
+std::string ReplayLine(const LazychkOptions& options, uint64_t seed,
+                       const sim::SchedulePolicyConfig& policy) {
+  std::string line = "lazychk --protocol=" + ProtocolToken(options.protocol) +
+                     " --seeds=1 --first-seed=" + std::to_string(seed) +
+                     " --txns=" + std::to_string(options.txns_per_thread);
+  if (!options.faults.empty()) line += " --faults=" + options.faults;
+  line += std::string(" --ties=") + (policy.perturb_ties ? "1" : "0");
+  line += std::string(" --grants=") + (policy.shuffle_grants ? "1" : "0");
+  line += " --jitter=" + std::to_string(policy.delivery_jitter_max) + "ns";
+  line += " --no-shrink";
+  return line;
+}
+
+}  // namespace
+
+core::SystemConfig LazychkConfig(const LazychkOptions& options,
+                                 uint64_t seed,
+                                 const sim::SchedulePolicyConfig& policy) {
+  core::SystemConfig config = PaperConfig(options.protocol);
+  config.runtime = runtime::RuntimeKind::kSim;
+  config.seed = seed;
+  config.enable_wal = true;  // The oracle replays every site's WAL.
+  config.workload.txns_per_thread = options.txns_per_thread;
+  if (options.protocol != core::Protocol::kBackEdge) {
+    config.workload.backedge_prob = 0.0;  // DAG protocols need a DAG.
+  }
+  if (!options.faults.empty()) {
+    Result<fault::FaultPlan> plan = fault::FaultPlan::Parse(options.faults);
+    LAZYREP_CHECK(plan.ok()) << plan.status().ToString();
+    config.faults = *plan;
+  }
+  sim::SchedulePolicyConfig seeded = policy;
+  seeded.seed = seed;
+  config.schedule = seeded;
+  return config;
+}
+
+std::string CheckInvariants(const core::SystemConfig& config) {
+  Result<std::unique_ptr<core::System>> system = core::System::Create(config);
+  LAZYREP_CHECK(system.ok()) << system.status().ToString();
+  core::System& sys = **system;
+  core::RunMetrics m = sys.Run();
+
+  std::vector<std::string> fails;
+  if (m.timed_out) fails.push_back("hit the simulation time cap");
+  if (m.committed <= 0) fails.push_back("no transaction committed");
+  if (!m.serializable) {
+    fails.push_back("history not serializable (" + m.verdict + ")");
+  }
+  if (!m.reads_consistent) fails.push_back("read returned a stale value");
+  if (!m.converged) fails.push_back("replicas diverged from primaries");
+  if (config.faults.has_value() && config.faults->enabled()) {
+    if (sys.injector() != nullptr && !sys.injector()->AllUp()) {
+      fails.push_back("a crashed site never recovered");
+    }
+    if (sys.transport() != nullptr && !sys.transport()->Quiescent()) {
+      fails.push_back("reliable transport left work in flight");
+    }
+  }
+  if (config.enable_wal) {
+    for (SiteId site = 0; site < config.workload.num_sites; ++site) {
+      storage::Database& db = sys.database(site);
+      if (db.wal() == nullptr) continue;
+      storage::ItemStore replayed;
+      for (const auto& [item, value] : db.store().Snapshot()) {
+        replayed.AddItem(item, 0);
+      }
+      db.wal()->Replay(&replayed);
+      if (replayed.Snapshot() != db.store().Snapshot()) {
+        fails.push_back("WAL replay diverges from the store at site " +
+                        std::to_string(site));
+      }
+    }
+  }
+
+  std::string joined;
+  for (const std::string& f : fails) {
+    if (!joined.empty()) joined += "; ";
+    joined += f;
+  }
+  return joined;
+}
+
+sim::SchedulePolicyConfig ShrinkViolation(const LazychkOptions& options,
+                                          uint64_t seed,
+                                          sim::SchedulePolicyConfig failing) {
+  auto still_fails = [&](const sim::SchedulePolicyConfig& candidate) {
+    return !CheckInvariants(LazychkConfig(options, seed, candidate)).empty();
+  };
+  // Greedy descent: try each single-dimension reduction; keep the first
+  // that still reproduces the failure and restart. Terminates because
+  // every accepted step strictly reduces the policy (a flag turned off,
+  // or the jitter bound halved toward zero).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::vector<sim::SchedulePolicyConfig> candidates;
+    if (failing.perturb_ties) {
+      candidates.push_back(failing);
+      candidates.back().perturb_ties = false;
+    }
+    if (failing.shuffle_grants) {
+      candidates.push_back(failing);
+      candidates.back().shuffle_grants = false;
+    }
+    if (failing.delivery_jitter_max > 0) {
+      candidates.push_back(failing);
+      candidates.back().delivery_jitter_max = 0;
+      if (failing.delivery_jitter_max > 1) {
+        candidates.push_back(failing);
+        candidates.back().delivery_jitter_max /= 2;
+      }
+    }
+    for (const sim::SchedulePolicyConfig& candidate : candidates) {
+      if (still_fails(candidate)) {
+        failing = candidate;
+        progress = true;
+        break;
+      }
+    }
+  }
+  return failing;
+}
+
+LazychkResult RunLazychk(const LazychkOptions& options) {
+  LazychkResult result;
+  for (int i = 0; i < options.seeds; ++i) {
+    const uint64_t seed = options.first_seed + static_cast<uint64_t>(i);
+    sim::SchedulePolicyConfig policy = options.policy;
+    policy.seed = seed;
+    std::string what = CheckInvariants(LazychkConfig(options, seed, policy));
+    ++result.runs;
+    if (!what.empty()) {
+      if (options.shrink) {
+        policy = ShrinkViolation(options, seed, policy);
+        // Re-run the minimal policy so `what` describes what IT violates
+        // (shrinking can change which invariant fires first).
+        what = CheckInvariants(LazychkConfig(options, seed, policy));
+        LAZYREP_CHECK(!what.empty()) << "shrink lost the violation";
+      }
+      LazychkViolation violation;
+      violation.seed = seed;
+      violation.policy = policy;
+      violation.what = what;
+      violation.replay = ReplayLine(options, seed, policy);
+      if (options.verbose) {
+        std::fprintf(stderr, "lazychk: VIOLATION seed=%llu %s\n  %s\n  %s\n",
+                     static_cast<unsigned long long>(seed),
+                     policy.ToString().c_str(), what.c_str(),
+                     violation.replay.c_str());
+      }
+      result.violations.push_back(std::move(violation));
+    }
+    if (options.on_progress) options.on_progress(i + 1, options.seeds);
+  }
+  return result;
+}
+
+}  // namespace lazyrep::harness

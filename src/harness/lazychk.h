@@ -1,0 +1,96 @@
+#ifndef LAZYREP_HARNESS_LAZYCHK_H_
+#define LAZYREP_HARNESS_LAZYCHK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "sim/schedule_policy.h"
+
+namespace lazyrep::harness {
+
+/// lazychk — seeded schedule exploration with an invariant oracle
+/// (docs/CHECKING.md).
+///
+/// Each run executes one deterministic sim with a `SchedulePolicy`
+/// perturbation derived from the run's seed, then checks the paper's
+/// correctness invariants at quiescence. A violation reports the exact
+/// `(system seed, policy config)` pair that replays it bit-for-bit, and
+/// the greedy shrinker minimizes that pair by disabling perturbation
+/// dimensions (and halving the jitter bound) while the failure persists.
+
+struct LazychkOptions {
+  core::Protocol protocol = core::Protocol::kDagT;
+  /// Number of (system seed, policy seed) runs; seed i uses
+  /// `first_seed + i` for both.
+  int seeds = 100;
+  uint64_t first_seed = 1;
+  /// Fault plan spec for `FaultPlan::Parse` (e.g.
+  /// "drop:0.01,dup:0.01,crash:2@500ms+100ms"); empty = fault-free.
+  std::string faults;
+  /// Perturbation dimensions explored per run (`policy.seed` is
+  /// overwritten with the run seed). Defaults: all three on, jitter up
+  /// to 2 ms (an order above the paper's 0.15 ms wire latency, so
+  /// cross-channel reordering actually happens).
+  sim::SchedulePolicyConfig policy = DefaultPolicy();
+  /// Transactions per thread (workload length per run).
+  int txns_per_thread = 40;
+  /// Shrink each violation before reporting.
+  bool shrink = true;
+  /// Progress/violation lines to stderr.
+  bool verbose = false;
+  /// Optional progress hook, called after every completed run.
+  std::function<void(int done, int total)> on_progress;
+
+  static sim::SchedulePolicyConfig DefaultPolicy() {
+    sim::SchedulePolicyConfig p;
+    p.perturb_ties = true;
+    p.delivery_jitter_max = Millis(2);
+    p.shuffle_grants = true;
+    return p;
+  }
+};
+
+/// One invariant violation, with everything needed to replay it.
+struct LazychkViolation {
+  uint64_t seed = 0;                   // SystemConfig::seed of the run.
+  sim::SchedulePolicyConfig policy;    // Minimal failing policy (shrunk).
+  std::string what;                    // Which invariant(s) failed.
+  std::string replay;                  // lazychk CLI line reproducing it.
+};
+
+struct LazychkResult {
+  int runs = 0;
+  std::vector<LazychkViolation> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Builds the SystemConfig for one lazychk run: PaperConfig(protocol)
+/// with WAL + checking on, the fault plan (if any) and the policy
+/// installed. CHECK-fails on an invalid fault spec.
+core::SystemConfig LazychkConfig(const LazychkOptions& options,
+                                 uint64_t seed,
+                                 const sim::SchedulePolicyConfig& policy);
+
+/// Runs one configured system to quiescence and checks every invariant:
+/// no timeout, global serializability, read consistency, replica
+/// convergence, transport quiescent + all sites back up (under faults),
+/// and WAL-replay-equals-store at every WAL-enabled site. Returns an
+/// empty string when all hold, else a ";"-joined list of failures.
+std::string CheckInvariants(const core::SystemConfig& config);
+
+/// Greedy shrink: re-runs with one perturbation dimension disabled (or
+/// the jitter bound halved) at a time, keeping any reduction that still
+/// fails, until no single reduction reproduces the violation. Returns
+/// the minimal failing policy.
+sim::SchedulePolicyConfig ShrinkViolation(
+    const LazychkOptions& options, uint64_t seed,
+    sim::SchedulePolicyConfig failing);
+
+/// The full sweep: `seeds` runs, oracle on each, shrink on violations.
+LazychkResult RunLazychk(const LazychkOptions& options);
+
+}  // namespace lazyrep::harness
+
+#endif  // LAZYREP_HARNESS_LAZYCHK_H_

@@ -157,6 +157,16 @@ class Network : public Transport<T> {
   using FaultHook = std::function<FaultDecision(SiteId src, SiteId dst)>;
   void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
+  /// Optional schedule-exploration hook (lazychk's SchedulePolicy,
+  /// docs/CHECKING.md): consulted once per non-dropped message, its
+  /// return value added to the delivery delay ahead of the per-channel
+  /// FIFO clamp — so arrivals can be reordered *across* channels while
+  /// each channel stays FIFO. Like the fault hook it draws from a
+  /// serialized RNG stream, so it runs under the network lock. Must be
+  /// set before traffic starts.
+  using DelayHook = std::function<Duration()>;
+  void SetDelayHook(DelayHook hook) { delay_hook_ = std::move(hook); }
+
   /// Optional metrics sink: per-kind posted/delivered/dropped/duplicated
   /// message and byte counters plus an in-flight gauge (with peak).
   /// `kind_index` maps a payload to a dense id in [0, num_kinds) (e.g.
@@ -341,7 +351,12 @@ class Network : public Transport<T> {
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    SimTime arrive = depart + lat + extra + fault.extra_delay;
+    Duration sched_extra = 0;
+    if (delay_hook_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      sched_extra = delay_hook_();
+    }
+    SimTime arrive = depart + lat + extra + fault.extra_delay + sched_extra;
     // FIFO channel: never deliver before an earlier message on the same
     // channel. The clamp makes per-channel arrival times strictly
     // increasing, which is what lets the destination executor's
@@ -493,6 +508,7 @@ class Network : public Transport<T> {
   std::vector<std::unique_ptr<KindCounters>> kind_storage_;
   std::mutex kind_register_mu_;
   FaultHook fault_hook_;
+  DelayHook delay_hook_;
   ControlClassifier is_control_;
   std::vector<int> machine_of_;
   std::vector<PaddedCounter> sent_from_;

@@ -113,7 +113,7 @@ void ThreadRuntime::SpawnOn(int machine, Co<void> co) {
   if (tls_machine == machine) {
     // Same executor: start the process now, matching the simulator's
     // run-until-first-suspension Spawn semantics.
-    task.handle.resume();
+    sim::internal::BoundedResume(task.handle);
   } else {
     Enqueue(machine, Work{task.handle, nullptr}, /*due=*/-1);
   }
@@ -174,7 +174,7 @@ void ThreadRuntime::RunLoop(int machine) {
       // Work runs unlocked; a resumed coroutine runs until its next
       // suspension point (non-preemptive, like the simulator).
       if (w.handle) {
-        w.handle.resume();
+        sim::internal::BoundedResume(w.handle);
       } else {
         w.fn();
       }

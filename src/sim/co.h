@@ -2,6 +2,7 @@
 #define LAZYREP_SIM_CO_H_
 
 #include <coroutine>
+#include <deque>
 #include <exception>
 #include <optional>
 #include <utility>
@@ -30,6 +31,63 @@ class Co;
 
 namespace internal {
 
+/// Symmetric transfer is only a guaranteed tail call under optimization;
+/// in instrumented debug builds (TSan/ASan at -O0) every transfer nests a
+/// native frame, so a chain of synchronously-completing awaits — e.g. an
+/// applier draining a long backlog without ever truly suspending — grows
+/// the stack without bound. The trampoline bounds that: executors enter
+/// coroutines through `BoundedResume`, every transfer site routes its
+/// target through `BoundTransfer`, and once a single entry has chained
+/// `kMaxTransferDepth` transfers the next handle is parked on a FIFO
+/// queue instead, the nested frames unwind, and `BoundedResume` continues
+/// the chain from a flat stack. Deferred handles drain before the
+/// executor returns to its event loop, so the observable schedule —
+/// which coroutine steps run between which events — is unchanged.
+struct ResumeTrampoline {
+  bool active = false;
+  int transfers = 0;
+  std::deque<std::coroutine_handle<>> deferred;
+};
+
+inline ResumeTrampoline& Trampoline() noexcept {
+  static thread_local ResumeTrampoline t;
+  return t;
+}
+
+inline constexpr int kMaxTransferDepth = 256;
+
+/// Returns `next` (symmetric transfer) while under the depth budget;
+/// past it, parks `next` for the draining `BoundedResume` and unwinds.
+inline std::coroutine_handle<> BoundTransfer(
+    std::coroutine_handle<> next) noexcept {
+  ResumeTrampoline& t = Trampoline();
+  if (!t.active || ++t.transfers < kMaxTransferDepth) return next;
+  t.deferred.push_back(next);
+  return std::noop_coroutine();
+}
+
+/// Top-level coroutine entry for executors: resumes `h`, then drains any
+/// handles parked by `BoundTransfer` in FIFO order, resetting the depth
+/// budget for each so native stack use stays O(kMaxTransferDepth).
+inline void BoundedResume(std::coroutine_handle<> h) {
+  ResumeTrampoline& t = Trampoline();
+  if (t.active) {
+    // Reentrant entry (an executor invoked from inside a coroutine, e.g.
+    // RunUntil in a test body): share the outer entry's budget and drain.
+    h.resume();
+    return;
+  }
+  t.active = true;
+  for (;;) {
+    t.transfers = 0;
+    h.resume();
+    if (t.deferred.empty()) break;
+    h = t.deferred.front();
+    t.deferred.pop_front();
+  }
+  t.active = false;
+}
+
 /// Final awaiter: transfers control back to the awaiting coroutine, or
 /// parks at final suspend for the owner to destroy.
 template <typename Promise>
@@ -38,7 +96,7 @@ struct FinalAwaiter {
   std::coroutine_handle<> await_suspend(
       std::coroutine_handle<Promise> h) noexcept {
     std::coroutine_handle<> cont = h.promise().continuation;
-    return cont ? cont : std::noop_coroutine();
+    return cont ? BoundTransfer(cont) : std::noop_coroutine();
   }
   void await_resume() noexcept {}
 };
@@ -99,7 +157,8 @@ class Co {
       bool await_ready() { return false; }
       std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
         h.promise().continuation = cont;
-        return h;  // Symmetric transfer into the child.
+        // Symmetric transfer into the child, depth-bounded.
+        return internal::BoundTransfer(h);
       }
       T await_resume() {
         if constexpr (!std::is_void_v<T>) {

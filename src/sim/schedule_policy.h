@@ -1,0 +1,99 @@
+#ifndef LAZYREP_SIM_SCHEDULE_POLICY_H_
+#define LAZYREP_SIM_SCHEDULE_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace lazyrep::sim {
+
+/// Configuration for seeded schedule perturbation (the lazychk
+/// exploration layer, docs/CHECKING.md). Every dimension defaults to
+/// off; a default-constructed config leaves the simulator's schedule
+/// bit-for-bit identical to the unperturbed `(when, seq)` order.
+///
+/// The three dimensions are independent PRNG streams derived from
+/// `seed`, so a shrinker can disable one dimension without shifting the
+/// draw sequences of the others — the surviving perturbations replay
+/// identically.
+struct SchedulePolicyConfig {
+  /// Root seed for all perturbation streams.
+  uint64_t seed = 0;
+  /// Randomize the tie-break among events scheduled at the same virtual
+  /// time (instead of strict FIFO submission order).
+  bool perturb_ties = false;
+  /// Upper bound on extra per-message delivery delay, drawn uniformly
+  /// from [0, max] per network message. 0 disables the dimension. The
+  /// per-channel FIFO property is preserved (jitter is applied before
+  /// the channel clamp).
+  Duration delivery_jitter_max = 0;
+  /// Randomize the lock-grant scan order among compatible waiters in
+  /// `LockManager::RunGrantLoop` (and the wake-up order of a grant
+  /// batch).
+  bool shuffle_grants = false;
+
+  /// True when any perturbation dimension is active.
+  bool enabled() const {
+    return perturb_ties || delivery_jitter_max > 0 || shuffle_grants;
+  }
+
+  /// Replay descriptor, e.g. "seed=7,ties=1,jitter=2000000,grants=0".
+  /// `jitter` is in nanoseconds. Paste-able into the lazychk CLI flags.
+  std::string ToString() const {
+    return "seed=" + std::to_string(seed) +
+           ",ties=" + std::to_string(perturb_ties ? 1 : 0) +
+           ",jitter=" + std::to_string(delivery_jitter_max) +
+           ",grants=" + std::to_string(shuffle_grants ? 1 : 0);
+  }
+
+  friend bool operator==(const SchedulePolicyConfig& a,
+                         const SchedulePolicyConfig& b) {
+    return a.seed == b.seed && a.perturb_ties == b.perturb_ties &&
+           a.delivery_jitter_max == b.delivery_jitter_max &&
+           a.shuffle_grants == b.shuffle_grants;
+  }
+};
+
+/// Draw source for the perturbation dimensions. Sim-only: the simulator
+/// is single-threaded, so draw order — and therefore the whole perturbed
+/// schedule — is a pure function of the config. One instance per run.
+class SchedulePolicy {
+ public:
+  explicit SchedulePolicy(const SchedulePolicyConfig& config)
+      : config_(config),
+        tie_rng_(config.seed, /*stream=*/0x7165),
+        jitter_rng_(config.seed, /*stream=*/0x6a69),
+        grant_rng_(config.seed, /*stream=*/0x6772) {}
+
+  const SchedulePolicyConfig& config() const { return config_; }
+
+  /// Tie-break key for a newly scheduled event; 0 (pure FIFO) when the
+  /// dimension is off.
+  uint64_t NextTieBreak() {
+    return config_.perturb_ties ? tie_rng_.Next64() : 0;
+  }
+
+  /// Extra delivery delay for one network message, uniform in
+  /// [0, delivery_jitter_max]; 0 when the dimension is off.
+  Duration NextDeliveryJitter() {
+    if (config_.delivery_jitter_max <= 0) return 0;
+    return static_cast<Duration>(jitter_rng_.Below(
+        static_cast<uint64_t>(config_.delivery_jitter_max) + 1));
+  }
+
+  /// Uniform pick in [0, n) used to randomize the lock-grant scan; only
+  /// consulted when `shuffle_grants` is on.
+  size_t GrantPick(size_t n) { return grant_rng_.Index(n); }
+
+ private:
+  SchedulePolicyConfig config_;
+  Rng tie_rng_;
+  Rng jitter_rng_;
+  Rng grant_rng_;
+};
+
+}  // namespace lazyrep::sim
+
+#endif  // LAZYREP_SIM_SCHEDULE_POLICY_H_

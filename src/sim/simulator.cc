@@ -21,7 +21,7 @@ void Simulator::Spawn(Co<void> co) {
   task.handle.promise().id = id;
   roots_.emplace(id, task.handle);
   // Start the process now; it runs until its first suspension point.
-  task.handle.resume();
+  internal::BoundedResume(task.handle);
 }
 
 void Simulator::ScheduleHandle(Duration delay, std::coroutine_handle<> h) {
@@ -35,6 +35,7 @@ void Simulator::ScheduleCallback(Duration delay, std::function<void()> fn) {
 }
 
 void Simulator::PushEvent(Event ev) {
+  if (policy_ != nullptr) ev.tie = policy_->NextTieBreak();
   heap_.push_back(std::move(ev));
   std::push_heap(heap_.begin(), heap_.end());
 }
@@ -49,7 +50,7 @@ bool Simulator::PopAndDispatch() {
   if (ev.callback) {
     ev.callback();
   } else {
-    ev.handle.resume();
+    internal::BoundedResume(ev.handle);
   }
   return true;
 }

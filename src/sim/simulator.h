@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "common/sim_time.h"
 #include "sim/co.h"
+#include "sim/schedule_policy.h"
 
 namespace lazyrep::sim {
 
@@ -100,6 +101,15 @@ class Simulator {
   /// Total events processed over the simulator's lifetime.
   uint64_t events_processed() const { return events_processed_; }
 
+  /// Installs (or clears, with nullptr) a schedule-perturbation policy.
+  /// Non-owning; the policy must outlive the simulator's use of it. With
+  /// a policy installed, events scheduled at the same virtual time are
+  /// ordered by the policy's tie-break draw instead of submission order
+  /// (draws of 0 — the disabled dimension — reduce to pure FIFO, keeping
+  /// the default schedule bit-for-bit unchanged).
+  void SetSchedulePolicy(SchedulePolicy* policy) { policy_ = policy; }
+  SchedulePolicy* schedule_policy() const { return policy_; }
+
  private:
   struct RootTask;
   struct RootPromise {
@@ -134,10 +144,15 @@ class Simulator {
     uint64_t seq;  // FIFO tie-break at equal time.
     std::coroutine_handle<> handle;
     std::function<void()> callback;
+    /// Schedule-policy tie perturbation: compared before `seq` at equal
+    /// time. Always 0 without a policy, so the default order is exactly
+    /// the historical (when, seq) FIFO.
+    uint64_t tie = 0;
 
-    /// Max-heap comparator inverted for a min-heap on (when, seq).
+    /// Max-heap comparator inverted for a min-heap on (when, tie, seq).
     friend bool operator<(const Event& a, const Event& b) {
       if (a.when != b.when) return a.when > b.when;
+      if (a.tie != b.tie) return a.tie > b.tie;
       return a.seq > b.seq;
     }
   };
@@ -151,6 +166,7 @@ class Simulator {
   uint64_t next_root_id_ = 0;
   uint64_t events_processed_ = 0;
   bool stopped_ = false;
+  SchedulePolicy* policy_ = nullptr;
   std::vector<Event> heap_;
   std::unordered_map<uint64_t, std::coroutine_handle<RootPromise>> roots_;
 };

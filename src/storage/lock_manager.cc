@@ -72,29 +72,64 @@ void LockManager::RunGrantLoop(ItemId item) {
     auto it = table_.find(item);
     if (it == table_.end()) return;
     LockState& ls = it->second;
-    size_t i = 0;
-    while (i < ls.queue.size()) {
-      std::shared_ptr<Waiter> w = ls.queue[i];
-      if (!CanGrant(ls, w->txn, w->mode, w->is_upgrade)) {
-        if (config_.grant == GrantPolicy::kFifo) break;
-        // Immediate policy: later compatible waiters may still proceed.
-        ++i;
-        continue;
+    if (config_.schedule_pick && config_.grant == GrantPolicy::kImmediate) {
+      // Schedule exploration: under the immediate policy the scan order
+      // among grantable waiters is a scheduling choice (different orders
+      // can even grant different sets — e.g. an S and an X racing for a
+      // free item), so visit them in policy-chosen order until no waiter
+      // is grantable.
+      for (;;) {
+        std::vector<size_t> grantable;
+        for (size_t i = 0; i < ls.queue.size(); ++i) {
+          const Waiter& w = *ls.queue[i];
+          if (CanGrant(ls, w.txn, w.mode, w.is_upgrade)) {
+            grantable.push_back(i);
+          }
+        }
+        if (grantable.empty()) break;
+        size_t i = grantable[config_.schedule_pick(grantable.size())];
+        std::shared_ptr<Waiter> w = ls.queue[i];
+        ls.queue.erase(ls.queue.begin() + static_cast<ptrdiff_t>(i));
+        GrantOne(&ls, item, w);
+        granted.push_back(std::move(w));
       }
-      ls.queue.erase(ls.queue.begin() + static_cast<ptrdiff_t>(i));
-      w->linked = false;
-      waiting_on_.erase(w->txn);
-      GrantNow(&ls, w->txn, w->mode, w->is_upgrade);
-      held_[w->txn].insert(item);
-      double wait_ms = ToMillis(rt_->Now() - w->enqueue_time);
-      stats_.wait_time_ms.Add(wait_ms);
-      if (wait_hist_ != nullptr) wait_hist_->Observe(wait_ms);
-      granted.push_back(std::move(w));
+    } else {
+      size_t i = 0;
+      while (i < ls.queue.size()) {
+        std::shared_ptr<Waiter> w = ls.queue[i];
+        if (!CanGrant(ls, w->txn, w->mode, w->is_upgrade)) {
+          if (config_.grant == GrantPolicy::kFifo) break;
+          // Immediate policy: later compatible waiters may still proceed.
+          ++i;
+          continue;
+        }
+        ls.queue.erase(ls.queue.begin() + static_cast<ptrdiff_t>(i));
+        GrantOne(&ls, item, w);
+        granted.push_back(std::move(w));
+      }
+    }
+  }
+  // The batch is granted at one instant; its wake-up order is another
+  // legal-schedule degree of freedom the policy may explore.
+  if (config_.schedule_pick && granted.size() > 1) {
+    for (size_t i = granted.size(); i > 1; --i) {
+      std::swap(granted[i - 1], granted[config_.schedule_pick(i)]);
     }
   }
   for (const std::shared_ptr<Waiter>& w : granted) {
     w->cell.TryFire(LockOutcome::kGranted);
   }
+}
+
+void LockManager::GrantOne(LockState* ls, ItemId item,
+                           const std::shared_ptr<Waiter>& w) {
+  w->linked = false;
+  waiting_on_.erase(w->txn);
+  GrantNow(ls, w->txn, w->mode, w->is_upgrade);
+  held_[w->txn].insert(item);
+  double wait_ms = ToMillis(rt_->Now() - w->enqueue_time);
+  stats_.wait_time_ms.Add(wait_ms);
+  if (wait_hist_ != nullptr) wait_hist_->Observe(wait_ms);
 }
 
 void LockManager::Unlink(const std::shared_ptr<Waiter>& w) {

@@ -73,6 +73,13 @@ class LockManager {
     Duration wait_timeout = Millis(50);
     DeadlockPolicy policy = DeadlockPolicy::kTimeoutOnly;
     GrantPolicy grant = GrantPolicy::kImmediate;
+    /// Schedule-exploration hook (lazychk's SchedulePolicy): a uniform
+    /// pick in [0, n) used to randomize which of the currently-grantable
+    /// waiters is granted next (kImmediate — where the scan order is a
+    /// scheduling choice, not a fairness guarantee) and the wake-up
+    /// order within one grant batch. Null (the default) keeps the
+    /// historical deterministic scan byte-for-byte.
+    std::function<size_t(size_t)> schedule_pick;
   };
 
   struct Stats {
@@ -181,6 +188,10 @@ class LockManager {
   void GrantNow(LockState* ls, Transaction* txn, LockMode mode,
                 bool upgrade);
   void RunGrantLoop(ItemId item);
+  /// Dequeue bookkeeping for one grant inside `RunGrantLoop` (the waiter
+  /// is already removed from `ls->queue`; its cell fires later).
+  void GrantOne(LockState* ls, ItemId item,
+                const std::shared_ptr<Waiter>& w);
   void Unlink(const std::shared_ptr<Waiter>& w);
   void DetectAndResolve(Transaction* waiter_txn);
   Transaction* PickDeadlockVictim(const std::vector<Transaction*>& cycle);

@@ -232,6 +232,27 @@ struct ChaosCounters {
   uint64_t duplicates_discarded = 0;
 };
 
+// TSan slows the executors by an order of magnitude, and the threads
+// chaos config is paced in real time: dummy/epoch periods, lock-wait
+// timeouts and the crash schedule all assume uninstrumented speed. On a
+// loaded CI core the instrumented consumers fall behind the periodic
+// producers, queues grow without bound, and the run never quiesces (the
+// unbounded backlog drain is also what used to overflow the coroutine
+// stack before the resume trampoline in sim/co.h). Dilating every
+// real-time constant by the instrumentation slowdown keeps the relative
+// dynamics — crash mid-run, timeouts long against message latency —
+// identical while giving the executors time to keep up.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) && !defined(__SANITIZE_THREAD__)
+#define __SANITIZE_THREAD__ 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+constexpr int64_t kChaosTimeDilation = 10;
+#else
+constexpr int64_t kChaosTimeDilation = 1;
+#endif
+
 core::SystemConfig ChaosConfig(Protocol protocol, RuntimeKind kind,
                                uint64_t seed) {
   core::SystemConfig config = harness::PaperConfig(protocol);
@@ -245,14 +266,19 @@ core::SystemConfig ChaosConfig(Protocol protocol, RuntimeKind kind,
   plan.drop_prob = 0.01;
   plan.dup_prob = 0.01;
   if (kind == RuntimeKind::kSim) {
-    // ~1.3 s of virtual workload; the crash lands mid-run.
+    // ~1.3 s of virtual workload; the crash lands mid-run. (No dilation:
+    // the sim clock is virtual, so instrumentation cannot distort it.)
     config.workload.txns_per_thread = 40;
     plan.crashes.push_back(CrashEvent{2, Millis(500), Millis(100)});
   } else {
     // The threads backend runs near real time — a shorter workload and
     // an earlier crash keep the outage inside the run.
+    const int64_t d = kChaosTimeDilation;
     config.workload.txns_per_thread = 10;
-    plan.crashes.push_back(CrashEvent{2, Millis(150), Millis(100)});
+    config.workload.deadlock_timeout *= d;
+    config.engine.epoch_period *= d;
+    config.engine.dummy_period *= d;
+    plan.crashes.push_back(CrashEvent{2, d * Millis(150), d * Millis(100)});
   }
   config.faults = plan;
   return config;

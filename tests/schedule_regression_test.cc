@@ -1,0 +1,96 @@
+// Pinned regressions for concurrency bugs found by schedule exploration
+// and the chaos tier (docs/CHECKING.md). Each test is the minimal
+// distillation of a real failure; if one starts failing, the bug it
+// pins has been reintroduced.
+//
+// Regression 1 — ChaosThreads stack overflow. Symmetric transfer is
+// only a guaranteed tail call under optimization; in TSan/ASan debug
+// builds (-O0) every transfer nests a native stack frame. The DAG(T)
+// threads-runtime chaos test crashed with a stack overflow when an
+// applier drained a long backlog of synchronously-completing awaits in
+// one unbroken transfer chain. The fix is the resume trampoline in
+// sim/co.h (BoundTransfer/BoundedResume): past kMaxTransferDepth
+// transfers per executor entry, the next handle is parked on a FIFO
+// queue and resumed from a flat stack. The tests below run transfer
+// chains two orders of magnitude deeper than the budget — they
+// overflow within seconds if the trampoline is removed, and pass in
+// optimized builds either way (which is exactly why the chaos CI jobs
+// run them under sanitizers, unfiltered).
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace lazyrep::sim {
+namespace {
+
+Co<int64_t> One() { co_return 1; }
+
+// A long loop of awaits on synchronously-completing children: every
+// iteration is two transfers (into the child, back to the parent) with
+// no event-loop return in between — the shape of an applier draining a
+// backlog. 200k iterations ≈ 400k chained transfers, far beyond any
+// real stack if each nests a frame.
+TEST(ScheduleRegressionTest, DeepSynchronousAwaitChainDoesNotOverflow) {
+  constexpr int64_t kChainLength = 200000;
+  Simulator sim;
+  int64_t sum = 0;
+  sim.Spawn([](int64_t n, int64_t* out) -> Co<void> {
+    for (int64_t i = 0; i < n; ++i) *out += co_await One();
+  }(kChainLength, &sum));
+  sim.Run();
+  // Every child ran exactly once — parking a handle on the trampoline's
+  // deferred queue delays it past the frame unwind but never drops it.
+  EXPECT_EQ(sum, kChainLength);
+  EXPECT_EQ(sim.live_process_count(), 0u);
+}
+
+Co<int64_t> Nested(int64_t depth) {
+  if (depth == 0) co_return 0;
+  co_return 1 + co_await Nested(depth - 1);
+}
+
+// The completion-cascade variant: 50k recursively nested awaits finish
+// in one cascade of final-suspend transfers from the innermost frame
+// outward. Coroutine frames live on the heap, so only the transfer
+// chain itself touches the native stack — unbounded before the
+// trampoline, O(kMaxTransferDepth) after.
+TEST(ScheduleRegressionTest, DeepCompletionCascadeDoesNotOverflow) {
+  constexpr int64_t kDepth = 50000;
+  Simulator sim;
+  int64_t measured = -1;
+  sim.Spawn([](int64_t depth, int64_t* out) -> Co<void> {
+    *out = co_await Nested(depth);
+  }(kDepth, &measured));
+  sim.Run();
+  EXPECT_EQ(measured, kDepth);
+  EXPECT_EQ(sim.live_process_count(), 0u);
+}
+
+// The trampoline must not reorder anything observable: two processes
+// alternating timed events around deep synchronous chains complete in
+// the exact order the untrampolined semantics dictate.
+TEST(ScheduleRegressionTest, TrampolinePreservesEventOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int id = 0; id < 2; ++id) {
+    sim.Spawn([](Simulator* s, std::vector<int>* log, int tag) -> Co<void> {
+      for (int step = 0; step < 3; ++step) {
+        int64_t burn = 0;
+        for (int i = 0; i < 1000; ++i) burn += co_await One();
+        (void)burn;
+        co_await s->Delay(Micros(10));
+        log->push_back(tag * 10 + step);
+      }
+    }(&sim, &order, id));
+  }
+  sim.Run();
+  // Same virtual timestamps, FIFO event order: process 0's step runs
+  // before process 1's at every round.
+  EXPECT_EQ(order, (std::vector<int>{0, 10, 1, 11, 2, 12}));
+}
+
+}  // namespace
+}  // namespace lazyrep::sim

@@ -1,0 +1,145 @@
+// lazychk — schedule-exploration checker (docs/CHECKING.md).
+//
+// Sweeps seeded schedule perturbations (event tie-breaks, delivery
+// jitter, lock-grant order) over deterministic sim runs and checks the
+// paper's invariants at quiescence: serializability, read consistency,
+// replica convergence, WAL-replay-equals-store, fault quiescence.
+//
+//   $ lazychk --protocol=dagt --seeds=200 --shrink
+//   $ lazychk --protocol=backedge --seeds=500
+//             --faults=drop:0.01,dup:0.01,crash:2@500ms+100ms
+//
+// Every violation prints a (seed, policy) pair and the exact CLI line
+// that replays it. Exit status: 0 clean, 1 violations found, 2 usage.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fault/fault_plan.h"
+#include "harness/lazychk.h"
+
+using namespace lazyrep;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "lazychk — schedule-exploration checker over the sim runtime\n"
+      "\n"
+      "  --protocol=NAME   dagwt | dagt | backedge | psl | naive | eager\n"
+      "                    (dag_wt / dag_t accepted too; default dagt)\n"
+      "  --seeds=N         number of (seed, policy) runs (default 100)\n"
+      "  --first-seed=K    first seed of the sweep (default 1)\n"
+      "  --txns=K          transactions per thread per run (default 40)\n"
+      "  --faults=SPEC     fault plan, e.g. drop:0.01,dup:0.01,\n"
+      "                    crash:2@500ms+100ms (docs/FAULTS.md)\n"
+      "  --ties=0|1        perturb same-timestamp tie-breaks (default 1)\n"
+      "  --grants=0|1      randomize lock-grant order (default 1)\n"
+      "  --jitter=D        max per-message delivery jitter, e.g. 2ms,\n"
+      "                    500us, 0 (default 2ms)\n"
+      "  --shrink          shrink each violation to a minimal policy\n"
+      "                    (default on; --no-shrink disables)\n"
+      "  --quiet           suppress per-violation progress on stderr\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Result<core::Protocol> ParseProtocol(const std::string& name) {
+  if (name == "dagwt" || name == "dag_wt") return core::Protocol::kDagWt;
+  if (name == "dagt" || name == "dag_t") return core::Protocol::kDagT;
+  if (name == "backedge") return core::Protocol::kBackEdge;
+  if (name == "psl") return core::Protocol::kPsl;
+  if (name == "naive") return core::Protocol::kNaiveLazy;
+  if (name == "eager") return core::Protocol::kEager;
+  return Status::InvalidArgument("unknown protocol: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::LazychkOptions options;
+  options.verbose = true;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintHelp();
+      return 0;
+    } else if (ParseFlag(arg, "--protocol", &v)) {
+      Result<core::Protocol> protocol = ParseProtocol(v);
+      if (!protocol.ok()) {
+        std::fprintf(stderr, "%s\n", protocol.status().ToString().c_str());
+        return 2;
+      }
+      options.protocol = *protocol;
+    } else if (ParseFlag(arg, "--seeds", &v)) {
+      options.seeds = std::atoi(v.c_str());
+      if (options.seeds <= 0) {
+        std::fprintf(stderr, "--seeds must be positive\n");
+        return 2;
+      }
+    } else if (ParseFlag(arg, "--first-seed", &v)) {
+      options.first_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "--txns", &v)) {
+      options.txns_per_thread = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "--faults", &v)) {
+      // Validate up front so a typo fails with exit 2, not a CHECK.
+      Result<fault::FaultPlan> plan = fault::FaultPlan::Parse(v);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+        return 2;
+      }
+      options.faults = v;
+    } else if (ParseFlag(arg, "--ties", &v)) {
+      options.policy.perturb_ties = std::atoi(v.c_str()) != 0;
+    } else if (ParseFlag(arg, "--grants", &v)) {
+      options.policy.shuffle_grants = std::atoi(v.c_str()) != 0;
+    } else if (ParseFlag(arg, "--jitter", &v)) {
+      Result<Duration> jitter = fault::internal::ParseDuration(v);
+      if (!jitter.ok() || *jitter < 0) {
+        std::fprintf(stderr, "bad --jitter value: %s\n", v.c_str());
+        return 2;
+      }
+      options.policy.delivery_jitter_max = *jitter;
+    } else if (std::strcmp(arg, "--shrink") == 0) {
+      options.shrink = true;
+    } else if (std::strcmp(arg, "--no-shrink") == 0) {
+      options.shrink = false;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      options.verbose = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+      return 2;
+    }
+  }
+
+  int last_pct = -1;
+  if (options.verbose) {
+    options.on_progress = [&last_pct](int done, int total) {
+      int pct = 100 * done / total;
+      if (pct / 10 > last_pct / 10) {
+        std::fprintf(stderr, "lazychk: %d/%d runs\n", done, total);
+        last_pct = pct;
+      }
+    };
+  }
+
+  harness::LazychkResult result = harness::RunLazychk(options);
+  std::printf("lazychk: %d runs, %zu violation(s)\n", result.runs,
+              result.violations.size());
+  for (const harness::LazychkViolation& violation : result.violations) {
+    std::printf("  seed=%llu policy=[%s]\n    %s\n    replay: %s\n",
+                static_cast<unsigned long long>(violation.seed),
+                violation.policy.ToString().c_str(), violation.what.c_str(),
+                violation.replay.c_str());
+  }
+  return result.ok() ? 0 : 1;
+}
