@@ -117,12 +117,17 @@ struct EngineOptions {
   /// unaffected; propagation delay grows by up to the window). 0 = off
   /// (the paper's behaviour). Only valid for Protocol::kDagWt.
   Duration batch_window = 0;
-  /// Local deadlock handling (timeout is the paper's choice).
+  /// Local deadlock handling (timeout is the paper's choice; wait-die is
+  /// the prevention alternative built for multi-worker sites).
   storage::DeadlockPolicy deadlock_policy =
       storage::DeadlockPolicy::kTimeoutOnly;
   /// Lock grant scheduling (immediate matches main-memory DBMS practice;
   /// FIFO is an ablation).
   storage::GrantPolicy grant_policy = storage::GrantPolicy::kImmediate;
+  /// Hash stripes in each site's lock table (>= 1). Striping is
+  /// schedule-neutral, so the default applies under both backends; it
+  /// only matters for contention with `workers_per_site > 1`.
+  int lock_stripes = 8;
 };
 
 /// Full description of one simulated system run.
@@ -137,6 +142,14 @@ struct SystemConfig {
   /// over real time (measured metrics, no determinism, and the scripted
   /// single-transaction APIs are unavailable).
   runtime::RuntimeKind runtime = runtime::RuntimeKind::kSim;
+  /// Worker lanes per site's machine under `kThreads` (`--workers=N`):
+  /// each machine runs `workers_per_site` executor lanes and a site's
+  /// transactions spread across its machine's lanes (site-confined,
+  /// worker-mobile — see DESIGN.md "Worker model"). Rejected when > 1
+  /// under `kSim`, like schedule perturbation under `kThreads`: the sim
+  /// models one logical executor, and faking parallel lanes there would
+  /// either change every golden schedule or silently measure nothing.
+  int workers_per_site = 1;
   uint64_t seed = 1;
   /// Record per-site histories and run the serializability checker.
   bool check_serializability = true;

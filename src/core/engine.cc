@@ -75,6 +75,12 @@ runtime::Co<bool> ReplicationEngine::AcquireXAsSecondary(
         // blocking holder and retries (§2 fairness / §4.1 Example 4.1).
         AbortOneBlocker(txn, item);
         break;
+      case storage::LockOutcome::kDied:
+        // Unreachable: wait-die's self-die rule applies to primary
+        // requesters only — subtransactions and proxies wait, and are
+        // only ever aborted through `RequestAbort` so their hooks (which
+        // notify the origin) always fire.
+        co_return false;
     }
   }
 }

@@ -33,10 +33,17 @@ class ReplicationEngine {
     /// Executor waist. Engines must stay backend-agnostic: no direct
     /// simulator access, no wall-clock reads, no threads of their own.
     runtime::Runtime* rt = nullptr;
-    /// Machine hosting this site. Background processes spawned from
-    /// `Start()` (which runs on the driver thread) must target it via
-    /// `rt->SpawnOn(machine, ...)`; code already running on it — message
-    /// handlers, transaction bodies — can use plain `rt->Spawn`.
+    /// The site's *home executor lane* (`System::home_exec`): the lane
+    /// that owns all of the site's confined state — engine maps and
+    /// queues, WAL recovery, and the commit order itself. Background
+    /// processes spawned from `Start()` (which runs on the driver
+    /// thread) must target it via `rt->SpawnOn(machine, ...)`; message
+    /// handlers already run on it (the network delivers to the home
+    /// lane). Transaction bodies may run on *any* lane of the site's
+    /// machine under `workers_per_site > 1` — mobile engines hop home
+    /// (`rt->RunOn(machine)`) before committing or touching engine
+    /// state. With one worker per site this is exactly the machine
+    /// index, as before.
     int machine = 0;
     storage::Database* db = nullptr;
     /// Message egress — the raw Network, or the reliable-delivery layer

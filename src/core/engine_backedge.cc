@@ -29,6 +29,16 @@ runtime::Co<Status> BackEdgeEngine::ExecutePrimary(
   Status st = co_await RunLocalTxn(txn, spec, &writes);
   if (!st.ok()) co_return st;
 
+  // Hop to the home lane before touching any engine state: the pending
+  // map, tombstones, backedge counters, every network post, and the
+  // commit order are all home-lane-confined (no-op under kSim and when
+  // the transaction already ran there).
+  co_await ctx_.rt->RunOn(ctx_.machine);
+  if (txn->abort_requested()) {
+    co_await ctx_.db->Abort(txn);
+    co_return txn->abort_reason();
+  }
+
   std::vector<SiteId> targets =
       ctx_.routing->BackedgeTargets(ctx_.site, writes);
   if (targets.empty()) {

@@ -37,6 +37,14 @@ runtime::Co<Status> DagTEngine::ExecutePrimary(GlobalTxnId id,
   std::vector<WriteRecord> writes;
   Status st = co_await RunLocalTxn(txn, spec, &writes);
   if (!st.ok()) co_return st;
+  // Hop to the home lane: LTS/site-timestamp state and the commit order
+  // are home-lane-confined (no-op under kSim and when the transaction
+  // already ran there).
+  co_await ctx_.rt->RunOn(ctx_.machine);
+  if (txn->abort_requested()) {
+    co_await ctx_.db->Abort(txn);
+    co_return txn->abort_reason();
+  }
   st = co_await ctx_.db->Commit(txn, [&](int64_t) {
     // §3.2.2, atomically with commit: bump LTS, stamp the transaction
     // with the site timestamp, schedule secondaries at relevant children.

@@ -66,6 +66,14 @@ runtime::Co<Status> DagWtEngine::ExecutePrimary(GlobalTxnId id,
   std::vector<WriteRecord> writes;
   Status st = co_await RunLocalTxn(txn, spec, &writes);
   if (!st.ok()) co_return st;
+  // Hop to the home lane: commit order, the forwarding hook, and the
+  // batch buffers it may touch are home-lane-confined (no-op under kSim
+  // and when the transaction already ran there).
+  co_await ctx_.rt->RunOn(ctx_.machine);
+  if (txn->abort_requested()) {
+    co_await ctx_.db->Abort(txn);
+    co_return txn->abort_reason();
+  }
   st = co_await ctx_.db->Commit(txn, [&](int64_t) {
     if (writes.empty()) return;
     SecondaryUpdate update;

@@ -17,6 +17,15 @@ runtime::Co<Status> NaiveLazyEngine::ExecutePrimary(
   std::vector<WriteRecord> writes;
   Status st = co_await RunLocalTxn(txn, spec, &writes);
   if (!st.ok()) co_return st;
+  // Hop to the home lane: the commit order and the posts made from the
+  // atomic hook are home-lane-confined (no-op under kSim and when the
+  // transaction already ran there). A victimization landing during the
+  // hop must be honoured before Commit.
+  co_await ctx_.rt->RunOn(ctx_.machine);
+  if (txn->abort_requested()) {
+    co_await ctx_.db->Abort(txn);
+    co_return txn->abort_reason();
+  }
   st = co_await ctx_.db->Commit(txn, [&](int64_t) {
     if (writes.empty()) return;
     SecondaryUpdate update;

@@ -64,6 +64,9 @@ struct RunMetrics {
   /// Lock-manager aggregates summed over sites.
   uint64_t lock_timeouts = 0;
   uint64_t lock_waits = 0;
+  /// Wait-die victims (`DeadlockPolicy::kWaitDie` only) — counted apart
+  /// from timeouts so prevention and detection aborts stay comparable.
+  uint64_t lock_die_aborts = 0;
   /// Per-site breakdown.
   std::vector<SiteMetrics> per_site;
 

@@ -88,7 +88,8 @@ std::unique_ptr<runtime::Runtime> System::MakeRuntime(
   switch (config.runtime) {
     case runtime::RuntimeKind::kThreads:
       return std::make_unique<runtime::ThreadRuntime>(
-          ComputeNumMachines(config.workload));
+          ComputeNumMachines(config.workload),
+          std::max(1, config.workers_per_site));
     case runtime::RuntimeKind::kSim:
       break;
   }
@@ -111,6 +112,35 @@ Status System::Build() {
   workload::Params& params = config_.workload;
   if (params.num_sites <= 0 || params.sites_per_machine <= 0) {
     return Status::InvalidArgument("bad site/machine counts");
+  }
+  if (config_.workers_per_site < 1) {
+    return Status::InvalidArgument("workers_per_site must be >= 1");
+  }
+  if (config_.engine.lock_stripes < 1) {
+    return Status::InvalidArgument("lock_stripes must be >= 1");
+  }
+  if (config_.workers_per_site > 1) {
+    if (config_.runtime != runtime::RuntimeKind::kThreads) {
+      return Status::InvalidArgument(
+          "workers_per_site > 1 requires the thread runtime (the sim "
+          "models one logical executor; faking parallel lanes there would "
+          "invalidate every golden schedule)");
+    }
+    if (config_.engine.deadlock_policy ==
+        storage::DeadlockPolicy::kLocalDetection) {
+      return Status::InvalidArgument(
+          "local deadlock detection requires workers_per_site == 1 (the "
+          "detector snapshots a waits-for graph that only a single lane "
+          "may mutate); use wait-die or timeouts for multi-worker sites");
+    }
+  }
+  if (config_.engine.deadlock_policy == storage::DeadlockPolicy::kWaitDie &&
+      config_.schedule.has_value() && config_.schedule->enabled() &&
+      config_.schedule->shuffle_grants) {
+    return Status::InvalidArgument(
+        "wait-die does not compose with shuffle_grants: grant-order "
+        "perturbation explores waiter orders, but wait-die kills the "
+        "waiters the shuffle would reorder");
   }
   if (config_.engine.batch_window > 0 &&
       config_.protocol != Protocol::kDagWt) {
@@ -180,12 +210,13 @@ Status System::Build() {
   generator_ =
       std::make_unique<workload::TxnGenerator>(params, placement);
 
-  // Machines: `sites_per_machine` co-located sites share one CPU.
+  // Machines: `sites_per_machine` co-located sites share one CPU with
+  // `workers_per_site` cores (one per executor lane; 1 under the sim).
   site_cpu_.assign(params.num_sites, nullptr);
   if (config_.costs.model_cpu) {
     for (int m = 0; m < num_machines_; ++m) {
-      machine_cpus_.push_back(
-          std::make_unique<runtime::Resource>(runtime_.get(), 1));
+      machine_cpus_.push_back(std::make_unique<runtime::Resource>(
+          runtime_.get(), config_.workers_per_site));
     }
     for (SiteId s = 0; s < params.num_sites; ++s) {
       site_cpu_[s] = machine_cpus_[machine_of(s)].get();
@@ -217,6 +248,11 @@ Status System::Build() {
       machine_of_site[s] = machine_of(s);
     }
     network_->SetMachineMap(std::move(machine_of_site));
+    std::vector<int> exec_of_site(params.num_sites);
+    for (SiteId s = 0; s < params.num_sites; ++s) {
+      exec_of_site[s] = home_exec(s);
+    }
+    network_->SetExecutorMap(std::move(exec_of_site));
   }
   if (schedule_policy_ != nullptr &&
       schedule_policy_->config().delivery_jitter_max > 0) {
@@ -273,6 +309,7 @@ Status System::Build() {
     options.lock_config.wait_timeout = params.deadlock_timeout;
     options.lock_config.policy = config_.engine.deadlock_policy;
     options.lock_config.grant = config_.engine.grant_policy;
+    options.lock_config.stripes = config_.engine.lock_stripes;
     if (schedule_policy_ != nullptr &&
         schedule_policy_->config().shuffle_grants) {
       options.lock_config.schedule_pick = [this](size_t n) {
@@ -312,7 +349,7 @@ Status System::Build() {
     ReplicationEngine::Context ctx;
     ctx.site = s;
     ctx.rt = runtime_.get();
-    ctx.machine = machine_of(s);
+    ctx.machine = home_exec(s);
     ctx.db = databases_[s].get();
     ctx.net = transport_ != nullptr
                   ? static_cast<ProtocolTransport*>(transport_.get())
@@ -341,19 +378,20 @@ Status System::Build() {
       });
     }
   }
-  next_txn_seq_.assign(params.num_sites, 0);
+  next_txn_seq_ =
+      std::make_unique<std::atomic<int64_t>[]>(params.num_sites);
   LAZYREP_LOG(kInfo) << "system built: " << ProtocolName(config_.protocol)
                      << " | " << params.ToString() << " | "
                      << routing_->copy_graph().num_edges()
                      << " copy edges, " << routing_->backedges().size()
                      << " backedges | runtime="
                      << runtime::RuntimeKindName(runtime_->kind()) << " ("
-                     << num_machines_ << " machines)";
+                     << num_machines_ << " machines x "
+                     << runtime_->workers_per_machine() << " workers)";
   return Status::OK();
 }
 
-runtime::Co<void> System::Worker(SiteId site, int thread_index, Rng rng) {
-  (void)thread_index;
+runtime::Co<void> System::Worker(SiteId site, int exec, Rng rng) {
   const workload::Params& params = config_.workload;
   for (int i = 0; i < params.txns_per_thread; ++i) {
     workload::TxnSpec spec = generator_->Next(site, &rng);
@@ -364,8 +402,15 @@ runtime::Co<void> System::Worker(SiteId site, int thread_index, Rng rng) {
     bool measured = start >= config_.warmup;
     double backoff_ms = 2.0;
     for (;;) {
+      // `ExecutePrimary` finishes on the site's home lane (mobile engines
+      // hop there before committing); hop back so each attempt — and the
+      // lock waits and CPU charges it performs — runs on this worker's
+      // own lane. No-op under `kSim` and when already on `exec`.
+      co_await runtime_->RunOn(exec);
       if (injector_ != nullptr) co_await injector_->AwaitUp(site);
-      GlobalTxnId id{site, next_txn_seq_[site]++};
+      GlobalTxnId id{site,
+                     next_txn_seq_[site].fetch_add(
+                         1, std::memory_order_relaxed)};
       Status st = co_await engines_[site]->ExecutePrimary(id, spec);
       if (st.ok()) {
         if (measured) {
@@ -418,10 +463,26 @@ RunMetrics System::Run() {
   runtime_->Start();  // No-op under kSim; launches executors under kThreads.
   EnsureStarted();
   Rng worker_seeds = rng_.Split();
+  // Which engines tolerate their transactions running off the home lane
+  // (they hop home before commit/posting). PSL and Eager coordinate 2PC
+  // votes and proxy maps mid-transaction, so they stay home-pinned.
+  const bool mobile = config_.protocol == Protocol::kDagWt ||
+                      config_.protocol == Protocol::kDagT ||
+                      config_.protocol == Protocol::kBackEdge ||
+                      config_.protocol == Protocol::kNaiveLazy;
+  const int lanes = runtime_->workers_per_machine();
+  const int spm = params.sites_per_machine;
   for (SiteId s = 0; s < params.num_sites; ++s) {
     for (int t = 0; t < params.threads_per_site; ++t) {
+      // Mobile protocols spread a site's workload threads round-robin
+      // over its machine's lanes (starting at the home lane so the
+      // single-thread case degenerates to the pinned one); pinned
+      // protocols keep every thread on the home lane.
+      int exec = mobile ? runtime_->ExecutorOf(
+                              machine_of(s), ((s % spm) + t) % lanes)
+                        : home_exec(s);
       workers_done_.Add();
-      runtime_->SpawnOn(machine_of(s), Worker(s, t, worker_seeds.Split()));
+      runtime_->SpawnOn(exec, Worker(s, exec, worker_seeds.Split()));
     }
   }
   if (runtime_->concurrent()) {
@@ -528,15 +589,13 @@ bool System::ThreadsQuiescent() {
 }
 
 void System::OnEachSiteBlocking(const std::function<void(SiteId)>& fn) {
-  std::latch done{num_machines_};
-  for (int m = 0; m < num_machines_; ++m) {
-    runtime_->ScheduleCallbackOn(m, 0, [this, m, &fn, &done] {
-      const int num_sites = config_.workload.num_sites;
-      const int spm = config_.workload.sites_per_machine;
-      const SiteId begin = static_cast<SiteId>(m) * spm;
-      const SiteId end =
-          std::min<SiteId>(begin + spm, static_cast<SiteId>(num_sites));
-      for (SiteId s = begin; s < end; ++s) fn(s);
+  // Engine state is confined to each site's home lane, so `fn` must run
+  // there — one callback per site, fanned in with a latch.
+  const int num_sites = config_.workload.num_sites;
+  std::latch done{num_sites};
+  for (SiteId s = 0; s < num_sites; ++s) {
+    runtime_->ScheduleCallbackOn(home_exec(s), 0, [s, &fn, &done] {
+      fn(s);
       done.count_down();
     });
   }
@@ -586,6 +645,7 @@ RunMetrics System::CollectMetrics() const {
   for (const auto& db : databases_) {
     out.lock_timeouts += db->locks().stats().timeouts;
     out.lock_waits += db->locks().stats().waits;
+    out.lock_die_aborts += db->locks().stats().die_aborts;
   }
   if (config_.check_serializability) {
     out.checked = true;
@@ -609,8 +669,10 @@ void System::EnsureStarted() {
   if (injector_ != nullptr) {
     for (const fault::CrashEvent& crash : config_.faults->crashes) {
       crashes_outstanding_.fetch_add(1, std::memory_order_acq_rel);
+      // Crash/recovery manipulates the site's engine state and WAL: run
+      // it on the site's home lane.
       runtime_->ScheduleCallbackAtOn(
-          machine_of(crash.site), crash.at,
+          home_exec(crash.site), crash.at,
           [this, crash] { runtime_->Spawn(CrashRecover(crash)); });
     }
   }
@@ -670,7 +732,8 @@ Status System::RunOneTransaction(SiteId site,
   EnsureStarted();
   Status result = Status::Internal("transaction did not run");
   bool done = false;
-  GlobalTxnId id{site, next_txn_seq_[site]++};
+  GlobalTxnId id{site, next_txn_seq_[site].fetch_add(
+                           1, std::memory_order_relaxed)};
   sim.Spawn([](System* system, sim::Simulator* s_sim, SiteId s,
                GlobalTxnId txn_id, workload::TxnSpec txn_spec, Status* out,
                bool* flag) -> runtime::Co<void> {
@@ -694,9 +757,13 @@ void System::InjectCpuStall(int machine, SimTime at, Duration duration) {
                 machine < static_cast<int>(machine_cpus_.size()));
   LAZYREP_CHECK_GE(at, runtime_->Now());
   runtime::Resource* cpu = machine_cpus_[static_cast<size_t>(machine)].get();
-  runtime_->ScheduleCallbackAtOn(machine, at, [this, cpu, duration] {
-    runtime_->Spawn(cpu->Consume(duration));
-  });
+  // A stall freezes the whole machine: occupy every lane's CPU unit.
+  for (int lane = 0; lane < runtime_->workers_per_machine(); ++lane) {
+    runtime_->ScheduleCallbackAtOn(runtime_->ExecutorOf(machine, lane), at,
+                                   [this, cpu, duration] {
+                                     runtime_->Spawn(cpu->Consume(duration));
+                                   });
+  }
 }
 
 void System::DrainPropagation() {

@@ -83,6 +83,16 @@ class System {
   int machine_of(SiteId site) const {
     return static_cast<int>(site) / config_.workload.sites_per_machine;
   }
+  /// The executor lane that owns `site`'s confined state (engine maps,
+  /// commit order, WAL recovery). With `workers_per_site == 1` this is
+  /// exactly `machine_of(site)`; with more lanes, co-located sites spread
+  /// their homes round-robin across their machine's lanes.
+  int home_exec(SiteId site) const {
+    return runtime_->ExecutorOf(
+        machine_of(site),
+        (static_cast<int>(site) % config_.workload.sites_per_machine) %
+            runtime_->workers_per_machine());
+  }
 
   // --- Introspection (primarily for tests and examples) ----------------
   runtime::Runtime& runtime() { return *runtime_; }
@@ -137,15 +147,19 @@ class System {
   /// transactions, wait out the outage, rebuild the store from the WAL,
   /// and bring the site back up (docs/FAULTS.md).
   runtime::Co<void> CrashRecover(fault::CrashEvent crash);
-  runtime::Co<void> Worker(SiteId site, int thread_index, Rng rng);
+  /// One workload thread of §5.2, driven from executor lane `exec` (the
+  /// site's home lane, or — mobile protocols under `workers_per_site > 1`
+  /// — any lane of the site's machine; each attempt hops back to `exec`
+  /// because `ExecutePrimary` finishes on the home lane).
+  runtime::Co<void> Worker(SiteId site, int exec, Rng rng);
   runtime::Co<void> QuiesceAndShutdown();
   void RunSim();
   void RunThreads();
   /// Thread backend: evaluates quiescence with each engine inspected on
   /// its own machine (engine state is thread-confined).
   bool ThreadsQuiescent();
-  /// Thread backend: runs `fn(site)` for every site on that site's
-  /// machine and blocks until all machines finished.
+  /// Thread backend: runs `fn(site)` for every site on that site's home
+  /// lane and blocks until all sites finished.
   void OnEachSiteBlocking(const std::function<void(SiteId)>& fn);
   RunMetrics CollectMetrics() const;
   /// Exports machine-confined state (engine peaks, per-site txn counters)
@@ -184,7 +198,9 @@ class System {
   std::atomic<int> crashes_outstanding_{0};
   std::vector<std::unique_ptr<storage::Database>> databases_;
   std::vector<std::unique_ptr<ReplicationEngine>> engines_;
-  std::vector<int64_t> next_txn_seq_;
+  /// Per-site transaction id allocator; atomic because a site's workload
+  /// threads run on different lanes under `workers_per_site > 1`.
+  std::unique_ptr<std::atomic<int64_t>[]> next_txn_seq_;
   runtime::WaitGroup workers_done_;
   Duration workload_elapsed_ = 0;
   Duration drain_elapsed_ = 0;

@@ -141,11 +141,30 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "unknown runtime '%s' (sim|threads)\n", value);
       }
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      options.workers_per_site = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--lock-stripes=", 15) == 0) {
+      options.lock_stripes = std::atoi(arg + 15);
+    } else if (std::strncmp(arg, "--lock-timeout=", 15) == 0) {
+      options.lock_timeout = Millis(std::atof(arg + 15));
+    } else if (std::strncmp(arg, "--deadlock=", 11) == 0) {
+      const char* value = arg + 11;
+      if (std::strcmp(value, "timeout") == 0) {
+        options.deadlock_policy = storage::DeadlockPolicy::kTimeoutOnly;
+      } else if (std::strcmp(value, "wait_die") == 0 ||
+                 std::strcmp(value, "wait-die") == 0) {
+        options.deadlock_policy = storage::DeadlockPolicy::kWaitDie;
+      } else {
+        std::fprintf(stderr, "unknown deadlock policy '%s' "
+                             "(timeout|wait_die)\n", value);
+      }
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s' "
                    "(supported: --quick --full --txns=N --seeds=N --csv "
-                   "--json=PATH --runtime=sim|threads --metrics-out=PATH "
+                   "--json=PATH --runtime=sim|threads --workers=N "
+                   "--lock-stripes=N --deadlock=timeout|wait_die "
+                   "--lock-timeout=MS --metrics-out=PATH "
                    "--trace-out=PATH)\n",
                    arg);
     }
@@ -157,6 +176,12 @@ void ApplyOptions(const BenchOptions& options,
                   core::SystemConfig* config) {
   config->workload.txns_per_thread = options.txns_per_thread;
   config->runtime = options.runtime;
+  config->workers_per_site = options.workers_per_site;
+  config->engine.lock_stripes = options.lock_stripes;
+  config->engine.deadlock_policy = options.deadlock_policy;
+  if (options.lock_timeout > 0) {
+    config->workload.deadlock_timeout = options.lock_timeout;
+  }
 }
 
 void AppendBenchJson(const std::string& path, const std::string& bench,

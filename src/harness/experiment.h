@@ -60,10 +60,21 @@ struct BenchOptions {
   /// --trace-out=PATH: enable tracing and write a Chrome trace_event JSON
   /// timeline after each run (last run wins). Empty disables.
   std::string trace_out;
+  /// --workers=N: worker lanes per machine (threads runtime only).
+  int workers_per_site = 1;
+  /// --lock-stripes=N: hash stripes per site lock table.
+  int lock_stripes = 8;
+  /// --deadlock=timeout|wait_die and --lock-timeout=MS (the latter an
+  /// alias for the workload's deadlock timeout knob).
+  storage::DeadlockPolicy deadlock_policy =
+      storage::DeadlockPolicy::kTimeoutOnly;
+  Duration lock_timeout = 0;  // 0 = keep the config's default.
 };
 
 /// Parses --quick / --full / --txns=N / --seeds=N / --csv / --json=PATH /
-/// --runtime=sim|threads / --metrics-out=PATH / --trace-out=PATH.
+/// --runtime=sim|threads / --workers=N / --lock-stripes=N /
+/// --deadlock=timeout|wait_die / --lock-timeout=MS / --metrics-out=PATH /
+/// --trace-out=PATH.
 BenchOptions ParseBenchArgs(int argc, char** argv);
 
 /// Applies the options to a config.

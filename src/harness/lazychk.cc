@@ -33,6 +33,9 @@ std::string ReplayLine(const LazychkOptions& options, uint64_t seed,
                      " --seeds=1 --first-seed=" + std::to_string(seed) +
                      " --txns=" + std::to_string(options.txns_per_thread);
   if (!options.faults.empty()) line += " --faults=" + options.faults;
+  if (options.deadlock_policy == storage::DeadlockPolicy::kWaitDie) {
+    line += " --grant=wait_die";
+  }
   line += std::string(" --ties=") + (policy.perturb_ties ? "1" : "0");
   line += std::string(" --grants=") + (policy.shuffle_grants ? "1" : "0");
   line += " --jitter=" + std::to_string(policy.delivery_jitter_max) + "ns";
@@ -58,6 +61,7 @@ core::SystemConfig LazychkConfig(const LazychkOptions& options,
     LAZYREP_CHECK(plan.ok()) << plan.status().ToString();
     config.faults = *plan;
   }
+  config.engine.deadlock_policy = options.deadlock_policy;
   sim::SchedulePolicyConfig seeded = policy;
   seeded.seed = seed;
   config.schedule = seeded;
@@ -151,7 +155,13 @@ sim::SchedulePolicyConfig ShrinkViolation(const LazychkOptions& options,
   return failing;
 }
 
-LazychkResult RunLazychk(const LazychkOptions& options) {
+LazychkResult RunLazychk(const LazychkOptions& options_in) {
+  LazychkOptions options = options_in;
+  if (options.deadlock_policy == storage::DeadlockPolicy::kWaitDie) {
+    // Wait-die decides grant order by transaction age; a shuffled grant
+    // queue would contradict it (and System::Create rejects the combo).
+    options.policy.shuffle_grants = false;
+  }
   LazychkResult result;
   for (int i = 0; i < options.seeds; ++i) {
     const uint64_t seed = options.first_seed + static_cast<uint64_t>(i);

@@ -22,6 +22,11 @@ namespace lazyrep::harness {
 
 struct LazychkOptions {
   core::Protocol protocol = core::Protocol::kDagT;
+  /// Lock-manager deadlock policy swept by the runs (`--grant=`). Wait-die
+  /// forces `policy.shuffle_grants` off — the two fight over grant order
+  /// and `System::Create` rejects the combination.
+  storage::DeadlockPolicy deadlock_policy =
+      storage::DeadlockPolicy::kTimeoutOnly;
   /// Number of (system seed, policy seed) runs; seed i uses
   /// `first_seed + i` for both.
   int seeds = 100;

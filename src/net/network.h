@@ -151,6 +151,18 @@ class Network : public Transport<T> {
     machine_of_ = std::move(machine_of);
   }
 
+  /// Endpoint-to-executor-lane mapping: deliveries are scheduled onto
+  /// the destination's *home lane* so handlers stay confined to the
+  /// lane that owns the site's state even when its machine runs several
+  /// lanes (`workers_per_machine > 1`). Loopback detection keeps using
+  /// the machine map — co-located sites on different lanes still share
+  /// a kernel. Default (unset): the machine map doubles as the lane map
+  /// (exact under single-worker machines, where lane == machine).
+  void SetExecutorMap(std::vector<int> exec_of) {
+    LAZYREP_CHECK_EQ(exec_of.size(), static_cast<size_t>(num_endpoints_));
+    exec_of_ = std::move(exec_of);
+  }
+
   /// Optional fault hook (fault injection): consulted once per posted
   /// message, under the network lock, after the send CPU charge. Must be
   /// set before traffic starts.
@@ -210,9 +222,10 @@ class Network : public Transport<T> {
 
   /// Posts a message; never blocks the caller. Messages posted on the same
   /// (src, dst) channel are delivered in post order. Must be called from
-  /// the source endpoint's machine (true by construction: only site code
-  /// posts, and site code runs on its own machine) — that confinement is
-  /// what lets the per-channel wire state go unsynchronized.
+  /// the source endpoint's home lane (true by construction: only site code
+  /// posts, and engines hop to the home lane before posting) — that
+  /// confinement is what lets the per-channel wire state go
+  /// unsynchronized.
   void Post(SiteId src, SiteId dst, T payload) override {
     Check(src);
     Check(dst);
@@ -384,12 +397,12 @@ class Network : public Transport<T> {
     }
     if (fault.duplicate) {
       Envelope copy = env;
-      rt_->ScheduleCallbackAtOn(MachineOf(dst), dup_arrive,
+      rt_->ScheduleCallbackAtOn(ExecOf(dst), dup_arrive,
                                 [this, copy = std::move(copy)]() mutable {
                                   Deliver(std::move(copy));
                                 });
     }
-    rt_->ScheduleCallbackAtOn(MachineOf(dst), arrive,
+    rt_->ScheduleCallbackAtOn(ExecOf(dst), arrive,
                               [this, env = std::move(env)]() mutable {
                                 Deliver(std::move(env));
                               });
@@ -406,6 +419,12 @@ class Network : public Transport<T> {
 
   int MachineOf(SiteId s) const {
     return machine_of_.empty() ? 0 : machine_of_[static_cast<size_t>(s)];
+  }
+
+  /// The executor lane deliveries to `s` run on (home lane).
+  int ExecOf(SiteId s) const {
+    return exec_of_.empty() ? MachineOf(s)
+                            : exec_of_[static_cast<size_t>(s)];
   }
 
   /// Per-kind counter family cells; resolved once per kind, then reached
@@ -511,6 +530,7 @@ class Network : public Transport<T> {
   DelayHook delay_hook_;
   ControlClassifier is_control_;
   std::vector<int> machine_of_;
+  std::vector<int> exec_of_;
   std::vector<PaddedCounter> sent_from_;
   std::vector<PaddedCounter> received_at_;
   std::atomic<uint64_t> total_messages_{0};

@@ -17,19 +17,35 @@ namespace lazyrep::runtime {
 
 /// Synchronization primitives over the `Runtime` waist.
 ///
-/// Thread-confinement contract: `WaitQueue`, `Event`, `OneShot`,
-/// `Mailbox`, and `Resource` are *machine-confined* — every call on one
-/// instance must come from the same machine's executor (or from anywhere
-/// under `kSim`, where one thread runs everything). This matches how the
-/// system uses them: a site's mailboxes, vote cells, and CPU resource
-/// are only ever touched by code running on that site's machine, so no
-/// locks are needed and the sim schedule is untouched. `WaitGroup` is
-/// the one cross-machine primitive (fan-in from workers on every
-/// machine) and is internally synchronized.
+/// Concurrency contract (the lane-confinement rules; see also
+/// DESIGN.md §"Worker model" and docs/PERFORMANCE.md §2):
 ///
-/// Every wake-up is scheduled at delay 0 on the *waiter's* machine
+/// * *Lane-confined*: `WaitQueue`, `Event`, and `Mailbox`. Every call on
+///   one instance must come from the same executor lane (or from
+///   anywhere under `kSim`, where one thread runs everything). The
+///   system uses them only for per-site state that stays on the site's
+///   home lane — mailboxes fed by network deliveries (which always land
+///   on the destination site's home lane), vote events awaited by
+///   home-pinned engines — so no locks are needed and the sim schedule
+///   is untouched.
+///
+/// * *Cross-lane synchronized*: `OneShot`, `Resource`, and `WaitGroup`.
+///   With `workers_per_machine > 1` a transaction may run on any lane
+///   of its site's machine, so lock-grant cells are fired from one lane
+///   and awaited on another, a machine's CPU `Resource` is consumed
+///   from every lane of that machine, and `WaitGroup` fans in from
+///   every machine. These three carry an internal mutex; under `kSim`
+///   (and under single-worker threads) it is uncontended and the
+///   wake-up sequence is identical to the unsynchronized form, so the
+///   deterministic schedule is preserved.
+///
+/// Every wake-up is scheduled at delay 0 on the *waiter's* lane
 /// (captured at suspension) rather than resumed inline, which keeps
-/// notification non-reentrant and, under `kSim`, deterministic.
+/// notification non-reentrant and, under `kSim`, deterministic. The
+/// synchronized primitives all use the same await_suspend-recheck
+/// pattern: the predicate is re-tested under the mutex inside
+/// `await_suspend`, so a notification racing the suspension can never
+/// be lost (returning false there resumes the caller immediately).
 
 /// FIFO wait list, the building block for condition-style waiting:
 ///
@@ -101,6 +117,12 @@ class Event {
 /// `TryFire(value)` (first call wins, later calls are ignored); the single
 /// consumer awaits `Wait()`. Used for request/response interactions such
 /// as lock grants racing a timeout timer.
+///
+/// Cross-lane synchronized: with multi-worker sites a lock grant is
+/// fired from the releasing transaction's lane while the waiter parked
+/// on another. Once fired the value is immutable, so `await_resume`
+/// reads it without the mutex (the fire happens-before the scheduled
+/// resumption).
 template <typename T>
 class OneShot {
  public:
@@ -109,29 +131,43 @@ class OneShot {
   OneShot(const OneShot&) = delete;
   OneShot& operator=(const OneShot&) = delete;
 
-  bool fired() const { return value_.has_value(); }
+  bool fired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return value_.has_value();
+  }
 
   /// Fires with `value` unless already fired. Returns true when this call
   /// won the race.
   bool TryFire(T value) {
-    if (value_.has_value()) return false;
-    value_.emplace(std::move(value));
-    if (waiter_) {
-      rt_->ScheduleHandleOn(waiter_machine_, 0, waiter_);
+    std::coroutine_handle<> waiter = nullptr;
+    int waiter_machine = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (value_.has_value()) return false;
+      value_.emplace(std::move(value));
+      waiter = waiter_;
+      waiter_machine = waiter_machine_;
       waiter_ = nullptr;
     }
+    if (waiter) rt_->ScheduleHandleOn(waiter_machine, 0, waiter);
     return true;
   }
 
   auto Wait() {
     struct Awaiter {
       OneShot* cell;
-      bool await_ready() { return cell->value_.has_value(); }
-      void await_suspend(std::coroutine_handle<> h) {
+      bool await_ready() {
+        std::lock_guard<std::mutex> lock(cell->mu_);
+        return cell->value_.has_value();
+      }
+      bool await_suspend(std::coroutine_handle<> h) {
+        std::lock_guard<std::mutex> lock(cell->mu_);
+        if (cell->value_.has_value()) return false;  // Fired in the gap.
         LAZYREP_CHECK(cell->waiter_ == nullptr)
             << "OneShot supports a single waiter";
         cell->waiter_machine_ = cell->rt_->HomeMachine();
         cell->waiter_ = h;
+        return true;
       }
       T await_resume() { return std::move(*cell->value_); }
     };
@@ -140,6 +176,7 @@ class OneShot {
 
  private:
   Runtime* rt_;
+  mutable std::mutex mu_;
   std::optional<T> value_;
   std::coroutine_handle<> waiter_ = nullptr;
   int waiter_machine_ = 0;
@@ -294,10 +331,12 @@ class Mailbox {
 /// per UltraSparc). Work is charged in small chunks, which approximates
 /// processor sharing closely at the op granularity used here.
 ///
-/// Machine-confined: a machine's CPU is only consumed by code running on
-/// that machine. Under `kThreads` a charge is a timer sleep while holding
-/// a unit — charges on different machines overlap in real time, which is
-/// exactly the parallelism the thread backend exists to measure.
+/// Cross-lane synchronized: with multi-worker sites, every lane of a
+/// machine charges that machine's CPU. Under `kThreads` a charge is a
+/// timer sleep while holding a unit — charges on different machines
+/// (and, with `workers_per_machine > 1`, on different lanes) overlap in
+/// real time, which is exactly the parallelism the thread backend
+/// exists to measure.
 class Resource {
  public:
   explicit Resource(Runtime* rt, int capacity = 1)
@@ -308,19 +347,28 @@ class Resource {
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
 
-  /// Acquires one unit (FIFO).
+  /// Acquires one unit (FIFO). The availability check is re-run under
+  /// the mutex in `await_suspend`, so a `Release` racing the suspension
+  /// cannot strand the waiter.
   auto Acquire() {
     struct Awaiter {
       Resource* r;
       bool await_ready() {
+        std::lock_guard<std::mutex> lock(r->mu_);
         if (r->available_ > 0) {
           --r->available_;
           return true;
         }
         return false;
       }
-      void await_suspend(std::coroutine_handle<> h) {
+      bool await_suspend(std::coroutine_handle<> h) {
+        std::lock_guard<std::mutex> lock(r->mu_);
+        if (r->available_ > 0) {  // Released in the gap.
+          --r->available_;
+          return false;
+        }
         r->waiters_.push_back({r->rt_->HomeMachine(), h});
+        return true;
       }
       // When resumed from Release, the unit has been transferred to us.
       void await_resume() {}
@@ -330,33 +378,52 @@ class Resource {
 
   /// Releases one unit; hands it directly to the next waiter if any.
   void Release() {
-    if (!waiters_.empty()) {
-      auto [machine, h] = waiters_.front();
-      waiters_.pop_front();
-      rt_->ScheduleHandleOn(machine, 0, h);
-    } else {
-      ++available_;
-      LAZYREP_CHECK_LE(available_, capacity_);
+    int machine = 0;
+    std::coroutine_handle<> h = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!waiters_.empty()) {
+        machine = waiters_.front().first;
+        h = waiters_.front().second;
+        waiters_.pop_front();
+      } else {
+        ++available_;
+        LAZYREP_CHECK_LE(available_, capacity_);
+      }
     }
+    if (h) rt_->ScheduleHandleOn(machine, 0, h);
   }
 
   /// Occupies one unit for `d` of runtime time (acquire, delay, release).
   /// This is how CPU work is charged.
   Co<void> Consume(Duration d) {
     co_await Acquire();
-    busy_time_ += d;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_time_ += d;
+    }
     co_await rt_->Delay(d);
     Release();
   }
 
-  int available() const { return available_; }
-  size_t queue_length() const { return waiters_.size(); }
+  int available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return available_;
+  }
+  size_t queue_length() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return waiters_.size();
+  }
 
   /// Total busy time accumulated (for utilization reporting).
-  Duration busy_time() const { return busy_time_; }
+  Duration busy_time() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return busy_time_;
+  }
 
  private:
   Runtime* rt_;
+  mutable std::mutex mu_;
   int available_;
   int capacity_;
   Duration busy_time_ = 0;

@@ -73,8 +73,35 @@ class Runtime {
   /// Number of machine executors (always >= 1).
   virtual int num_machines() const = 0;
 
-  /// Machine whose executor is running the calling code, or `kNoMachine`
-  /// from the driver thread. Under `kSim` everything is machine 0.
+  /// Worker lanes per machine (always >= 1). Each machine owns
+  /// `workers_per_machine()` executor lanes; lane 0 of machine m is
+  /// executor `m * workers_per_machine()`. The single-lane backends
+  /// (sim, single-worker threads) report 1, in which case executor
+  /// indices coincide with machine indices and nothing changes.
+  virtual int workers_per_machine() const { return 1; }
+
+  /// Total executor lanes across all machines
+  /// (`num_machines() * workers_per_machine()`).
+  virtual int num_executors() const { return num_machines(); }
+
+  /// Executor index of `machine`'s worker lane `lane`
+  /// (`0 <= lane < workers_per_machine()`).
+  int ExecutorOf(int machine, int lane) const {
+    return machine * workers_per_machine() + lane;
+  }
+
+  /// Machine that owns executor lane `exec`.
+  int MachineOfExecutor(int exec) const {
+    return exec / workers_per_machine();
+  }
+
+  /// Executor lane running the calling code, or `kNoMachine` from the
+  /// driver thread. Under `kSim` everything is machine 0. With one
+  /// worker per machine (every backend until `workers_per_machine()`
+  /// is raised) this is exactly the machine index; with more, the
+  /// machine index is `MachineOfExecutor(CurrentMachine())`, and the
+  /// `machine` parameter of `SpawnOn`/`Schedule*On` generalizes to an
+  /// executor-lane index.
   virtual int CurrentMachine() const = 0;
 
   /// Launches a root process on `machine`. When called from that
@@ -156,6 +183,25 @@ class Runtime {
     };
     LAZYREP_CHECK_GE(d, 0);
     return Awaiter{this, d, HomeMachine()};
+  }
+
+  /// Awaitable that moves the calling coroutine onto executor lane
+  /// `exec`. A no-op (no suspension, no scheduled event) when already
+  /// there or when the backend is not concurrent — so under `kSim` the
+  /// event schedule, and with it byte-determinism, is untouched.
+  auto RunOn(int exec) {
+    struct Awaiter {
+      Runtime* rt;
+      int exec;
+      bool await_ready() {
+        return !rt->concurrent() || rt->CurrentMachine() == exec;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        rt->ScheduleHandleOn(exec, 0, h);
+      }
+      void await_resume() {}
+    };
+    return Awaiter{this, exec};
   }
 };
 

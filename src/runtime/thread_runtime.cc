@@ -7,8 +7,8 @@ namespace lazyrep::runtime {
 
 namespace {
 
-/// Machine whose executor is running on this thread; `kNoMachine` on
-/// threads that are not executors (the driver, test main, ...).
+/// Executor lane running on this thread; `kNoMachine` on threads that
+/// are not executors (the driver, test main, ...).
 thread_local int tls_machine = Runtime::kNoMachine;
 
 }  // namespace
@@ -22,11 +22,15 @@ ThreadRuntime::RootTask ThreadRuntime::MakeRoot(Co<void> co) {
   co_await std::move(co);
 }
 
-ThreadRuntime::ThreadRuntime(int num_machines)
-    : epoch_(std::chrono::steady_clock::now()) {
+ThreadRuntime::ThreadRuntime(int num_machines, int workers_per_machine)
+    : epoch_(std::chrono::steady_clock::now()),
+      machines_(num_machines),
+      workers_(workers_per_machine) {
   LAZYREP_CHECK_GT(num_machines, 0);
-  execs_.reserve(static_cast<size_t>(num_machines));
-  for (int m = 0; m < num_machines; ++m) {
+  LAZYREP_CHECK_GT(workers_per_machine, 0);
+  int lanes = num_machines * workers_per_machine;
+  execs_.reserve(static_cast<size_t>(lanes));
+  for (int e = 0; e < lanes; ++e) {
     execs_.push_back(std::make_unique<Executor>());
   }
 }
@@ -42,8 +46,8 @@ SimTime ThreadRuntime::Now() const {
 int ThreadRuntime::CurrentMachine() const { return tls_machine; }
 
 ThreadRuntime::Executor& ThreadRuntime::ExecutorFor(int machine) {
-  LAZYREP_CHECK(machine >= 0 && machine < num_machines())
-      << "machine " << machine << " out of range";
+  LAZYREP_CHECK(machine >= 0 && machine < num_executors())
+      << "executor lane " << machine << " out of range";
   return *execs_[static_cast<size_t>(machine)];
 }
 
@@ -144,9 +148,9 @@ void ThreadRuntime::Start() {
   LAZYREP_CHECK(!started_) << "ThreadRuntime started twice";
   started_ = true;
   epoch_ = std::chrono::steady_clock::now();
-  for (int m = 0; m < num_machines(); ++m) {
-    execs_[static_cast<size_t>(m)]->thread =
-        std::thread([this, m] { RunLoop(m); });
+  for (int e = 0; e < num_executors(); ++e) {
+    execs_[static_cast<size_t>(e)]->thread =
+        std::thread([this, e] { RunLoop(e); });
   }
 }
 

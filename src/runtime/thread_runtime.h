@@ -19,26 +19,36 @@ namespace lazyrep::runtime {
 
 /// `Runtime` backend over real OS threads and the steady clock.
 ///
-/// Each machine gets one executor: an OS thread draining a FIFO ready
-/// queue plus a (due, seq) min-heap of timers. There is no work
-/// stealing — a coroutine suspended on machine m always resumes on
-/// machine m's thread, which is what lets per-site state (engines,
+/// Each machine gets `workers_per_machine` executor lanes: an OS thread
+/// draining a FIFO ready queue plus a (due, seq) min-heap of timers,
+/// with an MPSC inject queue for cross-lane producers. There is no work
+/// stealing — a coroutine suspended on lane e always resumes on lane
+/// e's thread. With one worker per machine (the default) lanes coincide
+/// with machines, which is what lets per-site state (engines,
 /// databases, mailboxes) stay lock-free: it is only ever touched from
-/// its machine's thread. Cross-machine interaction happens exclusively
-/// through `ScheduleHandleOn`/`ScheduleCallback*On` (guarded by the
-/// target executor's mutex) and the internally synchronized `WaitGroup`.
+/// its machine's thread. With more workers, a site's transactions may
+/// run on any lane of its machine and per-site state must follow the
+/// concurrency contract in runtime/primitives.h (per-site mutex or
+/// atomic, with home-lane hops for order-sensitive sections).
+/// Cross-lane interaction happens exclusively through
+/// `ScheduleHandleOn`/`ScheduleCallback*On` (the `machine` parameter is
+/// an executor-lane index) and the internally synchronized primitives.
 ///
 /// Time is `std::chrono::steady_clock` nanoseconds since `Start()`;
 /// `Delay` and timer callbacks are real sleeps. Nothing here is
 /// deterministic — runs measure, they do not simulate.
 class ThreadRuntime final : public Runtime {
  public:
-  explicit ThreadRuntime(int num_machines);
+  explicit ThreadRuntime(int num_machines, int workers_per_machine = 1);
   ~ThreadRuntime() override;
 
   RuntimeKind kind() const override { return RuntimeKind::kThreads; }
   SimTime Now() const override;
-  int num_machines() const override { return static_cast<int>(execs_.size()); }
+  int num_machines() const override { return machines_; }
+  int workers_per_machine() const override { return workers_; }
+  int num_executors() const override {
+    return static_cast<int>(execs_.size());
+  }
   int CurrentMachine() const override;
 
   void SpawnOn(int machine, Co<void> co) override;
@@ -150,7 +160,9 @@ class ThreadRuntime final : public Runtime {
   void Enqueue(int machine, Work w, SimTime due);
 
   std::chrono::steady_clock::time_point epoch_;
-  std::vector<std::unique_ptr<Executor>> execs_;
+  int machines_ = 0;
+  int workers_ = 1;
+  std::vector<std::unique_ptr<Executor>> execs_;  // machines_ * workers_.
   bool started_ = false;
 
   std::mutex roots_mu_;

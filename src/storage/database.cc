@@ -17,6 +17,7 @@ Database::Database(runtime::Runtime* rt, Options options,
 }
 
 TxnPtr Database::Begin(GlobalTxnId id, TxnKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
   TxnPtr txn = std::make_shared<Transaction>(id, kind, rt_->Now(),
                                              next_arrival_seq_++);
   active_.emplace(txn.get(), txn);
@@ -24,6 +25,7 @@ TxnPtr Database::Begin(GlobalTxnId id, TxnKind kind) {
 }
 
 std::vector<TxnPtr> Database::ActiveTransactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TxnPtr> out;
   out.reserve(active_.size());
   for (const auto& [ptr, txn] : active_) out.push_back(txn);
@@ -34,6 +36,7 @@ std::vector<TxnPtr> Database::ActiveTransactions() const {
 }
 
 bool Database::HasUnpinnedActive() const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [ptr, txn] : active_) {
     // Pinned (prepared) transactions and secondary subtransactions ride
     // through a crash; everything else must finish rolling back before
@@ -52,6 +55,7 @@ void Database::RecoverStoreFromWal() {
   }
   wal_->Replay(&fresh);
   store_ = std::move(fresh);
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [ptr, txn] : active_) {
     for (const auto& [item, value] : txn->writes_final_) {
       Result<Value> r = store_.Put(item, value);
@@ -80,6 +84,8 @@ Status Database::OutcomeToStatus(LockOutcome outcome) {
       return Status::DeadlockAbort("lock wait timeout");
     case LockOutcome::kAborted:
       return Status::ExternalAbort("aborted while waiting for a lock");
+    case LockOutcome::kDied:
+      return Status::DeadlockAbort("wait-die victim");
   }
   return Status::Internal("unreachable");
 }
@@ -174,10 +180,14 @@ runtime::Co<Status> Database::Commit(
   // propagation hook, lock release) — recovery must never resurrect a
   // value readers could not yet see, nor lose one they could.
   if (wal_) wal_->LogCommit(txn->id());
-  int64_t seq = next_commit_seq_++;
-  txn->state_ = TxnState::kCommitted;
-  ++commits_;
-  active_.erase(txn.get());
+  int64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = next_commit_seq_++;
+    txn->state_ = TxnState::kCommitted;
+    ++commits_;
+    active_.erase(txn.get());
+  }
   if (atomic_hook) atomic_hook(seq);
   if (observer_ != nullptr) observer_->OnCommit(options_.site, *txn, seq);
   locks_.ReleaseAll(txn.get());
@@ -194,9 +204,12 @@ runtime::Co<void> Database::Abort(TxnPtr txn) {
   }
   txn->undo_log_.clear();
   co_await ChargeCpu(options_.costs.abort_cpu);
-  txn->state_ = TxnState::kAborted;
-  ++aborts_;
-  active_.erase(txn.get());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn->state_ = TxnState::kAborted;
+    ++aborts_;
+    active_.erase(txn.get());
+  }
   if (wal_) wal_->LogAbort(txn->id());
   if (observer_ != nullptr) observer_->OnAbort(options_.site, *txn);
   locks_.ReleaseAll(txn.get());

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -107,9 +108,18 @@ class Database {
   /// Rolls back: restores undo images, charges abort CPU, releases locks.
   runtime::Co<void> Abort(TxnPtr txn);
 
-  int64_t commits() const { return commits_; }
-  int64_t aborts() const { return aborts_; }
-  int64_t next_commit_seq() const { return next_commit_seq_; }
+  int64_t commits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return commits_;
+  }
+  int64_t aborts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return aborts_;
+  }
+  int64_t next_commit_seq() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_commit_seq_;
+  }
 
   /// Transactions begun here that have neither committed nor aborted.
   /// Crash sweeps iterate this; the order is arrival order.
@@ -141,6 +151,13 @@ class Database {
   ItemStore store_;
   LockManager locks_;
   std::unique_ptr<Wal> wal_;
+  /// Guards the transaction registry and sequence counters below: with
+  /// multi-worker sites, `Begin`/`Abort` run on whichever lane drives
+  /// the transaction while crash sweeps and quiescence checks read from
+  /// the home lane. Commits additionally stay serialized on the site's
+  /// home lane (engines hop there before `Commit`), which — not this
+  /// mutex — is what keeps "forwarding order equals commit order".
+  mutable std::mutex mu_;
   /// Keyed by identity; values keep the handles alive for crash sweeps.
   std::unordered_map<const Transaction*, TxnPtr> active_;
   int64_t next_arrival_seq_ = 0;

@@ -2,6 +2,7 @@
 #define LAZYREP_STORAGE_WAL_H_
 
 #include <cstddef>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -27,13 +28,21 @@ class Wal {
     Value value = 0;             // kUpdate only.
   };
 
+  /// Appenders are mutex-guarded: with multi-worker sites, update
+  /// records are written from whichever lane runs the transaction while
+  /// commit records come from the site's home lane. Readers (`Replay`,
+  /// `records`, sizes) run at quiescence or on the home lane during
+  /// recovery, after every appender has drained.
   void LogUpdate(const GlobalTxnId& txn, ItemId item, Value value) {
+    std::lock_guard<std::mutex> lock(mu_);
     records_.push_back({RecordType::kUpdate, txn, item, value});
   }
   void LogCommit(const GlobalTxnId& txn) {
+    std::lock_guard<std::mutex> lock(mu_);
     records_.push_back({RecordType::kCommit, txn, kInvalidItem, 0});
   }
   void LogAbort(const GlobalTxnId& txn) {
+    std::lock_guard<std::mutex> lock(mu_);
     records_.push_back({RecordType::kAbort, txn, kInvalidItem, 0});
   }
 
@@ -65,6 +74,7 @@ class Wal {
   }
 
  private:
+  std::mutex mu_;
   std::vector<Record> records_;
   std::vector<std::pair<ItemId, Value>> checkpoint_;
   bool has_checkpoint_ = false;

@@ -8,9 +8,11 @@
 //    {drop 1%, dup 1%, one mid-run crash+restart}, on both the sim and
 //    the threads runtime, asserting global serializability, convergence,
 //    and that the crashed site's final store equals a fresh Wal::Replay.
+//    A third variant (ChaosWorkers*) reruns the threads tier with four
+//    worker lanes per machine — real intra-site parallelism.
 //
 // CI runs this binary once per runtime via --gtest_filter (ChaosSim* /
-// ChaosThreads*); a plain run covers both.
+// ChaosThreads* / ChaosWorkers*); a plain run covers all.
 
 #include <cstdint>
 #include <string>
@@ -254,10 +256,11 @@ constexpr int64_t kChaosTimeDilation = 1;
 #endif
 
 core::SystemConfig ChaosConfig(Protocol protocol, RuntimeKind kind,
-                               uint64_t seed) {
+                               uint64_t seed, int workers = 1) {
   core::SystemConfig config = harness::PaperConfig(protocol);
   config.runtime = kind;
   config.seed = seed;
+  config.workers_per_site = workers;
   config.enable_wal = true;
   if (protocol != Protocol::kBackEdge) {
     config.workload.backedge_prob = 0.0;  // DAG protocols need a DAG.
@@ -289,10 +292,11 @@ core::SystemConfig ChaosConfig(Protocol protocol, RuntimeKind kind,
 // converges, and the crashed site's final store is exactly what
 // Wal::Replay reconstructs (recovery really did come from the log).
 void RunChaos(Protocol protocol, RuntimeKind kind, uint64_t seed,
-              ChaosCounters* counters) {
+              ChaosCounters* counters, int workers = 1) {
   SCOPED_TRACE("protocol=" + core::ProtocolName(protocol) +
-               " seed=" + std::to_string(seed));
-  core::SystemConfig config = ChaosConfig(protocol, kind, seed);
+               " seed=" + std::to_string(seed) +
+               " workers=" + std::to_string(workers));
+  core::SystemConfig config = ChaosConfig(protocol, kind, seed, workers);
   const SiteId crash_site = config.faults->crashes[0].site;
   auto system = core::System::Create(config);
   ASSERT_TRUE(system.ok()) << system.status().ToString();
@@ -371,6 +375,22 @@ TEST_P(ChaosThreadsTest, SerializableAndConvergedAcrossSeeds) {
   }
 }
 
+// Multi-worker chaos: the same faulted runs with four worker lanes per
+// machine, the configuration the intra-site parallelism work exists for.
+// Transactions of one site now really run concurrently (mobile engines
+// hop to the home lane before committing/posting), so this is the chaos
+// tier that exercises the striped lock table and the cross-lane
+// primitives under drop/dup/crash — and the tier CI runs under TSan.
+class ChaosWorkersTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ChaosWorkersTest, SerializableAndConvergedWithFourLanes) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    RunChaos(GetParam(), RuntimeKind::kThreads, seed, nullptr,
+             /*workers=*/4);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
 // gtest parameter names must be alphanumeric — "DAG(WT)" is not.
 std::string ProtocolParamName(
     const ::testing::TestParamInfo<Protocol>& info) {
@@ -388,6 +408,11 @@ INSTANTIATE_TEST_SUITE_P(AllProtocols, ChaosSimTest,
                          ProtocolParamName);
 
 INSTANTIATE_TEST_SUITE_P(AllProtocols, ChaosThreadsTest,
+                         ::testing::Values(Protocol::kDagWt, Protocol::kDagT,
+                                           Protocol::kBackEdge),
+                         ProtocolParamName);
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ChaosWorkersTest,
                          ::testing::Values(Protocol::kDagWt, Protocol::kDagT,
                                            Protocol::kBackEdge),
                          ProtocolParamName);

@@ -3,14 +3,18 @@
 // think times, commit or self-abort, while an invariant checker verifies
 // the lock-table axioms after every simulated step.
 
+#include <atomic>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "runtime/primitives.h"
 #include "runtime/sim_runtime.h"
+#include "runtime/thread_runtime.h"
 #include "sim/simulator.h"
 #include "storage/lock_manager.h"
 
@@ -84,6 +88,7 @@ Co<void> FuzzTxn(FuzzWorld* world, int64_t seq, Rng rng, int num_items) {
       }
       case LockOutcome::kTimeout:
       case LockOutcome::kAborted:
+      case LockOutcome::kDied:
         dead = true;
         break;
     }
@@ -204,18 +209,182 @@ TEST(LockGrantReentrancyTest, GrantedWaitersMutateTableImmediately) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-worker churn tier: the same lock manager hammered from several real
+// worker lanes (ThreadRuntime, 1 machine x 4 workers) with mixed S/X traffic
+// on a small key pool, under both deadlock policies and stripe counts. A
+// ground-truth mirror lives in one packed atomic per item (S holders in the
+// low half, X holders in the high half) so every grant is validated with a
+// single fetch_add on the previous value:
+//
+//   fresh X   -> previous state must be completely free,
+//   fresh S   -> previous state must have no X holder,
+//   upgrade   -> previous state must be exactly {s=1 (us), x=0}.
+//
+// Mirror counts are retracted *before* ReleaseAll and added *after* Acquire
+// returns, so a manager bug can only trip an assertion, never fake one.
+// Stats conservation is checked at the end: every request resolves as
+// exactly one of immediate grant, wait, or wait-die death, and every wait
+// resolves as grant, timeout, or cancelled wait.
+
+constexpr uint32_t kSOne = 1;         // One shared holder.
+constexpr uint32_t kXOne = 1u << 16;  // One exclusive holder.
+
+struct ChurnWorld {
+  runtime::Runtime* rt = nullptr;
+  LockManager* locks = nullptr;
+  std::unique_ptr<std::atomic<uint32_t>[]> item_state;
+  std::atomic<uint64_t> violations{0};
+  std::atomic<uint64_t> died{0};
+  std::atomic<uint64_t> timed_out{0};
+  std::atomic<uint64_t> finished{0};
+};
+
+Co<void> ChurnTxn(ChurnWorld* w, int64_t seq, Rng rng, int num_items,
+                  runtime::WaitGroup* wg) {
+  auto txn = std::make_shared<Transaction>(
+      GlobalTxnId{0, seq}, TxnKind::kPrimary, w->rt->Now(), seq);
+  std::map<ItemId, LockMode> held;
+  int ops = 2 + static_cast<int>(rng.Below(6));
+  bool dead = false;
+  for (int i = 0; i < ops && !dead; ++i) {
+    ItemId item = static_cast<ItemId>(rng.Below(num_items));
+    LockMode mode =
+        rng.Bernoulli(0.5) ? LockMode::kExclusive : LockMode::kShared;
+    auto it = held.find(item);
+    bool upgrade = it != held.end() && it->second == LockMode::kShared &&
+                   mode == LockMode::kExclusive;
+    bool redundant = it != held.end() && !upgrade;
+    LockOutcome outcome = co_await w->locks->Acquire(txn.get(), item, mode);
+    switch (outcome) {
+      case LockOutcome::kGranted: {
+        if (redundant) break;  // Re-entrant: no holder-count transition.
+        std::atomic<uint32_t>& st = w->item_state[item];
+        uint32_t prev;
+        if (upgrade) {
+          prev = st.fetch_add(kXOne - kSOne, std::memory_order_acq_rel);
+          // Upgrades are granted only to the sole holder.
+          if (prev != kSOne) w->violations.fetch_add(1);
+          it->second = LockMode::kExclusive;
+        } else if (mode == LockMode::kExclusive) {
+          prev = st.fetch_add(kXOne, std::memory_order_acq_rel);
+          if (prev != 0) w->violations.fetch_add(1);
+          held[item] = LockMode::kExclusive;
+        } else {
+          prev = st.fetch_add(kSOne, std::memory_order_acq_rel);
+          if ((prev >> 16) != 0) w->violations.fetch_add(1);
+          held[item] = LockMode::kShared;
+        }
+        break;
+      }
+      case LockOutcome::kDied:
+        w->died.fetch_add(1);
+        dead = true;
+        break;
+      case LockOutcome::kTimeout:
+        w->timed_out.fetch_add(1);
+        dead = true;
+        break;
+      case LockOutcome::kAborted:
+        dead = true;  // Not expected: nothing calls RequestAbort here.
+        w->violations.fetch_add(1);
+        break;
+    }
+    co_await w->rt->Delay(Micros(static_cast<double>(rng.Below(50))));
+  }
+  // Retract the mirror before the real release: between the two, other
+  // lanes cannot be granted anything incompatible (we still hold), so
+  // the window can only hide a bug, never invent one.
+  for (const auto& [item, mode] : held) {
+    w->item_state[item].fetch_sub(
+        mode == LockMode::kExclusive ? kXOne : kSOne,
+        std::memory_order_acq_rel);
+  }
+  w->locks->ReleaseAll(txn.get());
+  w->finished.fetch_add(1);
+  wg->Done();
+}
+
+class LockChurn : public ::testing::TestWithParam<
+                      std::tuple<DeadlockPolicy, int>> {};
+
+TEST_P(LockChurn, CrossWorkerGrantsStayExact) {
+  auto [policy, stripes] = GetParam();
+  constexpr int kLanes = 4;
+  constexpr int kTxns = 256;
+  constexpr int kItems = 16;  // Small pool = heavy cross-lane contention.
+  runtime::ThreadRuntime rt(/*num_machines=*/1, kLanes);
+  LockManager::Config config;
+  config.policy = policy;
+  config.grant = GrantPolicy::kImmediate;
+  config.stripes = stripes;
+  config.wait_timeout = Millis(5);
+  LockManager locks(&rt, config);
+  ChurnWorld world;
+  world.rt = &rt;
+  world.locks = &locks;
+  world.item_state = std::make_unique<std::atomic<uint32_t>[]>(kItems);
+  runtime::WaitGroup wg(&rt);
+  wg.Add(kTxns);
+  Rng rng(17u * static_cast<uint64_t>(stripes) +
+          (policy == DeadlockPolicy::kWaitDie ? 1 : 0));
+  for (int64_t i = 0; i < kTxns; ++i) {
+    rt.SpawnOn(static_cast<int>(i) % kLanes,
+               ChurnTxn(&world, i, rng.Split(), kItems, &wg));
+  }
+  rt.Start();
+  ASSERT_TRUE(wg.WaitBlocking(Seconds(60))) << "churn txns never finished";
+
+  EXPECT_EQ(world.finished.load(), static_cast<uint64_t>(kTxns));
+  EXPECT_EQ(world.violations.load(), 0u);
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(world.item_state[i].load(), 0u) << "holder leak on item " << i;
+  }
+  EXPECT_EQ(locks.waiting_count(), 0u);
+
+  const LockManager::Stats& st = locks.stats();
+  // Conservation: every request resolved exactly one way...
+  EXPECT_EQ(st.requests.load(),
+            st.immediate_grants.load() + st.waits.load() +
+                st.die_aborts.load());
+  // ...and every wait ended in a grant, a timeout, or a cancellation.
+  EXPECT_GE(st.waits.load(), st.timeouts.load() + st.wait_aborts.load());
+  EXPECT_EQ(st.wait_aborts.load(), 0u);  // Nothing requested an abort.
+  EXPECT_EQ(st.die_aborts.load(), world.died.load());
+  EXPECT_EQ(st.timeouts.load(), world.timed_out.load());
+  if (policy == DeadlockPolicy::kTimeoutOnly) {
+    EXPECT_EQ(st.die_aborts.load(), 0u);
+  }
+  rt.Shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, LockChurn,
+    ::testing::Combine(::testing::Values(DeadlockPolicy::kTimeoutOnly,
+                                         DeadlockPolicy::kWaitDie),
+                       ::testing::Values(1, 8)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) == DeadlockPolicy::kWaitDie
+                             ? "WaitDie"
+                             : "Timeout";
+      return name + "Stripes" + std::to_string(std::get<1>(info.param));
+    });
+
 INSTANTIATE_TEST_SUITE_P(
     Matrix, LockFuzz,
     ::testing::Combine(
         ::testing::Values(DeadlockPolicy::kTimeoutOnly,
-                          DeadlockPolicy::kLocalDetection),
+                          DeadlockPolicy::kLocalDetection,
+                          DeadlockPolicy::kWaitDie),
         ::testing::Values(GrantPolicy::kImmediate, GrantPolicy::kFifo),
         ::testing::Values(1u, 2u, 3u, 4u, 5u)),
     [](const auto& info) {
-      std::string name = std::get<0>(info.param) ==
-                                 DeadlockPolicy::kTimeoutOnly
-                             ? "Timeout"
-                             : "Detection";
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case DeadlockPolicy::kTimeoutOnly: name = "Timeout"; break;
+        case DeadlockPolicy::kLocalDetection: name = "Detection"; break;
+        case DeadlockPolicy::kWaitDie: name = "WaitDie"; break;
+      }
       name += std::get<1>(info.param) == GrantPolicy::kImmediate
                   ? "Immediate"
                   : "Fifo";

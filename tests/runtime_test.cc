@@ -12,7 +12,10 @@
 //     full system run must reproduce the exact metrics captured before
 //     the runtime layer existed. Any drift in these numbers means the
 //     adapter perturbed the event schedule.
-//  3. ThreadRuntimeSystemTest — cross-backend equivalence: the BackEdge
+//  3. ThreadRuntimeLanesTest / SimRuntimeLanesTest — the multi-worker
+//     lane model: executor indexing, RunOn hops, cross-lane primitive
+//     wake-ups, and RunOn's no-suspension guarantee under the sim.
+//  4. ThreadRuntimeSystemTest — cross-backend equivalence: the BackEdge
 //     protocol at paper defaults stays serializable and replica-
 //     convergent under real threads across several seeds.
 
@@ -36,6 +39,7 @@ namespace {
 
 using runtime::Co;
 using runtime::Mailbox;
+using runtime::OneShot;
 using runtime::Resource;
 using runtime::Runtime;
 using runtime::RuntimeKind;
@@ -216,6 +220,97 @@ TEST_P(RuntimeBackendTest, ResourceChargesSerializeAndAccount) {
     EXPECT_EQ(rt->Now(), Millis(10));
   }
   rt->Shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Multi-worker lanes: executor indexing, RunOn hops between lanes, and
+// the cross-lane primitive contract (a waiter fired from another lane
+// resumes on its own lane). ThreadRuntime-only except the last test,
+// which pins the sim-side guarantee that RunOn never suspends there.
+
+TEST(ThreadRuntimeLanesTest, ExecutorIndexingRoundTrips) {
+  ThreadRuntime rt(/*num_machines=*/2, /*workers_per_machine=*/3);
+  EXPECT_EQ(rt.num_machines(), 2);
+  EXPECT_EQ(rt.workers_per_machine(), 3);
+  EXPECT_EQ(rt.num_executors(), 6);
+  for (int m = 0; m < 2; ++m) {
+    for (int lane = 0; lane < 3; ++lane) {
+      EXPECT_EQ(rt.MachineOfExecutor(rt.ExecutorOf(m, lane)), m);
+    }
+  }
+  EXPECT_EQ(rt.ExecutorOf(0, 0), 0);
+  EXPECT_EQ(rt.ExecutorOf(1, 0), 3);
+  EXPECT_EQ(rt.ExecutorOf(1, 2), 5);
+  rt.Shutdown();
+}
+
+Co<void> HopAcrossLanes(Runtime* rt, std::vector<int>* seen,
+                        WaitGroup* wg) {
+  for (int exec = rt->num_executors() - 1; exec >= 0; --exec) {
+    co_await rt->RunOn(exec);
+    seen->push_back(rt->CurrentMachine());
+    co_await rt->RunOn(exec);  // Already there: must stay put.
+    seen->push_back(rt->CurrentMachine());
+  }
+  wg->Done();
+}
+
+TEST(ThreadRuntimeLanesTest, RunOnMovesTheCoroutineToTheRequestedLane) {
+  ThreadRuntime rt(/*num_machines=*/2, /*workers_per_machine=*/2);
+  rt.Start();
+  WaitGroup wg(&rt);
+  wg.Add(1);
+  std::vector<int> seen;  // Touched only by the one hopping coroutine.
+  rt.SpawnOn(0, HopAcrossLanes(&rt, &seen, &wg));
+  ASSERT_TRUE(wg.WaitBlocking(Seconds(30))) << "lane hops hung";
+  EXPECT_EQ(seen, (std::vector<int>{3, 3, 2, 2, 1, 1, 0, 0}));
+  rt.Shutdown();
+}
+
+Co<void> AwaitCellOnLane(Runtime* rt, OneShot<int>* cell, int* got,
+                         std::atomic<int>* resumed_on, WaitGroup* wg) {
+  *got = co_await cell->Wait();
+  resumed_on->store(rt->CurrentMachine());
+  wg->Done();
+}
+
+Co<void> FireCellLater(Runtime* rt, OneShot<int>* cell, WaitGroup* wg) {
+  co_await rt->Delay(Millis(2));
+  cell->TryFire(7);
+  wg->Done();
+}
+
+TEST(ThreadRuntimeLanesTest, CrossLaneFireResumesWaiterOnItsOwnLane) {
+  // The lock manager depends on this: a grant fired from the releasing
+  // transaction's lane must resume the blocked transaction on the lane
+  // it suspended on, never steal it onto the firer's.
+  ThreadRuntime rt(/*num_machines=*/1, /*workers_per_machine=*/4);
+  rt.Start();
+  OneShot<int> cell(&rt);
+  WaitGroup wg(&rt);
+  wg.Add(2);
+  int got = 0;
+  std::atomic<int> resumed_on{-1};
+  rt.SpawnOn(1, AwaitCellOnLane(&rt, &cell, &got, &resumed_on, &wg));
+  rt.SpawnOn(3, FireCellLater(&rt, &cell, &wg));
+  ASSERT_TRUE(wg.WaitBlocking(Seconds(30))) << "cross-lane fire hung";
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(resumed_on.load(), 1);
+  rt.Shutdown();
+}
+
+TEST(SimRuntimeLanesTest, RunOnNeverSuspendsUnderTheSim) {
+  // Byte-determinism depends on this: under kSim, RunOn must neither
+  // suspend nor schedule an event, whatever index it is handed.
+  SimRuntime rt;
+  bool after_hop = false;
+  rt.Spawn([](Runtime* r, bool* flag) -> Co<void> {
+    co_await r->RunOn(42);
+    *flag = true;
+  }(&rt, &after_hop));
+  // Spawn runs the coroutine inline until its first suspension point —
+  // reaching the flag without Run() proves the hop never suspended.
+  EXPECT_TRUE(after_hop);
 }
 
 INSTANTIATE_TEST_SUITE_P(

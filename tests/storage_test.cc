@@ -400,6 +400,121 @@ TEST(LockDetectionTest, VictimPrefersBackedgePendingPrimary) {
   EXPECT_FALSE(ts->abort_requested());  // Secondary survives.
 }
 
+// Wait-die prevention: the victim rule is decided at request time from
+// arrival_seq (smaller = older). Old waits for young; young dies on old.
+
+class WaitDieFixture : public ::testing::Test {
+ protected:
+  WaitDieFixture() : locks_(&rt_, MakeConfig()) {}
+
+  static LockManager::Config MakeConfig() {
+    LockManager::Config cfg;
+    cfg.policy = DeadlockPolicy::kWaitDie;
+    return cfg;
+  }
+
+  TxnPtr MakeTxn(int64_t seq, TxnKind kind = TxnKind::kPrimary) {
+    return std::make_shared<Transaction>(Id(0, seq), kind, sim_.Now(),
+                                         seq);
+  }
+
+  void SpawnAcquire(TxnPtr txn, ItemId item, LockMode mode,
+                    std::optional<LockOutcome>* out,
+                    SimTime* when = nullptr) {
+    sim_.Spawn([](LockManager* lm, Simulator* s, TxnPtr t, ItemId i,
+                  LockMode m, std::optional<LockOutcome>* o,
+                  SimTime* w) -> Co<void> {
+      LockOutcome lo = co_await lm->Acquire(t.get(), i, m);
+      *o = lo;
+      if (w != nullptr) *w = s->Now();
+    }(&locks_, &sim_, std::move(txn), item, mode, out, when));
+  }
+
+  SimRuntime rt_;
+  Simulator& sim_ = *rt_.simulator();
+  LockManager locks_;
+};
+
+TEST_F(WaitDieFixture, YoungerRequesterDiesImmediately) {
+  TxnPtr old_holder = MakeTxn(1), young = MakeTxn(2);
+  std::optional<LockOutcome> o1, o2;
+  SimTime died_at = -1;
+  SpawnAcquire(old_holder, 5, LockMode::kExclusive, &o1);
+  SpawnAcquire(young, 5, LockMode::kExclusive, &o2, &died_at);
+  sim_.Run();
+  EXPECT_EQ(o1, LockOutcome::kGranted);
+  EXPECT_EQ(o2, LockOutcome::kDied);
+  EXPECT_EQ(died_at, 0);  // No wait, no timeout: the death is instant.
+  EXPECT_EQ(locks_.stats().die_aborts, 1u);
+  EXPECT_EQ(locks_.stats().timeouts, 0u);
+  EXPECT_EQ(locks_.stats().waits, 0u);
+  EXPECT_EQ(locks_.waiting_count(), 0u);
+}
+
+TEST_F(WaitDieFixture, OlderRequesterWaitsAndIsGranted) {
+  TxnPtr young_holder = MakeTxn(2), old_req = MakeTxn(1);
+  std::optional<LockOutcome> o1, o2;
+  SimTime granted_at = -1;
+  SpawnAcquire(young_holder, 5, LockMode::kExclusive, &o1);
+  SpawnAcquire(old_req, 5, LockMode::kExclusive, &o2, &granted_at);
+  sim_.Spawn([](Simulator* s, LockManager* lm, TxnPtr t) -> Co<void> {
+    co_await s->Delay(Millis(7));
+    lm->ReleaseAll(t.get());
+  }(&sim_, &locks_, young_holder));
+  sim_.Run();
+  EXPECT_EQ(o2, LockOutcome::kGranted);
+  EXPECT_EQ(granted_at, Millis(7));
+  EXPECT_EQ(locks_.stats().die_aborts, 0u);
+  EXPECT_EQ(locks_.stats().waits, 1u);
+}
+
+TEST_F(WaitDieFixture, SecondaryNeverDies) {
+  // A secondary is younger than the holder but must eventually commit
+  // (§2), so CanBeVictim() is false and it waits instead of dying.
+  TxnPtr old_holder = MakeTxn(1);
+  TxnPtr secondary = MakeTxn(2, TxnKind::kSecondary);
+  std::optional<LockOutcome> o1, o2;
+  SimTime granted_at = -1;
+  SpawnAcquire(old_holder, 5, LockMode::kExclusive, &o1);
+  SpawnAcquire(secondary, 5, LockMode::kExclusive, &o2, &granted_at);
+  sim_.Spawn([](Simulator* s, LockManager* lm, TxnPtr t) -> Co<void> {
+    co_await s->Delay(Millis(3));
+    lm->ReleaseAll(t.get());
+  }(&sim_, &locks_, old_holder));
+  sim_.Run();
+  EXPECT_EQ(o2, LockOutcome::kGranted);
+  EXPECT_EQ(granted_at, Millis(3));
+  EXPECT_EQ(locks_.stats().die_aborts, 0u);
+}
+
+TEST_F(WaitDieFixture, SharedHoldersOnlyKillYoungerWriters) {
+  // S/S is compatible regardless of age; a younger X request dies on the
+  // older S holder, an older X request waits.
+  TxnPtr old_s = MakeTxn(2), older_s = MakeTxn(3);
+  std::optional<LockOutcome> o1, o2;
+  SpawnAcquire(old_s, 5, LockMode::kShared, &o1);
+  SpawnAcquire(older_s, 5, LockMode::kShared, &o2);
+  sim_.Run();
+  EXPECT_EQ(o1, LockOutcome::kGranted);
+  EXPECT_EQ(o2, LockOutcome::kGranted);  // Age is irrelevant for S/S.
+
+  TxnPtr young_x = MakeTxn(9), oldest_x = MakeTxn(1);
+  std::optional<LockOutcome> o3, o4;
+  SpawnAcquire(young_x, 5, LockMode::kExclusive, &o3);
+  sim_.Run();
+  EXPECT_EQ(o3, LockOutcome::kDied);  // Younger than both S holders.
+  SpawnAcquire(oldest_x, 5, LockMode::kExclusive, &o4);
+  sim_.Spawn([](Simulator* s, LockManager* lm, TxnPtr a,
+                TxnPtr b) -> Co<void> {
+    co_await s->Delay(Millis(2));
+    lm->ReleaseAll(a.get());
+    lm->ReleaseAll(b.get());
+  }(&sim_, &locks_, old_s, older_s));
+  sim_.Run();
+  EXPECT_EQ(o4, LockOutcome::kGranted);  // Oldest waits, then wins.
+  EXPECT_EQ(locks_.stats().die_aborts, 1u);
+}
+
 // ----------------------------------------------------------------- Database
 
 class RecordingObserver : public HistoryObserver {

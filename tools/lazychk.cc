@@ -36,6 +36,8 @@ void PrintHelp() {
       "                    crash:2@500ms+100ms (docs/FAULTS.md)\n"
       "  --ties=0|1        perturb same-timestamp tie-breaks (default 1)\n"
       "  --grants=0|1      randomize lock-grant order (default 1)\n"
+      "  --grant=KIND      deadlock policy under test: timeout | wait_die\n"
+      "                    (wait_die forces --grants=0; default timeout)\n"
       "  --jitter=D        max per-message delivery jitter, e.g. 2ms,\n"
       "                    500us, 0 (default 2ms)\n"
       "  --shrink          shrink each violation to a minimal policy\n"
@@ -68,6 +70,7 @@ int main(int argc, char** argv) {
   harness::LazychkOptions options;
   options.verbose = true;
   std::string v;
+  bool grants_explicit = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -102,6 +105,17 @@ int main(int argc, char** argv) {
       options.policy.perturb_ties = std::atoi(v.c_str()) != 0;
     } else if (ParseFlag(arg, "--grants", &v)) {
       options.policy.shuffle_grants = std::atoi(v.c_str()) != 0;
+      grants_explicit = true;
+    } else if (ParseFlag(arg, "--grant", &v)) {
+      if (v == "timeout") {
+        options.deadlock_policy = storage::DeadlockPolicy::kTimeoutOnly;
+      } else if (v == "wait_die" || v == "wait-die") {
+        options.deadlock_policy = storage::DeadlockPolicy::kWaitDie;
+      } else {
+        std::fprintf(stderr, "unknown --grant value '%s' "
+                             "(timeout|wait_die)\n", v.c_str());
+        return 2;
+      }
     } else if (ParseFlag(arg, "--jitter", &v)) {
       Result<Duration> jitter = fault::internal::ParseDuration(v);
       if (!jitter.ok() || *jitter < 0) {
@@ -119,6 +133,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
       return 2;
     }
+  }
+
+  if (options.deadlock_policy == storage::DeadlockPolicy::kWaitDie &&
+      grants_explicit && options.policy.shuffle_grants) {
+    std::fprintf(stderr,
+                 "--grant=wait_die does not compose with --grants=1: "
+                 "wait-die decides grant order by transaction age\n");
+    return 2;
   }
 
   int last_pct = -1;

@@ -46,6 +46,15 @@ void PrintHelp() {
       "                    deterministic discrete-event backend; threads\n"
       "                    runs each machine on an OS thread and reports\n"
       "                    measured wall-clock metrics\n"
+      "  --workers=N       worker lanes per machine (threads runtime\n"
+      "                    only; default 1). A site's transactions spread\n"
+      "                    over its machine's lanes\n"
+      "  --lock-stripes=N  hash stripes per site lock table (default 8)\n"
+      "  --deadlock=KIND   timeout | wait_die (default timeout): abort a\n"
+      "                    lock waiter only on timeout, or also kill any\n"
+      "                    younger requester that would wait on an older\n"
+      "                    holder (wait-die prevention)\n"
+      "  --lock-timeout=X  alias for --timeout-ms\n"
       "  --retry           retry aborted transactions until they commit\n"
       "  --tree=KIND       chain | greedy (default chain)\n"
       "  --backedges=M     site-order | dfs | greedy | weighted\n"
@@ -133,8 +142,23 @@ int main(int argc, char** argv) {
       config.workload.read_txn_prob = std::atof(v.c_str());
     } else if (ParseFlag(arg, "--latency-ms", &v)) {
       config.workload.network_latency = Millis(std::atof(v.c_str()));
-    } else if (ParseFlag(arg, "--timeout-ms", &v)) {
+    } else if (ParseFlag(arg, "--timeout-ms", &v) ||
+               ParseFlag(arg, "--lock-timeout", &v)) {
       config.workload.deadlock_timeout = Millis(std::atof(v.c_str()));
+    } else if (ParseFlag(arg, "--workers", &v)) {
+      config.workers_per_site = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "--lock-stripes", &v)) {
+      config.engine.lock_stripes = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "--deadlock", &v)) {
+      if (v == "timeout") {
+        config.engine.deadlock_policy = storage::DeadlockPolicy::kTimeoutOnly;
+      } else if (v == "wait_die" || v == "wait-die") {
+        config.engine.deadlock_policy = storage::DeadlockPolicy::kWaitDie;
+      } else {
+        std::fprintf(stderr, "unknown deadlock policy '%s' "
+                             "(timeout|wait_die)\n", v.c_str());
+        return 2;
+      }
     } else if (ParseFlag(arg, "--seed", &v)) {
       config.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "--seeds", &v)) {
