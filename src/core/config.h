@@ -130,6 +130,41 @@ struct EngineOptions {
   int lock_stripes = 8;
 };
 
+/// Transport-level batching (docs/PERFORMANCE.md §6): frame coalescing,
+/// ack piggybacking and WAL group commit in the reliable-delivery layer.
+/// All off by default — fault-free sim schedules stay byte-identical to
+/// a build without this struct. Enabling any knob routes traffic through
+/// `fault::ReliableTransport` even when no faults are injected.
+struct BatchingOptions {
+  /// Flush lull for a channel's send buffer (`--batch-window`): messages
+  /// posted within the window coalesce into one `ReliableBatch` frame.
+  /// 0 disables coalescing (every post ships immediately).
+  Duration window = 0;
+  /// Size flush threshold (`--batch-bytes`): a channel's buffer flushes
+  /// as soon as the encoded payload reaches this many bytes.
+  size_t max_bytes = 16 * 1024;
+  /// Carry cumulative acks on reverse-direction data frames instead of
+  /// sending a standalone `ChannelAck` per receipt; a standalone ack
+  /// still goes out after `ack_delay` if no reverse traffic appears.
+  bool piggyback_acks = false;
+  /// Fallback delay before an owed ack is sent standalone.
+  Duration ack_delay = Millis(5);
+  /// WAL group commit at secondaries: one delivered batch = one WAL sync
+  /// boundary instead of one per applied subtransaction.
+  bool wal_group_commit = false;
+  /// Force the reliable transport into the stack even with every knob
+  /// off — the bench baseline arm, so frames/txn is measured against the
+  /// same ARQ layer rather than against no transport at all.
+  bool force_transport = false;
+
+  bool enabled() const {
+    return window > 0 || piggyback_acks || wal_group_commit ||
+           force_transport;
+  }
+  /// Coalescing active (as opposed to just piggybacking/group commit).
+  bool coalescing() const { return window > 0; }
+};
+
 /// Full description of one simulated system run.
 struct SystemConfig {
   Protocol protocol = Protocol::kBackEdge;
@@ -164,6 +199,10 @@ struct SystemConfig {
   /// additionally require `enable_wal` and one of the lazy tree
   /// protocols (DAG(WT)/DAG(T)/BackEdge) with batching off.
   std::optional<fault::FaultPlan> faults;
+  /// Transport batching (frame coalescing / ack piggybacking / WAL group
+  /// commit). Independent of `faults`: enabling it constructs the
+  /// reliable transport even without an injector.
+  BatchingOptions batching;
   /// Schedule-exploration perturbations (lazychk, docs/CHECKING.md):
   /// seeded random tie-breaks, delivery jitter and lock-grant order.
   /// Requires the sim runtime (rejected under `kThreads` — perturbation

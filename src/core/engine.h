@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/check.h"
 #include "core/config.h"
 #include "core/messages.h"
 #include "core/metrics.h"
@@ -21,6 +22,16 @@ namespace lazyrep::core {
 
 using ProtocolNetwork = net::Network<ProtocolMessage>;
 using ProtocolTransport = net::Transport<ProtocolMessage>;
+
+/// One secondary subtransaction in an engine apply queue, tagged with
+/// the transport's batch boundary (`Envelope::batch_end`). WAL group
+/// commit defers the per-commit sync for every arrival except the last
+/// of its delivered batch; a single (unbatched) delivery is its own
+/// boundary, so the default keeps per-commit syncing.
+struct SecondaryArrival {
+  SecondaryUpdate update;
+  bool batch_end = true;
+};
 
 /// Per-site protocol engine. One instance runs at each site; the System
 /// wires them to the site's Database and the shared Network, then drives
@@ -138,6 +149,32 @@ class ReplicationEngine {
 
   /// Victim selection used by AcquireXAsSecondary after a timeout.
   void AbortOneBlocker(storage::Transaction* waiter, ItemId item);
+
+  /// WAL group commit on (docs/PERFORMANCE.md §6): secondary appliers
+  /// defer the per-commit WAL sync until the batch boundary.
+  bool GroupCommit() const {
+    return ctx_.config != nullptr && ctx_.config->batching.wal_group_commit;
+  }
+
+  /// Unpacks a delivered update/batch envelope into per-arrival entries:
+  /// every inner update of a `SecondaryBatch` keeps `batch_end = false`
+  /// except the last, which inherits the envelope's boundary.
+  template <typename SendFn>
+  static void UnpackSecondaryEnvelope(ProtocolNetwork::Envelope env,
+                                      SendFn&& send) {
+    if (auto* update = std::get_if<SecondaryUpdate>(&env.payload)) {
+      send(SecondaryArrival{std::move(*update), env.batch_end});
+    } else if (auto* batch = std::get_if<SecondaryBatch>(&env.payload)) {
+      for (size_t i = 0; i < batch->updates.size(); ++i) {
+        const bool last = (i + 1 == batch->updates.size());
+        send(SecondaryArrival{std::move(batch->updates[i]),
+                              last && env.batch_end});
+      }
+    } else {
+      LAZYREP_CHECK(false) << "expected a secondary update/batch, got "
+                           << MessageKindName(env.payload);
+    }
+  }
 
   /// True unless fault injection currently has this site crashed.
   bool SiteUp() const {

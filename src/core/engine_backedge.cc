@@ -114,7 +114,7 @@ runtime::Co<Status> BackEdgeEngine::AbortPendingPrimary(GlobalTxnId id,
 void BackEdgeEngine::OnMessage(ProtocolNetwork::Envelope env) {
   if (auto* update = std::get_if<SecondaryUpdate>(&env.payload)) {
     LAZYREP_CHECK_EQ(env.src, ctx_.routing->tree()->Parent(ctx_.site));
-    inbox_.Send(std::move(*update));
+    inbox_.Send(SecondaryArrival{std::move(*update), env.batch_end});
     inbox_peak_ = std::max(inbox_peak_, inbox_.size());
   } else if (auto* start = std::get_if<BackedgeStart>(&env.payload)) {
     ++active_handlers_;
@@ -202,12 +202,17 @@ runtime::Co<void> BackEdgeEngine::HandleBackedgeStart(BackedgeStart start) {
 
 runtime::Co<void> BackEdgeEngine::Applier() {
   for (;;) {
-    SecondaryUpdate update = co_await inbox_.Receive();
+    SecondaryArrival arrival = co_await inbox_.Receive();
+    SecondaryUpdate& update = arrival.update;
     // Crashed sites stop consuming their (durable) forward queue until
     // recovery completes (docs/FAULTS.md).
     co_await AwaitSiteUp();
     applying_ = true;
     if (update.is_special) {
+      // Specials commit through the 2PC at the origin, always with a
+      // per-commit sync; one closing a batch still seals any deferred
+      // lazy-path syncs.
+      if (GroupCommit() && arrival.batch_end) ctx_.db->SyncWal();
       if (update.origin_site == ctx_.site) {
         co_await CommitPendingPrimary(std::move(update));
       } else {
@@ -223,7 +228,8 @@ runtime::Co<void> BackEdgeEngine::Applier() {
                                               &applied_any);
       LAZYREP_CHECK(ok) << "secondary subtransactions are never aborted";
       Status st = co_await ctx_.db->Commit(
-          txn, [&](int64_t) { ForwardToRelevantChildren(update); });
+          txn, [&](int64_t) { ForwardToRelevantChildren(update); },
+          /*defer_wal_sync=*/GroupCommit() && !arrival.batch_end);
       LAZYREP_CHECK(st.ok()) << st.ToString();
       ++secondaries_committed_;
       if (applied_any) {

@@ -98,7 +98,7 @@ class BackEdgeEngine : public ReplicationEngine {
   runtime::Co<Status> AbortPendingPrimary(GlobalTxnId id,
                                       PendingPrimary pending);
 
-  runtime::Mailbox<SecondaryUpdate> inbox_;  // From the tree parent.
+  runtime::Mailbox<SecondaryArrival> inbox_;  // From the tree parent.
   bool applying_ = false;
   std::map<GlobalTxnId, PendingPrimary> pending_;
   std::map<GlobalTxnId, Proxy> proxies_;

@@ -8,7 +8,7 @@ DagTEngine::DagTEngine(Context ctx) : ReplicationEngine(std::move(ctx)) {
   site_ts_ = Timestamp::Initial(Rank());
   for (SiteId parent : ctx_.routing->copy_graph().Parents(ctx_.site)) {
     queues_.emplace(parent,
-                    std::make_unique<runtime::Mailbox<SecondaryUpdate>>(
+                    std::make_unique<runtime::Mailbox<SecondaryArrival>>(
                         ctx_.rt));
   }
 }
@@ -73,7 +73,7 @@ void DagTEngine::OnMessage(ProtocolNetwork::Envelope env) {
   auto it = queues_.find(env.src);
   LAZYREP_CHECK(it != queues_.end())
       << "message from non-parent site " << env.src;
-  it->second->Send(std::move(*update));
+  it->second->Send(SecondaryArrival{std::move(*update), env.batch_end});
   queue_peak_ = std::max(queue_peak_, it->second->size());
 }
 
@@ -90,15 +90,16 @@ runtime::Co<void> DagTEngine::Applier() {
     for (auto& [parent, queue] : queues_) {
       co_await queue->WaitNonEmpty();
     }
-    runtime::Mailbox<SecondaryUpdate>* min_queue = nullptr;
+    runtime::Mailbox<SecondaryArrival>* min_queue = nullptr;
     for (auto& [parent, queue] : queues_) {
       if (min_queue == nullptr ||
-          Timestamp::Compare(queue->Front().ts, min_queue->Front().ts) <
-              0) {
+          Timestamp::Compare(queue->Front().update.ts,
+                             min_queue->Front().update.ts) < 0) {
         min_queue = queue.get();
       }
     }
-    SecondaryUpdate update = min_queue->Pop();
+    SecondaryArrival arrival = min_queue->Pop();
+    SecondaryUpdate& update = arrival.update;
 
     // Protocol invariant (the serializability argument of Theorem 3.1):
     // subtransactions execute at each site in timestamp order.
@@ -111,8 +112,10 @@ runtime::Co<void> DagTEngine::Applier() {
     have_last = true;
 
     if (update.is_dummy) {
-      // Push the site timestamp forward without touching data.
+      // Push the site timestamp forward without touching data. A dummy
+      // closing a delivered batch still seals any deferred WAL syncs.
       site_ts_ = update.ts.ExtendedWith(Rank(), lts_, update.ts.epoch());
+      if (GroupCommit() && arrival.batch_end) ctx_.db->SyncWal();
       continue;
     }
     applying_real_ = true;
@@ -122,10 +125,13 @@ runtime::Co<void> DagTEngine::Applier() {
     bool ok = co_await ApplySecondaryWrites(txn, update.writes,
                                             &applied_any);
     LAZYREP_CHECK(ok) << "secondary subtransactions are never aborted";
-    Status st = co_await ctx_.db->Commit(txn, [&](int64_t) {
-      // §3.2.3: TS(s) := TS(T) ⊕ (s, LTS_s), atomically with commit.
-      site_ts_ = update.ts.ExtendedWith(Rank(), lts_, update.ts.epoch());
-    });
+    Status st = co_await ctx_.db->Commit(
+        txn,
+        [&](int64_t) {
+          // §3.2.3: TS(s) := TS(T) ⊕ (s, LTS_s), atomically with commit.
+          site_ts_ = update.ts.ExtendedWith(Rank(), lts_, update.ts.epoch());
+        },
+        /*defer_wal_sync=*/GroupCommit() && !arrival.batch_end);
     LAZYREP_CHECK(st.ok()) << st.ToString();
     ++secondaries_committed_;
     if (applied_any) {
@@ -189,8 +195,8 @@ runtime::Co<void> DagTEngine::DummySender() {
 bool DagTEngine::Quiescent() const {
   if (applying_real_) return false;
   for (const auto& [parent, queue] : queues_) {
-    for (const SecondaryUpdate& u : queue->items()) {
-      if (!u.is_dummy) return false;
+    for (const SecondaryArrival& a : queue->items()) {
+      if (!a.update.is_dummy) return false;
     }
   }
   return true;

@@ -59,7 +59,7 @@ class DagTEngine : public ReplicationEngine {
   int64_t lts_ = 0;
 
   /// One queue per copy-graph parent.
-  std::map<SiteId, std::unique_ptr<runtime::Mailbox<SecondaryUpdate>>>
+  std::map<SiteId, std::unique_ptr<runtime::Mailbox<SecondaryArrival>>>
       queues_;
   bool applying_real_ = false;
   std::map<SiteId, SimTime> last_sent_;

@@ -91,13 +91,9 @@ runtime::Co<Status> DagWtEngine::ExecutePrimary(GlobalTxnId id,
 void DagWtEngine::OnMessage(ProtocolNetwork::Envelope env) {
   LAZYREP_CHECK_EQ(env.src, ctx_.routing->tree()->Parent(ctx_.site))
       << "DAG(WT) receives only from its tree parent";
-  if (auto* update = std::get_if<SecondaryUpdate>(&env.payload)) {
-    inbox_.Send(std::move(*update));
-  } else if (auto* batch = std::get_if<SecondaryBatch>(&env.payload)) {
-    for (SecondaryUpdate& u : batch->updates) inbox_.Send(std::move(u));
-  } else {
-    LAZYREP_CHECK(false) << "DAG(WT) only uses secondary updates";
-  }
+  UnpackSecondaryEnvelope(std::move(env), [this](SecondaryArrival arrival) {
+    inbox_.Send(std::move(arrival));
+  });
   inbox_peak_ = std::max(inbox_peak_, inbox_.size());
 }
 
@@ -117,7 +113,8 @@ void DagWtEngine::ExportObs() {
 
 runtime::Co<void> DagWtEngine::Applier() {
   for (;;) {
-    SecondaryUpdate update = co_await inbox_.Receive();
+    SecondaryArrival arrival = co_await inbox_.Receive();
+    SecondaryUpdate& update = arrival.update;
     // Under fault injection a crashed site stops consuming its (durable)
     // forward queue until recovery completes; an update already being
     // applied rides through the crash as part of the restart redo
@@ -130,8 +127,11 @@ runtime::Co<void> DagWtEngine::Applier() {
     bool ok = co_await ApplySecondaryWrites(txn, update.writes,
                                             &applied_any);
     LAZYREP_CHECK(ok) << "secondary subtransactions are never aborted";
+    // Group commit: mid-batch commits defer the WAL sync; the batch's
+    // last commit syncs and seals them all (the boundary is cumulative).
     Status st = co_await ctx_.db->Commit(
-        txn, [&](int64_t) { ForwardToRelevantChildren(update); });
+        txn, [&](int64_t) { ForwardToRelevantChildren(update); },
+        /*defer_wal_sync=*/GroupCommit() && !arrival.batch_end);
     LAZYREP_CHECK(st.ok()) << st.ToString();
     ++secondaries_committed_;
     if (applied_any) {

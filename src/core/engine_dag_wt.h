@@ -50,7 +50,7 @@ class DagWtEngine : public ReplicationEngine {
   runtime::Co<void> Applier();
   runtime::Co<void> BatchFlusher();
 
-  runtime::Mailbox<SecondaryUpdate> inbox_;
+  runtime::Mailbox<SecondaryArrival> inbox_;
   bool applying_ = false;
   uint64_t secondaries_committed_ = 0;
   /// High watermark of the forward-queue length (machine-confined;

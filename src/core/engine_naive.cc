@@ -47,13 +47,14 @@ runtime::Co<Status> NaiveLazyEngine::ExecutePrimary(
 void NaiveLazyEngine::OnMessage(ProtocolNetwork::Envelope env) {
   SecondaryUpdate* update = std::get_if<SecondaryUpdate>(&env.payload);
   LAZYREP_CHECK(update != nullptr) << "NaiveLazy only uses SecondaryUpdate";
-  inbox_.Send(std::move(*update));
+  inbox_.Send(SecondaryArrival{std::move(*update), env.batch_end});
 }
 
 runtime::Co<void> NaiveLazyEngine::Applier() {
   const bool lww = ctx_.config->engine.naive_lww;
   for (;;) {
-    SecondaryUpdate update = co_await inbox_.Receive();
+    SecondaryArrival arrival = co_await inbox_.Receive();
+    SecondaryUpdate& update = arrival.update;
     applying_ = true;
     storage::TxnPtr txn =
         ctx_.db->Begin(update.origin, storage::TxnKind::kSecondary);
@@ -77,7 +78,8 @@ runtime::Co<void> NaiveLazyEngine::Applier() {
       LAZYREP_CHECK(st.ok());
       applied_any = true;
     }
-    Status st = co_await ctx_.db->Commit(txn);
+    Status st = co_await ctx_.db->Commit(
+        txn, nullptr, /*defer_wal_sync=*/GroupCommit() && !arrival.batch_end);
     LAZYREP_CHECK(st.ok()) << st.ToString();
     if (applied_any || lww) {
       ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.rt->Now());

@@ -34,7 +34,7 @@ class NaiveLazyEngine : public ReplicationEngine {
  private:
   runtime::Co<void> Applier();
 
-  runtime::Mailbox<SecondaryUpdate> inbox_;
+  runtime::Mailbox<SecondaryArrival> inbox_;
   bool applying_ = false;
   /// LWW reconciliation state: per item, the origin commit time of the
   /// installed version.

@@ -110,6 +110,9 @@ struct SecondaryBatch {
 /// delivery, and makes the byte accounting exact.
 struct ReliableData {
   uint64_t seq = 0;
+  /// Piggybacked cumulative ack for the reverse channel (dst -> src data):
+  /// 0 means "none carried" (real cumulative acks start at 1).
+  uint64_t piggyback_ack = 0;
   std::vector<uint8_t> inner;
 };
 
@@ -119,11 +122,22 @@ struct ChannelAck {
   uint64_t cum_ack = 0;
 };
 
+/// Reliable-delivery layer, coalesced: N inner protocol messages shipped
+/// under one channel sequence number. `inner` holds `count` records of
+/// [varint length][Wire::Encode bytes], in channel-FIFO order. Same
+/// piggyback semantics as `ReliableData`.
+struct ReliableBatch {
+  uint64_t seq = 0;
+  uint64_t piggyback_ack = 0;
+  uint32_t count = 0;
+  std::vector<uint8_t> inner;
+};
+
 using ProtocolMessage =
     std::variant<SecondaryUpdate, BackedgeStart, BackedgeAbort, TpcPrepare,
                  TpcVote, TpcDecision, TpcAck, PslLockRequest,
                  PslLockResponse, PslRelease, SecondaryBatch, ReliableData,
-                 ChannelAck>;
+                 ChannelAck, ReliableBatch>;
 
 /// Short kind label for logging/tracing.
 inline std::string_view MessageKindName(const ProtocolMessage& message) {
@@ -164,6 +178,9 @@ inline std::string_view MessageKindName(const ProtocolMessage& message) {
     std::string_view operator()(const ChannelAck&) const {
       return "channel_ack";
     }
+    std::string_view operator()(const ReliableBatch&) const {
+      return "reliable_batch";
+    }
   };
   return std::visit(Visitor{}, message);
 }
@@ -191,7 +208,8 @@ inline std::string_view MessageMetricKindName(int kind) {
       "2pc_prepare",    "2pc_vote",          "2pc_decision",
       "2pc_ack",        "psl_lock_request",  "psl_lock_response",
       "psl_release",    "secondary_batch",   "reliable_data",
-      "channel_ack",    "dummy",             "special_secondary"};
+      "channel_ack",    "reliable_batch",    "dummy",
+      "special_secondary"};
   static_assert(sizeof(kNames) / sizeof(kNames[0]) ==
                 static_cast<size_t>(kNumMessageMetricKinds));
   return kNames[kind];

@@ -148,6 +148,23 @@ Status System::Build() {
         "batch_window is only supported by DAG(WT) (batching would "
         "reorder BackEdge special subtransactions)");
   }
+  if (config_.batching.window < 0) {
+    return Status::InvalidArgument("batching window must be >= 0");
+  }
+  if (config_.batching.coalescing() && config_.batching.max_bytes == 0) {
+    return Status::InvalidArgument(
+        "batching max_bytes must be > 0 when coalescing is on");
+  }
+  if (config_.batching.piggyback_acks &&
+      config_.batching.ack_delay <= 0) {
+    return Status::InvalidArgument(
+        "piggybacked acks need a positive ack_delay fallback");
+  }
+  if (config_.batching.wal_group_commit && !config_.enable_wal) {
+    return Status::InvalidArgument(
+        "wal_group_commit requires enable_wal (there is no log whose "
+        "syncs it would batch)");
+  }
   if (config_.faults.has_value() && !config_.faults->crashes.empty()) {
     // Crash faults need a redo log to recover from and a protocol whose
     // propagation state is modelled as durable (docs/FAULTS.md).
@@ -262,19 +279,27 @@ Status System::Build() {
 
   // Fault injection: an enabled plan interposes the reliable-delivery
   // layer between the engines and the (now possibly lossy) network.
-  // Without one, none of this exists and engine traffic takes the exact
-  // same path it always did.
-  if (config_.faults.has_value() && config_.faults->enabled()) {
+  // Transport batching (frame coalescing / ack piggybacking) lives in
+  // that same layer, so enabling it also interposes the transport —
+  // with a null injector when no faults are configured. Without either,
+  // none of this exists and engine traffic takes the exact same path it
+  // always did.
+  const bool want_faults = config_.faults.has_value() &&
+                           config_.faults->enabled();
+  if (want_faults) {
     injector_ = std::make_unique<fault::FaultInjector>(
         runtime_.get(), *config_.faults, params.num_sites, rng_.Split());
+  }
+  if (want_faults || config_.batching.enabled()) {
     transport_ = std::make_unique<fault::ReliableTransport>(
-        runtime_.get(), network_.get(), injector_.get(), params.num_sites);
+        runtime_.get(), network_.get(), injector_.get(), params.num_sites,
+        fault::ReliableTransport::Config::FromBatching(config_.batching));
     transport_->SetMetrics(&obs_);
-    if (config_.faults->network_faults()) {
-      network_->SetFaultHook([this](SiteId src, SiteId dst) {
-        return injector_->Roll(src, dst);
-      });
-    }
+  }
+  if (want_faults && config_.faults->network_faults()) {
+    network_->SetFaultHook([this](SiteId src, SiteId dst) {
+      return injector_->Roll(src, dst);
+    });
   }
 
   // Tracing.
@@ -364,12 +389,14 @@ Status System::Build() {
       // The transport owns the raw network handlers; engines sit behind
       // its exactly-once FIFO delivery.
       transport_->SetHandler(s, [this, s](SiteId src,
-                                          ProtocolMessage message) {
+                                          ProtocolMessage message,
+                                          bool batch_end) {
         ProtocolNetwork::Envelope env;
         env.src = src;
         env.dst = s;
         env.send_time = runtime_->Now();
         env.payload = std::move(message);
+        env.batch_end = batch_end;
         engines_[s]->OnMessage(std::move(env));
       });
     } else {

@@ -112,10 +112,18 @@ struct EncodeVisitor {
   }
   void operator()(const ReliableData& m) const {
     s->Varint(m.seq);
+    s->Varint(m.piggyback_ack);
     s->Varint(m.inner.size());
     s->Bytes(m.inner.data(), m.inner.size());
   }
   void operator()(const ChannelAck& m) const { s->Varint(m.cum_ack); }
+  void operator()(const ReliableBatch& m) const {
+    s->Varint(m.seq);
+    s->Varint(m.piggyback_ack);
+    s->Varint(m.count);
+    s->Varint(m.inner.size());
+    s->Bytes(m.inner.data(), m.inner.size());
+  }
 };
 
 // ---- decoding helpers -----------------------------------------------
@@ -377,6 +385,7 @@ Result<ProtocolMessage> Wire::Decode(const std::vector<uint8_t>& bytes) {
     case 11: {
       ReliableData m;
       m.seq = r.Varint();
+      m.piggyback_ack = r.Varint();
       uint64_t n = r.Varint();
       if (r.status.ok() && n > r.MaxCount(1)) {
         r.status = Status::InvalidArgument("bad inner length");
@@ -395,6 +404,26 @@ Result<ProtocolMessage> Wire::Decode(const std::vector<uint8_t>& bytes) {
       ChannelAck m;
       m.cum_ack = r.Varint();
       message = m;
+      break;
+    }
+    case 13: {
+      ReliableBatch m;
+      m.seq = r.Varint();
+      m.piggyback_ack = r.Varint();
+      uint64_t count = r.Varint();
+      uint64_t n = r.Varint();
+      // Each inner record is >= 2 bytes (length varint + one payload
+      // byte); the byte run itself is bounded by what's left.
+      if (r.status.ok() && (count > r.MaxCount(2) || n > r.MaxCount(1))) {
+        r.status = Status::InvalidArgument("bad batch frame");
+      }
+      if (r.status.ok()) {
+        m.count = static_cast<uint32_t>(count);
+        m.inner.assign(bytes.begin() + static_cast<ptrdiff_t>(r.pos),
+                       bytes.begin() + static_cast<ptrdiff_t>(r.pos + n));
+        r.pos += n;
+      }
+      message = std::move(m);
       break;
     }
     default:

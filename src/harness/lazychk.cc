@@ -36,6 +36,12 @@ std::string ReplayLine(const LazychkOptions& options, uint64_t seed,
   if (options.deadlock_policy == storage::DeadlockPolicy::kWaitDie) {
     line += " --grant=wait_die";
   }
+  if (options.batching.window > 0) {
+    line += " --batch-window=" + std::to_string(options.batching.window) +
+            "ns";
+  }
+  if (options.batching.piggyback_acks) line += " --piggyback-acks";
+  if (options.batching.wal_group_commit) line += " --group-commit";
   line += std::string(" --ties=") + (policy.perturb_ties ? "1" : "0");
   line += std::string(" --grants=") + (policy.shuffle_grants ? "1" : "0");
   line += " --jitter=" + std::to_string(policy.delivery_jitter_max) + "ns";
@@ -62,6 +68,7 @@ core::SystemConfig LazychkConfig(const LazychkOptions& options,
     config.faults = *plan;
   }
   config.engine.deadlock_policy = options.deadlock_policy;
+  config.batching = options.batching;
   sim::SchedulePolicyConfig seeded = policy;
   seeded.seed = seed;
   config.schedule = seeded;
@@ -82,13 +89,14 @@ std::string CheckInvariants(const core::SystemConfig& config) {
   }
   if (!m.reads_consistent) fails.push_back("read returned a stale value");
   if (!m.converged) fails.push_back("replicas diverged from primaries");
-  if (config.faults.has_value() && config.faults->enabled()) {
-    if (sys.injector() != nullptr && !sys.injector()->AllUp()) {
-      fails.push_back("a crashed site never recovered");
-    }
-    if (sys.transport() != nullptr && !sys.transport()->Quiescent()) {
-      fails.push_back("reliable transport left work in flight");
-    }
+  if (config.faults.has_value() && config.faults->enabled() &&
+      sys.injector() != nullptr && !sys.injector()->AllUp()) {
+    fails.push_back("a crashed site never recovered");
+  }
+  // The transport exists under faults OR batching; either way it must
+  // have drained (no frame buffered, unacked, stashed or parked).
+  if (sys.transport() != nullptr && !sys.transport()->Quiescent()) {
+    fails.push_back("reliable transport left work in flight");
   }
   if (config.enable_wal) {
     for (SiteId site = 0; site < config.workload.num_sites; ++site) {

@@ -34,6 +34,10 @@ struct LazychkOptions {
   /// Fault plan spec for `FaultPlan::Parse` (e.g.
   /// "drop:0.01,dup:0.01,crash:2@500ms+100ms"); empty = fault-free.
   std::string faults;
+  /// Batching dimensions swept by the runs (`--batch-window=` etc.): with
+  /// a window set, every run routes through the coalescing transport and
+  /// the oracle additionally demands it quiesces (docs/PERFORMANCE.md §6).
+  core::BatchingOptions batching;
   /// Perturbation dimensions explored per run (`policy.seed` is
   /// overwritten with the run seed). Defaults: all three on, jitter up
   /// to 2 ms (an order above the paper's 0.15 ms wire latency, so

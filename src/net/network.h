@@ -87,6 +87,11 @@ class Network : public Transport<T> {
     SiteId dst = kInvalidSite;
     SimTime send_time = 0;
     T payload;
+    /// Batch boundary marker (transport coalescing): false for every
+    /// message of a delivered `ReliableBatch` except the last. Raw
+    /// network deliveries are their own batch, hence the default. WAL
+    /// group commit keys its per-batch sync boundary off this flag.
+    bool batch_end = true;
   };
 
   /// Consolidated counter snapshot — the one read-side accessor. Reads
@@ -214,6 +219,9 @@ class Network : public Transport<T> {
   /// paper's per-message CPU cost model). Control messages skip the
   /// send/receive CPU charges but still pay wire latency, occupy the
   /// medium, count in the message totals, and pass the fault hook.
+  /// Coalesced `ReliableBatch` frames are deliberately NOT control:
+  /// they carry engine payloads and pay the per-message CPU once per
+  /// frame — that amortization is the point of batching.
   /// Must be set before traffic starts.
   using ControlClassifier = std::function<bool(const T&)>;
   void SetControlClassifier(ControlClassifier classifier) {

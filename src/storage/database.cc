@@ -161,7 +161,8 @@ Status Database::WriteLocked(Transaction* txn, ItemId item, Value value) {
 }
 
 runtime::Co<Status> Database::Commit(
-    TxnPtr txn, std::function<void(int64_t commit_seq)> atomic_hook) {
+    TxnPtr txn, std::function<void(int64_t commit_seq)> atomic_hook,
+    bool defer_wal_sync) {
   LAZYREP_CHECK(txn->state() == TxnState::kActive);
   LAZYREP_CHECK(!txn->abort_requested())
       << "commit of a transaction marked for abort";
@@ -179,7 +180,7 @@ runtime::Co<Status> Database::Commit(
   // WAL before any effect of the commit becomes observable (state flip,
   // propagation hook, lock release) — recovery must never resurrect a
   // value readers could not yet see, nor lose one they could.
-  if (wal_) wal_->LogCommit(txn->id());
+  if (wal_) wal_->LogCommit(txn->id(), /*sync=*/!defer_wal_sync);
   int64_t seq;
   {
     std::lock_guard<std::mutex> lock(mu_);

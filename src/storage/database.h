@@ -101,9 +101,20 @@ class Database {
   /// assigns the site commit sequence, runs `atomic_hook` (protocol
   /// engines post propagation messages here so forwarding order equals
   /// commit order, §2), notifies the observer, and releases all locks.
+  ///
+  /// `defer_wal_sync` (group commit): the commit record is still logged
+  /// before publish — only the per-commit sync boundary is deferred; the
+  /// applier calls `SyncWal()` once per delivered batch.
   runtime::Co<Status> Commit(TxnPtr txn,
                          std::function<void(int64_t commit_seq)>
-                             atomic_hook = nullptr);
+                             atomic_hook = nullptr,
+                         bool defer_wal_sync = false);
+
+  /// Seals any deferred commit records with one WAL sync boundary
+  /// (no-op without a WAL or when nothing is deferred).
+  void SyncWal() {
+    if (wal_) wal_->Sync();
+  }
 
   /// Rolls back: restores undo images, charges abort CPU, releases locks.
   runtime::Co<void> Abort(TxnPtr txn);

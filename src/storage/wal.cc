@@ -6,6 +6,7 @@
 namespace lazyrep::storage {
 
 void Wal::Replay(ItemStore* store) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [item, value] : checkpoint_) {
     if (store->Contains(item)) {
       (void)store->Put(item, value);
@@ -36,6 +37,7 @@ void Wal::Replay(ItemStore* store) const {
 }
 
 void Wal::Checkpoint(const ItemStore& store) {
+  std::lock_guard<std::mutex> lock(mu_);
   checkpoint_ = store.Snapshot();
   has_checkpoint_ = true;
   truncated_ += records_.size();

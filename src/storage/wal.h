@@ -17,6 +17,13 @@ namespace lazyrep::storage {
 /// transactions in commit order. Uncommitted updates are filtered out at
 /// replay (values are updated in place, but strict 2PL plus the undo log
 /// keep aborted work invisible, so redo-only recovery is sufficient).
+///
+/// Group commit: every append is immediately in the log (redo order never
+/// changes), but the *sync boundary* — the stand-in for fsync, counted by
+/// `sync_batches()` — can be deferred. `LogCommit(txn)` syncs per commit;
+/// `LogCommit(txn, /*sync=*/false)` leaves the record unsynced until the
+/// next `Sync()`/synced commit seals the batch. One delivered network
+/// batch then costs one sync boundary instead of one per transaction.
 class Wal {
  public:
   enum class RecordType { kUpdate, kCommit, kAbort };
@@ -30,20 +37,44 @@ class Wal {
 
   /// Appenders are mutex-guarded: with multi-worker sites, update
   /// records are written from whichever lane runs the transaction while
-  /// commit records come from the site's home lane. Readers (`Replay`,
-  /// `records`, sizes) run at quiescence or on the home lane during
-  /// recovery, after every appender has drained.
+  /// commit records come from the site's home lane. The cold readers
+  /// (`Replay`, `records`, sizes) take the same lock — metrics export or
+  /// a checker can race a straggler lane, so "read at quiescence" is a
+  /// convention, not a guarantee.
   void LogUpdate(const GlobalTxnId& txn, ItemId item, Value value) {
     std::lock_guard<std::mutex> lock(mu_);
     records_.push_back({RecordType::kUpdate, txn, item, value});
   }
-  void LogCommit(const GlobalTxnId& txn) {
+  void LogCommit(const GlobalTxnId& txn, bool sync = true) {
     std::lock_guard<std::mutex> lock(mu_);
     records_.push_back({RecordType::kCommit, txn, kInvalidItem, 0});
+    if (sync) {
+      ++sync_batches_;
+      unsynced_ = 0;  // The boundary is cumulative: it seals stragglers.
+    } else {
+      ++unsynced_;
+    }
   }
   void LogAbort(const GlobalTxnId& txn) {
     std::lock_guard<std::mutex> lock(mu_);
     records_.push_back({RecordType::kAbort, txn, kInvalidItem, 0});
+  }
+  /// Several commit records under one sync boundary (in vector order).
+  void LogCommitBatch(const std::vector<GlobalTxnId>& txns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const GlobalTxnId& txn : txns) {
+      records_.push_back({RecordType::kCommit, txn, kInvalidItem, 0});
+    }
+    ++sync_batches_;
+    unsynced_ = 0;
+  }
+  /// Seals any deferred commit records with one sync boundary. No-op when
+  /// nothing is pending (a batch of dummies costs no sync).
+  void Sync() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (unsynced_ == 0) return;
+    ++sync_batches_;
+    unsynced_ = 0;
   }
 
   /// Redo recovery: applies the checkpoint snapshot (if any), then the
@@ -59,26 +90,53 @@ class Wal {
   /// uncommitted in-place values would leak into the snapshot.
   void Checkpoint(const ItemStore& store);
 
-  size_t size() const { return records_.size(); }
-  const std::vector<Record>& records() const { return records_; }
-  bool has_checkpoint() const { return has_checkpoint_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+  /// Snapshot of the live records (copied under the lock — callers may
+  /// race appenders, so handing out a reference would be a torn read).
+  std::vector<Record> records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+  bool has_checkpoint() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return has_checkpoint_;
+  }
   /// Records truncated by checkpoints since the log was created.
-  size_t truncated() const { return truncated_; }
+  size_t truncated() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return truncated_;
+  }
+  /// Sync boundaries (fsync stand-in) since the log was created.
+  size_t sync_batches() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sync_batches_;
+  }
+  /// Commit records appended since the last sync boundary.
+  size_t unsynced_commits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return unsynced_;
+  }
 
   /// Approximate on-disk footprint: live records plus the checkpoint
   /// snapshot (truncated records no longer count — that is the point of
   /// checkpointing).
   size_t size_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return records_.size() * sizeof(Record) +
            checkpoint_.size() * sizeof(std::pair<ItemId, Value>);
   }
 
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<Record> records_;
   std::vector<std::pair<ItemId, Value>> checkpoint_;
   bool has_checkpoint_ = false;
   size_t truncated_ = 0;
+  size_t sync_batches_ = 0;
+  size_t unsynced_ = 0;
 };
 
 }  // namespace lazyrep::storage

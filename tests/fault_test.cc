@@ -175,7 +175,7 @@ TEST(ReliableTransportTest, RestoresExactlyOnceFifoUnderDropDupDelay) {
 
   ReliableTransport transport(&rt, &net, &injector, /*num_sites=*/2);
   std::vector<int64_t> got;
-  transport.SetHandler(1, [&](SiteId src, ProtocolMessage message) {
+  transport.SetHandler(1, [&](SiteId src, ProtocolMessage message, bool) {
     EXPECT_EQ(src, 0);
     got.push_back(UpdateSeq(message));
   });
@@ -204,7 +204,7 @@ TEST(ReliableTransportTest, ParksFramesForDownSiteAndFlushesInOrder) {
   FaultInjector injector(&rt, FaultPlan{}, /*num_sites=*/2, Rng(4));
   ReliableTransport transport(&rt, &net, &injector, /*num_sites=*/2);
   std::vector<int64_t> got;
-  transport.SetHandler(1, [&](SiteId, ProtocolMessage message) {
+  transport.SetHandler(1, [&](SiteId, ProtocolMessage message, bool) {
     got.push_back(UpdateSeq(message));
   });
 
@@ -223,6 +223,158 @@ TEST(ReliableTransportTest, ParksFramesForDownSiteAndFlushesInOrder) {
   ASSERT_EQ(got.size(), 5u);
   for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(got[i], i);
   EXPECT_TRUE(transport.Quiescent());
+}
+
+// Regression: a Post arriving after BeginShutdown used to enqueue a
+// sequenced frame without a retransmitter behind it — if the wire then
+// dropped the frame, the channel (and Quiescent) stalled forever. The
+// post must be refused outright. The drop-everything plan makes the
+// pre-fix bug deterministic: the orphaned frame can never be acked.
+TEST(ReliableTransportTest, PostAfterShutdownIsRefusedNotStalled) {
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  ProtocolNetwork net(&rt, 2, ProtocolNetwork::Config{}, {nullptr, nullptr},
+                      Rng(7));
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  FaultInjector injector(&rt, plan, /*num_sites=*/2, Rng(8));
+  net.SetFaultHook(
+      [&](SiteId src, SiteId dst) { return injector.Roll(src, dst); });
+  ReliableTransport transport(&rt, &net, &injector, /*num_sites=*/2);
+  std::vector<int64_t> got;
+  transport.SetHandler(1, [&](SiteId, ProtocolMessage message, bool) {
+    got.push_back(UpdateSeq(message));
+  });
+
+  transport.BeginShutdown();
+  transport.Post(0, 1, ProtocolMessage(MakeUpdate(0)));
+  sim.Run();
+
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(transport.posts_refused(), 1u);
+  EXPECT_EQ(transport.frames_sent(), 0u);
+  EXPECT_TRUE(transport.Quiescent());
+}
+
+// ---------------------------------------------------------------------
+// Batching-layer unit tests (docs/PERFORMANCE.md §6).
+
+TEST(ReliableTransportBatchingTest, CoalescesPostsPreservingFifoAndBatchEnd) {
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  ProtocolNetwork net(&rt, 2, ProtocolNetwork::Config{}, {nullptr, nullptr},
+                      Rng(21));
+  FaultInjector injector(&rt, FaultPlan{}, /*num_sites=*/2, Rng(22));
+  ReliableTransport::Config cfg;
+  cfg.batch_window = Millis(1);
+  ReliableTransport transport(&rt, &net, &injector, /*num_sites=*/2, cfg);
+  std::vector<std::pair<int64_t, bool>> got;
+  transport.SetHandler(1, [&](SiteId, ProtocolMessage message,
+                              bool batch_end) {
+    got.emplace_back(UpdateSeq(message), batch_end);
+  });
+
+  constexpr int kMessages = 10;
+  for (int64_t i = 0; i < kMessages; ++i) {
+    transport.Post(0, 1, ProtocolMessage(MakeUpdate(i)));
+  }
+  sim.Run();
+
+  // All ten posts landed in the window before it fired: one batch frame,
+  // FIFO order intact, batch_end true only on the final inner message.
+  ASSERT_EQ(got.size(), static_cast<size_t>(kMessages));
+  for (int64_t i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(got[i].first, i);
+    EXPECT_EQ(got[i].second, i == kMessages - 1);
+  }
+  EXPECT_EQ(transport.frames_sent(), 1u);
+  EXPECT_EQ(transport.batch_frames_sent(), 1u);
+  EXPECT_TRUE(transport.Quiescent());
+}
+
+TEST(ReliableTransportBatchingTest, SingleBufferedPostShipsAsPlainData) {
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  ProtocolNetwork net(&rt, 2, ProtocolNetwork::Config{}, {nullptr, nullptr},
+                      Rng(23));
+  FaultInjector injector(&rt, FaultPlan{}, /*num_sites=*/2, Rng(24));
+  ReliableTransport::Config cfg;
+  cfg.batch_window = Millis(1);
+  ReliableTransport transport(&rt, &net, &injector, /*num_sites=*/2, cfg);
+  std::vector<std::pair<int64_t, bool>> got;
+  transport.SetHandler(1, [&](SiteId, ProtocolMessage message,
+                              bool batch_end) {
+    got.emplace_back(UpdateSeq(message), batch_end);
+  });
+
+  transport.Post(0, 1, ProtocolMessage(MakeUpdate(42)));
+  sim.Run();
+
+  // A lone message needs no batch framing: it ships as ReliableData and
+  // arrives as its own batch (batch_end = true).
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 42);
+  EXPECT_TRUE(got[0].second);
+  EXPECT_EQ(transport.frames_sent(), 1u);
+  EXPECT_EQ(transport.batch_frames_sent(), 0u);
+  EXPECT_TRUE(transport.Quiescent());
+}
+
+// Two-way bursty traffic with coalescing + piggybacking over a lossy
+// wire: both directions must stay exactly-once FIFO, and the reverse
+// data frames must have absorbed most of the ack traffic.
+runtime::Co<void> PostBursts(runtime::Runtime* rt,
+                             ReliableTransport* transport) {
+  for (int64_t round = 0; round < 10; ++round) {
+    for (int64_t i = 0; i < 5; ++i) {
+      transport->Post(0, 1, ProtocolMessage(MakeUpdate(round * 5 + i)));
+      transport->Post(1, 0, ProtocolMessage(MakeUpdate(1000 + round * 5 + i)));
+    }
+    co_await rt->Delay(Millis(2));
+  }
+}
+
+TEST(ReliableTransportBatchingTest, PiggybackedExactlyOnceUnderDropDup) {
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  ProtocolNetwork::Config net_cfg;
+  net_cfg.latency = Millis(0.15);
+  ProtocolNetwork net(&rt, 2, net_cfg, {nullptr, nullptr}, Rng(31));
+  FaultPlan plan;
+  plan.drop_prob = 0.15;
+  plan.dup_prob = 0.15;
+  FaultInjector injector(&rt, plan, /*num_sites=*/2, Rng(32));
+  net.SetFaultHook(
+      [&](SiteId src, SiteId dst) { return injector.Roll(src, dst); });
+  ReliableTransport::Config cfg;
+  cfg.batch_window = Millis(0.5);
+  cfg.piggyback_acks = true;
+  ReliableTransport transport(&rt, &net, &injector, /*num_sites=*/2, cfg);
+  std::vector<int64_t> got_at_1;
+  std::vector<int64_t> got_at_0;
+  transport.SetHandler(1, [&](SiteId, ProtocolMessage message, bool) {
+    got_at_1.push_back(UpdateSeq(message));
+  });
+  transport.SetHandler(0, [&](SiteId, ProtocolMessage message, bool) {
+    got_at_0.push_back(UpdateSeq(message));
+  });
+
+  rt.Spawn(PostBursts(&rt, &transport));
+  sim.Run();
+
+  ASSERT_EQ(got_at_1.size(), 50u);
+  ASSERT_EQ(got_at_0.size(), 50u);
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(got_at_1[i], i);
+    EXPECT_EQ(got_at_0[i], 1000 + i);
+  }
+  EXPECT_TRUE(transport.Quiescent());
+  EXPECT_GT(transport.batch_frames_sent(), 0u);
+  EXPECT_GT(transport.retransmissions(), 0u);
+  EXPECT_GT(transport.acks_piggybacked(), 0u);
+  // The point of piggybacking: reverse data carries the acks, so the
+  // standalone-ack fallback fires only on genuinely quiet channels.
+  EXPECT_LT(transport.acks_standalone(), transport.acks_piggybacked());
 }
 
 // ---------------------------------------------------------------------

@@ -138,6 +138,38 @@ TEST(WireTest, AllKindsRoundTrip) {
   release.origin = {5, 6};
   release.committed = true;
   ExpectRoundTrip(ProtocolMessage(release));
+  ReliableData data;
+  data.seq = 9001;
+  data.piggyback_ack = 17;
+  data.inner = Wire::Encode(ProtocolMessage(SampleUpdate()));
+  ExpectRoundTrip(ProtocolMessage(data));
+  ReliableBatch batch;
+  batch.seq = 9002;
+  batch.piggyback_ack = 0;
+  batch.count = 2;
+  for (int i = 0; i < 2; ++i) {
+    std::vector<uint8_t> record = Wire::Encode(ProtocolMessage(SampleUpdate()));
+    Wire::PutVarint(&batch.inner, record.size());
+    batch.inner.insert(batch.inner.end(), record.begin(), record.end());
+  }
+  ExpectRoundTrip(ProtocolMessage(batch));
+}
+
+TEST(WireTest, ReliableBatchFieldsSurviveExactly) {
+  // count must be plausible against the inner size (a record is at
+  // least [len][tag] = 2 bytes) or the hostile-count guard rejects it.
+  ReliableBatch batch;
+  batch.seq = 123456789;
+  batch.piggyback_ack = 42;
+  batch.count = 2;
+  batch.inner = {9, 8, 7, 6, 5};
+  Result<ProtocolMessage> back = Wire::Decode(Wire::Encode(batch));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const auto& d = std::get<ReliableBatch>(*back);
+  EXPECT_EQ(d.seq, 123456789u);
+  EXPECT_EQ(d.piggyback_ack, 42u);
+  EXPECT_EQ(d.count, 2u);
+  EXPECT_EQ(d.inner, batch.inner);
 }
 
 TEST(WireTest, SizesAreCompact) {
@@ -232,6 +264,7 @@ TEST(WireDecodeTest, RejectsOversizedCounts) {
     // bytes by one — the bulk copy must not read past the buffer.
     std::vector<uint8_t> bytes = {0x0B};
     Wire::PutVarint(&bytes, 42);       // seq
+    Wire::PutVarint(&bytes, 7);        // piggyback_ack
     Wire::PutVarint(&bytes, 5);        // inner length...
     bytes.insert(bytes.end(), {1, 2, 3, 4});  // ...but only 4 bytes.
     EXPECT_FALSE(Wire::Decode(bytes).ok());
@@ -240,14 +273,34 @@ TEST(WireDecodeTest, RejectsOversizedCounts) {
     ASSERT_TRUE(ok.ok());
     const auto& rd = std::get<ReliableData>(*ok);
     EXPECT_EQ(rd.seq, 42u);
+    EXPECT_EQ(rd.piggyback_ack, 7u);
     EXPECT_EQ(rd.inner, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
   }
   {
     // ReliableData with a 2^50 length prefix: rejected before any
     // allocation.
     std::vector<uint8_t> bytes = {0x0B};
-    Wire::PutVarint(&bytes, 0);
+    Wire::PutVarint(&bytes, 0);        // seq
+    Wire::PutVarint(&bytes, 0);        // piggyback_ack
     Wire::PutVarint(&bytes, 1ull << 50);
+    EXPECT_FALSE(Wire::Decode(bytes).ok());
+  }
+  {
+    // ReliableBatch (tag 13) claiming 2^40 inner messages.
+    std::vector<uint8_t> bytes = {0x0D};
+    Wire::PutVarint(&bytes, 1);        // seq
+    Wire::PutVarint(&bytes, 0);        // piggyback_ack
+    Wire::PutVarint(&bytes, 1ull << 40);  // count: absurd
+    Wire::PutVarint(&bytes, 0);        // inner length
+    EXPECT_FALSE(Wire::Decode(bytes).ok());
+  }
+  {
+    // ReliableBatch whose inner length runs past the buffer.
+    std::vector<uint8_t> bytes = {0x0D};
+    Wire::PutVarint(&bytes, 1);        // seq
+    Wire::PutVarint(&bytes, 0);        // piggyback_ack
+    Wire::PutVarint(&bytes, 2);        // count
+    Wire::PutVarint(&bytes, 1ull << 50);  // inner length: absurd
     EXPECT_FALSE(Wire::Decode(bytes).ok());
   }
 }
@@ -258,7 +311,7 @@ TEST(WireDecodeTest, RandomByteFuzz) {
   for (int trial = 0; trial < 2000; ++trial) {
     std::vector<uint8_t> bytes(rng.Below(40));
     for (uint8_t& b : bytes) b = static_cast<uint8_t>(rng.Below(256));
-    if (!bytes.empty()) bytes[0] = static_cast<uint8_t>(rng.Below(12));
+    if (!bytes.empty()) bytes[0] = static_cast<uint8_t>(rng.Below(14));
     (void)Wire::Decode(bytes);  // Must not crash or CHECK.
   }
 }

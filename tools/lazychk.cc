@@ -40,6 +40,12 @@ void PrintHelp() {
       "                    (wait_die forces --grants=0; default timeout)\n"
       "  --jitter=D        max per-message delivery jitter, e.g. 2ms,\n"
       "                    500us, 0 (default 2ms)\n"
+      "  --batch-window=D  route every run through the coalescing\n"
+      "                    transport with this flush window, e.g. 2ms\n"
+      "                    (default 0 = batching off;\n"
+      "                    docs/PERFORMANCE.md §6)\n"
+      "  --piggyback-acks  carry cumulative acks on reverse data frames\n"
+      "  --group-commit    one WAL sync boundary per delivered batch\n"
       "  --shrink          shrink each violation to a minimal policy\n"
       "                    (default on; --no-shrink disables)\n"
       "  --quiet           suppress per-violation progress on stderr\n");
@@ -123,6 +129,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.policy.delivery_jitter_max = *jitter;
+    } else if (ParseFlag(arg, "--batch-window", &v)) {
+      Result<Duration> window = fault::internal::ParseDuration(v);
+      if (!window.ok() || *window < 0) {
+        std::fprintf(stderr, "bad --batch-window value: %s\n", v.c_str());
+        return 2;
+      }
+      options.batching.window = *window;
+    } else if (std::strcmp(arg, "--piggyback-acks") == 0) {
+      options.batching.piggyback_acks = true;
+    } else if (std::strcmp(arg, "--group-commit") == 0) {
+      options.batching.wal_group_commit = true;
     } else if (std::strcmp(arg, "--shrink") == 0) {
       options.shrink = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {

@@ -64,6 +64,15 @@ void PrintHelp() {
       "  --faults=SPEC     fault plan, e.g. drop:0.01,dup:0.01,\n"
       "                    delay:2ms,crash:1@500ms+100ms (docs/FAULTS.md;\n"
       "                    crash faults imply --wal)\n"
+      "  --batch-window=X  coalesce posts per channel for X ms and ship\n"
+      "                    them as one batch frame (default 0 = off;\n"
+      "                    docs/PERFORMANCE.md §6)\n"
+      "  --batch-bytes=N   size threshold that flushes a channel's batch\n"
+      "                    buffer early (default 16384)\n"
+      "  --piggyback-acks  carry cumulative acks on reverse-direction\n"
+      "                    data frames instead of standalone ChannelAcks\n"
+      "  --group-commit    one WAL sync boundary per delivered batch at\n"
+      "                    the secondaries (implies --wal)\n"
       "  --no-check        skip history recording / serializability check\n"
       "  --trace=FILE      write a JSONL protocol event trace (single run)\n"
       "  --metrics-out=F   write a Prometheus text metrics snapshot taken\n"
@@ -206,6 +215,16 @@ int main(int argc, char** argv) {
       // Crash recovery replays the WAL; switch it on rather than make
       // the user pair the flags by hand.
       if (!plan->crashes.empty()) config.enable_wal = true;
+    } else if (ParseFlag(arg, "--batch-window", &v)) {
+      config.batching.window = Millis(std::atof(v.c_str()));
+    } else if (ParseFlag(arg, "--batch-bytes", &v)) {
+      config.batching.max_bytes =
+          static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (std::strcmp(arg, "--piggyback-acks") == 0) {
+      config.batching.piggyback_acks = true;
+    } else if (std::strcmp(arg, "--group-commit") == 0) {
+      config.batching.wal_group_commit = true;
+      config.enable_wal = true;  // The boundary needs a log to seal.
     } else if (std::strcmp(arg, "--no-check") == 0) {
       config.check_serializability = false;
     } else if (ParseFlag(arg, "--trace", &v)) {
