@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "runtime/sim_runtime.h"
 #include "runtime/thread_runtime.h"
+#include "workload/suite.h"
 
 namespace lazyrep::core {
 
@@ -212,11 +213,15 @@ Status System::Build() {
     simulator().SetSchedulePolicy(schedule_policy_.get());
   }
 
-  // Placement: explicit override or generated per §5.2.
-  graph::Placement placement =
-      config_.placement.has_value()
-          ? *config_.placement
-          : workload::GeneratePlacement(params, &rng_);
+  // Placement: explicit override or generated by the workload
+  // (docs/WORKLOADS.md; kTable1 is the §5.2 generator, unchanged).
+  graph::Placement placement;
+  if (config_.placement.has_value()) {
+    placement = *config_.placement;
+  } else {
+    LAZYREP_ASSIGN_OR_RETURN(
+        placement, workload::MakeWorkloadPlacement(params, &rng_));
+  }
   if (placement.num_sites != params.num_sites) {
     return Status::InvalidArgument(
         "placement num_sites does not match workload num_sites");
@@ -224,8 +229,8 @@ Status System::Build() {
 
   LAZYREP_ASSIGN_OR_RETURN(
       routing_, Routing::Build(placement, config_.protocol, config_.engine));
-  generator_ =
-      std::make_unique<workload::TxnGenerator>(params, placement);
+  LAZYREP_ASSIGN_OR_RETURN(generator_,
+                           workload::MakeWorkload(params, placement));
 
   // Machines: `sites_per_machine` co-located sites share one CPU with
   // `workers_per_site` cores (one per executor lane; 1 under the sim).

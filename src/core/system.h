@@ -172,7 +172,7 @@ class System {
   std::unique_ptr<runtime::Runtime> runtime_;
   Rng rng_;
   std::shared_ptr<const Routing> routing_;
-  std::unique_ptr<workload::TxnGenerator> generator_;
+  std::unique_ptr<workload::WorkloadSpec> generator_;
   MetricsCollector metrics_;
   /// Labelled counters/gauges/histograms, written lock-free from every
   /// machine during the run (src/obs/). Owned here so its lifetime covers

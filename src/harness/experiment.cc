@@ -147,6 +147,21 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
       options.lock_stripes = std::atoi(arg + 15);
     } else if (std::strncmp(arg, "--lock-timeout=", 15) == 0) {
       options.lock_timeout = Millis(std::atof(arg + 15));
+    } else if (std::strncmp(arg, "--zipf=", 7) == 0) {
+      options.zipf_theta = std::atof(arg + 7);
+      if (options.zipf_theta < 0) {
+        std::fprintf(stderr, "--zipf must be >= 0\n");
+        options.zipf_theta = -1;
+      }
+    } else if (std::strncmp(arg, "--workload=", 11) == 0) {
+      Result<workload::WorkloadKind> kind =
+          workload::ParseWorkloadKind(arg + 11);
+      if (kind.ok()) {
+        options.workload = *kind;
+        options.workload_set = true;
+      } else {
+        std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+      }
     } else if (std::strncmp(arg, "--deadlock=", 11) == 0) {
       const char* value = arg + 11;
       if (std::strcmp(value, "timeout") == 0) {
@@ -164,8 +179,8 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
                    "(supported: --quick --full --txns=N --seeds=N --csv "
                    "--json=PATH --runtime=sim|threads --workers=N "
                    "--lock-stripes=N --deadlock=timeout|wait_die "
-                   "--lock-timeout=MS --metrics-out=PATH "
-                   "--trace-out=PATH)\n",
+                   "--lock-timeout=MS --zipf=THETA --workload=NAME "
+                   "--metrics-out=PATH --trace-out=PATH)\n",
                    arg);
     }
   }
@@ -182,6 +197,10 @@ void ApplyOptions(const BenchOptions& options,
   if (options.lock_timeout > 0) {
     config->workload.deadlock_timeout = options.lock_timeout;
   }
+  if (options.zipf_theta >= 0) {
+    config->workload.zipf_theta = options.zipf_theta;
+  }
+  if (options.workload_set) config->workload.workload = options.workload;
 }
 
 void AppendBenchJson(const std::string& path, const std::string& bench,

@@ -69,12 +69,19 @@ struct BenchOptions {
   storage::DeadlockPolicy deadlock_policy =
       storage::DeadlockPolicy::kTimeoutOnly;
   Duration lock_timeout = 0;  // 0 = keep the config's default.
+  /// --zipf=THETA: access-skew exponent (global hotness ranks,
+  /// docs/WORKLOADS.md). Negative = keep the config's default.
+  double zipf_theta = -1;
+  /// --workload=NAME: generator selection (table1 | ycsb_a..ycsb_f |
+  /// smallbank | tpcc_lite). Applied only when `workload_set`.
+  workload::WorkloadKind workload = workload::WorkloadKind::kTable1;
+  bool workload_set = false;
 };
 
 /// Parses --quick / --full / --txns=N / --seeds=N / --csv / --json=PATH /
 /// --runtime=sim|threads / --workers=N / --lock-stripes=N /
-/// --deadlock=timeout|wait_die / --lock-timeout=MS / --metrics-out=PATH /
-/// --trace-out=PATH.
+/// --deadlock=timeout|wait_die / --lock-timeout=MS / --zipf=THETA /
+/// --workload=NAME / --metrics-out=PATH / --trace-out=PATH.
 BenchOptions ParseBenchArgs(int argc, char** argv);
 
 /// Applies the options to a config.

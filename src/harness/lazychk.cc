@@ -32,6 +32,13 @@ std::string ReplayLine(const LazychkOptions& options, uint64_t seed,
   std::string line = "lazychk --protocol=" + ProtocolToken(options.protocol) +
                      " --seeds=1 --first-seed=" + std::to_string(seed) +
                      " --txns=" + std::to_string(options.txns_per_thread);
+  if (options.workload != workload::WorkloadKind::kTable1) {
+    line += std::string(" --workload=") +
+            workload::WorkloadKindName(options.workload);
+  }
+  if (options.zipf_theta > 0) {
+    line += " --zipf=" + std::to_string(options.zipf_theta);
+  }
   if (!options.faults.empty()) line += " --faults=" + options.faults;
   if (options.deadlock_policy == storage::DeadlockPolicy::kWaitDie) {
     line += " --grant=wait_die";
@@ -59,6 +66,8 @@ core::SystemConfig LazychkConfig(const LazychkOptions& options,
   config.seed = seed;
   config.enable_wal = true;  // The oracle replays every site's WAL.
   config.workload.txns_per_thread = options.txns_per_thread;
+  config.workload.workload = options.workload;
+  config.workload.zipf_theta = options.zipf_theta;
   if (options.protocol != core::Protocol::kBackEdge) {
     config.workload.backedge_prob = 0.0;  // DAG protocols need a DAG.
   }

@@ -45,6 +45,10 @@ struct LazychkOptions {
   sim::SchedulePolicyConfig policy = DefaultPolicy();
   /// Transactions per thread (workload length per run).
   int txns_per_thread = 40;
+  /// Generator under test (`--workload=`, docs/WORKLOADS.md).
+  workload::WorkloadKind workload = workload::WorkloadKind::kTable1;
+  /// Access-skew exponent (`--zipf=`, global hotness ranks).
+  double zipf_theta = 0.0;
   /// Shrink each violation before reporting.
   bool shrink = true;
   /// Progress/violation lines to stderr.

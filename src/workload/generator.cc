@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/check.h"
 
@@ -57,7 +58,61 @@ double ZipfSampler::Probability(size_t i) const {
   return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
 }
 
-TxnGenerator::TxnGenerator(const Params& params,
+std::vector<uint32_t> GlobalHotRanks(int num_items, uint64_t seed) {
+  LAZYREP_CHECK_GT(num_items, 0);
+  std::vector<uint32_t> order(num_items);
+  std::iota(order.begin(), order.end(), 0u);
+  // A dedicated stream keeps the permutation independent of the run
+  // rng (placement draws, schedules) — the hot set is a property of the
+  // workload, not the run.
+  Rng rng(seed, /*stream=*/0x686f74);  // 'hot'
+  rng.Shuffle(&order);
+  std::vector<uint32_t> rank(num_items);
+  for (int i = 0; i < num_items; ++i) rank[order[i]] = i;
+  return rank;
+}
+
+RankedSampler::RankedSampler(const std::vector<ItemId>& items,
+                             const std::vector<uint32_t>& global_rank,
+                             double theta) {
+  if (items.empty()) return;
+  by_rank_ = items;
+  std::sort(by_rank_.begin(), by_rank_.end(), [&](ItemId a, ItemId b) {
+    return global_rank[a] < global_rank[b];
+  });
+  cdf_.reserve(by_rank_.size());
+  // Weights relative to the list's hottest item: w = ((rank+1)/
+  // (rank_min+1))^-θ keeps the first weight at 1.0 so the CDF total
+  // cannot underflow to 0 even at large θ over a cold tail of ranks
+  // (the absolute weights 1/(rank+1)^θ can all round to 0 there).
+  double rank_min = static_cast<double>(global_rank[by_rank_[0]] + 1);
+  double total = 0;
+  for (ItemId item : by_rank_) {
+    double rank = static_cast<double>(global_rank[item] + 1);
+    total += std::pow(rank / rank_min, -theta);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against rounding.
+}
+
+ItemId RankedSampler::Sample(Rng* rng) const {
+  LAZYREP_CHECK(!by_rank_.empty());
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return by_rank_[static_cast<size_t>(it - cdf_.begin())];
+}
+
+double RankedSampler::Probability(ItemId item) const {
+  for (size_t i = 0; i < by_rank_.size(); ++i) {
+    if (by_rank_[i] != item) continue;
+    return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+  }
+  return 0;
+}
+
+WorkloadSpec::WorkloadSpec(const Params& params,
                            const graph::Placement& placement)
     : params_(params),
       readable_(params.num_sites),
@@ -68,11 +123,19 @@ TxnGenerator::TxnGenerator(const Params& params,
     LAZYREP_CHECK(!readable_[s].empty())
         << "site " << s << " has no readable items";
   }
+}
+
+TxnGenerator::TxnGenerator(const Params& params,
+                           const graph::Placement& placement)
+    : WorkloadSpec(params, placement) {
   if (params.zipf_theta > 0) {
+    std::vector<uint32_t> ranks =
+        GlobalHotRanks(params.num_items, params.hot_rank_seed);
     for (SiteId s = 0; s < params.num_sites; ++s) {
-      read_samplers_.emplace_back(readable_[s].size(), params.zipf_theta);
-      write_samplers_.emplace_back(
-          std::max<size_t>(writable_[s].size(), 1), params.zipf_theta);
+      read_samplers_.emplace_back(readable_[s], ranks, params.zipf_theta);
+      // A site with no writable items gets an empty sampler; PickWrite
+      // is never reached there (Next degrades its ops to reads).
+      write_samplers_.emplace_back(writable_[s], ranks, params.zipf_theta);
     }
   }
 }
@@ -80,13 +143,23 @@ TxnGenerator::TxnGenerator(const Params& params,
 ItemId TxnGenerator::PickRead(SiteId site, Rng* rng) const {
   const auto& readable = readable_[site];
   if (read_samplers_.empty()) return readable[rng->Index(readable.size())];
-  return readable[read_samplers_[site].Sample(rng)];
+  return read_samplers_[site].Sample(rng);
 }
 
 ItemId TxnGenerator::PickWrite(SiteId site, Rng* rng) const {
   const auto& writable = writable_[site];
+  LAZYREP_CHECK(!writable.empty());
   if (write_samplers_.empty()) return writable[rng->Index(writable.size())];
-  return writable[write_samplers_[site].Sample(rng)];
+  return write_samplers_[site].Sample(rng);
+}
+
+double TxnGenerator::ReadMass(SiteId site, ItemId item) const {
+  const auto& readable = readable_[site];
+  if (read_samplers_.empty()) {
+    bool present = std::binary_search(readable.begin(), readable.end(), item);
+    return present ? 1.0 / static_cast<double>(readable.size()) : 0.0;
+  }
+  return read_samplers_[site].Probability(item);
 }
 
 TxnSpec TxnGenerator::Next(SiteId site, Rng* rng) const {

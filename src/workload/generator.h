@@ -1,6 +1,8 @@
 #ifndef LAZYREP_WORKLOAD_GENERATOR_H_
 #define LAZYREP_WORKLOAD_GENERATOR_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -34,6 +36,39 @@ class ZipfSampler {
   std::vector<double> cdf_;
 };
 
+/// One seeded global hotness permutation over the item space:
+/// `rank[item]` is the item's hotness rank (0 = hottest). Every
+/// workload's skewed samplers share this, so an item is equally hot at
+/// every site that holds a copy, and hotness is decorrelated from the
+/// `item % num_sites` primary assignment.
+std::vector<uint32_t> GlobalHotRanks(int num_items, uint64_t seed);
+
+/// Zipf(θ) sampler over an arbitrary item list, weighted by *global*
+/// hotness rank: P(item) ∝ 1/(rank(item)+1)^θ, renormalized over the
+/// list. Because the weights are global, the probability *ratio* of two
+/// items is the same in every list containing both — the property the
+/// per-site positional ranking this replaces lacked.
+class RankedSampler {
+ public:
+  /// Empty sampler; Sample() must not be called.
+  RankedSampler() = default;
+
+  RankedSampler(const std::vector<ItemId>& items,
+                const std::vector<uint32_t>& global_rank, double theta);
+
+  ItemId Sample(Rng* rng) const;
+
+  /// Probability mass of `item` (0 if not in the list).
+  double Probability(ItemId item) const;
+
+  bool empty() const { return by_rank_.empty(); }
+  size_t size() const { return by_rank_.size(); }
+
+ private:
+  std::vector<ItemId> by_rank_;  // List items, hottest first.
+  std::vector<double> cdf_;
+};
+
 /// One operation of a transaction.
 struct TxnOp {
   bool is_write = false;
@@ -47,37 +82,62 @@ struct TxnSpec {
   bool read_only = false;
 };
 
-/// Generates transactions for a fixed placement per §5.2: each
-/// transaction has `ops_per_txn` operations; it is read-only with
-/// probability `read_txn_prob`, otherwise each operation is a read with
-/// probability `read_op_prob`. Reads target a uniform item with a copy at
-/// the originating site; writes a uniform item whose primary copy is
-/// local (the system model only permits updating local primaries).
-class TxnGenerator {
+/// A transaction generator over a fixed placement (docs/WORKLOADS.md).
+/// Every implementation obeys the system model's placement rules: writes
+/// target items whose primary copy is local to the originating site,
+/// reads target items with any local copy. `Next` must be pure up to the
+/// Rng (thread-safe for concurrent sites with distinct Rngs).
+class WorkloadSpec {
  public:
-  TxnGenerator(const Params& params, const graph::Placement& placement);
+  WorkloadSpec(const Params& params, const graph::Placement& placement);
+  virtual ~WorkloadSpec() = default;
 
-  TxnSpec Next(SiteId site, Rng* rng) const;
+  virtual TxnSpec Next(SiteId site, Rng* rng) const = 0;
 
-  /// Items readable at `site` (any local copy).
+  /// CLI token of the generator ("table1", "ycsb_a", ...).
+  virtual std::string name() const = 0;
+
+  /// Items readable at `site` (any local copy), ascending item id.
   const std::vector<ItemId>& ReadableAt(SiteId site) const {
     return readable_[site];
   }
-  /// Items writable at `site` (local primary copies).
+  /// Items writable at `site` (local primary copies), ascending item id.
   const std::vector<ItemId>& WritableAt(SiteId site) const {
     return writable_[site];
   }
+
+ protected:
+  Params params_;
+  std::vector<std::vector<ItemId>> readable_;
+  std::vector<std::vector<ItemId>> writable_;
+};
+
+/// The paper's §5.2 loop (Table 1): each transaction has `ops_per_txn`
+/// operations; it is read-only with probability `read_txn_prob`,
+/// otherwise each operation is a read with probability `read_op_prob`.
+/// Reads target an item with a copy at the originating site; writes an
+/// item whose primary copy is local. With `zipf_theta > 0` items are
+/// drawn by global hotness rank (see RankedSampler); θ=0 keeps the
+/// paper's uniform draw, bit-for-bit.
+class TxnGenerator : public WorkloadSpec {
+ public:
+  TxnGenerator(const Params& params, const graph::Placement& placement);
+
+  TxnSpec Next(SiteId site, Rng* rng) const override;
+  std::string name() const override { return "table1"; }
+
+  /// Probability that a single read at `site` targets `item` (testing).
+  double ReadMass(SiteId site, ItemId item) const;
 
  private:
   ItemId PickRead(SiteId site, Rng* rng) const;
   ItemId PickWrite(SiteId site, Rng* rng) const;
 
-  Params params_;
-  std::vector<std::vector<ItemId>> readable_;
-  std::vector<std::vector<ItemId>> writable_;
-  // Present when zipf_theta > 0; indexed by site.
-  std::vector<ZipfSampler> read_samplers_;
-  std::vector<ZipfSampler> write_samplers_;
+  // Present when zipf_theta > 0; indexed by site. A site with no
+  // writable items gets an empty write sampler that is never consulted
+  // (Next generates only reads there).
+  std::vector<RankedSampler> read_samplers_;
+  std::vector<RankedSampler> write_samplers_;
 };
 
 }  // namespace lazyrep::workload

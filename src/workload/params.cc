@@ -4,14 +4,69 @@
 
 namespace lazyrep::workload {
 
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kTable1:
+      return "table1";
+    case WorkloadKind::kYcsbA:
+      return "ycsb_a";
+    case WorkloadKind::kYcsbB:
+      return "ycsb_b";
+    case WorkloadKind::kYcsbC:
+      return "ycsb_c";
+    case WorkloadKind::kYcsbD:
+      return "ycsb_d";
+    case WorkloadKind::kYcsbE:
+      return "ycsb_e";
+    case WorkloadKind::kYcsbF:
+      return "ycsb_f";
+    case WorkloadKind::kSmallBank:
+      return "smallbank";
+    case WorkloadKind::kTpccLite:
+      return "tpcc_lite";
+  }
+  return "unknown";
+}
+
+Result<WorkloadKind> ParseWorkloadKind(const std::string& name) {
+  std::string token;
+  token.reserve(name.size());
+  for (char c : name) token.push_back(c == '-' ? '_' : c);
+  if (token == "table1" || token == "table_1") return WorkloadKind::kTable1;
+  if (token == "ycsb_a") return WorkloadKind::kYcsbA;
+  if (token == "ycsb_b") return WorkloadKind::kYcsbB;
+  if (token == "ycsb_c") return WorkloadKind::kYcsbC;
+  if (token == "ycsb_d") return WorkloadKind::kYcsbD;
+  if (token == "ycsb_e") return WorkloadKind::kYcsbE;
+  if (token == "ycsb_f") return WorkloadKind::kYcsbF;
+  if (token == "smallbank") return WorkloadKind::kSmallBank;
+  if (token == "tpcc_lite" || token == "tpcc") return WorkloadKind::kTpccLite;
+  return Status::InvalidArgument("unknown workload: " + name);
+}
+
 std::string Params::ToString() const {
-  return StrPrintf(
+  std::string out = StrPrintf(
       "m=%d n=%d r=%.2f s=%.2f b=%.2f ops=%d threads=%d txns=%d "
       "readop=%.2f readtxn=%.2f latency=%s timeout=%s",
       num_sites, num_items, replication_prob, site_prob, backedge_prob,
       ops_per_txn, threads_per_site, txns_per_thread, read_op_prob,
       read_txn_prob, FormatDuration(network_latency).c_str(),
       FormatDuration(deadlock_timeout).c_str());
+  // Extension fields print only when non-default so the Table-1 banner
+  // stays byte-identical to the paper runs.
+  if (workload != WorkloadKind::kTable1) {
+    out += StrPrintf(" workload=%s", WorkloadKindName(workload));
+  }
+  if (zipf_theta != 0.0) out += StrPrintf(" zipf=%.2f", zipf_theta);
+  if (hot_rank_seed != 1) {
+    out += StrPrintf(" hotseed=%llu",
+                     static_cast<unsigned long long>(hot_rank_seed));
+  }
+  if (ycsb_scan_len != 8) out += StrPrintf(" scanlen=%d", ycsb_scan_len);
+  if (remote_txn_prob != 0.1) {
+    out += StrPrintf(" remote=%.2f", remote_txn_prob);
+  }
+  return out;
 }
 
 }  // namespace lazyrep::workload

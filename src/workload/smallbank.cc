@@ -1,0 +1,129 @@
+#include "workload/smallbank.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lazyrep::workload {
+
+graph::Placement GenerateSmallBankPlacement(const Params& params, Rng* rng) {
+  LAZYREP_CHECK_GE(params.num_items, 2 * params.num_sites)
+      << "smallbank needs at least one account pair per site";
+  int num_accounts = params.num_items / 2;
+  graph::Placement p;
+  p.num_sites = params.num_sites;
+  p.num_items = params.num_items;
+  p.primary.resize(params.num_items);
+  p.replicas.resize(params.num_items);
+  for (ItemId a = 0; a < num_accounts; ++a) {
+    SiteId primary = a % params.num_sites;
+    p.primary[2 * a] = primary;
+    p.primary[2 * a + 1] = primary;
+    if (!rng->Bernoulli(params.replication_prob)) continue;
+    bool all_sites_candidates = rng->Bernoulli(params.backedge_prob);
+    for (SiteId s = 0; s < params.num_sites; ++s) {
+      if (s == primary) continue;
+      if (!all_sites_candidates && s < primary) continue;
+      if (!rng->Bernoulli(params.site_prob)) continue;
+      // Account granularity: the pair replicates together so Balance
+      // reads stay locally satisfiable.
+      p.replicas[2 * a].push_back(s);
+      p.replicas[2 * a + 1].push_back(s);
+    }
+  }
+  if (params.num_items % 2 == 1) {
+    // Odd trailing item: give it a primary (Validate needs one) but no
+    // account maps to it, so it is never accessed.
+    p.primary[params.num_items - 1] =
+        (params.num_items - 1) % params.num_sites;
+  }
+  LAZYREP_CHECK(p.Validate().ok());
+  return p;
+}
+
+SmallBankWorkload::SmallBankWorkload(const Params& params,
+                                     const graph::Placement& placement)
+    : WorkloadSpec(params, placement),
+      num_accounts_(params.num_items / 2),
+      local_accounts_(params.num_sites),
+      readable_accounts_(params.num_sites) {
+  for (ItemId a = 0; a < num_accounts_; ++a) {
+    SiteId primary = placement.primary[Checking(a)];
+    local_accounts_[primary].push_back(a);
+    for (SiteId s = 0; s < params.num_sites; ++s) {
+      if (placement.HasCopy(Checking(a), s)) {
+        readable_accounts_[s].push_back(a);
+      }
+    }
+  }
+  std::vector<uint32_t> ranks =
+      GlobalHotRanks(num_accounts_, params.hot_rank_seed);
+  for (SiteId s = 0; s < params.num_sites; ++s) {
+    LAZYREP_CHECK(!readable_accounts_[s].empty())
+        << "site " << s << " holds no account pair";
+    local_samplers_.emplace_back(local_accounts_[s], ranks,
+                                 params.zipf_theta);
+    readable_samplers_.emplace_back(readable_accounts_[s], ranks,
+                                    params.zipf_theta);
+  }
+}
+
+TxnSpec SmallBankWorkload::Next(SiteId site, Rng* rng) const {
+  TxnSpec spec;
+  const auto& local = local_accounts_[site];
+  bool balance = rng->Bernoulli(params_.read_txn_prob) || local.empty();
+  if (balance) {
+    ItemId a = readable_samplers_[site].Sample(rng);
+    spec.ops.push_back({.is_write = false, .item = Checking(a)});
+    spec.ops.push_back({.is_write = false, .item = Savings(a)});
+    spec.read_only = true;
+    return spec;
+  }
+  ItemId a1 = local_samplers_[site].Sample(rng);
+  // Two-account types need a distinct second local account; degrade to
+  // a single-account type when the site owns only one pair.
+  ItemId a2 = a1;
+  if (local.size() > 1) {
+    // Bounded rejection: at extreme θ one account can carry ~all the
+    // mass, so fall back to a uniform distinct pick instead of spinning.
+    for (int tries = 0; a2 == a1 && tries < 8; ++tries) {
+      a2 = local_samplers_[site].Sample(rng);
+    }
+    while (a2 == a1) a2 = local[rng->Index(local.size())];
+  }
+  int type = static_cast<int>(rng->Index(5));
+  if (a2 == a1 && (type == 2 || type == 4)) type = 3;
+  switch (type) {
+    case 0:  // DepositChecking: blind credit of checking.
+      spec.ops.push_back({.is_write = true, .item = Checking(a1)});
+      break;
+    case 1:  // TransactSavings: read savings, apply delta.
+      spec.ops.push_back({.is_write = false, .item = Savings(a1)});
+      spec.ops.push_back({.is_write = true, .item = Savings(a1)});
+      break;
+    case 2:  // Amalgamate: drain a1 into a2's checking.
+      spec.ops.push_back({.is_write = false, .item = Checking(a1)});
+      spec.ops.push_back({.is_write = false, .item = Savings(a1)});
+      spec.ops.push_back({.is_write = true, .item = Checking(a1)});
+      spec.ops.push_back({.is_write = true, .item = Savings(a1)});
+      spec.ops.push_back({.is_write = false, .item = Checking(a2)});
+      spec.ops.push_back({.is_write = true, .item = Checking(a2)});
+      break;
+    case 3:  // WriteCheck: balance check, then debit checking.
+      spec.ops.push_back({.is_write = false, .item = Savings(a1)});
+      spec.ops.push_back({.is_write = false, .item = Checking(a1)});
+      spec.ops.push_back({.is_write = true, .item = Checking(a1)});
+      break;
+    case 4:  // SendPayment: move between two checking accounts.
+      spec.ops.push_back({.is_write = false, .item = Checking(a1)});
+      spec.ops.push_back({.is_write = true, .item = Checking(a1)});
+      spec.ops.push_back({.is_write = false, .item = Checking(a2)});
+      spec.ops.push_back({.is_write = true, .item = Checking(a2)});
+      break;
+    default:
+      LAZYREP_CHECK(false);
+  }
+  return spec;
+}
+
+}  // namespace lazyrep::workload

@@ -1,0 +1,52 @@
+#ifndef LAZYREP_WORKLOAD_SMALLBANK_H_
+#define LAZYREP_WORKLOAD_SMALLBANK_H_
+
+#include <string>
+
+#include "workload/generator.h"
+
+namespace lazyrep::workload {
+
+/// SmallBank placement: account `a` owns the item pair
+/// (checking = 2a, savings = 2a+1), both primary at site `a % m` and
+/// replicated together at account granularity with the §5.2 rule
+/// (probability `r`, candidate set by `b`, per-candidate `s`). An odd
+/// trailing item is assigned a primary but never accessed. Requires
+/// `num_items >= 2 * num_sites`.
+graph::Placement GenerateSmallBankPlacement(const Params& params, Rng* rng);
+
+/// SmallBank (docs/WORKLOADS.md): six transaction types over
+/// (checking, savings) pairs, hot-account Zipf skew by global rank.
+/// Balance is the read-only type and fires with probability
+/// `read_txn_prob` (the suite's read-ratio knob); the five write types
+/// split the rest evenly. Write types pick accounts whose pair is
+/// primary at the originating site; Balance reads any locally-replicated
+/// pair. Two-account types (Amalgamate, SendPayment) degrade to
+/// single-account types at sites with fewer than two local accounts.
+class SmallBankWorkload : public WorkloadSpec {
+ public:
+  SmallBankWorkload(const Params& params, const graph::Placement& placement);
+
+  TxnSpec Next(SiteId site, Rng* rng) const override;
+  std::string name() const override { return "smallbank"; }
+
+  /// Accounts whose pair is primary at `site` (testing).
+  const std::vector<ItemId>& LocalAccountsAt(SiteId site) const {
+    return local_accounts_[site];
+  }
+
+ private:
+  static ItemId Checking(ItemId account) { return 2 * account; }
+  static ItemId Savings(ItemId account) { return 2 * account + 1; }
+
+  int num_accounts_ = 0;
+  // Indexed by site; account ids, not item ids.
+  std::vector<std::vector<ItemId>> local_accounts_;
+  std::vector<std::vector<ItemId>> readable_accounts_;
+  std::vector<RankedSampler> local_samplers_;
+  std::vector<RankedSampler> readable_samplers_;
+};
+
+}  // namespace lazyrep::workload
+
+#endif  // LAZYREP_WORKLOAD_SMALLBANK_H_

@@ -1,0 +1,116 @@
+#include "workload/suite.h"
+
+#include <string>
+#include <utility>
+
+#include "common/strings.h"
+#include "workload/smallbank.h"
+#include "workload/tpcc_lite.h"
+#include "workload/ycsb.h"
+
+namespace lazyrep::workload {
+
+bool IsYcsb(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kYcsbA:
+    case WorkloadKind::kYcsbB:
+    case WorkloadKind::kYcsbC:
+    case WorkloadKind::kYcsbD:
+    case WorkloadKind::kYcsbE:
+    case WorkloadKind::kYcsbF:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<graph::Placement> MakeWorkloadPlacement(const Params& params,
+                                               Rng* rng) {
+  switch (params.workload) {
+    case WorkloadKind::kTable1:
+      return GeneratePlacement(params, rng);
+    case WorkloadKind::kSmallBank:
+      if (params.num_items < 2 * params.num_sites) {
+        return Status::InvalidArgument(StrPrintf(
+            "smallbank needs num_items >= 2 * num_sites (got n=%d, m=%d)",
+            params.num_items, params.num_sites));
+      }
+      return GenerateSmallBankPlacement(params, rng);
+    case WorkloadKind::kTpccLite:
+      if (params.num_items < 8 * params.num_sites) {
+        return Status::InvalidArgument(StrPrintf(
+            "tpcc_lite needs num_items >= 8 * num_sites (got n=%d, m=%d)",
+            params.num_items, params.num_sites));
+      }
+      return GenerateTpccPlacement(params, rng);
+    default:
+      return GeneratePlacement(params, rng);  // YCSB reuses §5.2.
+  }
+}
+
+namespace {
+
+Status ValidateShape(const Params& params,
+                     const graph::Placement& placement) {
+  if (placement.num_sites != params.num_sites ||
+      placement.num_items != params.num_items) {
+    return Status::InvalidArgument(StrPrintf(
+        "placement shape (m=%d n=%d) does not match params (m=%d n=%d)",
+        placement.num_sites, placement.num_items, params.num_sites,
+        params.num_items));
+  }
+  if (params.workload == WorkloadKind::kSmallBank) {
+    if (params.num_items < 2 * params.num_sites) {
+      return Status::InvalidArgument(
+          "smallbank needs num_items >= 2 * num_sites");
+    }
+    for (ItemId a = 0; a < params.num_items / 2; ++a) {
+      if (placement.primary[2 * a] != placement.primary[2 * a + 1] ||
+          placement.replicas[2 * a] != placement.replicas[2 * a + 1]) {
+        return Status::InvalidArgument(StrPrintf(
+            "smallbank placement must co-locate account pair %d "
+            "(items %d, %d)",
+            a, 2 * a, 2 * a + 1));
+      }
+    }
+  }
+  if (params.workload == WorkloadKind::kTpccLite) {
+    if (params.num_items < 8 * params.num_sites) {
+      return Status::InvalidArgument(
+          "tpcc_lite needs num_items >= 8 * num_sites");
+    }
+    TpccLayout layout = TpccLayout::For(params);
+    for (SiteId w = 0; w < params.num_sites; ++w) {
+      for (int i = 0; i < layout.per_warehouse; ++i) {
+        ItemId item = w * layout.per_warehouse + i;
+        if (placement.primary[item] != w) {
+          return Status::InvalidArgument(StrPrintf(
+              "tpcc_lite placement must make item %d primary at "
+              "warehouse site %d (got %d)",
+              item, w, placement.primary[item]));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WorkloadSpec>> MakeWorkload(
+    const Params& params, const graph::Placement& placement) {
+  LAZYREP_RETURN_IF_ERROR(ValidateShape(params, placement));
+  std::unique_ptr<WorkloadSpec> spec;
+  if (params.workload == WorkloadKind::kTable1) {
+    spec = std::make_unique<TxnGenerator>(params, placement);
+  } else if (IsYcsb(params.workload)) {
+    spec = std::make_unique<YcsbWorkload>(params, placement);
+  } else if (params.workload == WorkloadKind::kSmallBank) {
+    spec = std::make_unique<SmallBankWorkload>(params, placement);
+  } else {
+    spec = std::make_unique<TpccLiteWorkload>(params, placement);
+  }
+  return spec;
+}
+
+}  // namespace lazyrep::workload

@@ -1,0 +1,29 @@
+#ifndef LAZYREP_WORKLOAD_SUITE_H_
+#define LAZYREP_WORKLOAD_SUITE_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "workload/generator.h"
+
+namespace lazyrep::workload {
+
+bool IsYcsb(WorkloadKind kind);
+
+/// Generates the placement for `params.workload`, validating the
+/// parameter ranges the workload needs (friendly InvalidArgument
+/// instead of a CHECK). Table 1 and YCSB share the §5.2 generator —
+/// the rng draw sequence for kTable1 is unchanged, so seeded runs and
+/// goldens are unaffected by this indirection.
+Result<graph::Placement> MakeWorkloadPlacement(const Params& params,
+                                               Rng* rng);
+
+/// Constructs the generator for `params.workload` over `placement`,
+/// validating that the placement has the shape the workload's layout
+/// assumes (matters when the caller supplies an explicit placement).
+Result<std::unique_ptr<WorkloadSpec>> MakeWorkload(
+    const Params& params, const graph::Placement& placement);
+
+}  // namespace lazyrep::workload
+
+#endif  // LAZYREP_WORKLOAD_SUITE_H_

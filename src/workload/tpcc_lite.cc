@@ -1,0 +1,142 @@
+#include "workload/tpcc_lite.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lazyrep::workload {
+
+namespace {
+
+// Row classes within a warehouse range, for replica filtering.
+enum class RowKind { kWarehouse, kDistrict, kCustomer, kStock, kUnused };
+
+RowKind ClassifyRow(const TpccLayout& layout, int num_sites, ItemId item) {
+  if (item >= num_sites * layout.per_warehouse) return RowKind::kUnused;
+  int offset = item % layout.per_warehouse;
+  if (offset == 0) return RowKind::kWarehouse;
+  if (offset <= layout.districts) return RowKind::kDistrict;
+  if (offset <= layout.districts + layout.customers) return RowKind::kCustomer;
+  return RowKind::kStock;
+}
+
+}  // namespace
+
+TpccLayout TpccLayout::For(const Params& params) {
+  LAZYREP_CHECK_GE(params.num_items, 8 * params.num_sites)
+      << "tpcc_lite needs num_items >= 8 * num_sites";
+  TpccLayout layout;
+  layout.per_warehouse = params.num_items / params.num_sites;
+  layout.districts = std::max(1, layout.per_warehouse / 8);
+  int rest = layout.per_warehouse - 1 - layout.districts;
+  layout.customers = std::max(1, rest * 2 / 5);
+  layout.stock = rest - layout.customers;
+  LAZYREP_CHECK_GE(layout.stock, 1);
+  return layout;
+}
+
+graph::Placement GenerateTpccPlacement(const Params& params, Rng* rng) {
+  TpccLayout layout = TpccLayout::For(params);
+  graph::Placement p;
+  p.num_sites = params.num_sites;
+  p.num_items = params.num_items;
+  p.primary.resize(params.num_items);
+  p.replicas.resize(params.num_items);
+  for (ItemId item = 0; item < params.num_items; ++item) {
+    RowKind kind = ClassifyRow(layout, params.num_sites, item);
+    SiteId primary = kind == RowKind::kUnused
+                         ? item % params.num_sites
+                         : item / layout.per_warehouse;
+    p.primary[item] = primary;
+    // Only customer and stock rows replicate: they serve the remote
+    // legs. Warehouse and district rows are per-site write hot spots.
+    if (kind != RowKind::kCustomer && kind != RowKind::kStock) continue;
+    if (!rng->Bernoulli(params.replication_prob)) continue;
+    bool all_sites_candidates = rng->Bernoulli(params.backedge_prob);
+    for (SiteId s = 0; s < params.num_sites; ++s) {
+      if (s == primary) continue;
+      if (!all_sites_candidates && s < primary) continue;
+      if (rng->Bernoulli(params.site_prob)) p.replicas[item].push_back(s);
+    }
+    std::sort(p.replicas[item].begin(), p.replicas[item].end());
+  }
+  LAZYREP_CHECK(p.Validate().ok());
+  return p;
+}
+
+TpccLiteWorkload::TpccLiteWorkload(const Params& params,
+                                   const graph::Placement& placement)
+    : WorkloadSpec(params, placement), layout_(TpccLayout::For(params)) {
+  std::vector<uint32_t> ranks =
+      GlobalHotRanks(params.num_items, params.hot_rank_seed);
+  for (SiteId w = 0; w < params.num_sites; ++w) {
+    std::vector<ItemId> customers, stock;
+    for (int i = 0; i < layout_.customers; ++i) {
+      customers.push_back(layout_.FirstCustomer(w) + i);
+    }
+    for (int i = 0; i < layout_.stock; ++i) {
+      stock.push_back(layout_.FirstStock(w) + i);
+    }
+    // Remote legs read locally-held replicas of other warehouses' rows.
+    std::vector<ItemId> remote_stock, remote_customers;
+    for (ItemId item : readable_[w]) {
+      if (placement.primary[item] == w) continue;
+      RowKind kind = ClassifyRow(layout_, params.num_sites, item);
+      if (kind == RowKind::kStock) remote_stock.push_back(item);
+      if (kind == RowKind::kCustomer) remote_customers.push_back(item);
+    }
+    customer_samplers_.emplace_back(customers, ranks, params.zipf_theta);
+    stock_samplers_.emplace_back(stock, ranks, params.zipf_theta);
+    remote_stock_samplers_.emplace_back(remote_stock, ranks,
+                                        params.zipf_theta);
+    remote_customer_samplers_.emplace_back(remote_customers, ranks,
+                                           params.zipf_theta);
+  }
+}
+
+TxnSpec TpccLiteWorkload::Next(SiteId site, Rng* rng) const {
+  TxnSpec spec;
+  ItemId warehouse = layout_.WarehouseItem(site);
+  ItemId district =
+      layout_.FirstDistrict(site) +
+      static_cast<ItemId>(rng->Index(static_cast<size_t>(layout_.districts)));
+  bool new_order = rng->Bernoulli(0.5);
+  if (new_order) {
+    spec.ops.push_back({.is_write = false, .item = warehouse});
+    spec.ops.push_back({.is_write = false, .item = district});
+    spec.ops.push_back({.is_write = true, .item = district});
+    spec.ops.push_back(
+        {.is_write = false, .item = customer_samplers_[site].Sample(rng)});
+    bool multi = rng->Bernoulli(params_.remote_txn_prob) &&
+                 !remote_stock_samplers_[site].empty();
+    int lines = std::clamp(params_.ops_per_txn - 3, 1, 15);
+    for (int l = 0; l < lines; ++l) {
+      if (multi && rng->Bernoulli(0.5)) {
+        spec.ops.push_back({.is_write = false,
+                            .item = remote_stock_samplers_[site].Sample(rng)});
+      } else {
+        ItemId s = stock_samplers_[site].Sample(rng);
+        spec.ops.push_back({.is_write = false, .item = s});
+        spec.ops.push_back({.is_write = true, .item = s});
+      }
+    }
+  } else {  // Payment
+    spec.ops.push_back({.is_write = false, .item = warehouse});
+    spec.ops.push_back({.is_write = true, .item = warehouse});
+    spec.ops.push_back({.is_write = false, .item = district});
+    spec.ops.push_back({.is_write = true, .item = district});
+    if (rng->Bernoulli(params_.remote_txn_prob) &&
+        !remote_customer_samplers_[site].empty()) {
+      spec.ops.push_back(
+          {.is_write = false,
+           .item = remote_customer_samplers_[site].Sample(rng)});
+    } else {
+      ItemId c = customer_samplers_[site].Sample(rng);
+      spec.ops.push_back({.is_write = false, .item = c});
+      spec.ops.push_back({.is_write = true, .item = c});
+    }
+  }
+  return spec;
+}
+
+}  // namespace lazyrep::workload

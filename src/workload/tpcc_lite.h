@@ -1,0 +1,72 @@
+#ifndef LAZYREP_WORKLOAD_TPCC_LITE_H_
+#define LAZYREP_WORKLOAD_TPCC_LITE_H_
+
+#include <string>
+
+#include "workload/generator.h"
+
+namespace lazyrep::workload {
+
+/// TPC-C-lite data layout: one warehouse per site, carved out of the
+/// item space. Warehouse `w` owns the contiguous range
+/// [w*B, (w+1)*B) with B = num_items / num_sites:
+///   * index 0           — the warehouse row (YTD et al.);
+///   * next D = max(1,B/8)            — district rows;
+///   * next C = max(1,(B-1-D)*2/5)    — customer rows;
+///   * the rest (≥1)                  — stock rows.
+/// Requires `num_items >= 8 * num_sites`. Items after m*B are assigned
+/// a primary round-robin but never accessed.
+struct TpccLayout {
+  int per_warehouse = 0;  // B
+  int districts = 0;      // D
+  int customers = 0;      // C
+  int stock = 0;          // S
+
+  static TpccLayout For(const Params& params);
+
+  ItemId WarehouseItem(SiteId w) const { return w * per_warehouse; }
+  ItemId FirstDistrict(SiteId w) const { return w * per_warehouse + 1; }
+  ItemId FirstCustomer(SiteId w) const {
+    return w * per_warehouse + 1 + districts;
+  }
+  ItemId FirstStock(SiteId w) const {
+    return FirstCustomer(w) + customers;
+  }
+};
+
+/// TPC-C-lite placement: warehouse `w`'s whole range is primary at site
+/// `w`; customer and stock rows are replicated with the §5.2 rule
+/// (probability `r`, candidate set by `b`, per-candidate `s`);
+/// warehouse and district rows — the per-site write hot spots — are
+/// never replicated.
+graph::Placement GenerateTpccPlacement(const Params& params, Rng* rng);
+
+/// TPC-C-lite (docs/WORKLOADS.md): a 50/50 mix of New-Order and Payment
+/// at each site's warehouse. With probability `remote_txn_prob` a
+/// transaction is multi-partition: New-Order order lines then read
+/// remote-warehouse stock *replicas* held locally, and Payment targets a
+/// remote customer replica — the local-primary model forbids remote
+/// writes, so remote legs are reads served by lazily-propagated copies
+/// (the honest mapping; see docs/WORKLOADS.md). Customer and stock
+/// choice is Zipfian by global hotness rank.
+class TpccLiteWorkload : public WorkloadSpec {
+ public:
+  TpccLiteWorkload(const Params& params, const graph::Placement& placement);
+
+  TxnSpec Next(SiteId site, Rng* rng) const override;
+  std::string name() const override { return "tpcc_lite"; }
+
+  const TpccLayout& layout() const { return layout_; }
+
+ private:
+  TpccLayout layout_;
+  // Indexed by site.
+  std::vector<RankedSampler> customer_samplers_;
+  std::vector<RankedSampler> stock_samplers_;
+  std::vector<RankedSampler> remote_stock_samplers_;
+  std::vector<RankedSampler> remote_customer_samplers_;
+};
+
+}  // namespace lazyrep::workload
+
+#endif  // LAZYREP_WORKLOAD_TPCC_LITE_H_

@@ -1,0 +1,83 @@
+#include "workload/ycsb.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lazyrep::workload {
+
+YcsbWorkload::Mix YcsbWorkload::MixFor(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kYcsbA:
+      return {.read = 0.5, .update = 0.5};
+    case WorkloadKind::kYcsbB:
+      return {.read = 0.95, .update = 0.05};
+    case WorkloadKind::kYcsbC:
+      return {.read = 1.0};
+    case WorkloadKind::kYcsbD:
+      return {.read = 0.95, .update = 0.05};
+    case WorkloadKind::kYcsbE:
+      return {.update = 0.05, .scan = 0.95};
+    case WorkloadKind::kYcsbF:
+      return {.read = 0.5, .rmw = 0.5};
+    default:
+      LAZYREP_CHECK(false) << "not a YCSB workload kind";
+      return {};
+  }
+}
+
+YcsbWorkload::YcsbWorkload(const Params& params,
+                           const graph::Placement& placement)
+    : WorkloadSpec(params, placement), mix_(MixFor(params.workload)) {
+  std::vector<uint32_t> ranks =
+      GlobalHotRanks(params.num_items, params.hot_rank_seed);
+  for (SiteId s = 0; s < params.num_sites; ++s) {
+    read_samplers_.emplace_back(readable_[s], ranks, params.zipf_theta);
+    write_samplers_.emplace_back(writable_[s], ranks, params.zipf_theta);
+  }
+}
+
+TxnSpec YcsbWorkload::Next(SiteId site, Rng* rng) const {
+  TxnSpec spec;
+  spec.ops.reserve(params_.ops_per_txn);
+  bool can_write = !writable_[site].empty();
+  for (int i = 0; i < params_.ops_per_txn; ++i) {
+    double u = rng->NextDouble();
+    if (u < mix_.scan) {
+      // Scan: consecutive items of the site's readable list (ascending
+      // item id), wrapping not required — truncate at the end.
+      const auto& readable = readable_[site];
+      size_t len = 1 + rng->Index(static_cast<size_t>(std::max(
+                           1, params_.ycsb_scan_len)));
+      ItemId start_item = read_samplers_[site].Sample(rng);
+      auto it = std::lower_bound(readable.begin(), readable.end(),
+                                 start_item);
+      size_t start = static_cast<size_t>(it - readable.begin());
+      for (size_t k = start; k < readable.size() && k < start + len; ++k) {
+        spec.ops.push_back({.is_write = false, .item = readable[k]});
+      }
+      continue;
+    }
+    u -= mix_.scan;
+    if (u < mix_.rmw && can_write) {
+      ItemId item = write_samplers_[site].Sample(rng);
+      spec.ops.push_back({.is_write = false, .item = item});
+      spec.ops.push_back({.is_write = true, .item = item});
+      continue;
+    }
+    u -= mix_.rmw;
+    if (u < mix_.update && can_write) {
+      spec.ops.push_back(
+          {.is_write = true, .item = write_samplers_[site].Sample(rng)});
+      continue;
+    }
+    // Read — also the degraded form of update/RMW at primary-less sites.
+    spec.ops.push_back(
+        {.is_write = false, .item = read_samplers_[site].Sample(rng)});
+  }
+  spec.read_only = std::none_of(spec.ops.begin(), spec.ops.end(),
+                                [](const TxnOp& op) { return op.is_write; });
+  return spec;
+}
+
+}  // namespace lazyrep::workload

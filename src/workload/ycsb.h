@@ -1,0 +1,52 @@
+#ifndef LAZYREP_WORKLOAD_YCSB_H_
+#define LAZYREP_WORKLOAD_YCSB_H_
+
+#include <string>
+
+#include "workload/generator.h"
+
+namespace lazyrep::workload {
+
+/// YCSB core workloads A–F mapped onto the local-primary model
+/// (docs/WORKLOADS.md). Each of the `ops_per_txn` requests rolls the
+/// mix independently:
+///   * read    — one item with a local copy;
+///   * update  — blind write of one local-primary item;
+///   * RMW     — read then write of the same local-primary item (F);
+///   * scan    — multi-read of consecutive locally-readable items (E),
+///               length uniform in [1, ycsb_scan_len].
+/// Item choice is Zipfian by global hotness rank (`zipf_theta`; YCSB's
+/// zipfian request distribution). Workload D's read-latest bias is
+/// approximated by the same hotness permutation — the store is
+/// fixed-size, so "latest" has no insert-order meaning here. Update and
+/// RMW requests degrade to reads at sites with no local primaries.
+/// Placement is the paper's §5.2 generator, unchanged.
+class YcsbWorkload : public WorkloadSpec {
+ public:
+  /// Request-mix fractions; read + update + rmw + scan == 1.
+  struct Mix {
+    double read = 0;
+    double update = 0;
+    double rmw = 0;
+    double scan = 0;
+  };
+  static Mix MixFor(WorkloadKind kind);
+
+  /// `params.workload` must be one of kYcsbA..kYcsbF.
+  YcsbWorkload(const Params& params, const graph::Placement& placement);
+
+  TxnSpec Next(SiteId site, Rng* rng) const override;
+  std::string name() const override {
+    return WorkloadKindName(params_.workload);
+  }
+
+ private:
+  Mix mix_;
+  // Indexed by site; built for any θ (θ=0 degenerates to uniform).
+  std::vector<RankedSampler> read_samplers_;
+  std::vector<RankedSampler> write_samplers_;
+};
+
+}  // namespace lazyrep::workload
+
+#endif  // LAZYREP_WORKLOAD_YCSB_H_

@@ -13,6 +13,7 @@
 // that replays it. Exit status: 0 clean, 1 violations found, 2 usage.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -32,6 +33,11 @@ void PrintHelp() {
       "  --seeds=N         number of (seed, policy) runs (default 100)\n"
       "  --first-seed=K    first seed of the sweep (default 1)\n"
       "  --txns=K          transactions per thread per run (default 40)\n"
+      "  --workload=NAME   generator under test: table1 | ycsb_a..ycsb_f |\n"
+      "                    smallbank | tpcc_lite (docs/WORKLOADS.md;\n"
+      "                    default table1)\n"
+      "  --zipf=THETA      access-skew exponent over global hotness ranks\n"
+      "                    (default 0 = uniform)\n"
       "  --faults=SPEC     fault plan, e.g. drop:0.01,dup:0.01,\n"
       "                    crash:2@500ms+100ms (docs/FAULTS.md)\n"
       "  --ties=0|1        perturb same-timestamp tie-breaks (default 1)\n"
@@ -99,6 +105,19 @@ int main(int argc, char** argv) {
       options.first_seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "--txns", &v)) {
       options.txns_per_thread = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "--workload", &v)) {
+      Result<workload::WorkloadKind> kind = workload::ParseWorkloadKind(v);
+      if (!kind.ok()) {
+        std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+        return 2;
+      }
+      options.workload = *kind;
+    } else if (ParseFlag(arg, "--zipf", &v)) {
+      options.zipf_theta = std::atof(v.c_str());
+      if (options.zipf_theta < 0) {
+        std::fprintf(stderr, "--zipf must be >= 0\n");
+        return 2;
+      }
     } else if (ParseFlag(arg, "--faults", &v)) {
       // Validate up front so a typo fails with exit 2, not a CHECK.
       Result<fault::FaultPlan> plan = fault::FaultPlan::Parse(v);

@@ -38,6 +38,14 @@ void PrintHelp() {
       "  --txns=K          transactions per thread (default 1000)\n"
       "  --read-op=P       read-operation probability (default 0.7)\n"
       "  --read-txn=P      read-only-transaction probability (default 0.5)\n"
+      "  --workload=NAME   table1 | ycsb_a..ycsb_f | smallbank | tpcc_lite\n"
+      "                    (docs/WORKLOADS.md; default table1)\n"
+      "  --zipf=THETA      access-skew exponent over one global hotness\n"
+      "                    permutation (default 0 = uniform)\n"
+      "  --hot-seed=K      seed of the hotness permutation (default 1)\n"
+      "  --scan-len=K      YCSB-E max scan length (default 8)\n"
+      "  --remote=P        tpcc_lite multi-partition probability\n"
+      "                    (default 0.1)\n"
       "  --latency-ms=X    one-way network latency (default 0.15)\n"
       "  --timeout-ms=X    deadlock lock-wait timeout (default 50)\n"
       "  --seed=K          experiment seed (default 1)\n"
@@ -149,6 +157,25 @@ int main(int argc, char** argv) {
       config.workload.read_op_prob = std::atof(v.c_str());
     } else if (ParseFlag(arg, "--read-txn", &v)) {
       config.workload.read_txn_prob = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "--workload", &v)) {
+      Result<workload::WorkloadKind> kind = workload::ParseWorkloadKind(v);
+      if (!kind.ok()) {
+        std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+        return 2;
+      }
+      config.workload.workload = *kind;
+    } else if (ParseFlag(arg, "--zipf", &v)) {
+      config.workload.zipf_theta = std::atof(v.c_str());
+      if (config.workload.zipf_theta < 0) {
+        std::fprintf(stderr, "--zipf must be >= 0\n");
+        return 2;
+      }
+    } else if (ParseFlag(arg, "--hot-seed", &v)) {
+      config.workload.hot_rank_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "--scan-len", &v)) {
+      config.workload.ycsb_scan_len = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "--remote", &v)) {
+      config.workload.remote_txn_prob = std::atof(v.c_str());
     } else if (ParseFlag(arg, "--latency-ms", &v)) {
       config.workload.network_latency = Millis(std::atof(v.c_str()));
     } else if (ParseFlag(arg, "--timeout-ms", &v) ||
