@@ -194,6 +194,18 @@ struct SystemConfig {
   size_t trace_max_events = 1 << 20;
   /// Maintain per-site redo WALs.
   bool enable_wal = false;
+  /// Per-session read consistency (`--consistency=`, docs/MVCC.md).
+  /// kSerializable (default) keeps strict-2PL reads and leaves every
+  /// schedule byte-identical; kSnapshot routes read-only transactions
+  /// through the lock-free watermark path; kRyw additionally pins each
+  /// session's floor to its own last commit stamp. Non-default levels
+  /// enable the multi-version store and are rejected for kPsl (PSL
+  /// serves remote reads at the primary and never propagates, so a
+  /// secondary watermark would be permanently stale).
+  storage::ConsistencyLevel consistency =
+      storage::ConsistencyLevel::kSerializable;
+  /// Version-chain GC period, in publications (docs/MVCC.md §GC).
+  int mvcc_gc_interval = 128;
   /// Fault injection (src/fault/): per-message network faults route all
   /// traffic through the reliable-delivery layer; scheduled crashes
   /// additionally require `enable_wal` and one of the lazy tree

@@ -60,6 +60,63 @@ runtime::Co<Status> ReplicationEngine::RunLocalTxn(
   co_return Status::OK();
 }
 
+runtime::Co<Status> ReplicationEngine::ExecuteSnapshotRead(
+    GlobalTxnId id, const workload::TxnSpec& spec,
+    storage::Session* session) {
+  storage::Database& db = *ctx_.db;
+  LAZYREP_CHECK(db.mvcc_enabled())
+      << "snapshot reads require consistency != serializable";
+  co_await AwaitSiteUp();
+  // RYW floor: wait until this site has applied the session's last
+  // commit. At the origin site the watermark covers it by construction
+  // (publication is synchronous inside Commit's atomic region and the
+  // watermark survives crash recovery); at any other site the appliers'
+  // per-origin tracker advances as the origin's updates commit here.
+  if (session != nullptr &&
+      session->level == storage::ConsistencyLevel::kRyw &&
+      session->floor_site >= 0 && session->floor_site != ctx_.site) {
+    while (db.applied_from(session->floor_site) < session->floor_stamp) {
+      co_await ctx_.rt->Delay(Millis(1));
+      co_await AwaitSiteUp();
+    }
+  }
+  storage::TxnPtr txn = db.Begin(id, storage::TxnKind::kPrimary);
+  storage::SnapshotHandle handle = db.BeginSnapshot();
+  if (session != nullptr && session->floor_site == ctx_.site) {
+    LAZYREP_CHECK(handle.stamp >= session->floor_stamp)
+        << "watermark below the session's own commit";
+  }
+  if (ctx_.metrics != nullptr && db.watermark_publish_time() > 0) {
+    ctx_.metrics->OnSnapshotStaleness(
+        ctx_.site, ctx_.rt->Now() - db.watermark_publish_time());
+  }
+  for (const workload::TxnOp& op : spec.ops) {
+    LAZYREP_CHECK(!op.is_write) << "snapshot transactions are read-only";
+    co_await db.ChargeCpu(ctx_.config->costs.op.snapshot_read_cpu);
+    if (txn->abort_requested()) {
+      db.EndSnapshot(&handle);
+      Status reason = txn->abort_reason();
+      co_await db.Abort(txn);
+      co_return reason;
+    }
+    Result<Value> v = db.SnapshotRead(handle, txn.get(), op.item);
+    if (!v.ok()) {
+      db.EndSnapshot(&handle);
+      co_await db.Abort(txn);
+      co_return v.status();
+    }
+  }
+  // No commit CPU, no WAL record, no lock release: retiring a snapshot
+  // read is bookkeeping only — that is the serving-path win.
+  const int64_t local_floor =
+      (session != nullptr && session->floor_site == ctx_.site)
+          ? session->floor_stamp
+          : 0;
+  db.FinishSnapshotTxn(txn, handle, local_floor);
+  db.EndSnapshot(&handle);
+  co_return Status::OK();
+}
+
 runtime::Co<bool> ReplicationEngine::AcquireXAsSecondary(
     storage::Transaction* txn, ItemId item) {
   for (;;) {

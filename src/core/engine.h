@@ -87,6 +87,18 @@ class ReplicationEngine {
   virtual runtime::Co<Status> ExecutePrimary(GlobalTxnId id,
                                          const workload::TxnSpec& spec) = 0;
 
+  /// Runs one read-only transaction through the lock-free MVCC snapshot
+  /// path (docs/MVCC.md): picks the site's watermark, traverses version
+  /// chains without touching the lock manager, and retires without
+  /// consuming a commit sequence. Protocol-independent — the snapshot
+  /// cut is defined purely by the local commit order every engine
+  /// already produces. Under `kRyw` it first waits until this site has
+  /// applied the session's own last commit. Requires
+  /// `SystemConfig::consistency != kSerializable`.
+  runtime::Co<Status> ExecuteSnapshotRead(GlobalTxnId id,
+                                          const workload::TxnSpec& spec,
+                                          storage::Session* session);
+
   /// Network delivery for this site.
   virtual void OnMessage(ProtocolNetwork::Envelope env) = 0;
 

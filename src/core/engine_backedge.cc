@@ -45,13 +45,14 @@ runtime::Co<Status> BackEdgeEngine::ExecutePrimary(
     // Pure DAG(WT) path: commit and propagate lazily (§4.1 step 4 note:
     // transactions without backedge subtransactions run exactly as in
     // DAG(WT)).
-    st = co_await ctx_.db->Commit(txn, [&](int64_t) {
+    st = co_await ctx_.db->Commit(txn, [&](int64_t seq) {
       if (writes.empty()) return;
       SecondaryUpdate update;
       update.origin = id;
       update.writes = writes;
       update.origin_site = ctx_.site;
       update.origin_commit_time = ctx_.rt->Now();
+      if (ctx_.db->mvcc_enabled()) update.origin_commit_seq = seq + 1;
       ctx_.metrics->RegisterPropagation(
           id, ctx_.routing->CountReplicaTargets(writes), ctx_.rt->Now());
       ForwardToRelevantChildren(update);
@@ -232,6 +233,10 @@ runtime::Co<void> BackEdgeEngine::Applier() {
           /*defer_wal_sync=*/GroupCommit() && !arrival.batch_end);
       LAZYREP_CHECK(st.ok()) << st.ToString();
       ++secondaries_committed_;
+      if (update.origin_commit_seq != 0) {
+        ctx_.db->NoteOriginApplied(update.origin_site,
+                                   update.origin_commit_seq);
+      }
       if (applied_any) {
         ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.rt->Now());
       }
@@ -321,12 +326,16 @@ runtime::Co<void> BackEdgeEngine::CommitPendingPrimary(SecondaryUpdate update) {
   std::vector<SiteId> path = pp.path_sites;
   std::shared_ptr<runtime::OneShot<bool>> outcome = pp.outcome;
   GlobalTxnId id = update.origin;
-  Status st = co_await ctx_.db->Commit(txn, [&](int64_t) {
+  Status st = co_await ctx_.db->Commit(txn, [&](int64_t seq) {
     SecondaryUpdate normal;
     normal.origin = id;
     normal.writes = writes;
     normal.origin_site = ctx_.site;
     normal.origin_commit_time = ctx_.rt->Now();
+    // RYW note (docs/MVCC.md): path sites committing via the 2PC special
+    // do not see this stamp — their applied tracker advances on later
+    // lazy updates from this origin; the floor wait is conservative.
+    if (ctx_.db->mvcc_enabled()) normal.origin_commit_seq = seq + 1;
     ctx_.metrics->RegisterPropagation(
         id, ctx_.routing->CountReplicaTargets(writes), ctx_.rt->Now());
     // §4.1 step 4: descendants are updated lazily per DAG(WT).

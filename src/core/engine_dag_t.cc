@@ -45,7 +45,7 @@ runtime::Co<Status> DagTEngine::ExecutePrimary(GlobalTxnId id,
     co_await ctx_.db->Abort(txn);
     co_return txn->abort_reason();
   }
-  st = co_await ctx_.db->Commit(txn, [&](int64_t) {
+  st = co_await ctx_.db->Commit(txn, [&](int64_t seq) {
     // §3.2.2, atomically with commit: bump LTS, stamp the transaction
     // with the site timestamp, schedule secondaries at relevant children.
     ++lts_;
@@ -57,6 +57,7 @@ runtime::Co<Status> DagTEngine::ExecutePrimary(GlobalTxnId id,
     update.ts = site_ts_;
     update.origin_site = ctx_.site;
     update.origin_commit_time = ctx_.rt->Now();
+    if (ctx_.db->mvcc_enabled()) update.origin_commit_seq = seq + 1;
     ctx_.metrics->RegisterPropagation(
         id, ctx_.routing->CountReplicaTargets(writes), ctx_.rt->Now());
     for (SiteId child :
@@ -134,6 +135,10 @@ runtime::Co<void> DagTEngine::Applier() {
         /*defer_wal_sync=*/GroupCommit() && !arrival.batch_end);
     LAZYREP_CHECK(st.ok()) << st.ToString();
     ++secondaries_committed_;
+    if (update.origin_commit_seq != 0) {
+      ctx_.db->NoteOriginApplied(update.origin_site,
+                                 update.origin_commit_seq);
+    }
     if (applied_any) {
       ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.rt->Now());
     }

@@ -74,13 +74,16 @@ runtime::Co<Status> DagWtEngine::ExecutePrimary(GlobalTxnId id,
     co_await ctx_.db->Abort(txn);
     co_return txn->abort_reason();
   }
-  st = co_await ctx_.db->Commit(txn, [&](int64_t) {
+  st = co_await ctx_.db->Commit(txn, [&](int64_t seq) {
     if (writes.empty()) return;
     SecondaryUpdate update;
     update.origin = id;
     update.writes = writes;
     update.origin_site = ctx_.site;
     update.origin_commit_time = ctx_.rt->Now();
+    // MVCC levels only: carry the origin's commit stamp so downstream
+    // appliers can advance their per-origin applied tracker (RYW).
+    if (ctx_.db->mvcc_enabled()) update.origin_commit_seq = seq + 1;
     ctx_.metrics->RegisterPropagation(
         id, ctx_.routing->CountReplicaTargets(writes), ctx_.rt->Now());
     ForwardToRelevantChildren(update);
@@ -134,6 +137,10 @@ runtime::Co<void> DagWtEngine::Applier() {
         /*defer_wal_sync=*/GroupCommit() && !arrival.batch_end);
     LAZYREP_CHECK(st.ok()) << st.ToString();
     ++secondaries_committed_;
+    if (update.origin_commit_seq != 0) {
+      ctx_.db->NoteOriginApplied(update.origin_site,
+                                 update.origin_commit_seq);
+    }
     if (applied_any) {
       ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.rt->Now());
     }

@@ -26,13 +26,14 @@ runtime::Co<Status> NaiveLazyEngine::ExecutePrimary(
     co_await ctx_.db->Abort(txn);
     co_return txn->abort_reason();
   }
-  st = co_await ctx_.db->Commit(txn, [&](int64_t) {
+  st = co_await ctx_.db->Commit(txn, [&](int64_t seq) {
     if (writes.empty()) return;
     SecondaryUpdate update;
     update.origin = id;
     update.writes = writes;
     update.origin_site = ctx_.site;
     update.origin_commit_time = ctx_.rt->Now();
+    if (ctx_.db->mvcc_enabled()) update.origin_commit_seq = seq + 1;
     ctx_.metrics->RegisterPropagation(
         id, ctx_.routing->CountReplicaTargets(writes), ctx_.rt->Now());
     // Indiscriminate: straight to every replica holder.
@@ -81,6 +82,10 @@ runtime::Co<void> NaiveLazyEngine::Applier() {
     Status st = co_await ctx_.db->Commit(
         txn, nullptr, /*defer_wal_sync=*/GroupCommit() && !arrival.batch_end);
     LAZYREP_CHECK(st.ok()) << st.ToString();
+    if (update.origin_commit_seq != 0) {
+      ctx_.db->NoteOriginApplied(update.origin_site,
+                                 update.origin_commit_seq);
+    }
     if (applied_any || lww) {
       ctx_.metrics->OnSecondaryApplied(update.origin, ctx_.rt->Now());
     }

@@ -19,6 +19,21 @@ void HistoryRecorder::OnAbort(SiteId, const storage::Transaction&) {
   ++aborts_;
 }
 
+void HistoryRecorder::OnSnapshotRead(SiteId site,
+                                     const storage::Transaction& txn,
+                                     int64_t stamp, int64_t session_floor) {
+  Record record;
+  record.site = site;
+  record.origin = txn.id();
+  record.commit_seq = -1;  // Never enters the site's commit order.
+  record.reads = txn.read_set();
+  record.reads_observed = txn.reads_observed();
+  record.snapshot = true;
+  record.snapshot_stamp = stamp;
+  record.session_floor = session_floor;
+  AddRecord(std::move(record));
+}
+
 std::string SerializabilityVerdict::ToString() const {
   if (serializable) {
     return StrPrintf("serializable (%zu txns, %zu conflict edges)", nodes,
@@ -58,6 +73,9 @@ SerializabilityVerdict CheckSerializability(
   // Per (site, item): accesses ordered by local commit sequence.
   std::map<std::pair<SiteId, ItemId>, std::vector<Access>> streams;
   for (const HistoryRecorder::Record& r : history.records()) {
+    // Snapshot reads never hold locks and never enter the site's commit
+    // order; CheckSnapshotConsistency covers them.
+    if (r.snapshot) continue;
     int n = node(r.origin);
     for (ItemId i : r.writes) {
       streams[{r.site, i}].push_back({r.commit_seq, n, true});
@@ -149,6 +167,7 @@ ReadConsistencyVerdict CheckReadConsistency(
   // Per site: records in commit order, then replay.
   std::map<SiteId, std::vector<const HistoryRecorder::Record*>> by_site;
   for (const HistoryRecorder::Record& r : history.records()) {
+    if (r.snapshot) continue;  // Checked by CheckSnapshotConsistency.
     by_site[r.site].push_back(&r);
   }
   for (auto& [site, records] : by_site) {
@@ -174,6 +193,84 @@ ReadConsistencyVerdict CheckReadConsistency(
       }
       for (const auto& [item, value] : r->writes_final) {
         current[item] = value;
+      }
+    }
+  }
+  return verdict;
+}
+
+SnapshotConsistencyVerdict CheckSnapshotConsistency(
+    const HistoryRecorder& history) {
+  SnapshotConsistencyVerdict verdict;
+
+  // Per (site, item): committed writes ordered by local commit sequence.
+  struct Write {
+    int64_t commit_seq;
+    Value value;
+  };
+  std::map<SiteId, std::unordered_map<ItemId, std::vector<Write>>> writes;
+  std::vector<const HistoryRecorder::Record*> snapshots;
+  for (const HistoryRecorder::Record& r : history.records()) {
+    if (r.snapshot) {
+      snapshots.push_back(&r);
+      continue;
+    }
+    for (const auto& [item, value] : r.writes_final) {
+      writes[r.site][item].push_back({r.commit_seq, value});
+    }
+  }
+  for (auto& [site, per_item] : writes) {
+    for (auto& [item, stream] : per_item) {
+      std::sort(stream.begin(), stream.end(),
+                [](const Write& a, const Write& b) {
+                  return a.commit_seq < b.commit_seq;
+                });
+    }
+  }
+
+  auto fail = [&](std::string message) {
+    if (!verdict.consistent) return;
+    verdict.consistent = false;
+    verdict.violation = std::move(message);
+  };
+
+  for (const HistoryRecorder::Record* r : snapshots) {
+    ++verdict.snapshots_checked;
+    const int64_t stamp = r->snapshot_stamp;
+    if (r->session_floor > stamp) {
+      fail(StrPrintf(
+          "site %d: snapshot s%d#%lld at stamp %lld below its session "
+          "floor %lld (read-your-writes violated)",
+          r->site, r->origin.origin_site,
+          static_cast<long long>(r->origin.seq),
+          static_cast<long long>(stamp),
+          static_cast<long long>(r->session_floor)));
+    }
+    auto site_it = writes.find(r->site);
+    for (const auto& [item, observed] : r->reads_observed) {
+      ++verdict.reads_checked;
+      // Visible cut: commits with commit_seq + 1 <= stamp, i.e. the
+      // site's history strictly before commit_seq == stamp.
+      Value expected = 0;  // Initial value when no visible writer.
+      if (site_it != writes.end()) {
+        auto item_it = site_it->second.find(item);
+        if (item_it != site_it->second.end()) {
+          const std::vector<Write>& stream = item_it->second;
+          auto pos = std::lower_bound(
+              stream.begin(), stream.end(), stamp,
+              [](const Write& w, int64_t s) { return w.commit_seq < s; });
+          if (pos != stream.begin()) expected = std::prev(pos)->value;
+        }
+      }
+      if (observed != expected) {
+        fail(StrPrintf(
+            "site %d: snapshot s%d#%lld at stamp %lld read item %d = "
+            "%lld, expected %lld",
+            r->site, r->origin.origin_site,
+            static_cast<long long>(r->origin.seq),
+            static_cast<long long>(stamp), item,
+            static_cast<long long>(observed),
+            static_cast<long long>(expected)));
       }
     }
   }

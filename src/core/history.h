@@ -29,11 +29,23 @@ class HistoryRecorder : public storage::HistoryObserver {
     std::map<ItemId, Value> reads_observed;
     /// Final value installed per written item.
     std::map<ItemId, Value> writes_final;
+    /// MVCC snapshot read-only transaction (never holds locks, never
+    /// enters the site's commit order). `commit_seq` is meaningless for
+    /// these; visibility is defined by `snapshot_stamp` instead.
+    bool snapshot = false;
+    /// Watermark the snapshot read at: commits with commit_seq + 1 <=
+    /// stamp (i.e. commit_seq < stamp) are visible, later ones are not.
+    int64_t snapshot_stamp = 0;
+    /// Read-your-writes floor the session demanded (0 when none). The
+    /// oracle checks floor <= stamp.
+    int64_t session_floor = 0;
   };
 
   void OnCommit(SiteId site, const storage::Transaction& txn,
                 int64_t commit_seq) override;
   void OnAbort(SiteId site, const storage::Transaction& txn) override;
+  void OnSnapshotRead(SiteId site, const storage::Transaction& txn,
+                      int64_t stamp, int64_t session_floor) override;
 
   /// Appends a record directly (scripted histories in tests/examples).
   /// Internally synchronized: sites on every machine record here. The
@@ -91,6 +103,25 @@ struct ReadConsistencyVerdict {
 /// initial value 0). Catches undo/isolation bugs the conflict-graph
 /// checker cannot see.
 ReadConsistencyVerdict CheckReadConsistency(const HistoryRecorder& history);
+
+/// Result of the MVCC snapshot-consistency check.
+struct SnapshotConsistencyVerdict {
+  bool consistent = true;
+  size_t snapshots_checked = 0;
+  size_t reads_checked = 0;
+  /// First violation found, for diagnostics.
+  std::string violation;
+};
+
+/// Verifies that every MVCC snapshot read observed a prefix-closed,
+/// commit-order-consistent cut of its site's history: a snapshot taken at
+/// watermark W must see, for each item, exactly the value installed by
+/// the site's last writer with commit_seq < W (stamps are commit_seq +
+/// 1), or the initial value 0 when no such writer exists. Also enforces
+/// the read-your-writes contract: a session floor recorded with the
+/// snapshot must satisfy floor <= W.
+SnapshotConsistencyVerdict CheckSnapshotConsistency(
+    const HistoryRecorder& history);
 
 }  // namespace lazyrep::core
 

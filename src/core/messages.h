@@ -37,6 +37,13 @@ struct SecondaryUpdate {
   SiteId origin_site = kInvalidSite;
   /// When the origin (primary) committed — propagation-delay metric.
   SimTime origin_commit_time = 0;
+  /// The origin's commit *stamp* (commit_seq + 1; 0 = absent). Only
+  /// populated under MVCC consistency levels (docs/MVCC.md): appliers
+  /// feed it to `Database::NoteOriginApplied` so RYW sessions can wait
+  /// for their own writes at remote sites. Encoded behind a flags bit —
+  /// absent it costs zero wire bytes, keeping default schedules and
+  /// bandwidth timing byte-identical.
+  int64_t origin_commit_seq = 0;
 };
 
 /// BackEdge §4.1 step 1: the first backedge subtransaction, sent directly

@@ -18,15 +18,35 @@ int64_t MetricsCollector::total_aborted() const {
   return n;
 }
 
+int64_t MetricsCollector::total_read_committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (int64_t r : read_committed_) n += r;
+  return n;
+}
+
+int64_t MetricsCollector::total_locked_read_committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (int64_t r : locked_read_committed_) n += r;
+  return n;
+}
+
 std::string RunMetrics::ToString() const {
+  std::string mvcc;
+  if (read_committed > 0) {
+    mvcc = StrPrintf(" reads=%.2f txn/s (p99=%.1fms stale=%.1fms)",
+                     read_throughput, read_p99_ms, staleness_ms.mean());
+  }
   return StrPrintf(
       "throughput=%.2f txn/s/site abort=%.2f%% resp=%.1fms "
-      "prop=%.1fms msgs=%llu elapsed=%s%s%s",
+      "prop=%.1fms msgs=%llu elapsed=%s%s%s%s%s",
       avg_site_throughput, abort_rate_pct, response_ms.mean(),
       propagation_delay_ms.mean(),
       static_cast<unsigned long long>(messages),
-      FormatDuration(workload_elapsed).c_str(),
+      FormatDuration(workload_elapsed).c_str(), mvcc.c_str(),
       checked ? (serializable ? " SR" : " NOT-SR") : "",
+      checked && !snapshots_consistent ? " SNAPSHOT-INCONSISTENT" : "",
       converged ? "" : " DIVERGED");
 }
 

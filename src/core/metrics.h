@@ -67,6 +67,31 @@ struct RunMetrics {
   /// Wait-die victims (`DeadlockPolicy::kWaitDie` only) — counted apart
   /// from timeouts so prevention and detection aborts stay comparable.
   uint64_t lock_die_aborts = 0;
+  /// --- MVCC snapshot-read metrics (zero under kSerializable) ---
+  /// Read-only transactions served through the lock-free snapshot path.
+  int64_t read_committed = 0;
+  /// Snapshot reads per second, summed over sites.
+  double read_throughput = 0;
+  /// Snapshot-read response time (ms).
+  Summary read_response_ms;
+  double read_p50_ms = 0;
+  double read_p99_ms = 0;
+  /// Snapshot staleness: age of the watermark each snapshot read (ms).
+  Summary staleness_ms;
+  /// Read-only transactions that committed on the strict-2PL path (all
+  /// levels; under kSerializable this is every read-only commit). Lets
+  /// the read-serving benches compare per-arm read throughput directly.
+  int64_t locked_read_committed = 0;
+  double locked_read_throughput = 0;
+  Summary locked_read_response_ms;
+  double locked_read_p99_ms = 0;
+  /// Snapshot-consistency verdict (when checking was enabled).
+  bool snapshots_consistent = true;
+  size_t snapshots_checked = 0;
+  size_t snapshot_reads_checked = 0;
+  /// MVCC garbage collection aggregates summed over sites.
+  int64_t gc_reclaimed = 0;
+  int64_t gc_passes = 0;
   /// Per-site breakdown.
   std::vector<SiteMetrics> per_site;
 
@@ -82,7 +107,10 @@ struct RunMetrics {
 class MetricsCollector {
  public:
   explicit MetricsCollector(int num_sites)
-      : committed_(num_sites, 0), aborted_(num_sites, 0) {}
+      : committed_(num_sites, 0),
+        aborted_(num_sites, 0),
+        read_committed_(num_sites, 0),
+        locked_read_committed_(num_sites, 0) {}
 
   void OnPrimaryCommit(SiteId site, Duration response) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -94,6 +122,29 @@ class MetricsCollector {
   void OnPrimaryAbort(SiteId site) {
     std::lock_guard<std::mutex> lock(mu_);
     ++aborted_[site];
+  }
+
+  /// A read-only transaction finished through the MVCC snapshot path.
+  void OnReadCommit(SiteId site, Duration response) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++read_committed_[site];
+    read_response_ms_.Add(ToMillis(response));
+    read_percentiles_.Add(ToMillis(response));
+  }
+
+  /// A read-only transaction committed through strict 2PL (its response
+  /// includes every S-lock wait it suffered behind writers).
+  void OnLockedReadCommit(SiteId site, Duration response) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++locked_read_committed_[site];
+    locked_read_response_ms_.Add(ToMillis(response));
+    locked_read_percentiles_.Add(ToMillis(response));
+  }
+
+  /// Age of the stable watermark a snapshot read was served at.
+  void OnSnapshotStaleness(SiteId /*site*/, Duration staleness) {
+    std::lock_guard<std::mutex> lock(mu_);
+    staleness_ms_.Add(ToMillis(staleness));
   }
 
   /// Registers a committed primary whose updates must reach
@@ -135,8 +186,14 @@ class MetricsCollector {
     std::lock_guard<std::mutex> lock(mu_);
     return aborted_[s];
   }
+  int64_t read_committed_at(SiteId s) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return read_committed_[s];
+  }
   int64_t total_committed() const;
   int64_t total_aborted() const;
+  int64_t total_read_committed() const;
+  int64_t total_locked_read_committed() const;
   // Snapshot accessors: by value, copied under the mutex. Returning
   // references here would race with writers under `ThreadRuntime` (the
   // fields are mutated while appliers are still reporting).
@@ -160,6 +217,26 @@ class MetricsCollector {
     std::lock_guard<std::mutex> lock(mu_);
     return per_site_apply_ms_;
   }
+  Summary read_response_ms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return read_response_ms_;
+  }
+  PercentileTracker read_percentiles() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return read_percentiles_;
+  }
+  Summary staleness_ms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return staleness_ms_;
+  }
+  Summary locked_read_response_ms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return locked_read_response_ms_;
+  }
+  PercentileTracker locked_read_percentiles() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return locked_read_percentiles_;
+  }
   int num_sites() const { return static_cast<int>(committed_.size()); }
 
  private:
@@ -170,6 +247,13 @@ class MetricsCollector {
   mutable std::mutex mu_;
   std::vector<int64_t> committed_;
   std::vector<int64_t> aborted_;
+  std::vector<int64_t> read_committed_;
+  std::vector<int64_t> locked_read_committed_;
+  Summary locked_read_response_ms_;
+  PercentileTracker locked_read_percentiles_;
+  Summary read_response_ms_;
+  PercentileTracker read_percentiles_;
+  Summary staleness_ms_;
   Summary response_ms_;
   PercentileTracker response_percentiles_;
   LogHistogram response_histogram_;

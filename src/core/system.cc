@@ -51,6 +51,13 @@ class System::ObserverMux : public storage::HistoryObserver {
     }
   }
 
+  void OnSnapshotRead(SiteId site, const storage::Transaction& txn,
+                      int64_t stamp, int64_t session_floor) override {
+    if (recorder_ != nullptr) {
+      recorder_->OnSnapshotRead(site, txn, stamp, session_floor);
+    }
+  }
+
   void OnAbort(SiteId site, const storage::Transaction& txn) override {
     if (recorder_ != nullptr) recorder_->OnAbort(site, txn);
     if (trace_ != nullptr) {
@@ -119,6 +126,17 @@ Status System::Build() {
   }
   if (config_.engine.lock_stripes < 1) {
     return Status::InvalidArgument("lock_stripes must be >= 1");
+  }
+  if (config_.consistency != storage::ConsistencyLevel::kSerializable) {
+    if (config_.protocol == Protocol::kPsl) {
+      return Status::InvalidArgument(
+          "snapshot/ryw consistency requires value propagation; PSL never "
+          "ships update values to secondaries, so a secondary snapshot "
+          "would serve frozen initial data forever");
+    }
+    if (config_.mvcc_gc_interval < 1) {
+      return Status::InvalidArgument("mvcc_gc_interval must be >= 1");
+    }
   }
   if (config_.workers_per_site > 1) {
     if (config_.runtime != runtime::RuntimeKind::kThreads) {
@@ -347,6 +365,10 @@ Status System::Build() {
       };
     }
     options.enable_wal = config_.enable_wal;
+    options.enable_mvcc =
+        config_.consistency != storage::ConsistencyLevel::kSerializable;
+    options.num_sites = params.num_sites;
+    options.mvcc_gc_interval = config_.mvcc_gc_interval;
     databases_.push_back(std::make_unique<storage::Database>(
         runtime_.get(), options, site_cpu_[s], observer));
     for (ItemId item : placement.ItemsAt(s)) {
@@ -425,8 +447,16 @@ Status System::Build() {
 
 runtime::Co<void> System::Worker(SiteId site, int exec, Rng rng) {
   const workload::Params& params = config_.workload;
+  // Per-session consistency: each worker models one client session. Under
+  // kRyw the session's floor is pinned to its own last write commit.
+  storage::Session session{config_.consistency};
   for (int i = 0; i < params.txns_per_thread; ++i) {
     workload::TxnSpec spec = generator_->Next(site, &rng);
+    // Read-only transactions take the lock-free MVCC snapshot path under
+    // the relaxed levels; everything else stays on strict 2PL.
+    const bool snapshot_read =
+        config_.consistency != storage::ConsistencyLevel::kSerializable &&
+        spec.read_only && !spec.ops.empty();
     // A crashed site accepts no new transactions until it recovers.
     if (injector_ != nullptr) co_await injector_->AwaitUp(site);
     SimTime start = runtime_->Now();
@@ -443,10 +473,36 @@ runtime::Co<void> System::Worker(SiteId site, int exec, Rng rng) {
       GlobalTxnId id{site,
                      next_txn_seq_[site].fetch_add(
                          1, std::memory_order_relaxed)};
-      Status st = co_await engines_[site]->ExecutePrimary(id, spec);
+      // Two statements, not a conditional expression: GCC's coroutine
+      // lowering of `co_await` inside `?:` destroys the awaited frame
+      // (and the Status it returns) before the result is copied out.
+      Status st;
+      if (snapshot_read) {
+        st = co_await engines_[site]->ExecuteSnapshotRead(id, spec,
+                                                          &session);
+      } else {
+        st = co_await engines_[site]->ExecutePrimary(id, spec);
+      }
       if (st.ok()) {
         if (measured) {
-          metrics_.OnPrimaryCommit(site, runtime_->Now() - start);
+          if (snapshot_read) {
+            metrics_.OnReadCommit(site, runtime_->Now() - start);
+          } else {
+            metrics_.OnPrimaryCommit(site, runtime_->Now() - start);
+            // Track read-only commits on the 2PL path separately so the
+            // read-serving benches can compare per-arm read throughput.
+            if (spec.read_only && !spec.ops.empty()) {
+              metrics_.OnLockedReadCommit(site, runtime_->Now() - start);
+            }
+          }
+        }
+        if (!snapshot_read &&
+            session.level == storage::ConsistencyLevel::kRyw) {
+          // Read-your-writes: later reads in this session must observe
+          // at least this commit. The watermark was advanced by our own
+          // commit before Commit returned, so it covers the new stamp.
+          session.floor_site = site;
+          session.floor_stamp = databases_[site]->watermark();
         }
         break;
       }
@@ -539,6 +595,33 @@ void System::ExportQuiescentObs() {
     obs_.GetCounter("lazyrep_txn_aborted_total", labels,
                     "Primary transactions aborted at this site")
         ->Increment(static_cast<uint64_t>(metrics_.aborted_at(s)));
+    if (config_.consistency != storage::ConsistencyLevel::kSerializable) {
+      const storage::Database& db = *databases_[s];
+      obs_.GetGauge("lazyrep_mvcc_watermark", labels,
+                    "Stable snapshot watermark (latest local commit stamp)")
+          ->Set(static_cast<double>(db.watermark()));
+      obs_.GetGauge("lazyrep_mvcc_watermark_age_ms", labels,
+                    "Age of the stable watermark at shutdown (ms)")
+          ->Set(db.watermark_publish_time() > 0
+                    ? ToMillis(runtime_->Now() - db.watermark_publish_time())
+                    : 0.0);
+      obs_.GetCounter("lazyrep_mvcc_snapshot_reads_total", labels,
+                      "Read-only transactions served lock-free from a "
+                      "snapshot")
+          ->Increment(static_cast<uint64_t>(db.snapshot_reads()));
+      obs_.GetCounter("lazyrep_mvcc_gc_reclaimed_total", labels,
+                      "Version-chain nodes reclaimed by MVCC GC")
+          ->Increment(static_cast<uint64_t>(db.gc_reclaimed()));
+      obs_.GetCounter("lazyrep_mvcc_gc_passes_total", labels,
+                      "MVCC GC passes over the store")
+          ->Increment(static_cast<uint64_t>(db.gc_passes()));
+      obs::Histogram* chains = obs_.GetHistogram(
+          "lazyrep_mvcc_chain_length", labels,
+          "Version-chain length per item at shutdown");
+      for (const auto& [item, len] : db.store().ChainLengths()) {
+        chains->Observe(static_cast<double>(len));
+      }
+    }
     engines_[s]->ExportObs();
   }
 }
@@ -679,6 +762,28 @@ RunMetrics System::CollectMetrics() const {
     out.lock_waits += db->locks().stats().waits;
     out.lock_die_aborts += db->locks().stats().die_aborts;
   }
+  out.locked_read_committed = metrics_.total_locked_read_committed();
+  if (elapsed_s > 0) {
+    out.locked_read_throughput =
+        static_cast<double>(out.locked_read_committed) / elapsed_s;
+  }
+  out.locked_read_response_ms = metrics_.locked_read_response_ms();
+  out.locked_read_p99_ms = metrics_.locked_read_percentiles().Percentile(99);
+  if (config_.consistency != storage::ConsistencyLevel::kSerializable) {
+    out.read_committed = metrics_.total_read_committed();
+    if (elapsed_s > 0) {
+      out.read_throughput =
+          static_cast<double>(out.read_committed) / elapsed_s;
+    }
+    out.read_response_ms = metrics_.read_response_ms();
+    out.read_p50_ms = metrics_.read_percentiles().Percentile(50);
+    out.read_p99_ms = metrics_.read_percentiles().Percentile(99);
+    out.staleness_ms = metrics_.staleness_ms();
+    for (const auto& db : databases_) {
+      out.gc_reclaimed += db->gc_reclaimed();
+      out.gc_passes += db->gc_passes();
+    }
+  }
   if (config_.check_serializability) {
     out.checked = true;
     SerializabilityVerdict verdict = CheckHistory();
@@ -688,6 +793,13 @@ RunMetrics System::CollectMetrics() const {
     out.reads_consistent = reads.consistent;
     out.reads_checked = reads.reads_checked;
     if (!reads.consistent) out.verdict += "; " + reads.violation;
+    if (config_.consistency != storage::ConsistencyLevel::kSerializable) {
+      SnapshotConsistencyVerdict snaps = CheckSnapshotConsistency(history_);
+      out.snapshots_consistent = snaps.consistent;
+      out.snapshots_checked = snaps.snapshots_checked;
+      out.snapshot_reads_checked = snaps.reads_checked;
+      if (!snaps.consistent) out.verdict += "; " + snaps.violation;
+    }
   }
   out.converged =
       config_.protocol == Protocol::kPsl ? true : ReplicasConverged();

@@ -62,8 +62,13 @@ struct EncodeVisitor {
     PutTxnId(s, u.origin);
     s->Signed(u.origin_site);
     s->Signed(u.origin_commit_time);
+    // Bit 4: an origin commit stamp follows (MVCC levels only) — the
+    // field costs zero bytes when absent, so serializable-mode frames
+    // are byte-identical to pre-MVCC builds.
     s->Byte(static_cast<uint8_t>((u.is_dummy ? 1 : 0) |
-                                 (u.is_special ? 2 : 0)));
+                                 (u.is_special ? 2 : 0) |
+                                 (u.origin_commit_seq != 0 ? 4 : 0)));
+    if (u.origin_commit_seq != 0) s->Signed(u.origin_commit_seq);
     PutTimestamp(s, u.ts);
     PutWrites(s, u.writes);
   }
@@ -284,6 +289,7 @@ Result<ProtocolMessage> Wire::Decode(const std::vector<uint8_t>& bytes) {
       uint8_t flags = r.Byte();
       u.is_dummy = (flags & 1) != 0;
       u.is_special = (flags & 2) != 0;
+      if ((flags & 4) != 0) u.origin_commit_seq = r.Signed();
       u.ts = r.Ts();
       u.writes = r.Writes();
       message = std::move(u);
@@ -375,6 +381,7 @@ Result<ProtocolMessage> Wire::Decode(const std::vector<uint8_t>& bytes) {
         uint8_t flags = r.Byte();
         u.is_dummy = (flags & 1) != 0;
         u.is_special = (flags & 2) != 0;
+        if ((flags & 4) != 0) u.origin_commit_seq = r.Signed();
         u.ts = r.Ts();
         u.writes = r.Writes();
         batch.updates.push_back(std::move(u));

@@ -61,6 +61,13 @@ AggregateResult RunSeeds(core::SystemConfig config, int num_seeds,
   Summary response_p95;
   Summary propagation;
   Summary msgs_per_txn;
+  Summary read_throughput;
+  Summary read_p99;
+  Summary staleness;
+  Summary lock_waits;
+  Summary locked_read_throughput;
+  Summary locked_read_p99;
+  const int num_sites = std::max(1, config.workload.num_sites);
   for (int i = 0; i < num_seeds; ++i) {
     core::SystemConfig run_config = config;
     run_config.seed = config.seed + 7919u * static_cast<uint64_t>(i);
@@ -90,8 +97,20 @@ AggregateResult RunSeeds(core::SystemConfig config, int num_seeds,
                                         static_cast<double>(attempts)
                                   : 0.0);
     out.committed += metrics.committed;
+    out.read_committed += metrics.read_committed;
+    read_throughput.Add(metrics.read_throughput /
+                        static_cast<double>(num_sites));
+    read_p99.Add(metrics.read_p99_ms);
+    staleness.Add(metrics.staleness_ms.mean());
+    lock_waits.Add(static_cast<double>(metrics.lock_waits));
+    out.locked_read_committed += metrics.locked_read_committed;
+    locked_read_throughput.Add(metrics.locked_read_throughput /
+                               static_cast<double>(num_sites));
+    locked_read_p99.Add(metrics.locked_read_p99_ms);
     out.all_serializable &= (!metrics.checked || metrics.serializable);
     out.all_converged &= metrics.converged;
+    out.all_snapshots_consistent &=
+        (!metrics.checked || metrics.snapshots_consistent);
     ++out.runs;
   }
   out.throughput = throughput.mean();
@@ -101,6 +120,12 @@ AggregateResult RunSeeds(core::SystemConfig config, int num_seeds,
   out.response_p95_ms = response_p95.mean();
   out.propagation_ms = propagation.mean();
   out.messages_per_txn = msgs_per_txn.mean();
+  out.read_throughput = read_throughput.mean();
+  out.read_p99_ms = read_p99.mean();
+  out.staleness_ms = staleness.mean();
+  out.lock_waits = lock_waits.mean();
+  out.locked_read_throughput = locked_read_throughput.mean();
+  out.locked_read_p99_ms = locked_read_p99.mean();
   return out;
 }
 
@@ -162,6 +187,14 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
       }
+    } else if (std::strncmp(arg, "--consistency=", 14) == 0) {
+      Result<storage::ConsistencyLevel> level =
+          storage::ParseConsistencyLevel(arg + 14);
+      if (level.ok()) {
+        options.consistency = *level;
+      } else {
+        std::fprintf(stderr, "%s\n", level.status().ToString().c_str());
+      }
     } else if (std::strncmp(arg, "--deadlock=", 11) == 0) {
       const char* value = arg + 11;
       if (std::strcmp(value, "timeout") == 0) {
@@ -180,6 +213,7 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
                    "--json=PATH --runtime=sim|threads --workers=N "
                    "--lock-stripes=N --deadlock=timeout|wait_die "
                    "--lock-timeout=MS --zipf=THETA --workload=NAME "
+                   "--consistency=serializable|snapshot|ryw "
                    "--metrics-out=PATH --trace-out=PATH)\n",
                    arg);
     }
@@ -201,6 +235,7 @@ void ApplyOptions(const BenchOptions& options,
     config->workload.zipf_theta = options.zipf_theta;
   }
   if (options.workload_set) config->workload.workload = options.workload;
+  config->consistency = options.consistency;
 }
 
 void AppendBenchJson(const std::string& path, const std::string& bench,
@@ -218,12 +253,34 @@ void AppendBenchJson(const std::string& path, const std::string& bench,
   line += StrPrintf(
       ",\"throughput\":%g,\"throughput_sd\":%g,\"abort_rate_pct\":%g"
       ",\"response_ms\":%g,\"response_p95_ms\":%g,\"propagation_ms\":%g"
-      ",\"messages_per_txn\":%g,\"committed\":%lld,\"runs\":%d"
-      ",\"serializable\":%s,\"converged\":%s,\"saturated\":%s}",
+      ",\"messages_per_txn\":%g,\"committed\":%lld,\"runs\":%d",
       result.throughput, result.throughput_sd, result.abort_rate_pct,
       result.response_ms, result.response_p95_ms, result.propagation_ms,
       result.messages_per_txn, static_cast<long long>(result.committed),
-      result.runs, result.all_serializable ? "true" : "false",
+      result.runs);
+  if (result.read_committed > 0) {
+    // MVCC snapshot-read columns, emitted only when the run served any
+    // (keeps the serializable benches' lines unchanged).
+    line += StrPrintf(
+        ",\"read_throughput\":%g,\"read_p99_ms\":%g,\"staleness_ms\":%g"
+        ",\"read_committed\":%lld,\"snapshots_consistent\":%s",
+        result.read_throughput, result.read_p99_ms, result.staleness_ms,
+        static_cast<long long>(result.read_committed),
+        result.all_snapshots_consistent ? "true" : "false");
+  }
+  if (result.locked_read_committed > 0) {
+    // 2PL read-only columns (nonzero at every level): what the snapshot
+    // path's read_throughput is compared against.
+    line += StrPrintf(
+        ",\"locked_read_throughput\":%g,\"locked_read_p99_ms\":%g"
+        ",\"locked_read_committed\":%lld",
+        result.locked_read_throughput, result.locked_read_p99_ms,
+        static_cast<long long>(result.locked_read_committed));
+  }
+  line += StrPrintf(
+      ",\"lock_waits\":%g,\"serializable\":%s,\"converged\":%s"
+      ",\"saturated\":%s}",
+      result.lock_waits, result.all_serializable ? "true" : "false",
       result.all_converged ? "true" : "false",
       result.saturated ? "true" : "false");
   std::FILE* f = std::fopen(path.c_str(), "a");

@@ -23,8 +23,20 @@ struct AggregateResult {
   double propagation_ms = 0;
   double messages_per_txn = 0;
   int64_t committed = 0;
+  /// MVCC snapshot-read aggregates (zero under kSerializable).
+  double read_throughput = 0;   // Snapshot reads/s per site, mean.
+  double read_p99_ms = 0;       // Snapshot-read p99 latency, mean.
+  double staleness_ms = 0;      // Mean snapshot staleness.
+  double lock_waits = 0;        // Lock-manager waits per run, mean.
+  int64_t read_committed = 0;
+  /// Read-only commits on the strict-2PL path (nonzero at every level;
+  /// under kSerializable this is ALL read-only commits).
+  double locked_read_throughput = 0;  // 2PL read-only txns/s per site.
+  double locked_read_p99_ms = 0;      // 2PL read-only p99 latency, mean.
+  int64_t locked_read_committed = 0;
   bool all_serializable = true;
   bool all_converged = true;
+  bool all_snapshots_consistent = true;
   /// Some run hit the simulation-time safety cap (the configuration is
   /// saturated and cannot finish its workload).
   bool saturated = false;
@@ -76,12 +88,18 @@ struct BenchOptions {
   /// smallbank | tpcc_lite). Applied only when `workload_set`.
   workload::WorkloadKind workload = workload::WorkloadKind::kTable1;
   bool workload_set = false;
+  /// --consistency=serializable|snapshot|ryw: per-session consistency
+  /// level. Non-default levels serve read-only transactions from MVCC
+  /// snapshots (docs/MVCC.md).
+  storage::ConsistencyLevel consistency =
+      storage::ConsistencyLevel::kSerializable;
 };
 
 /// Parses --quick / --full / --txns=N / --seeds=N / --csv / --json=PATH /
 /// --runtime=sim|threads / --workers=N / --lock-stripes=N /
 /// --deadlock=timeout|wait_die / --lock-timeout=MS / --zipf=THETA /
-/// --workload=NAME / --metrics-out=PATH / --trace-out=PATH.
+/// --workload=NAME / --consistency=LEVEL / --metrics-out=PATH /
+/// --trace-out=PATH.
 BenchOptions ParseBenchArgs(int argc, char** argv);
 
 /// Applies the options to a config.

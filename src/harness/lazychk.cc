@@ -40,6 +40,10 @@ std::string ReplayLine(const LazychkOptions& options, uint64_t seed,
     line += " --zipf=" + std::to_string(options.zipf_theta);
   }
   if (!options.faults.empty()) line += " --faults=" + options.faults;
+  if (options.consistency != storage::ConsistencyLevel::kSerializable) {
+    line += std::string(" --consistency=") +
+            storage::ConsistencyLevelName(options.consistency);
+  }
   if (options.deadlock_policy == storage::DeadlockPolicy::kWaitDie) {
     line += " --grant=wait_die";
   }
@@ -78,6 +82,7 @@ core::SystemConfig LazychkConfig(const LazychkOptions& options,
   }
   config.engine.deadlock_policy = options.deadlock_policy;
   config.batching = options.batching;
+  config.consistency = options.consistency;
   sim::SchedulePolicyConfig seeded = policy;
   seeded.seed = seed;
   config.schedule = seeded;
@@ -97,6 +102,9 @@ std::string CheckInvariants(const core::SystemConfig& config) {
     fails.push_back("history not serializable (" + m.verdict + ")");
   }
   if (!m.reads_consistent) fails.push_back("read returned a stale value");
+  if (!m.snapshots_consistent) {
+    fails.push_back("snapshot read observed a non-prefix cut");
+  }
   if (!m.converged) fails.push_back("replicas diverged from primaries");
   if (config.faults.has_value() && config.faults->enabled() &&
       sys.injector() != nullptr && !sys.injector()->AllUp()) {

@@ -49,6 +49,11 @@ struct LazychkOptions {
   workload::WorkloadKind workload = workload::WorkloadKind::kTable1;
   /// Access-skew exponent (`--zipf=`, global hotness ranks).
   double zipf_theta = 0.0;
+  /// Per-session consistency level (`--consistency=`). Non-default
+  /// levels route read-only transactions through the MVCC snapshot path
+  /// and extend the oracle with the snapshot-consistency check.
+  storage::ConsistencyLevel consistency =
+      storage::ConsistencyLevel::kSerializable;
   /// Shrink each violation before reporting.
   bool shrink = true;
   /// Progress/violation lines to stderr.

@@ -14,6 +14,14 @@ Database::Database(runtime::Runtime* rt, Options options,
       observer_(observer),
       locks_(rt, options.lock_config) {
   if (options_.enable_wal) wal_ = std::make_unique<Wal>();
+  if (options_.enable_mvcc) {
+    store_.EnableVersioning();
+    applied_from_ = std::make_unique<std::atomic<int64_t>[]>(
+        static_cast<size_t>(options_.num_sites));
+    for (int i = 0; i < options_.num_sites; ++i) {
+      applied_from_[i].store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 TxnPtr Database::Begin(GlobalTxnId id, TxnKind kind) {
@@ -50,11 +58,19 @@ bool Database::HasUnpinnedActive() const {
 void Database::RecoverStoreFromWal() {
   LAZYREP_CHECK(wal_ != nullptr) << "recovery without a WAL";
   ItemStore fresh;
+  if (options_.enable_mvcc) fresh.EnableVersioning();
   for (const auto& [item, value] : store_.Snapshot()) {
     fresh.AddItem(item, 0);
   }
   wal_->Replay(&fresh);
   store_ = std::move(fresh);
+  // Version history is volatile: re-seed every chain from the replayed
+  // committed image *before* re-applying prepared transactions' in-place
+  // writes, so snapshot readers keep seeing committed data only. The
+  // watermark (snapshots_) deliberately survives the swap — it must not
+  // go backwards across a WAL replay, and the stamp-0 seeds serve every
+  // stamp up to it with the replayed committed values.
+  if (options_.enable_mvcc) store_.ResetVersionsToCurrent();
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [ptr, txn] : active_) {
     for (const auto& [item, value] : txn->writes_final_) {
@@ -188,11 +204,92 @@ runtime::Co<Status> Database::Commit(
     txn->state_ = TxnState::kCommitted;
     ++commits_;
     active_.erase(txn.get());
+    // Publish-at-commit: versions become reachable and the watermark
+    // advances inside the same atomic region that assigns the stamp, so
+    // the watermark always equals the latest local commit stamp and a
+    // snapshot cut is a prefix of this site's commit order by
+    // construction (docs/MVCC.md).
+    if (options_.enable_mvcc) PublishCommittedVersions(*txn, seq + 1);
   }
   if (atomic_hook) atomic_hook(seq);
   if (observer_ != nullptr) observer_->OnCommit(options_.site, *txn, seq);
   locks_.ReleaseAll(txn.get());
+  if (options_.enable_mvcc) MaybeRunMvccGc();
   co_return Status::OK();
+}
+
+void Database::PublishCommittedVersions(const Transaction& txn,
+                                        int64_t stamp) {
+  for (const auto& [item, value] : txn.writes_final_) {
+    store_.PublishVersion(item, value, stamp);
+  }
+  // Read-only (and write-free secondary) commits still advance the
+  // watermark: the cut stays a prefix of the commit order either way.
+  snapshots_.Publish(stamp, rt_->Now());
+}
+
+Result<Value> Database::SnapshotRead(const SnapshotHandle& handle,
+                                     Transaction* txn, ItemId item) {
+  Result<Value> v = store_.ReadAtStamp(item, handle.stamp);
+  if (!v.ok()) return v;
+  if (txn->read_set_.insert(item).second) {
+    txn->reads_observed_.emplace(item, *v);
+  }
+  return v;
+}
+
+void Database::FinishSnapshotTxn(TxnPtr txn, const SnapshotHandle& handle,
+                                 int64_t session_floor) {
+  LAZYREP_CHECK(txn->state() == TxnState::kActive);
+  LAZYREP_CHECK(txn->write_set_.empty())
+      << "snapshot transaction acquired locks";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn->state_ = TxnState::kCommitted;
+    active_.erase(txn.get());
+  }
+  snapshot_reads_.fetch_add(1, std::memory_order_relaxed);
+  if (observer_ != nullptr) {
+    observer_->OnSnapshotRead(options_.site, *txn, handle.stamp,
+                              session_floor);
+  }
+}
+
+int64_t Database::applied_from(SiteId origin) const {
+  if (applied_from_ == nullptr || origin < 0 ||
+      origin >= options_.num_sites) {
+    return 0;
+  }
+  return applied_from_[origin].load(std::memory_order_acquire);
+}
+
+void Database::NoteOriginApplied(SiteId origin, int64_t origin_stamp) {
+  if (applied_from_ == nullptr || origin < 0 ||
+      origin >= options_.num_sites) {
+    return;
+  }
+  std::atomic<int64_t>& cell = applied_from_[origin];
+  int64_t cur = cell.load(std::memory_order_relaxed);
+  while (cur < origin_stamp &&
+         !cell.compare_exchange_weak(cur, origin_stamp,
+                                     std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Database::MaybeRunMvccGc() {
+  if (publishes_since_gc_.fetch_add(1, std::memory_order_relaxed) + 1 <
+      options_.mvcc_gc_interval) {
+    return;
+  }
+  publishes_since_gc_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(gc_mu_);
+  int64_t floor = snapshots_.BeginGc();
+  size_t freed = store_.PruneVersionsBelow(floor);
+  snapshots_.EndGc();
+  gc_passes_.fetch_add(1, std::memory_order_relaxed);
+  gc_reclaimed_.fetch_add(static_cast<int64_t>(freed),
+                          std::memory_order_relaxed);
 }
 
 runtime::Co<void> Database::Abort(TxnPtr txn) {

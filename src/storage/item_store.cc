@@ -1,14 +1,52 @@
 #include "storage/item_store.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/check.h"
 #include "common/strings.h"
 
 namespace lazyrep::storage {
 
+ItemStore::~ItemStore() { FreeAllChains(); }
+
+ItemStore::ItemStore(ItemStore&& other) noexcept
+    : versioning_(other.versioning_), values_(std::move(other.values_)) {
+  other.values_.clear();  // moved-from map must own no slots
+}
+
+ItemStore& ItemStore::operator=(ItemStore&& other) noexcept {
+  if (this != &other) {
+    FreeAllChains();
+    versioning_ = other.versioning_;
+    values_ = std::move(other.values_);
+    other.values_.clear();
+  }
+  return *this;
+}
+
+void ItemStore::FreeChain(VersionNode* node) {
+  while (node != nullptr) {
+    VersionNode* next = node->next.load(std::memory_order_relaxed);
+    delete node;
+    node = next;
+  }
+}
+
+void ItemStore::FreeAllChains() {
+  for (auto& [item, slot] : values_) {
+    FreeChain(slot.head.exchange(nullptr, std::memory_order_relaxed));
+  }
+}
+
 void ItemStore::AddItem(ItemId item, Value initial) {
-  auto [it, inserted] = values_.emplace(item, Slot{initial, 0});
+  auto [it, inserted] = values_.try_emplace(item);
   LAZYREP_CHECK(inserted) << "item " << item << " already present";
+  it->second.value.store(initial, std::memory_order_relaxed);
+  if (versioning_) {
+    auto* seed = new VersionNode{initial, 0, {nullptr}};
+    it->second.head.store(seed, std::memory_order_release);
+  }
 }
 
 Result<Value> ItemStore::Get(ItemId item) const {
@@ -16,7 +54,7 @@ Result<Value> ItemStore::Get(ItemId item) const {
   if (it == values_.end()) {
     return Status::NotFound(StrPrintf("item %d has no copy here", item));
   }
-  return it->second.value;
+  return it->second.value.load(std::memory_order_relaxed);
 }
 
 Result<Value> ItemStore::Put(ItemId item, Value value) {
@@ -24,21 +62,109 @@ Result<Value> ItemStore::Put(ItemId item, Value value) {
   if (it == values_.end()) {
     return Status::NotFound(StrPrintf("item %d has no copy here", item));
   }
-  Value old = it->second.value;
-  it->second.value = value;
-  ++it->second.version;
+  Value old = it->second.value.exchange(value, std::memory_order_relaxed);
+  it->second.version.fetch_add(1, std::memory_order_relaxed);
   return old;
 }
 
 int64_t ItemStore::Version(ItemId item) const {
   auto it = values_.find(item);
-  return it == values_.end() ? 0 : it->second.version;
+  return it == values_.end()
+             ? 0
+             : it->second.version.load(std::memory_order_relaxed);
 }
 
 std::vector<std::pair<ItemId, Value>> ItemStore::Snapshot() const {
   std::vector<std::pair<ItemId, Value>> out;
   out.reserve(values_.size());
-  for (const auto& [item, slot] : values_) out.emplace_back(item, slot.value);
+  for (const auto& [item, slot] : values_) {
+    out.emplace_back(item, slot.value.load(std::memory_order_relaxed));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ItemStore::EnableVersioning() {
+  versioning_ = true;
+  for (auto& [item, slot] : values_) {
+    if (slot.head.load(std::memory_order_relaxed) == nullptr) {
+      auto* seed = new VersionNode{
+          slot.value.load(std::memory_order_relaxed), 0, {nullptr}};
+      slot.head.store(seed, std::memory_order_release);
+    }
+  }
+}
+
+void ItemStore::PublishVersion(ItemId item, Value value, int64_t stamp) {
+  auto it = values_.find(item);
+  LAZYREP_CHECK(it != values_.end())
+      << "publish for item " << item << " with no copy here";
+  VersionNode* old = it->second.head.load(std::memory_order_relaxed);
+  LAZYREP_CHECK(old != nullptr && old->stamp < stamp)
+      << "out-of-order publish for item " << item;
+  auto* node = new VersionNode{value, stamp, {old}};
+  // Release: readers that see the new head see its fields and tail.
+  it->second.head.store(node, std::memory_order_release);
+}
+
+Result<Value> ItemStore::ReadAtStamp(ItemId item, int64_t stamp) const {
+  auto it = values_.find(item);
+  if (it == values_.end()) {
+    return Status::NotFound(StrPrintf("item %d has no copy here", item));
+  }
+  const VersionNode* node = it->second.head.load(std::memory_order_acquire);
+  while (node != nullptr && node->stamp > stamp) {
+    node = node->next.load(std::memory_order_acquire);
+  }
+  LAZYREP_CHECK(node != nullptr)
+      << "no version of item " << item << " at stamp " << stamp
+      << " — GC floor overtook a registered reader";
+  return node->value;
+}
+
+size_t ItemStore::PruneVersionsBelow(int64_t floor) {
+  size_t freed = 0;
+  for (auto& [item, slot] : values_) {
+    VersionNode* node = slot.head.load(std::memory_order_relaxed);
+    while (node != nullptr && node->stamp > floor) {
+      node = node->next.load(std::memory_order_relaxed);
+    }
+    if (node == nullptr) continue;
+    // `node` is the first version with stamp <= floor: it serves every
+    // protected stamp down to the floor; everything after it is
+    // unreachable to registered readers. Detach, then free.
+    VersionNode* tail = node->next.exchange(nullptr,
+                                            std::memory_order_relaxed);
+    for (VersionNode* n = tail; n != nullptr;) {
+      VersionNode* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+      ++freed;
+    }
+  }
+  return freed;
+}
+
+void ItemStore::ResetVersionsToCurrent() {
+  LAZYREP_CHECK(versioning_);
+  for (auto& [item, slot] : values_) {
+    auto* seed = new VersionNode{
+        slot.value.load(std::memory_order_relaxed), 0, {nullptr}};
+    FreeChain(slot.head.exchange(seed, std::memory_order_release));
+  }
+}
+
+std::vector<std::pair<ItemId, size_t>> ItemStore::ChainLengths() const {
+  std::vector<std::pair<ItemId, size_t>> out;
+  out.reserve(values_.size());
+  for (const auto& [item, slot] : values_) {
+    size_t len = 0;
+    for (const VersionNode* n = slot.head.load(std::memory_order_acquire);
+         n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+      ++len;
+    }
+    out.emplace_back(item, len);
+  }
   std::sort(out.begin(), out.end());
   return out;
 }

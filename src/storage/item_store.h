@@ -1,6 +1,8 @@
 #ifndef LAZYREP_STORAGE_ITEM_STORE_H_
 #define LAZYREP_STORAGE_ITEM_STORE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -13,10 +15,44 @@ namespace lazyrep::storage {
 /// instance per site holds exactly the items that have a copy (primary or
 /// replica) at that site. Values are updated in place; isolation is the
 /// lock manager's job, atomicity the undo log's.
+///
+/// Concurrency contract: the map *structure* is frozen after setup —
+/// `AddItem` (and the whole-store move in crash recovery) runs before
+/// worker lanes start, or with all lanes parked. Per-slot value/version
+/// accesses are atomic, so cold readers (`Snapshot`, `Version`, `Get`
+/// from convergence checks and obs export) are race-free against worker
+/// lanes applying updates — the same confinement bug class as the PR-7
+/// `Wal` cold-reader race, fixed at the slot level here.
+///
+/// When versioning is enabled (`EnableVersioning`, MVCC snapshot reads,
+/// docs/MVCC.md), each slot additionally carries a singly-linked version
+/// chain ordered newest-first by commit stamp. Chain heads are atomic:
+/// `PublishVersion` (one publisher at a time — the site's home-lane
+/// commit path) pushes, `ReadAtStamp` traverses lock-free from any lane,
+/// and `PruneVersionsBelow` (externally serialized with the publisher's
+/// GC trigger) truncates tails no registered reader can reach.
 class ItemStore {
  public:
+  /// One immutable committed version. `stamp` is the site-local commit
+  /// stamp (commit_seq + 1; stamp 0 is the initial value).
+  struct VersionNode {
+    Value value = 0;
+    int64_t stamp = 0;
+    std::atomic<VersionNode*> next{nullptr};
+  };
+
+  ItemStore() = default;
+  ~ItemStore();
+
+  /// Moves transfer the slot table (and chains) wholesale; setup/recovery
+  /// only, never concurrent with readers or writers.
+  ItemStore(ItemStore&& other) noexcept;
+  ItemStore& operator=(ItemStore&& other) noexcept;
+  ItemStore(const ItemStore&) = delete;
+  ItemStore& operator=(const ItemStore&) = delete;
+
   /// Registers `item` with an initial value. Idempotent registration of
-  /// the same item is an error.
+  /// the same item is an error. Setup only (structure is frozen after).
   void AddItem(ItemId item, Value initial = 0);
 
   bool Contains(ItemId item) const {
@@ -37,11 +73,48 @@ class ItemStore {
   /// Sorted (item, value) snapshot — used by replica-convergence checks.
   std::vector<std::pair<ItemId, Value>> Snapshot() const;
 
+  // --- Multi-version API (enabled sites only) ---
+
+  /// Turns on version chains. Must precede AddItem so every item gets a
+  /// stamp-0 seed node; items added before the call are seeded lazily.
+  void EnableVersioning();
+  bool versioning() const { return versioning_; }
+
+  /// Pushes a new chain head (value, stamp). Single publisher at a time;
+  /// stamps must be pushed in increasing order per item.
+  void PublishVersion(ItemId item, Value value, int64_t stamp);
+
+  /// Lock-free: the value of the newest version with stamp <= `stamp`.
+  /// Safe from any lane while the publisher pushes, provided the caller
+  /// holds a SnapshotRegistry slot protecting `stamp` (GC safety).
+  Result<Value> ReadAtStamp(ItemId item, int64_t stamp) const;
+
+  /// Truncates every chain after its first node with stamp <= `floor`
+  /// (that node stays — it serves all stamps in [floor, next stamp)).
+  /// Returns the number of nodes freed. Caller serializes against other
+  /// pruners and guarantees no reader below `floor` is registered.
+  size_t PruneVersionsBelow(int64_t floor);
+
+  /// Re-seeds every chain with a single stamp-0 node holding the current
+  /// value. Crash recovery only (quiesced): version history is volatile
+  /// state and does not survive a crash; the watermark lives on in the
+  /// Database and stays monotone.
+  void ResetVersionsToCurrent();
+
+  /// Chain length per item, sorted by item — obs export at quiescence.
+  std::vector<std::pair<ItemId, size_t>> ChainLengths() const;
+
  private:
   struct Slot {
-    Value value = 0;
-    int64_t version = 0;
+    std::atomic<Value> value{0};
+    std::atomic<int64_t> version{0};
+    std::atomic<VersionNode*> head{nullptr};
   };
+
+  static void FreeChain(VersionNode* node);
+  void FreeAllChains();
+
+  bool versioning_ = false;
   std::unordered_map<ItemId, Slot> values_;
 };
 

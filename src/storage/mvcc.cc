@@ -1,0 +1,89 @@
+#include "storage/mvcc.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lazyrep::storage {
+
+const char* ConsistencyLevelName(ConsistencyLevel level) {
+  switch (level) {
+    case ConsistencyLevel::kSerializable: return "serializable";
+    case ConsistencyLevel::kSnapshot: return "snapshot";
+    case ConsistencyLevel::kRyw: return "ryw";
+  }
+  return "?";
+}
+
+Result<ConsistencyLevel> ParseConsistencyLevel(std::string_view name) {
+  if (name == "serializable") return ConsistencyLevel::kSerializable;
+  if (name == "snapshot") return ConsistencyLevel::kSnapshot;
+  if (name == "ryw") return ConsistencyLevel::kRyw;
+  return Status::InvalidArgument("unknown consistency level: " +
+                                 std::string(name) +
+                                 " (serializable|snapshot|ryw)");
+}
+
+void SnapshotRegistry::Publish(int64_t stamp, SimTime now) {
+  LAZYREP_CHECK(stamp >= watermark_.load(std::memory_order_relaxed))
+      << "watermark went backwards: " << stamp;
+  publish_time_.store(now, std::memory_order_relaxed);
+  // seq_cst (includes release): a reader that observes this stamp also
+  // observes the chain nodes published before it, and watermark loads
+  // join the slot/intent total order — a reader whose slot claim follows
+  // a collector's scan then reads a watermark >= the collector's floor,
+  // so its stamp is never below what the collector prunes to.
+  watermark_.store(stamp, std::memory_order_seq_cst);
+}
+
+SnapshotHandle SnapshotRegistry::Acquire() {
+  for (;;) {
+    int slot = -1;
+    for (int i = 0; i < kSlots; ++i) {
+      int64_t idle = kIdle;
+      // Tentatively claim with 0 — protects every stamp — then refine.
+      if (slots_[i].compare_exchange_strong(idle, 0,
+                                            std::memory_order_seq_cst)) {
+        slot = i;
+        break;
+      }
+    }
+    LAZYREP_CHECK(slot >= 0) << "snapshot slots exhausted";
+    int64_t stamp = watermark_.load(std::memory_order_seq_cst);
+    // Announce the stamp we will traverse at (seq_cst so it orders
+    // against a collector's slot scan), then re-check the collector's
+    // intent: if a GC pass is targeting a floor above our stamp it may
+    // have scanned our slot before the announcement — back off and
+    // retry; the next acquire re-reads a watermark >= that floor.
+    slots_[slot].store(stamp, std::memory_order_seq_cst);
+    int64_t intent = gc_intent_.load(std::memory_order_seq_cst);
+    if (intent == kIdle || intent <= stamp) {
+      return SnapshotHandle{stamp, slot};
+    }
+    slots_[slot].store(kIdle, std::memory_order_seq_cst);
+  }
+}
+
+void SnapshotRegistry::Release(SnapshotHandle* handle) {
+  if (!handle->valid()) return;
+  slots_[handle->slot].store(kIdle, std::memory_order_seq_cst);
+  handle->slot = -1;
+}
+
+int64_t SnapshotRegistry::BeginGc() {
+  int64_t floor = watermark_.load(std::memory_order_acquire);
+  // Intent-before-scan: a reader that announces after the scan passes
+  // its slot must then observe this intent and retry, so the computed
+  // floor stays a lower bound on every registered stamp.
+  gc_intent_.store(floor, std::memory_order_seq_cst);
+  for (const auto& s : slots_) {
+    floor = std::min(floor, s.load(std::memory_order_seq_cst));
+  }
+  return floor;
+}
+
+void SnapshotRegistry::EndGc() {
+  gc_intent_.store(kIdle, std::memory_order_seq_cst);
+}
+
+}  // namespace lazyrep::storage

@@ -1,0 +1,118 @@
+#ifndef LAZYREP_STORAGE_MVCC_H_
+#define LAZYREP_STORAGE_MVCC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace lazyrep::storage {
+
+/// Per-session read consistency level (docs/MVCC.md).
+///
+/// * kSerializable — reads take S locks through the lock manager; the
+///   global history is serializable per protocol. The default; the only
+///   level the paper's protocols were analysed under.
+/// * kSnapshot — read-only transactions bypass the lock manager and read
+///   a prefix-closed cut of the local site's commit order (the site
+///   watermark). Reads never wait, never deadlock, never abort writers.
+/// * kRyw — kSnapshot plus read-your-writes: a session's reads wait until
+///   the session's own last commit has been applied at the serving site.
+enum class ConsistencyLevel {
+  kSerializable,
+  kSnapshot,
+  kRyw,
+};
+
+const char* ConsistencyLevelName(ConsistencyLevel level);
+Result<ConsistencyLevel> ParseConsistencyLevel(std::string_view name);
+
+/// A client session's consistency state. Workers thread one of these
+/// through their transaction loop; under kRyw a successful write commit
+/// updates the floor, and subsequent snapshot reads (at any site) wait
+/// until the serving site has applied that origin commit.
+struct Session {
+  ConsistencyLevel level = ConsistencyLevel::kSerializable;
+  /// Origin site of the session's last write commit (kRyw only).
+  SiteId floor_site = -1;
+  /// The origin site's commit stamp right after that commit. A serving
+  /// site satisfies the floor once applied_from(floor_site) >= floor.
+  int64_t floor_stamp = 0;
+};
+
+/// An active snapshot read's registration: the stamp it reads at plus
+/// the hazard slot that keeps the GC from reclaiming versions it may
+/// still traverse. Obtained from SnapshotRegistry::Acquire.
+struct SnapshotHandle {
+  int64_t stamp = 0;
+  int slot = -1;
+
+  bool valid() const { return slot >= 0; }
+};
+
+/// Watermark + hazard-slot registry for lock-free snapshot reads at one
+/// site. Roles:
+///
+/// * Publisher (the site's commit path, serialized on the home lane)
+///   advances the watermark after making a commit's versions reachable.
+/// * Readers Acquire() a handle: claim a slot, announce the watermark
+///   they will read at, and re-check the GC intent so a concurrent
+///   collector either sees the announcement or the reader retries at a
+///   floor the collector already protects.
+/// * The collector (BeginGc) publishes its intended floor first, then
+///   scans the slots; the resulting floor is <= every stamp a registered
+///   reader may traverse, so pruning chains strictly below the floor can
+///   never free a node a reader can still reach. No grace period needed:
+///   reachability is decided at Acquire time, not at traversal time.
+class SnapshotRegistry {
+ public:
+  static constexpr int kSlots = 64;
+  /// Sentinel for "slot free" — also the identity for min().
+  static constexpr int64_t kIdle = INT64_MAX;
+
+  SnapshotRegistry() {
+    for (auto& s : slots_) s.store(kIdle, std::memory_order_relaxed);
+  }
+
+  /// Highest published commit stamp (0 = only initial versions exist).
+  int64_t watermark() const {
+    return watermark_.load(std::memory_order_acquire);
+  }
+  SimTime last_publish_time() const {
+    return publish_time_.load(std::memory_order_acquire);
+  }
+
+  /// Publisher only (home-lane serialized): advance the watermark to
+  /// `stamp`, recording the publication time for staleness metrics.
+  void Publish(int64_t stamp, SimTime now);
+
+  /// Registers a snapshot read at the current watermark. Lock-free;
+  /// spins over slots (kSlots far exceeds any realistic reader count).
+  SnapshotHandle Acquire();
+
+  /// Deregisters; the handle becomes invalid.
+  void Release(SnapshotHandle* handle);
+
+  /// Collector only (externally serialized): computes the GC floor —
+  /// the watermark capped by every registered reader's stamp. Versions
+  /// strictly below the first chain node with stamp <= floor are
+  /// unreachable for all current and future readers.
+  int64_t BeginGc();
+  void EndGc();
+
+ private:
+  std::atomic<int64_t> watermark_{0};
+  std::atomic<SimTime> publish_time_{0};
+  /// The floor a collector is about to scan with. Readers re-check this
+  /// after announcing their stamp (both seq_cst, so either the collector
+  /// sees the announcement or the reader sees the intent).
+  std::atomic<int64_t> gc_intent_{kIdle};
+  std::atomic<int64_t> slots_[kSlots];
+};
+
+}  // namespace lazyrep::storage
+
+#endif  // LAZYREP_STORAGE_MVCC_H_

@@ -38,6 +38,11 @@ void PrintHelp() {
       "                    default table1)\n"
       "  --zipf=THETA      access-skew exponent over global hotness ranks\n"
       "                    (default 0 = uniform)\n"
+      "  --consistency=L   serializable | snapshot | ryw: read-only txns\n"
+      "                    use lock-free MVCC snapshots under the relaxed\n"
+      "                    levels and the oracle adds the snapshot-\n"
+      "                    consistency check (default serializable;\n"
+      "                    docs/MVCC.md)\n"
       "  --faults=SPEC     fault plan, e.g. drop:0.01,dup:0.01,\n"
       "                    crash:2@500ms+100ms (docs/FAULTS.md)\n"
       "  --ties=0|1        perturb same-timestamp tie-breaks (default 1)\n"
@@ -118,6 +123,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--zipf must be >= 0\n");
         return 2;
       }
+    } else if (ParseFlag(arg, "--consistency", &v)) {
+      Result<storage::ConsistencyLevel> level =
+          storage::ParseConsistencyLevel(v);
+      if (!level.ok()) {
+        std::fprintf(stderr, "%s\n", level.status().ToString().c_str());
+        return 2;
+      }
+      options.consistency = *level;
     } else if (ParseFlag(arg, "--faults", &v)) {
       // Validate up front so a typo fails with exit 2, not a CHECK.
       Result<fault::FaultPlan> plan = fault::FaultPlan::Parse(v);
