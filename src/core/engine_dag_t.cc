@@ -74,6 +74,7 @@ void DagTEngine::OnMessage(ProtocolNetwork::Envelope env) {
   auto it = queues_.find(env.src);
   LAZYREP_CHECK(it != queues_.end())
       << "message from non-parent site " << env.src;
+  if (!update->is_dummy) ++pending_real_;
   it->second->Send(SecondaryArrival{std::move(*update), env.batch_end});
   queue_peak_ = std::max(queue_peak_, it->second->size());
 }
@@ -87,16 +88,22 @@ runtime::Co<void> DagTEngine::Applier() {
     co_await AwaitSiteUp();
     // §3.2.3: every incoming queue must be non-empty before the minimum
     // is taken. Single consumer, so once a queue is seen non-empty it
-    // stays non-empty until we pop.
-    for (auto& [parent, queue] : queues_) {
-      co_await queue->WaitNonEmpty();
-    }
+    // stays non-empty until we pop. Single-parent sites (every site of a
+    // chain/tree/fan topology) skip the min-scan entirely.
     runtime::Mailbox<SecondaryArrival>* min_queue = nullptr;
-    for (auto& [parent, queue] : queues_) {
-      if (min_queue == nullptr ||
-          Timestamp::Compare(queue->Front().update.ts,
-                             min_queue->Front().update.ts) < 0) {
-        min_queue = queue.get();
+    if (queues_.size() == 1) {
+      min_queue = queues_.begin()->second.get();
+      co_await min_queue->WaitNonEmpty();
+    } else {
+      for (auto& [parent, queue] : queues_) {
+        co_await queue->WaitNonEmpty();
+      }
+      for (auto& [parent, queue] : queues_) {
+        if (min_queue == nullptr ||
+            Timestamp::Compare(queue->Front().update.ts,
+                               min_queue->Front().update.ts) < 0) {
+          min_queue = queue.get();
+        }
       }
     }
     SecondaryArrival arrival = min_queue->Pop();
@@ -120,6 +127,7 @@ runtime::Co<void> DagTEngine::Applier() {
       continue;
     }
     applying_real_ = true;
+    --pending_real_;
     storage::TxnPtr txn =
         ctx_.db->Begin(update.origin, storage::TxnKind::kSecondary);
     bool applied_any = false;
@@ -198,13 +206,7 @@ runtime::Co<void> DagTEngine::DummySender() {
 }
 
 bool DagTEngine::Quiescent() const {
-  if (applying_real_) return false;
-  for (const auto& [parent, queue] : queues_) {
-    for (const SecondaryArrival& a : queue->items()) {
-      if (!a.update.is_dummy) return false;
-    }
-  }
-  return true;
+  return !applying_real_ && pending_real_ == 0;
 }
 
 }  // namespace lazyrep::core

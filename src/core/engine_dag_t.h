@@ -62,6 +62,12 @@ class DagTEngine : public ReplicationEngine {
   std::map<SiteId, std::unique_ptr<runtime::Mailbox<SecondaryArrival>>>
       queues_;
   bool applying_real_ = false;
+  /// Queued non-dummy updates across all parent queues, maintained by
+  /// OnMessage/Applier (both home-lane-confined). Makes Quiescent O(1)
+  /// instead of a scan over every queued item — the quiesce poll calls
+  /// it for all m sites, which at 128 sites with deep queues was itself
+  /// a scaling hazard.
+  int64_t pending_real_ = 0;
   std::map<SiteId, SimTime> last_sent_;
   uint64_t dummies_sent_ = 0;
   uint64_t secondaries_committed_ = 0;

@@ -350,6 +350,8 @@ Status System::Build() {
       (config_.check_serializability || config_.enable_trace)
           ? observer_mux_.get()
           : nullptr;
+  const std::vector<std::vector<ItemId>> items_by_site =
+      placement.ItemsBySite();
   for (SiteId s = 0; s < params.num_sites; ++s) {
     storage::Database::Options options;
     options.site = s;
@@ -371,7 +373,7 @@ Status System::Build() {
     options.mvcc_gc_interval = config_.mvcc_gc_interval;
     databases_.push_back(std::make_unique<storage::Database>(
         runtime_.get(), options, site_cpu_[s], observer));
-    for (ItemId item : placement.ItemsAt(s)) {
+    for (ItemId item : items_by_site[s]) {
       databases_.back()->store().AddItem(item, 0);
     }
     databases_.back()->locks().SetMetrics(&obs_, s);

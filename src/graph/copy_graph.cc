@@ -1,11 +1,20 @@
 #include "graph/copy_graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 
 #include "common/strings.h"
 
 namespace lazyrep::graph {
+
+namespace {
+std::atomic<long> g_full_scans{0};
+}  // namespace
+
+long Placement::FullScanCount() {
+  return g_full_scans.load(std::memory_order_relaxed);
+}
 
 bool Placement::HasCopy(ItemId item, SiteId site) const {
   if (primary[item] == site) return true;
@@ -14,6 +23,7 @@ bool Placement::HasCopy(ItemId item, SiteId site) const {
 }
 
 std::vector<ItemId> Placement::PrimaryItemsAt(SiteId site) const {
+  g_full_scans.fetch_add(1, std::memory_order_relaxed);
   std::vector<ItemId> out;
   for (ItemId i = 0; i < num_items; ++i) {
     if (primary[i] == site) out.push_back(i);
@@ -22,11 +32,29 @@ std::vector<ItemId> Placement::PrimaryItemsAt(SiteId site) const {
 }
 
 std::vector<ItemId> Placement::ItemsAt(SiteId site) const {
+  g_full_scans.fetch_add(1, std::memory_order_relaxed);
   std::vector<ItemId> out;
   for (ItemId i = 0; i < num_items; ++i) {
     if (HasCopy(i, site)) out.push_back(i);
   }
   return out;
+}
+
+std::vector<std::vector<ItemId>> Placement::ItemsBySite() const {
+  std::vector<std::vector<ItemId>> by_site(num_sites);
+  // Ascending item order per site falls out of the single ascending pass,
+  // matching ItemsAt exactly.
+  for (ItemId i = 0; i < num_items; ++i) {
+    by_site[primary[i]].push_back(i);
+    for (SiteId s : replicas[i]) by_site[s].push_back(i);
+  }
+  return by_site;
+}
+
+std::vector<std::vector<ItemId>> Placement::PrimaryItemsBySite() const {
+  std::vector<std::vector<ItemId>> by_site(num_sites);
+  for (ItemId i = 0; i < num_items; ++i) by_site[primary[i]].push_back(i);
+  return by_site;
 }
 
 size_t Placement::TotalReplicas() const {

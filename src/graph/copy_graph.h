@@ -22,11 +22,27 @@ struct Placement {
   /// True when `site` stores a copy (primary or secondary) of `item`.
   bool HasCopy(ItemId item, SiteId site) const;
 
-  /// Items whose primary copy is at `site`.
+  /// Items whose primary copy is at `site`. O(num_items) scan: callers
+  /// that need this for every site must use PrimaryItemsBySite() instead,
+  /// or setup becomes O(items × sites).
   std::vector<ItemId> PrimaryItemsAt(SiteId site) const;
 
-  /// Items with any copy at `site`.
+  /// Items with any copy at `site`. O(num_items) scan — see PrimaryItemsAt.
   std::vector<ItemId> ItemsAt(SiteId site) const;
+
+  /// Per-site item lists built in one pass over the placement:
+  /// `ItemsBySite()[s]` equals `ItemsAt(s)` (ascending item ids) but the
+  /// whole family costs O(num_items + copies) instead of
+  /// O(num_items × num_sites).
+  std::vector<std::vector<ItemId>> ItemsBySite() const;
+
+  /// One-pass equivalent of PrimaryItemsAt for every site.
+  std::vector<std::vector<ItemId>> PrimaryItemsBySite() const;
+
+  /// Process-wide count of full O(num_items) placement scans (ItemsAt /
+  /// PrimaryItemsAt calls). Lets tests assert that system setup uses the
+  /// one-pass indices rather than re-scanning per site.
+  static long FullScanCount();
 
   /// Total number of secondary copies in the system.
   size_t TotalReplicas() const;

@@ -1,0 +1,194 @@
+#include "graph/topology.h"
+
+#include <cstdlib>
+#include <deque>
+
+#include "common/strings.h"
+
+namespace lazyrep::graph {
+
+namespace {
+
+/// Extra-forward-edge probability for kRandom: keeps the DAG part from
+/// degenerating into a random tree without approaching dense m².
+constexpr double kRandomExtraEdgeProb = 0.3;
+
+bool ParseInt(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  long v = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string TopologySpec::ToString() const {
+  switch (kind) {
+    case TopologyKind::kChain:
+      return StrPrintf("chain:%d", num_sites);
+    case TopologyKind::kTree:
+      return StrPrintf("tree:%d,%d", num_sites, fanout);
+    case TopologyKind::kFan:
+      return StrPrintf("fan:%d", num_sites);
+    case TopologyKind::kRandom:
+      return StrPrintf("rand:%d,%.2f", num_sites, backedge_density);
+  }
+  return "unknown";
+}
+
+Result<TopologySpec> ParseTopologySpec(const std::string& text) {
+  size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        "topology spec needs kind:sites (chain:128, tree:128,4, fan:128, "
+        "rand:128,0.1): " +
+        text);
+  }
+  TopologySpec spec;
+  std::string kind = text.substr(0, colon);
+  std::string rest = text.substr(colon + 1);
+  std::string sites = rest;
+  std::string extra;
+  if (size_t comma = rest.find(','); comma != std::string::npos) {
+    sites = rest.substr(0, comma);
+    extra = rest.substr(comma + 1);
+  }
+  if (!ParseInt(sites, &spec.num_sites) || spec.num_sites < 2) {
+    return Status::InvalidArgument("topology needs >= 2 sites: " + text);
+  }
+  if (kind == "chain") {
+    spec.kind = TopologyKind::kChain;
+    if (!extra.empty()) {
+      return Status::InvalidArgument("chain takes no extra arg: " + text);
+    }
+  } else if (kind == "tree") {
+    spec.kind = TopologyKind::kTree;
+    if (!extra.empty() && (!ParseInt(extra, &spec.fanout) ||
+                           spec.fanout < 1)) {
+      return Status::InvalidArgument("bad tree fanout: " + text);
+    }
+  } else if (kind == "fan") {
+    spec.kind = TopologyKind::kFan;
+    if (!extra.empty()) {
+      return Status::InvalidArgument("fan takes no extra arg: " + text);
+    }
+  } else if (kind == "rand") {
+    spec.kind = TopologyKind::kRandom;
+    spec.backedge_density = 0.0;
+    if (!extra.empty() && (!ParseDouble(extra, &spec.backedge_density) ||
+                           spec.backedge_density < 0.0 ||
+                           spec.backedge_density > 1.0)) {
+      return Status::InvalidArgument("bad backedge density: " + text);
+    }
+  } else {
+    return Status::InvalidArgument("unknown topology kind: " + kind);
+  }
+  return spec;
+}
+
+CopyGraph BuildTopologyGraph(const TopologySpec& spec, uint64_t seed) {
+  CopyGraph g(spec.num_sites);
+  switch (spec.kind) {
+    case TopologyKind::kChain:
+      for (SiteId s = 0; s + 1 < spec.num_sites; ++s) g.AddEdge(s, s + 1);
+      break;
+    case TopologyKind::kTree:
+      for (SiteId s = 1; s < spec.num_sites; ++s) {
+        g.AddEdge((s - 1) / spec.fanout, s);
+      }
+      break;
+    case TopologyKind::kFan:
+      for (SiteId s = 1; s < spec.num_sites; ++s) g.AddEdge(0, s);
+      break;
+    case TopologyKind::kRandom: {
+      // Deterministic given (spec, seed); the stream tag keeps the
+      // topology draws independent of every other consumer of the seed.
+      Rng rng(seed, /*stream=*/0x746f706fu);  // "topo"
+      // Connected DAG skeleton: every site hangs under a random earlier
+      // site, plus sparse extra forward edges for diamond structure.
+      for (SiteId s = 1; s < spec.num_sites; ++s) {
+        g.AddEdge(static_cast<SiteId>(rng.Below(s)), s);
+        if (s >= 2 && rng.Bernoulli(kRandomExtraEdgeProb)) {
+          g.AddEdge(static_cast<SiteId>(rng.Below(s)), s);
+        }
+      }
+      // Cycle-creating backedges, one per site with probability
+      // `backedge_density` (0 keeps the DAG).
+      for (SiteId s = 1; s < spec.num_sites; ++s) {
+        if (rng.Bernoulli(spec.backedge_density)) {
+          g.AddEdge(s, static_cast<SiteId>(rng.Below(s)));
+        }
+      }
+      break;
+    }
+  }
+  return g;
+}
+
+Result<Placement> GenerateTopologyPlacement(const TopologySpec& spec,
+                                            int num_items,
+                                            int replication_factor,
+                                            uint64_t seed) {
+  if (replication_factor < 1) {
+    return Status::InvalidArgument("replication factor must be >= 1");
+  }
+  if (num_items < spec.num_sites) {
+    return Status::InvalidArgument(StrPrintf(
+        "sharded topology placement needs num_items >= num_sites "
+        "(%d < %d): every site must own a keyspace shard",
+        num_items, spec.num_sites));
+  }
+  CopyGraph g = BuildTopologyGraph(spec, seed);
+  Placement p;
+  p.num_sites = spec.num_sites;
+  p.num_items = num_items;
+  p.primary.resize(num_items);
+  p.replicas.resize(num_items);
+  // Stamped visited set: one array reused across items, no per-item
+  // allocation.
+  std::vector<ItemId> stamp(spec.num_sites, kInvalidItem);
+  for (ItemId i = 0; i < num_items; ++i) {
+    SiteId primary = i % spec.num_sites;
+    p.primary[i] = primary;
+    int want = replication_factor - 1;
+    if (want <= 0) continue;
+    // BFS along skeleton out-edges; the first-level rotation spreads
+    // successive shard rounds over different children so every skeleton
+    // edge carries traffic.
+    stamp[primary] = i;
+    std::deque<SiteId> frontier;
+    const std::vector<SiteId>& kids = g.Children(primary);
+    if (!kids.empty()) {
+      size_t rot = static_cast<size_t>(i / spec.num_sites) % kids.size();
+      for (size_t k = 0; k < kids.size(); ++k) {
+        frontier.push_back(kids[(rot + k) % kids.size()]);
+      }
+    }
+    while (!frontier.empty() && want > 0) {
+      SiteId s = frontier.front();
+      frontier.pop_front();
+      if (stamp[s] == i) continue;
+      stamp[s] = i;
+      p.replicas[i].push_back(s);
+      --want;
+      for (SiteId c : g.Children(s)) {
+        if (stamp[c] != i) frontier.push_back(c);
+      }
+    }
+  }
+  LAZYREP_RETURN_IF_ERROR(p.Validate());
+  return p;
+}
+
+}  // namespace lazyrep::graph

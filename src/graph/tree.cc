@@ -1,6 +1,7 @@
 #include "graph/tree.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 
@@ -37,14 +38,25 @@ Tree::Tree(SiteId root, std::vector<SiteId> parent)
     frontier = std::move(next);
   }
   LAZYREP_CHECK_EQ(seen, n) << "tree is disconnected";
-}
-
-bool Tree::IsAncestor(SiteId a, SiteId d) const {
-  if (a == d) return false;
-  // Walk up from the (deeper) descendant.
-  SiteId v = d;
-  while (v != kInvalidSite && depth_[v] > depth_[a]) v = parent_[v];
-  return v == a;
+  // Euler-tour intervals for O(1) ancestor queries: iterative DFS, each
+  // node pushed once for entry and once for exit.
+  tin_.assign(parent_.size(), 0);
+  tout_.assign(parent_.size(), 0);
+  int clock = 0;
+  std::vector<std::pair<SiteId, bool>> stack{{root_, false}};
+  while (!stack.empty()) {
+    auto [v, exiting] = stack.back();
+    stack.pop_back();
+    if (exiting) {
+      tout_[v] = clock++;
+      continue;
+    }
+    tin_[v] = clock++;
+    stack.push_back({v, true});
+    for (auto it = children_[v].rbegin(); it != children_[v].rend(); ++it) {
+      stack.push_back({*it, false});
+    }
+  }
 }
 
 std::vector<SiteId> Tree::Subtree(SiteId v) const {

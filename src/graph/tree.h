@@ -25,8 +25,14 @@ class Tree {
   }
   int Depth(SiteId v) const { return depth_[v]; }
 
-  /// True when `a` is a proper ancestor of `d`.
-  bool IsAncestor(SiteId a, SiteId d) const;
+  /// True when `a` is a proper ancestor of `d`. O(1) via Euler-tour
+  /// intervals computed at construction (a contains d iff d's preorder
+  /// interval nests inside a's) — this sits on every routing hot path
+  /// that scales with topology size (BackEdge comparability checks,
+  /// backedge target selection, ancestor-property validation).
+  bool IsAncestor(SiteId a, SiteId d) const {
+    return a != d && tin_[a] <= tin_[d] && tout_[d] <= tout_[a];
+  }
 
   /// Sites in the subtree rooted at `v` (including `v`), preorder.
   std::vector<SiteId> Subtree(SiteId v) const;
@@ -48,6 +54,10 @@ class Tree {
   std::vector<SiteId> parent_;
   std::vector<std::vector<SiteId>> children_;
   std::vector<int> depth_;
+  /// Euler-tour preorder entry/exit indices: v's subtree is exactly the
+  /// sites u with tin_[v] <= tin_[u] && tout_[u] <= tout_[v].
+  std::vector<int> tin_;
+  std::vector<int> tout_;
 };
 
 /// Builds the chain tree used by the paper's implementation (§5.1):

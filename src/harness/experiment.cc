@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/stats.h"
 #include "common/strings.h"
+#include "graph/topology.h"
 #include "obs/chrome_trace.h"
 #include "obs/prometheus.h"
 
@@ -195,6 +196,20 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "%s\n", level.status().ToString().c_str());
       }
+    } else if (std::strncmp(arg, "--topology=", 11) == 0) {
+      Result<graph::TopologySpec> spec =
+          graph::ParseTopologySpec(arg + 11);
+      if (spec.ok()) {
+        options.topology = spec->ToString();
+      } else {
+        std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      }
+    } else if (std::strncmp(arg, "--replication-factor=", 21) == 0) {
+      options.replication_factor = std::atoi(arg + 21);
+      if (options.replication_factor < 1) {
+        std::fprintf(stderr, "--replication-factor must be >= 1\n");
+        options.replication_factor = 0;
+      }
     } else if (std::strncmp(arg, "--deadlock=", 11) == 0) {
       const char* value = arg + 11;
       if (std::strcmp(value, "timeout") == 0) {
@@ -214,6 +229,8 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
                    "--lock-stripes=N --deadlock=timeout|wait_die "
                    "--lock-timeout=MS --zipf=THETA --workload=NAME "
                    "--consistency=serializable|snapshot|ryw "
+                   "--topology=chain:N|tree:N,d|fan:N|rand:N,density "
+                   "--replication-factor=K "
                    "--metrics-out=PATH --trace-out=PATH)\n",
                    arg);
     }
@@ -236,6 +253,33 @@ void ApplyOptions(const BenchOptions& options,
   }
   if (options.workload_set) config->workload.workload = options.workload;
   config->consistency = options.consistency;
+  if (!options.topology.empty()) {
+    ApplyTopology(options.topology, options.replication_factor,
+                  &config->workload);
+  } else if (options.replication_factor > 0) {
+    config->workload.replication_factor = options.replication_factor;
+  }
+}
+
+void ApplyTopology(const std::string& topology, int replication_factor,
+                   workload::Params* params) {
+  Result<graph::TopologySpec> spec = graph::ParseTopologySpec(topology);
+  LAZYREP_CHECK(spec.ok()) << spec.status().ToString();
+  params->topology = spec->ToString();
+  // The spec's site count is authoritative; sites keep the default
+  // co-location granularity unless that would leave zero machines.
+  params->num_sites = spec->num_sites;
+  if (params->sites_per_machine > spec->num_sites) {
+    params->sites_per_machine = 1;
+  }
+  if (params->num_items < spec->num_sites) {
+    // The sharded placement needs every site to own >= 1 item; scale the
+    // paper's default keyspace with the topology.
+    params->num_items = 4 * spec->num_sites;
+  }
+  if (replication_factor > 0) {
+    params->replication_factor = replication_factor;
+  }
 }
 
 void AppendBenchJson(const std::string& path, const std::string& bench,

@@ -93,17 +93,33 @@ struct BenchOptions {
   /// snapshots (docs/MVCC.md).
   storage::ConsistencyLevel consistency =
       storage::ConsistencyLevel::kSerializable;
+  /// --topology=chain:N|tree:N,d|fan:N|rand:N,density: generated
+  /// scale-out copy graph with sharded placement (docs/SCALE.md). The
+  /// site count in the spec overrides the config's num_sites. Empty =
+  /// paper placement.
+  std::string topology;
+  /// --replication-factor=K: copies per item (primary included) under
+  /// --topology. 0 = keep the config's default.
+  int replication_factor = 0;
 };
 
 /// Parses --quick / --full / --txns=N / --seeds=N / --csv / --json=PATH /
 /// --runtime=sim|threads / --workers=N / --lock-stripes=N /
 /// --deadlock=timeout|wait_die / --lock-timeout=MS / --zipf=THETA /
-/// --workload=NAME / --consistency=LEVEL / --metrics-out=PATH /
-/// --trace-out=PATH.
+/// --workload=NAME / --consistency=LEVEL / --topology=SPEC /
+/// --replication-factor=K / --metrics-out=PATH / --trace-out=PATH.
 BenchOptions ParseBenchArgs(int argc, char** argv);
 
 /// Applies the options to a config.
 void ApplyOptions(const BenchOptions& options, core::SystemConfig* config);
+
+/// Applies a `--topology=` spec to workload params: canonicalizes the
+/// spec string, takes the spec's site count (adjusting co-location and
+/// the keyspace so every site owns a shard), and sets the replication
+/// factor when `replication_factor` > 0. CHECK-fails on an unparsable
+/// spec (CLI layers validate first).
+void ApplyTopology(const std::string& topology, int replication_factor,
+                   workload::Params* params);
 
 /// Appends one JSON object line to `path` — the machine-readable
 /// counterpart of a printed table row:

@@ -39,6 +39,13 @@ std::string ReplayLine(const LazychkOptions& options, uint64_t seed,
   if (options.zipf_theta > 0) {
     line += " --zipf=" + std::to_string(options.zipf_theta);
   }
+  if (!options.topology.empty()) {
+    line += " --topology=" + options.topology;
+    if (options.replication_factor > 0) {
+      line +=
+          " --replication-factor=" + std::to_string(options.replication_factor);
+    }
+  }
   if (!options.faults.empty()) line += " --faults=" + options.faults;
   if (options.consistency != storage::ConsistencyLevel::kSerializable) {
     line += std::string(" --consistency=") +
@@ -74,6 +81,10 @@ core::SystemConfig LazychkConfig(const LazychkOptions& options,
   config.workload.zipf_theta = options.zipf_theta;
   if (options.protocol != core::Protocol::kBackEdge) {
     config.workload.backedge_prob = 0.0;  // DAG protocols need a DAG.
+  }
+  if (!options.topology.empty()) {
+    ApplyTopology(options.topology, options.replication_factor,
+                  &config.workload);
   }
   if (!options.faults.empty()) {
     Result<fault::FaultPlan> plan = fault::FaultPlan::Parse(options.faults);

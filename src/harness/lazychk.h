@@ -54,6 +54,13 @@ struct LazychkOptions {
   /// and extend the oracle with the snapshot-consistency check.
   storage::ConsistencyLevel consistency =
       storage::ConsistencyLevel::kSerializable;
+  /// Generated scale-out topology (`--topology=chain:N|tree:N,d|fan:N|
+  /// rand:N,density`, docs/SCALE.md); empty = the paper placement. A
+  /// rand density > 0 creates cycles, so it needs a non-DAG protocol.
+  std::string topology;
+  /// Copies per item under `--topology` (`--replication-factor=K`);
+  /// 0 = default.
+  int replication_factor = 0;
   /// Shrink each violation before reporting.
   bool shrink = true;
   /// Progress/violation lines to stderr.

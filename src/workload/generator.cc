@@ -115,11 +115,9 @@ double RankedSampler::Probability(ItemId item) const {
 WorkloadSpec::WorkloadSpec(const Params& params,
                            const graph::Placement& placement)
     : params_(params),
-      readable_(params.num_sites),
-      writable_(params.num_sites) {
+      readable_(placement.ItemsBySite()),
+      writable_(placement.PrimaryItemsBySite()) {
   for (SiteId s = 0; s < params.num_sites; ++s) {
-    readable_[s] = placement.ItemsAt(s);
-    writable_[s] = placement.PrimaryItemsAt(s);
     LAZYREP_CHECK(!readable_[s].empty())
         << "site " << s << " has no readable items";
   }

@@ -66,6 +66,12 @@ std::string Params::ToString() const {
   if (remote_txn_prob != 0.1) {
     out += StrPrintf(" remote=%.2f", remote_txn_prob);
   }
+  if (!topology.empty()) {
+    out += StrPrintf(" topology=%s", topology.c_str());
+    if (replication_factor != 2) {
+      out += StrPrintf(" rf=%d", replication_factor);
+    }
+  }
   return out;
 }
 

@@ -85,6 +85,16 @@ struct Params {
   /// locally-held replicas (writes stay on local primaries; see
   /// docs/WORKLOADS.md on the mapping).
   double remote_txn_prob = 0.1;
+  /// Generated-topology override (docs/SCALE.md). Empty = the paper's
+  /// §5.2 placement machinery. "chain:N", "tree:N,d", "fan:N", or
+  /// "rand:N,density" replaces it with a copy-graph skeleton of that
+  /// shape and a per-item sharded placement (each site holds only a
+  /// keyspace fraction); the site count N overrides num_sites.
+  std::string topology;
+  /// Copies per item (primary included) under a generated topology;
+  /// clipped per item by how many sites the primary's skeleton
+  /// out-paths reach. Ignored when `topology` is empty.
+  int replication_factor = 2;
 
   /// Human-readable one-line summary. Non-default extension fields
   /// (workload, zipf, hot seed, scan len, remote prob) are appended so

@@ -47,13 +47,15 @@ SmallBankWorkload::SmallBankWorkload(const Params& params,
       num_accounts_(params.num_items / 2),
       local_accounts_(params.num_sites),
       readable_accounts_(params.num_sites) {
+  // One pass over accounts, touching only the sites that actually hold a
+  // copy — O(accounts × replication factor), not O(accounts × sites).
+  // Ascending account order per site is preserved because `a` ascends.
   for (ItemId a = 0; a < num_accounts_; ++a) {
     SiteId primary = placement.primary[Checking(a)];
     local_accounts_[primary].push_back(a);
-    for (SiteId s = 0; s < params.num_sites; ++s) {
-      if (placement.HasCopy(Checking(a), s)) {
-        readable_accounts_[s].push_back(a);
-      }
+    readable_accounts_[primary].push_back(a);
+    for (SiteId s : placement.replicas[Checking(a)]) {
+      readable_accounts_[s].push_back(a);
     }
   }
   std::vector<uint32_t> ranks =

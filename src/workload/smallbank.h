@@ -35,6 +35,11 @@ class SmallBankWorkload : public WorkloadSpec {
     return local_accounts_[site];
   }
 
+  /// Accounts whose pair has any copy at `site` (testing).
+  const std::vector<ItemId>& ReadableAccountsAt(SiteId site) const {
+    return readable_accounts_[site];
+  }
+
  private:
   static ItemId Checking(ItemId account) { return 2 * account; }
   static ItemId Savings(ItemId account) { return 2 * account + 1; }

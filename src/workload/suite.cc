@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "graph/topology.h"
 #include "workload/smallbank.h"
 #include "workload/tpcc_lite.h"
 #include "workload/ycsb.h"
@@ -26,6 +27,28 @@ bool IsYcsb(WorkloadKind kind) {
 
 Result<graph::Placement> MakeWorkloadPlacement(const Params& params,
                                                Rng* rng) {
+  if (!params.topology.empty()) {
+    // Generated scale-out topology (docs/SCALE.md) in place of the §5.2
+    // machinery. SmallBank/TPC-C-lite need structured placements
+    // (co-located pairs, warehouse blocks) the sharded generator does
+    // not produce.
+    if (params.workload == WorkloadKind::kSmallBank ||
+        params.workload == WorkloadKind::kTpccLite) {
+      return Status::Unsupported(StrPrintf(
+          "--topology is not supported with workload=%s",
+          WorkloadKindName(params.workload)));
+    }
+    LAZYREP_ASSIGN_OR_RETURN(graph::TopologySpec spec,
+                             graph::ParseTopologySpec(params.topology));
+    if (spec.num_sites != params.num_sites) {
+      return Status::InvalidArgument(StrPrintf(
+          "topology %s disagrees with num_sites=%d (flag parsing should "
+          "have set num_sites from the spec)",
+          spec.ToString().c_str(), params.num_sites));
+    }
+    return graph::GenerateTopologyPlacement(
+        spec, params.num_items, params.replication_factor, rng->Next64());
+  }
   switch (params.workload) {
     case WorkloadKind::kTable1:
       return GeneratePlacement(params, rng);

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "graph/copy_graph.h"
 #include "graph/feedback_arc_set.h"
+#include "graph/topology.h"
 #include "graph/tree.h"
 
 namespace lazyrep::graph {
@@ -410,6 +411,179 @@ TEST(TreeTest, BackedgeTargetIsTreeAncestorAfterRemoval) {
     for (const Edge& e : back) {
       EXPECT_TRUE(tree->IsAncestor(e.to, e.from))
           << "trial " << trial << " edge " << e.from << "->" << e.to;
+    }
+  }
+}
+
+TEST(PlacementIndexTest, BySiteFamiliesMatchPerSiteScans) {
+  Rng rng(606);
+  for (int trial = 0; trial < 20; ++trial) {
+    Placement p;
+    p.num_sites = 3 + static_cast<int>(rng.Below(8));
+    p.num_items = p.num_sites + static_cast<int>(rng.Below(40));
+    for (ItemId i = 0; i < p.num_items; ++i) {
+      SiteId primary = static_cast<SiteId>(rng.Below(p.num_sites));
+      p.primary.push_back(primary);
+      std::vector<SiteId> reps;
+      for (SiteId s = 0; s < p.num_sites; ++s) {
+        if (s != primary && rng.Bernoulli(0.3)) reps.push_back(s);
+      }
+      p.replicas.push_back(std::move(reps));
+    }
+    ASSERT_TRUE(p.Validate().ok());
+    std::vector<std::vector<ItemId>> items = p.ItemsBySite();
+    std::vector<std::vector<ItemId>> primaries = p.PrimaryItemsBySite();
+    ASSERT_EQ(items.size(), static_cast<size_t>(p.num_sites));
+    for (SiteId s = 0; s < p.num_sites; ++s) {
+      EXPECT_EQ(items[s], p.ItemsAt(s)) << "trial " << trial;
+      EXPECT_EQ(primaries[s], p.PrimaryItemsAt(s)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(PlacementIndexTest, FullScanCounterTracksScanningCalls) {
+  Placement p = Example11Placement();
+  long before = Placement::FullScanCount();
+  (void)p.ItemsBySite();
+  (void)p.PrimaryItemsBySite();
+  EXPECT_EQ(Placement::FullScanCount(), before);  // One-pass: no scans.
+  (void)p.ItemsAt(0);
+  (void)p.PrimaryItemsAt(1);
+  EXPECT_EQ(Placement::FullScanCount(), before + 2);
+}
+
+TEST(TopologySpecTest, ParseRoundTripsCanonicalForms) {
+  for (const char* text :
+       {"chain:128", "tree:128,4", "fan:32", "rand:64,0.10"}) {
+    auto spec = ParseTopologySpec(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    EXPECT_EQ(spec->ToString(), text);
+    auto again = ParseTopologySpec(spec->ToString());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->ToString(), spec->ToString());
+  }
+  // Non-canonical spellings normalize.
+  auto tree = ParseTopologySpec("tree:9");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->ToString(), "tree:9,2");  // Default fanout.
+  auto rand = ParseTopologySpec("rand:9,0.125");
+  ASSERT_TRUE(rand.ok());
+  EXPECT_EQ(rand->ToString(), "rand:9,0.12");  // Two decimals.
+  auto rand_dag = ParseTopologySpec("rand:9");
+  ASSERT_TRUE(rand_dag.ok());
+  EXPECT_EQ(rand_dag->ToString(), "rand:9,0.00");  // Default: acyclic.
+}
+
+TEST(TopologySpecTest, ParseRejectsMalformedSpecs) {
+  for (const char* text :
+       {"", "chain", "chain:", "chain:1", "chain:0", "chain:-4", "chain:4,2",
+        "ring:9", "tree:9,0", "fan:9,3", "rand:9,1.5", "rand:9,-1",
+        "chain:abc", "rand:9,x"}) {
+    EXPECT_FALSE(ParseTopologySpec(text).ok()) << "'" << text << "'";
+  }
+}
+
+TEST(TopologyGraphTest, ChainTreeFanShapes) {
+  auto chain = ParseTopologySpec("chain:5");
+  ASSERT_TRUE(chain.ok());
+  CopyGraph c = BuildTopologyGraph(*chain, 1);
+  EXPECT_EQ(c.Edges(), (std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {3, 4}}));
+
+  auto tree = ParseTopologySpec("tree:7,2");
+  ASSERT_TRUE(tree.ok());
+  CopyGraph t = BuildTopologyGraph(*tree, 1);
+  EXPECT_EQ(t.Edges(), (std::vector<Edge>{
+                           {0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {2, 6}}));
+
+  auto fan = ParseTopologySpec("fan:4");
+  ASSERT_TRUE(fan.ok());
+  CopyGraph f = BuildTopologyGraph(*fan, 1);
+  EXPECT_EQ(f.Edges(), (std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}}));
+}
+
+TEST(TopologyGraphTest, RandomIsDeterministicConnectedAndDensityGated) {
+  auto dag_spec = ParseTopologySpec("rand:32,0");
+  ASSERT_TRUE(dag_spec.ok());
+  CopyGraph a = BuildTopologyGraph(*dag_spec, 42);
+  CopyGraph b = BuildTopologyGraph(*dag_spec, 42);
+  EXPECT_EQ(a.Edges(), b.Edges());  // Same (spec, seed) → same graph.
+  CopyGraph other = BuildTopologyGraph(*dag_spec, 43);
+  EXPECT_NE(a.Edges(), other.Edges());  // Seed actually matters.
+  EXPECT_TRUE(a.IsDag());  // Density 0 keeps it runnable under DAG(WT/T).
+  EXPECT_EQ(a.ReachableFrom(0).size(), 31u);  // Connected from the root.
+
+  auto cyc_spec = ParseTopologySpec("rand:32,1");
+  ASSERT_TRUE(cyc_spec.ok());
+  CopyGraph cyc = BuildTopologyGraph(*cyc_spec, 42);
+  EXPECT_FALSE(cyc.IsDag());  // Density 1: every eligible site back-links.
+}
+
+TEST(TopologyPlacementTest, ShardedPlacementIsValidBalancedAndOnSkeleton) {
+  Rng rng(707);
+  for (const char* text : {"chain:16", "tree:16,3", "fan:16", "rand:16,0.2"}) {
+    auto spec = ParseTopologySpec(text);
+    ASSERT_TRUE(spec.ok());
+    const int items = 64, rf = 3;
+    uint64_t seed = rng.Next64();
+    auto p = GenerateTopologyPlacement(*spec, items, rf, seed);
+    ASSERT_TRUE(p.ok()) << text;
+    EXPECT_TRUE(p->Validate().ok()) << text;
+    CopyGraph skeleton = BuildTopologyGraph(*spec, seed);
+    for (ItemId i = 0; i < items; ++i) {
+      // Round-robin primaries: every site owns a keyspace shard.
+      EXPECT_EQ(p->primary[i], static_cast<SiteId>(i % 16)) << text;
+      // At most rf copies, and secondaries never leave the skeleton's
+      // reach from the primary.
+      EXPECT_LE(p->replicas[i].size(), static_cast<size_t>(rf - 1)) << text;
+      std::set<SiteId> reach = skeleton.ReachableFrom(p->primary[i]);
+      for (SiteId s : p->replicas[i]) {
+        EXPECT_TRUE(reach.count(s)) << text << " item " << i;
+      }
+    }
+    // Induced copy graph ⊆ skeleton (possibly transitively compressed
+    // edges must still connect skeleton-reachable pairs).
+    CopyGraph induced = CopyGraph::FromPlacement(*p);
+    for (const Edge& e : induced.Edges()) {
+      EXPECT_TRUE(skeleton.ReachableFrom(e.from).count(e.to))
+          << text << " " << e.from << "->" << e.to;
+    }
+    // A chain interior site reaches rf sites, so full replication factor.
+    if (spec->kind == TopologyKind::kChain) {
+      EXPECT_EQ(p->replicas[0].size(), static_cast<size_t>(rf - 1));
+    }
+  }
+}
+
+TEST(TopologyPlacementTest, RejectsBadArguments) {
+  auto spec = ParseTopologySpec("chain:16");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(GenerateTopologyPlacement(*spec, 8, 2, 1).ok());  // < sites.
+  EXPECT_FALSE(GenerateTopologyPlacement(*spec, 64, 0, 1).ok());  // rf < 1.
+  auto rf1 = GenerateTopologyPlacement(*spec, 64, 1, 1);
+  ASSERT_TRUE(rf1.ok());
+  EXPECT_EQ(rf1->TotalReplicas(), 0u);  // rf=1 → primaries only.
+}
+
+TEST(TreeTest, EulerIsAncestorMatchesParentWalk) {
+  Rng rng(808);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 2 + static_cast<int>(rng.Below(60));
+    CopyGraph dag = RandomDag(&rng, n, 0.2);
+    auto tree = BuildChainTree(dag);
+    ASSERT_TRUE(tree.ok());
+    auto reference = [&](SiteId a, SiteId d) {
+      if (a == d) return false;
+      for (SiteId v = tree->Parent(d); v != kInvalidSite;
+           v = tree->Parent(v)) {
+        if (v == a) return true;
+      }
+      return false;
+    };
+    for (SiteId a = 0; a < n; ++a) {
+      for (SiteId d = 0; d < n; ++d) {
+        ASSERT_EQ(tree->IsAncestor(a, d), reference(a, d))
+            << "trial " << trial << " a=" << a << " d=" << d;
+      }
     }
   }
 }

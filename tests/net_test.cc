@@ -556,6 +556,78 @@ INSTANTIATE_TEST_SUITE_P(BothBackends, NetworkBackendTest,
                                       : "Sim";
                          });
 
+TEST(NetworkTest, ChannelStateGoesSparseAboveThreshold) {
+  SimRuntime rt;
+  {
+    const int n = IntNet::kDenseChannelThreshold;
+    IntNet net(&rt, n, NoCpuConfig(Millis(1)),
+               std::vector<runtime::Resource*>(n, nullptr), Rng(1));
+    EXPECT_TRUE(net.dense_channels());
+    EXPECT_EQ(net.allocated_channels(),
+              static_cast<size_t>(n) * static_cast<size_t>(n));
+  }
+  {
+    const int n = IntNet::kDenseChannelThreshold + 1;
+    IntNet net(&rt, n, NoCpuConfig(Millis(1)),
+               std::vector<runtime::Resource*>(n, nullptr), Rng(1));
+    EXPECT_FALSE(net.dense_channels());
+    EXPECT_EQ(net.allocated_channels(), 0u);  // Cells materialize lazily.
+  }
+}
+
+TEST(NetworkTest, SparseAllocatesOnlyTouchedChannels) {
+  // A 128-endpoint chain touches 127 channels, not 128² — the tentpole
+  // memory fix for 100+ site copy graphs (docs/SCALE.md).
+  SimRuntime rt;
+  Simulator& sim = *rt.simulator();
+  const int n = 128;
+  IntNet net(&rt, n, NoCpuConfig(Millis(1)),
+             std::vector<runtime::Resource*>(n, nullptr), Rng(1));
+  ASSERT_FALSE(net.dense_channels());
+  int delivered = 0;
+  for (SiteId s = 0; s < n; ++s) {
+    net.SetHandler(s, [&](IntNet::Envelope) { ++delivered; });
+  }
+  for (SiteId s = 0; s + 1 < n; ++s) net.Post(s, s + 1, s);
+  sim.Run();
+  EXPECT_EQ(delivered, n - 1);
+  EXPECT_EQ(net.allocated_channels(), static_cast<size_t>(n - 1));
+}
+
+TEST(NetworkTest, SparseAndDenseProduceIdenticalSchedules) {
+  // The same traffic pattern with the same jitter seed must arrive at
+  // byte-identical times under both representations — the sparse path
+  // only changes where Channel cells live, never their contents.
+  auto run = [](int n) {
+    SimRuntime rt;
+    Simulator& sim = *rt.simulator();
+    IntNet::Config cfg;
+    cfg.latency = Millis(2);
+    cfg.jitter = Millis(1);
+    IntNet net(&rt, n, cfg, std::vector<runtime::Resource*>(n, nullptr),
+               Rng(99));
+    std::vector<std::pair<int, SimTime>> got;
+    for (SiteId s = 0; s < n; ++s) {
+      net.SetHandler(s, [&got, &sim](IntNet::Envelope env) {
+        got.push_back({env.payload, sim.Now()});
+      });
+    }
+    // Traffic confined to endpoints {0, 1, 2}; bursts exercise the
+    // per-channel FIFO clamp.
+    for (int round = 0; round < 5; ++round) {
+      net.Post(0, 1, 10 * round);
+      net.Post(0, 1, 10 * round + 1);
+      net.Post(1, 2, 10 * round + 2);
+      net.Post(2, 0, 10 * round + 3);
+    }
+    sim.Run();
+    return got;
+  };
+  auto dense = run(IntNet::kDenseChannelThreshold);
+  auto sparse = run(IntNet::kDenseChannelThreshold + 40);
+  EXPECT_EQ(dense, sparse);
+}
+
 TEST(NetworkTest, StringPayloads) {
   SimRuntime rt;
   Simulator& sim = *rt.simulator();

@@ -672,6 +672,31 @@ TEST(SmallBankTest, PlacementColocatesAccountPairs) {
   EXPECT_TRUE(placement.Validate().ok());
 }
 
+TEST(SmallBankTest, OnePassAccountIndexMatchesHasCopyScan) {
+  // The constructor builds its per-site account lists in one pass over
+  // the accounts (via placement.primary/replicas) instead of a per-site
+  // HasCopy scan; the result must be identical to the brute force.
+  Params p;
+  p.num_sites = 9;
+  p.num_items = 240;
+  p.replication_prob = 0.6;
+  p.workload = WorkloadKind::kSmallBank;
+  Rng rng(11);
+  graph::Placement placement = GenerateSmallBankPlacement(p, &rng);
+  SmallBankWorkload workload(p, placement);
+  const ItemId accounts = p.num_items / 2;
+  for (SiteId site = 0; site < p.num_sites; ++site) {
+    std::vector<ItemId> local, readable;
+    for (ItemId a = 0; a < accounts; ++a) {
+      if (placement.primary[2 * a] == site) local.push_back(a);
+      if (placement.HasCopy(2 * a, site)) readable.push_back(a);
+    }
+    EXPECT_EQ(workload.LocalAccountsAt(site), local) << "site " << site;
+    EXPECT_EQ(workload.ReadableAccountsAt(site), readable)
+        << "site " << site;
+  }
+}
+
 TEST(SmallBankTest, TransactionsMatchTheSixShapesAndAreLegal) {
   Params p;
   p.num_sites = 6;

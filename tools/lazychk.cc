@@ -18,6 +18,7 @@
 #include <string>
 
 #include "fault/fault_plan.h"
+#include "graph/topology.h"
 #include "harness/lazychk.h"
 
 using namespace lazyrep;
@@ -45,6 +46,12 @@ void PrintHelp() {
       "                    docs/MVCC.md)\n"
       "  --faults=SPEC     fault plan, e.g. drop:0.01,dup:0.01,\n"
       "                    crash:2@500ms+100ms (docs/FAULTS.md)\n"
+      "  --topology=SPEC   generated scale-out copy graph with sharded\n"
+      "                    placement: chain:N | tree:N,d | fan:N |\n"
+      "                    rand:N,density (docs/SCALE.md). rand density\n"
+      "                    > 0 creates cycles: non-DAG protocols only\n"
+      "  --replication-factor=K\n"
+      "                    copies per item under --topology (default 2)\n"
       "  --ties=0|1        perturb same-timestamp tie-breaks (default 1)\n"
       "  --grants=0|1      randomize lock-grant order (default 1)\n"
       "  --grant=KIND      deadlock policy under test: timeout | wait_die\n"
@@ -139,6 +146,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.faults = v;
+    } else if (ParseFlag(arg, "--topology", &v)) {
+      Result<graph::TopologySpec> spec = graph::ParseTopologySpec(v);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+        return 2;
+      }
+      options.topology = spec->ToString();
+    } else if (ParseFlag(arg, "--replication-factor", &v)) {
+      options.replication_factor = std::atoi(v.c_str());
+      if (options.replication_factor < 1) {
+        std::fprintf(stderr, "--replication-factor must be >= 1\n");
+        return 2;
+      }
     } else if (ParseFlag(arg, "--ties", &v)) {
       options.policy.perturb_ties = std::atoi(v.c_str()) != 0;
     } else if (ParseFlag(arg, "--grants", &v)) {

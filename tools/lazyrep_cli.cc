@@ -13,6 +13,7 @@
 
 #include "core/system.h"
 #include "fault/fault_plan.h"
+#include "graph/topology.h"
 #include "harness/experiment.h"
 #include "obs/chrome_trace.h"
 #include "obs/prometheus.h"
@@ -51,6 +52,14 @@ void PrintHelp() {
       "  --scan-len=K      YCSB-E max scan length (default 8)\n"
       "  --remote=P        tpcc_lite multi-partition probability\n"
       "                    (default 0.1)\n"
+      "  --topology=SPEC   generated scale-out copy graph with per-item\n"
+      "                    sharded placement (docs/SCALE.md): chain:N |\n"
+      "                    tree:N,d | fan:N | rand:N,density. Overrides\n"
+      "                    --sites; rand density > 0 creates cycles and\n"
+      "                    needs --protocol=backedge/psl/naive/eager\n"
+      "  --replication-factor=K\n"
+      "                    copies per item (primary included) under\n"
+      "                    --topology (default 2)\n"
       "  --latency-ms=X    one-way network latency (default 0.15)\n"
       "  --timeout-ms=X    deadlock lock-wait timeout (default 50)\n"
       "  --seed=K          experiment seed (default 1)\n"
@@ -183,6 +192,20 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.consistency = *level;
+    } else if (ParseFlag(arg, "--topology", &v)) {
+      Result<graph::TopologySpec> spec = graph::ParseTopologySpec(v);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+        return 2;
+      }
+      harness::ApplyTopology(v, /*replication_factor=*/0,
+                             &config.workload);
+    } else if (ParseFlag(arg, "--replication-factor", &v)) {
+      config.workload.replication_factor = std::atoi(v.c_str());
+      if (config.workload.replication_factor < 1) {
+        std::fprintf(stderr, "--replication-factor must be >= 1\n");
+        return 2;
+      }
     } else if (ParseFlag(arg, "--hot-seed", &v)) {
       config.workload.hot_rank_seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "--scan-len", &v)) {
